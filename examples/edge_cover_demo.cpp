@@ -1,0 +1,50 @@
+// The other side of the dichotomy: #P-hardness as a feature. Prop. 3.3
+// turns counting edge covers of a bipartite graph into a PHom question on a
+// one-way path with a disconnected ⊔1WP query. We build the reduction for a
+// small bipartite graph, solve it with the exact exponential fallback, and
+// recover the exact edge-cover count as Pr · 2^|E|, cross-checked against
+// direct enumeration.
+//
+// Build & run:  ./build/examples/edge_cover_demo
+
+#include <iostream>
+
+#include "src/core/phom.h"
+#include "src/reductions/edge_cover_reduction.h"
+
+int main() {
+  using namespace phom;
+
+  // A random bipartite graph: 4 workers x 3 tasks, ~60% of pairs compatible.
+  Rng rng(99);
+  BipartiteGraph bipartite = RandomBipartite(&rng, 4, 3, 0.6);
+  std::cout << "Bipartite graph: " << bipartite.left_size << " + "
+            << bipartite.right_size << " vertices, "
+            << bipartite.edges.size() << " edges\n";
+
+  EdgeCoverReduction reduction = BuildEdgeCoverReductionLabeled(bipartite);
+  Alphabet alphabet = EdgeCoverAlphabet();
+  std::cout << "Reduction instance: "
+            << TableClassLabel(Classify(reduction.instance.graph()))
+            << " with " << reduction.instance.num_edges() << " edges; query: "
+            << TableClassLabel(Classify(reduction.query)) << " with "
+            << Classify(reduction.query).num_components << " components\n";
+
+  Solver solver;
+  Result<SolveResult> result = solver.Solve(reduction.query,
+                                            reduction.instance);
+  PHOM_CHECK_MSG(result.ok(), result.status().ToString());
+  std::cout << "Dichotomy verdict: "
+            << (result->analysis.tractable ? "PTIME" : "#P-hard cell")
+            << "  [" << result->analysis.proposition << "]\n";
+  std::cout << "Pr(G => H) = " << result->probability.ToString() << "\n";
+
+  BigInt via_phom =
+      RecoverCount(result->probability, reduction.num_probabilistic_edges);
+  BigInt direct = CountEdgeCoversBruteForce(bipartite);
+  std::cout << "#EdgeCovers via PHom:        " << via_phom.ToString() << "\n";
+  std::cout << "#EdgeCovers via enumeration: " << direct.ToString() << "\n";
+  PHOM_CHECK(via_phom == direct);
+  std::cout << "Counts agree.\n";
+  return 0;
+}

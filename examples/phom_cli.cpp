@@ -1,0 +1,95 @@
+// A small command-line front end: evaluate a conjunctive query against a
+// probabilistic instance file.
+//
+//   phom_cli '<query>' <instance-file>
+//   phom_cli 'R(x,y), S(y,z), S(t,z)' my_instance.txt
+//
+// The instance file uses the text format of src/graph/io.h:
+//   <num_vertices> <num_edges>
+//   <src> <dst> <label-name> [<probability>]
+// With no arguments, runs a built-in demo (the paper's running example).
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "src/core/monte_carlo.h"
+#include "src/core/phom.h"
+#include "src/graph/cq_parser.h"
+
+namespace {
+
+int Run(const std::string& query_text, const std::string& instance_text) {
+  using namespace phom;
+  Alphabet alphabet;
+  Result<ProbGraph> instance = ParseProbGraph(instance_text, &alphabet);
+  if (!instance.ok()) {
+    std::cerr << "instance: " << instance.status().ToString() << "\n";
+    return 1;
+  }
+  Result<ParsedQuery> query = ParseConjunctiveQuery(query_text, &alphabet);
+  if (!query.ok()) {
+    std::cerr << "query: " << query.status().ToString() << "\n";
+    return 1;
+  }
+
+  std::cout << "query:      "
+            << FormatConjunctiveQuery(query->graph, alphabet,
+                                      &query->variables)
+            << "\n";
+  std::cout << "instance:   " << instance->num_vertices() << " vertices, "
+            << instance->num_edges() << " edges ("
+            << instance->NumUncertainEdges() << " uncertain)\n";
+
+  Solver solver;
+  Result<SolveResult> result = solver.Solve(query->graph, *instance);
+  if (!result.ok()) {
+    std::cerr << "solve: " << result.status().ToString() << "\n";
+    // Offer a Monte Carlo estimate when the exact fallback is out of reach.
+    Result<MonteCarloEstimate> estimate =
+        EstimateProbabilityMonteCarlo(query->graph, *instance, /*seed=*/1);
+    if (estimate.ok()) {
+      std::cout << "Monte Carlo estimate: " << estimate->estimate << " ± "
+                << estimate->half_width_95 << " (95%)\n";
+    }
+    return 2;
+  }
+  std::cout << "cell:       " << result->analysis.cell << "\n";
+  std::cout << "verdict:    "
+            << (result->analysis.tractable ? "PTIME" : "#P-hard cell")
+            << " [" << result->analysis.proposition << "]\n";
+  std::cout << "algorithm:  " << ToString(result->analysis.algorithm) << "\n";
+  std::cout << "Pr(G => H) = " << result->probability.ToString() << " ≈ "
+            << result->probability.ToDecimalString(6) << "\n";
+  return 0;
+}
+
+constexpr const char* kDemoInstance =
+    "4 6\n"
+    "0 1 R 0.1\n"
+    "3 1 R 0.8\n"
+    "1 2 S 0.7\n"
+    "0 3 R 1\n"
+    "2 3 R 0.05\n"
+    "2 0 S 0.1\n";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 1) {
+    std::cout << "(demo: the paper's running example)\n";
+    return Run("R(x,y), S(y,z), S(t,z)", kDemoInstance);
+  }
+  if (argc != 3) {
+    std::cerr << "usage: " << argv[0] << " '<query>' <instance-file>\n";
+    return 64;
+  }
+  std::ifstream file(argv[2]);
+  if (!file) {
+    std::cerr << "cannot open " << argv[2] << "\n";
+    return 66;
+  }
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  return Run(argv[1], buffer.str());
+}

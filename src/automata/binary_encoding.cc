@@ -1,0 +1,123 @@
+#include "src/automata/binary_encoding.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "src/graph/classify.h"
+
+namespace phom {
+
+std::vector<bool> EncodedPolytree::WorldToNodePresence(
+    const std::vector<bool>& edge_kept) const {
+  std::vector<bool> present(nodes.size(), true);
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i].source_edge != EncodedNode::kNoSourceEdge) {
+      present[i] = edge_kept[nodes[i].source_edge];
+    }
+  }
+  return present;
+}
+
+Result<EncodedPolytree> EncodePolytree(const ProbGraph& instance) {
+  const DiGraph& g = instance.graph();
+  if (!IsPolytree(g)) {
+    return Status::Invalid("EncodePolytree requires a polytree instance");
+  }
+
+  size_t n = g.num_vertices();
+  // Root the underlying tree at vertex 0; BFS to find parents.
+  std::vector<int64_t> parent(n, -1);
+  std::vector<EdgeId> parent_edge(n, 0);
+  std::vector<VertexId> bfs_order;
+  bfs_order.reserve(n);
+  std::vector<bool> seen(n, false);
+  std::queue<VertexId> queue;
+  queue.push(0);
+  seen[0] = true;
+  while (!queue.empty()) {
+    VertexId v = queue.front();
+    queue.pop();
+    bfs_order.push_back(v);
+    auto visit = [&](VertexId w, EdgeId e) {
+      if (!seen[w]) {
+        seen[w] = true;
+        parent[w] = v;
+        parent_edge[w] = e;
+        queue.push(w);
+      }
+    };
+    for (EdgeId e : g.OutEdges(v)) visit(g.edge(e).dst, e);
+    for (EdgeId e : g.InEdges(v)) visit(g.edge(e).src, e);
+  }
+  PHOM_CHECK(bfs_order.size() == n);
+
+  // Tree children lists.
+  std::vector<std::vector<VertexId>> children(n);
+  for (VertexId v : bfs_order) {
+    if (parent[v] >= 0) children[static_cast<VertexId>(parent[v])].push_back(v);
+  }
+
+  EncodedPolytree out;
+  // Upper bound on nodes: one per vertex (its parent edge / pseudo-root)
+  // plus one ε node per extra sibling and per only-child padding.
+  out.nodes.reserve(2 * n + 2);
+
+  auto add_node = [&out](StepLabel label, Rational prob, EdgeId source,
+                         int32_t left, int32_t right) -> int32_t {
+    PHOM_CHECK((left < 0) == (right < 0));
+    EncodedNode node;
+    node.label = label;
+    node.prob = std::move(prob);
+    node.source_edge = source;
+    node.left = left;
+    node.right = right;
+    out.nodes.push_back(std::move(node));
+    return static_cast<int32_t>(out.nodes.size() - 1);
+  };
+
+  // Binarize a list of already-encoded child node ids with an ε spine.
+  auto binarize = [&](const std::vector<int32_t>& ids)
+      -> std::pair<int32_t, int32_t> {
+    if (ids.empty()) return {-1, -1};
+    if (ids.size() == 1) {
+      int32_t pad = add_node(StepLabel::kEps, Rational::One(),
+                             EncodedNode::kNoSourceEdge, -1, -1);
+      return {ids[0], pad};
+    }
+    // Right-leaning spine: (id0, (id1, (... (id_{k-2}, id_{k-1})))).
+    int32_t spine = ids.back();
+    for (size_t i = ids.size() - 1; i-- > 1;) {
+      spine = add_node(StepLabel::kEps, Rational::One(),
+                       EncodedNode::kNoSourceEdge, ids[i], spine);
+    }
+    return {ids[0], spine};
+  };
+
+  // Children before parents: process vertices in reverse BFS order.
+  std::vector<int32_t> node_of_vertex(n, -1);
+  for (size_t idx = n; idx-- > 0;) {
+    VertexId v = bfs_order[idx];
+    std::vector<int32_t> child_ids;
+    child_ids.reserve(children[v].size());
+    for (VertexId c : children[v]) {
+      PHOM_CHECK(node_of_vertex[c] >= 0);
+      child_ids.push_back(node_of_vertex[c]);
+    }
+    auto [left, right] = binarize(child_ids);
+    StepLabel label = StepLabel::kEps;
+    Rational prob = Rational::One();
+    EdgeId source = EncodedNode::kNoSourceEdge;
+    if (parent[v] >= 0) {
+      EdgeId e = parent_edge[v];
+      source = e;
+      prob = instance.prob(e);
+      // Edge directed v -> parent is an upward step; parent -> v downward.
+      label = g.edge(e).src == v ? StepLabel::kUp : StepLabel::kDown;
+    }
+    node_of_vertex[v] = add_node(label, std::move(prob), source, left, right);
+  }
+  out.root = node_of_vertex[0];
+  return out;
+}
+
+}  // namespace phom

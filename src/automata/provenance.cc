@@ -1,0 +1,73 @@
+#include "src/automata/provenance.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace phom {
+
+ProvenanceCircuit BuildProvenanceCircuit(const BottomUpAutomaton& automaton,
+                                         const EncodedPolytree& tree) {
+  ProvenanceCircuit out{Circuit(static_cast<uint32_t>(tree.nodes.size())),
+                        0, {}, 0, 0};
+  out.var_probs.reserve(tree.nodes.size());
+  for (const EncodedNode& node : tree.nodes) out.var_probs.push_back(node.prob);
+
+  // states[t]: reachable state -> gate id computing "run reaches this state".
+  std::vector<std::map<uint32_t, uint32_t>> states(tree.nodes.size());
+
+  for (size_t t = 0; t < tree.nodes.size(); ++t) {
+    const EncodedNode& node = tree.nodes[t];
+    bool can_be_present = !node.prob.is_zero();
+    bool can_be_absent = !node.prob.is_one();
+    std::map<uint32_t, std::vector<uint32_t>> disjuncts;  // state -> gates
+
+    if (node.IsLeaf()) {
+      if (can_be_present) {
+        disjuncts[automaton.LeafState(node.label, true)].push_back(
+            out.circuit.AddVar(static_cast<uint32_t>(t)));
+      }
+      if (can_be_absent) {
+        disjuncts[automaton.LeafState(node.label, false)].push_back(
+            out.circuit.AddNegVar(static_cast<uint32_t>(t)));
+      }
+    } else {
+      const auto& left = states[node.left];
+      const auto& right = states[node.right];
+      out.state_pairs += left.size() * right.size();
+      for (const auto& [ql, gl] : left) {
+        for (const auto& [qr, gr] : right) {
+          if (can_be_present) {
+            uint32_t q = automaton.Transition(node.label, true, ql, qr);
+            uint32_t lit = out.circuit.AddVar(static_cast<uint32_t>(t));
+            disjuncts[q].push_back(out.circuit.AddAnd({lit, gl, gr}));
+          }
+          if (can_be_absent) {
+            uint32_t q = automaton.Transition(node.label, false, ql, qr);
+            uint32_t lit = out.circuit.AddNegVar(static_cast<uint32_t>(t));
+            disjuncts[q].push_back(out.circuit.AddAnd({lit, gl, gr}));
+          }
+        }
+      }
+    }
+
+    for (auto& [q, gates] : disjuncts) {
+      uint32_t gate = gates.size() == 1 ? gates[0]
+                                        : out.circuit.AddOr(std::move(gates));
+      states[t].emplace(q, gate);
+    }
+    out.max_states_per_node =
+        std::max(out.max_states_per_node, states[t].size());
+  }
+
+  std::vector<uint32_t> accepting;
+  for (const auto& [q, gate] : states[tree.root]) {
+    if (automaton.IsAccepting(q)) accepting.push_back(gate);
+  }
+  out.root_gate = accepting.size() == 1 ? accepting[0]
+                                        : out.circuit.AddOr(std::move(accepting));
+  return out;
+}
+
+}  // namespace phom

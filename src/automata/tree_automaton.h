@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/automata/binary_encoding.h"
+
+/// \file tree_automaton.h
+/// Bottom-up deterministic tree automata (Definition 5.2) over the encoded
+/// binary trees of binary_encoding.h, whose node alphabet is
+/// {ε, ↑, ↓} × {present, absent}.
+///
+/// LongestRunAutomaton is the automaton of Prop. 5.4: its states are triples
+/// ⟨↑: i, ↓: j, Max: k⟩ with 0 ≤ i, j, k ≤ m meaning, for the sub-instance
+/// represented by the subtree below a node rooted at instance vertex r:
+///   i = length of the longest directed path ending at r,
+///   j = length of the longest directed path starting at r,
+///   k = length of the longest directed path anywhere (all capped at m).
+/// Accepting states have k == m, i.e. the world contains a directed path of
+/// length m — equivalently the 1WP query →^m has a homomorphism.
+
+namespace phom {
+
+class BottomUpAutomaton {
+ public:
+  virtual ~BottomUpAutomaton() = default;
+
+  virtual uint32_t num_states() const = 0;
+  virtual uint32_t LeafState(StepLabel label, bool present) const = 0;
+  virtual uint32_t Transition(StepLabel label, bool present, uint32_t left,
+                              uint32_t right) const = 0;
+  virtual bool IsAccepting(uint32_t state) const = 0;
+};
+
+class LongestRunAutomaton final : public BottomUpAutomaton {
+ public:
+  /// Tests for a directed path with `m` >= 1 edges.
+  explicit LongestRunAutomaton(uint32_t m);
+
+  uint32_t num_states() const override { return (m_ + 1) * (m_ + 1) * (m_ + 1); }
+  uint32_t LeafState(StepLabel label, bool present) const override;
+  uint32_t Transition(StepLabel label, bool present, uint32_t left,
+                      uint32_t right) const override;
+  bool IsAccepting(uint32_t state) const override;
+
+  uint32_t m() const { return m_; }
+
+  /// State encoding helpers (exposed for tests).
+  uint32_t Encode(uint32_t i, uint32_t j, uint32_t k) const;
+  void Decode(uint32_t state, uint32_t* i, uint32_t* j, uint32_t* k) const;
+
+ private:
+  uint32_t m_;
+};
+
+/// Deterministic run on a fixed world: returns the root state. `present`
+/// aligns with tree.nodes (see EncodedPolytree::WorldToNodePresence).
+uint32_t RunOnWorld(const BottomUpAutomaton& automaton,
+                    const EncodedPolytree& tree,
+                    const std::vector<bool>& present);
+
+/// Longest directed path (number of edges) in a plain directed forest/DAG —
+/// reference implementation used to validate the automaton in tests.
+uint32_t LongestDirectedPath(const DiGraph& g);
+
+}  // namespace phom

@@ -1,0 +1,70 @@
+#include "src/circuits/circuit.h"
+
+namespace phom {
+
+uint32_t Circuit::Push(Gate gate) {
+  for (uint32_t in : gate.inputs) {
+    PHOM_CHECK_MSG(in < gates_.size(), "circuit inputs must precede the gate");
+  }
+  gates_.push_back(std::move(gate));
+  return static_cast<uint32_t>(gates_.size() - 1);
+}
+
+uint32_t Circuit::AddConst(bool value) {
+  return Push(Gate{value ? GateKind::kConstTrue : GateKind::kConstFalse, 0,
+                   {}});
+}
+
+uint32_t Circuit::AddVar(uint32_t var) {
+  PHOM_CHECK(var < num_vars_);
+  return Push(Gate{GateKind::kVar, var, {}});
+}
+
+uint32_t Circuit::AddNegVar(uint32_t var) {
+  PHOM_CHECK(var < num_vars_);
+  return Push(Gate{GateKind::kNegVar, var, {}});
+}
+
+uint32_t Circuit::AddAnd(std::vector<uint32_t> inputs) {
+  return Push(Gate{GateKind::kAnd, 0, std::move(inputs)});
+}
+
+uint32_t Circuit::AddOr(std::vector<uint32_t> inputs) {
+  return Push(Gate{GateKind::kOr, 0, std::move(inputs)});
+}
+
+bool Circuit::Evaluate(uint32_t root, const std::vector<bool>& assignment) const {
+  PHOM_CHECK(root < gates_.size());
+  PHOM_CHECK(assignment.size() >= num_vars_);
+  std::vector<bool> value(root + 1, false);
+  for (uint32_t id = 0; id <= root; ++id) {
+    const Gate& g = gates_[id];
+    switch (g.kind) {
+      case GateKind::kConstFalse: value[id] = false; break;
+      case GateKind::kConstTrue: value[id] = true; break;
+      case GateKind::kVar: value[id] = assignment[g.var]; break;
+      case GateKind::kNegVar: value[id] = !assignment[g.var]; break;
+      case GateKind::kAnd: {
+        bool v = true;
+        for (uint32_t in : g.inputs) v = v && value[in];
+        value[id] = v;
+        break;
+      }
+      case GateKind::kOr: {
+        bool v = false;
+        for (uint32_t in : g.inputs) v = v || value[in];
+        value[id] = v;
+        break;
+      }
+    }
+  }
+  return value[root];
+}
+
+size_t Circuit::NumWires() const {
+  size_t wires = 0;
+  for (const Gate& g : gates_) wires += g.inputs.size();
+  return wires;
+}
+
+}  // namespace phom

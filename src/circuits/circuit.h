@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/status.h"
+
+/// \file circuit.h
+/// Boolean circuits in negation normal form: negation is applied to input
+/// gates only (variables), internal gates are AND/OR. Gates are stored in
+/// topological order (inputs of a gate always have smaller ids), so
+/// evaluation and probability computation are single bottom-up passes.
+/// See dnnf.h for the d-DNNF restrictions (Definition 5.3).
+
+namespace phom {
+
+enum class GateKind : uint8_t {
+  kConstFalse,
+  kConstTrue,
+  kVar,     ///< positive literal of variable `var`
+  kNegVar,  ///< negative literal of variable `var`
+  kAnd,
+  kOr,
+};
+
+struct Gate {
+  GateKind kind;
+  uint32_t var = 0;              ///< for kVar / kNegVar
+  std::vector<uint32_t> inputs;  ///< for kAnd / kOr; ids < own id
+};
+
+class Circuit {
+ public:
+  explicit Circuit(uint32_t num_vars) : num_vars_(num_vars) {}
+
+  uint32_t num_vars() const { return num_vars_; }
+  size_t num_gates() const { return gates_.size(); }
+  const Gate& gate(uint32_t id) const { return gates_[id]; }
+
+  uint32_t AddConst(bool value);
+  uint32_t AddVar(uint32_t var);
+  uint32_t AddNegVar(uint32_t var);
+  /// AND of inputs; empty input list is the constant true.
+  uint32_t AddAnd(std::vector<uint32_t> inputs);
+  /// OR of inputs; empty input list is the constant false.
+  uint32_t AddOr(std::vector<uint32_t> inputs);
+
+  /// Evaluates the gate under a Boolean assignment (test helper).
+  bool Evaluate(uint32_t root, const std::vector<bool>& assignment) const;
+
+  /// Total number of edges (sum of fan-ins), a standard circuit size metric.
+  size_t NumWires() const;
+
+ private:
+  uint32_t Push(Gate gate);
+
+  uint32_t num_vars_;
+  std::vector<Gate> gates_;
+};
+
+}  // namespace phom

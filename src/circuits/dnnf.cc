@@ -1,0 +1,125 @@
+#include "src/circuits/dnnf.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace phom {
+
+Rational DnnfProbability(const Circuit& circuit, uint32_t root,
+                         const std::vector<Rational>& var_probs) {
+  PHOM_CHECK(root < circuit.num_gates());
+  PHOM_CHECK(var_probs.size() >= circuit.num_vars());
+  std::vector<Rational> prob(root + 1, Rational::Zero());
+  for (uint32_t id = 0; id <= root; ++id) {
+    const Gate& g = circuit.gate(id);
+    switch (g.kind) {
+      case GateKind::kConstFalse: prob[id] = Rational::Zero(); break;
+      case GateKind::kConstTrue: prob[id] = Rational::One(); break;
+      case GateKind::kVar: prob[id] = var_probs[g.var]; break;
+      case GateKind::kNegVar: prob[id] = var_probs[g.var].Complement(); break;
+      case GateKind::kAnd: {
+        Rational p = Rational::One();
+        for (uint32_t in : g.inputs) p *= prob[in];
+        prob[id] = p;
+        break;
+      }
+      case GateKind::kOr: {
+        Rational p = Rational::Zero();
+        for (uint32_t in : g.inputs) p += prob[in];
+        prob[id] = p;
+        break;
+      }
+    }
+  }
+  return prob[root];
+}
+
+Status ValidateDecomposability(const Circuit& circuit, uint32_t root) {
+  // Bottom-up variable sets (sorted vectors).
+  std::vector<std::vector<uint32_t>> vars(root + 1);
+  for (uint32_t id = 0; id <= root; ++id) {
+    const Gate& g = circuit.gate(id);
+    switch (g.kind) {
+      case GateKind::kConstFalse:
+      case GateKind::kConstTrue:
+        break;
+      case GateKind::kVar:
+      case GateKind::kNegVar:
+        vars[id] = {g.var};
+        break;
+      case GateKind::kAnd:
+      case GateKind::kOr: {
+        std::vector<uint32_t> merged;
+        for (uint32_t in : g.inputs) {
+          merged.insert(merged.end(), vars[in].begin(), vars[in].end());
+        }
+        std::sort(merged.begin(), merged.end());
+        if (g.kind == GateKind::kAnd) {
+          size_t before = merged.size();
+          std::vector<uint32_t> unique = merged;
+          unique.erase(std::unique(unique.begin(), unique.end()),
+                       unique.end());
+          if (unique.size() != before) {
+            return Status::Invalid(
+                "AND gate " + std::to_string(id) +
+                " is not decomposable (inputs share a variable)");
+          }
+          vars[id] = std::move(unique);
+        } else {
+          merged.erase(std::unique(merged.begin(), merged.end()),
+                       merged.end());
+          vars[id] = std::move(merged);
+        }
+        break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status ValidateDeterminismExhaustive(const Circuit& circuit, uint32_t root) {
+  uint32_t n = circuit.num_vars();
+  if (n > 20) {
+    return Status::NotSupported(
+        "exhaustive determinism check limited to 20 variables");
+  }
+  std::vector<bool> assignment(n, false);
+  std::vector<bool> value(root + 1, false);
+  for (uint64_t mask = 0; mask < (uint64_t{1} << n); ++mask) {
+    for (uint32_t i = 0; i < n; ++i) assignment[i] = (mask >> i) & 1;
+    for (uint32_t id = 0; id <= root; ++id) {
+      const Gate& g = circuit.gate(id);
+      switch (g.kind) {
+        case GateKind::kConstFalse: value[id] = false; break;
+        case GateKind::kConstTrue: value[id] = true; break;
+        case GateKind::kVar: value[id] = assignment[g.var]; break;
+        case GateKind::kNegVar: value[id] = !assignment[g.var]; break;
+        case GateKind::kAnd: {
+          bool v = true;
+          for (uint32_t in : g.inputs) v = v && value[in];
+          value[id] = v;
+          break;
+        }
+        case GateKind::kOr: {
+          int true_inputs = 0;
+          bool v = false;
+          for (uint32_t in : g.inputs) {
+            if (value[in]) {
+              ++true_inputs;
+              v = true;
+            }
+          }
+          if (true_inputs > 1) {
+            return Status::Invalid("OR gate " + std::to_string(id) +
+                                   " is not deterministic");
+          }
+          value[id] = v;
+          break;
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace phom

@@ -1,0 +1,221 @@
+#include "src/core/algo_dwt.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "src/graph/classify.h"
+#include "src/graph/graded.h"
+#include "src/lineage/dnf_prob.h"
+
+namespace phom {
+
+namespace {
+
+/// Forest structure: BFS order (parents before children), parent edge ids.
+struct Forest {
+  std::vector<VertexId> bfs_order;
+  std::vector<int64_t> parent;       // -1 for roots
+  std::vector<EdgeId> parent_edge;   // valid when parent >= 0
+};
+
+Result<Forest> BuildForest(const DiGraph& g) {
+  Forest f;
+  size_t n = g.num_vertices();
+  f.parent.assign(n, -1);
+  f.parent_edge.assign(n, 0);
+  f.bfs_order.reserve(n);
+  std::vector<bool> seen(n, false);
+  std::queue<VertexId> queue;
+  for (VertexId v = 0; v < n; ++v) {
+    if (g.InDegree(v) == 0) {
+      queue.push(v);
+      seen[v] = true;
+    }
+  }
+  while (!queue.empty()) {
+    VertexId v = queue.front();
+    queue.pop();
+    f.bfs_order.push_back(v);
+    for (EdgeId e : g.OutEdges(v)) {
+      VertexId w = g.edge(e).dst;
+      if (seen[w] || g.InDegree(w) != 1) {
+        return Status::Invalid("instance is not a downward forest");
+      }
+      seen[w] = true;
+      f.parent[w] = v;
+      f.parent_edge[w] = e;
+      queue.push(w);
+    }
+  }
+  if (f.bfs_order.size() != n) {
+    return Status::Invalid("instance is not a downward forest (cycle)");
+  }
+  return f;
+}
+
+/// KMP failure function of the query label word.
+std::vector<uint32_t> KmpFailure(const std::vector<LabelId>& pattern) {
+  std::vector<uint32_t> fail(pattern.size(), 0);
+  for (size_t i = 1; i < pattern.size(); ++i) {
+    uint32_t s = fail[i - 1];
+    while (s > 0 && pattern[s] != pattern[i]) s = fail[s - 1];
+    if (pattern[s] == pattern[i]) ++s;
+    fail[i] = s;
+  }
+  return fail;
+}
+
+/// match[v] = true iff the m rootward edges ending at v carry exactly the
+/// query labels (KMP streamed down the forest).
+std::vector<bool> MatchEnds(const std::vector<LabelId>& pattern,
+                            const DiGraph& g, const Forest& forest,
+                            size_t* match_count) {
+  uint32_t m = static_cast<uint32_t>(pattern.size());
+  std::vector<uint32_t> fail = KmpFailure(pattern);
+  std::vector<uint32_t> state(g.num_vertices(), 0);
+  std::vector<bool> match(g.num_vertices(), false);
+  for (VertexId v : forest.bfs_order) {
+    if (forest.parent[v] < 0) {
+      state[v] = 0;
+      continue;
+    }
+    LabelId label = g.edge(forest.parent_edge[v]).label;
+    uint32_t s = state[static_cast<VertexId>(forest.parent[v])];
+    if (s == m) s = fail[m - 1];  // continue matching past a full match
+    while (s > 0 && pattern[s] != label) s = fail[s - 1];
+    if (pattern[s] == label) ++s;
+    state[v] = s;
+    if (s == m) {
+      match[v] = true;
+      if (match_count != nullptr) ++*match_count;
+    }
+  }
+  return match;
+}
+
+}  // namespace
+
+Result<Rational> SolvePathOnDwtForest(const std::vector<LabelId>& query_labels,
+                                      const ProbGraph& instance,
+                                      DwtStats* stats) {
+  if (query_labels.empty()) {
+    return Status::Invalid("query must have at least one edge");
+  }
+  PHOM_ASSIGN_OR_RETURN(Forest forest, BuildForest(instance.graph()));
+  const DiGraph& g = instance.graph();
+  uint32_t m = static_cast<uint32_t>(query_labels.size());
+  size_t match_count = 0;
+  std::vector<bool> match = MatchEnds(query_labels, g, forest, &match_count);
+  if (stats != nullptr) stats->match_ends = match_count;
+
+  // f[v][s] = Pr(no match fires in v's subtree | capped run of present
+  // edges ending at v is s). Children processed before parents. Subtrees
+  // without any match end contribute factor 1 for every s, so tables are
+  // only materialized on the "match spine" — the ancestors of match ends —
+  // which is what keeps the DP cheap when matches are sparse.
+  size_t n = g.num_vertices();
+  std::vector<bool> match_below(n, false);
+  for (size_t idx = forest.bfs_order.size(); idx-- > 0;) {
+    VertexId v = forest.bfs_order[idx];
+    bool below = match[v];
+    for (EdgeId e : g.OutEdges(v)) {
+      below = below || match_below[g.edge(e).dst];
+    }
+    match_below[v] = below;
+  }
+
+  std::vector<std::vector<Rational>> f(n);
+  for (size_t idx = forest.bfs_order.size(); idx-- > 0;) {
+    VertexId v = forest.bfs_order[idx];
+    if (!match_below[v]) continue;  // f[v][s] == 1 for all s
+    f[v].assign(m + 1, Rational::One());
+    for (uint32_t s = 0; s <= m; ++s) {
+      if (match[v] && s == m) {
+        f[v][s] = Rational::Zero();
+        continue;
+      }
+      Rational value = Rational::One();
+      for (EdgeId e : g.OutEdges(v)) {
+        VertexId c = g.edge(e).dst;
+        if (!match_below[c]) continue;  // contributes p·1 + (1-p)·1 = 1
+        const Rational& p = instance.prob(e);
+        uint32_t s_present = std::min(m, s + 1);
+        value *= p * f[c][s_present] + p.Complement() * f[c][0];
+      }
+      f[v][s] = std::move(value);
+    }
+    // Free children tables: no longer needed once v is computed.
+    for (EdgeId e : g.OutEdges(v)) {
+      f[g.edge(e).dst].clear();
+      f[g.edge(e).dst].shrink_to_fit();
+    }
+  }
+
+  Rational no_match = Rational::One();
+  for (VertexId v = 0; v < n; ++v) {
+    if (forest.parent[v] < 0 && match_below[v]) no_match *= f[v][0];
+  }
+  return no_match.Complement();
+}
+
+Result<Rational> SolvePathOnDwtForestViaLineage(
+    const std::vector<LabelId>& query_labels, const ProbGraph& instance,
+    MonotoneDnf* lineage_out, DwtStats* stats) {
+  if (query_labels.empty()) {
+    return Status::Invalid("query must have at least one edge");
+  }
+  PHOM_ASSIGN_OR_RETURN(Forest forest, BuildForest(instance.graph()));
+  const DiGraph& g = instance.graph();
+  uint32_t m = static_cast<uint32_t>(query_labels.size());
+  size_t match_count = 0;
+  std::vector<bool> match = MatchEnds(query_labels, g, forest, &match_count);
+  if (stats != nullptr) stats->match_ends = match_count;
+
+  MonotoneDnf lineage(static_cast<uint32_t>(g.num_edges()));
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (!match[v]) continue;
+    std::vector<uint32_t> clause;
+    clause.reserve(m);
+    VertexId w = v;
+    for (uint32_t step = 0; step < m; ++step) {
+      PHOM_CHECK(forest.parent[w] >= 0);
+      clause.push_back(forest.parent_edge[w]);
+      w = static_cast<VertexId>(forest.parent[w]);
+    }
+    lineage.AddClause(std::move(clause));
+  }
+
+  // Condition edges top-down (by depth of the child endpoint): together with
+  // component caching this keeps the number of residuals polynomial.
+  std::vector<uint32_t> order;
+  order.reserve(g.num_edges());
+  for (VertexId v : forest.bfs_order) {
+    if (forest.parent[v] >= 0) order.push_back(forest.parent_edge[v]);
+  }
+  ShannonOptions options;
+  options.variable_order = std::move(order);
+  Result<Rational> result =
+      DnfProbabilityShannon(lineage, instance.probs(), options);
+  if (lineage_out != nullptr) *lineage_out = std::move(lineage);
+  return result;
+}
+
+Result<Rational> SolveUnlabeledOnDwtForest(const DiGraph& query,
+                                           const ProbGraph& instance,
+                                           DwtStats* stats) {
+  if (query.num_edges() == 0) {
+    return Status::Invalid("query must have at least one edge");
+  }
+  std::vector<LabelId> labels = query.UsedLabels();
+  if (labels.size() != 1) {
+    return Status::Invalid("SolveUnlabeledOnDwtForest requires one label");
+  }
+  GradedAnalysis graded = AnalyzeGraded(query);
+  if (!graded.is_graded) return Rational::Zero();  // Prop. 3.6
+  PHOM_CHECK(graded.difference_of_levels >= 1);
+  std::vector<LabelId> pattern(
+      static_cast<size_t>(graded.difference_of_levels), labels[0]);
+  return SolvePathOnDwtForest(pattern, instance, stats);
+}
+
+}  // namespace phom

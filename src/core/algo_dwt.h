@@ -1,0 +1,50 @@
+#pragma once
+
+#include <vector>
+
+#include "src/graph/prob_graph.h"
+#include "src/lineage/dnf.h"
+#include "src/util/rational.h"
+#include "src/util/result.h"
+
+/// \file algo_dwt.h
+/// Prop. 4.10: PHomL(1WP, DWT) in PTIME — and, through the level-mapping
+/// collapse of Prop. 3.6, PHom̸L(All, ⊔DWT).
+///
+/// Matches of a 1WP query in a downward forest are downward paths; every
+/// vertex is the bottom end of at most one candidate match, found by
+/// streaming the query's label word along root-to-leaf paths (KMP on the
+/// forest). Two probability engines:
+///  * a direct O(n·m) dynamic program over (vertex, capped run length of
+///    consecutively present edges ending there) — the operational form of
+///    the β-acyclic lineage evaluation;
+///  * the literal paper pipeline: materialize the DNF lineage (one clause of
+///    m edges per matching vertex), which is β-acyclic by bottom-up
+///    elimination, and evaluate it with the memoized Shannon engine.
+/// Both are exposed; tests check they agree.
+
+namespace phom {
+
+struct DwtStats {
+  size_t match_ends = 0;  ///< vertices whose rootward m-path matches the query
+};
+
+/// Pr(1WP query with labels `query_labels` ⇝ instance), instance ∈ ⊔DWT
+/// (a forest where every vertex has in-degree <= 1). Requires >= 1 label.
+Result<Rational> SolvePathOnDwtForest(const std::vector<LabelId>& query_labels,
+                                      const ProbGraph& instance,
+                                      DwtStats* stats = nullptr);
+
+/// Same value via the explicit β-acyclic DNF lineage + Shannon engine.
+/// `lineage_out`, if non-null, receives the DNF over instance edge ids.
+Result<Rational> SolvePathOnDwtForestViaLineage(
+    const std::vector<LabelId>& query_labels, const ProbGraph& instance,
+    MonotoneDnf* lineage_out = nullptr, DwtStats* stats = nullptr);
+
+/// Prop. 3.6: arbitrary unlabeled query on a ⊔DWT instance. Grades the
+/// query (probability 0 if not graded), collapses it to →^m, and delegates.
+Result<Rational> SolveUnlabeledOnDwtForest(const DiGraph& query,
+                                           const ProbGraph& instance,
+                                           DwtStats* stats = nullptr);
+
+}  // namespace phom

@@ -1,0 +1,59 @@
+#include "src/core/algo_polytree.h"
+
+#include "src/automata/binary_encoding.h"
+#include "src/automata/provenance.h"
+#include "src/automata/tree_automaton.h"
+#include "src/circuits/dnnf.h"
+#include "src/graph/classify.h"
+#include "src/graph/graded.h"
+
+namespace phom {
+
+Result<Rational> SolvePathProbabilityOnPolytree(uint32_t m,
+                                                const ProbGraph& component,
+                                                PolytreeStats* stats) {
+  if (m == 0) return Rational::One();
+  if (component.num_edges() == 0) return Rational::Zero();
+  PHOM_ASSIGN_OR_RETURN(EncodedPolytree tree, EncodePolytree(component));
+  LongestRunAutomaton automaton(m);
+  ProvenanceCircuit provenance = BuildProvenanceCircuit(automaton, tree);
+  if (stats != nullptr) {
+    stats->encoded_nodes += tree.nodes.size();
+    stats->circuit_gates += provenance.circuit.num_gates();
+    stats->state_pairs += provenance.state_pairs;
+    stats->max_states_per_node =
+        std::max(stats->max_states_per_node, provenance.max_states_per_node);
+  }
+  return DnnfProbability(provenance.circuit, provenance.root_gate,
+                         provenance.var_probs);
+}
+
+Result<Rational> SolveDwtQueryOnPolytreeForest(const DiGraph& query,
+                                               const ProbGraph& instance,
+                                               PolytreeStats* stats) {
+  Classification qc = Classify(query);
+  if (!qc.all_dwt) {
+    return Status::Invalid(
+        "SolveDwtQueryOnPolytreeForest requires a ⊔DWT query");
+  }
+  if (query.num_edges() == 0) return Rational::One();
+  // Prop. 5.5: the query is equivalent to →^m, m = max component height
+  // = difference of levels.
+  GradedAnalysis graded = AnalyzeGraded(query);
+  PHOM_CHECK(graded.is_graded);
+  uint32_t m = static_cast<uint32_t>(graded.difference_of_levels);
+
+  // Lemma 3.7 across components.
+  Rational none = Rational::One();
+  for (const ComponentView& comp : SplitComponents(instance)) {
+    if (!IsPolytree(comp.graph.graph())) {
+      return Status::Invalid("instance component is not a polytree");
+    }
+    PHOM_ASSIGN_OR_RETURN(Rational p,
+                          SolvePathProbabilityOnPolytree(m, comp.graph, stats));
+    none *= p.Complement();
+  }
+  return none.Complement();
+}
+
+}  // namespace phom

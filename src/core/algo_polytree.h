@@ -1,0 +1,37 @@
+#pragma once
+
+#include "src/graph/prob_graph.h"
+#include "src/util/rational.h"
+#include "src/util/result.h"
+
+/// \file algo_polytree.h
+/// Props. 5.4/5.5: PHom̸L(⊔DWT, PT) in PTIME via tree automata.
+///
+/// Per polytree component: encode as a full binary probabilistic tree
+/// (Appendix C), run the deterministic ⟨↑, ↓, Max⟩ automaton symbolically by
+/// building its provenance circuit — a d-DNNF because the automaton is
+/// deterministic — and evaluate the circuit's probability bottom-up.
+/// ⊔DWT queries first collapse to →^height (Prop. 5.5); components combine
+/// by Lemma 3.7.
+
+namespace phom {
+
+struct PolytreeStats {
+  size_t encoded_nodes = 0;
+  size_t circuit_gates = 0;
+  size_t state_pairs = 0;
+  size_t max_states_per_node = 0;
+};
+
+/// Pr(the world contains a directed path of m >= 1 edges) for a single
+/// polytree component.
+Result<Rational> SolvePathProbabilityOnPolytree(uint32_t m,
+                                                const ProbGraph& component,
+                                                PolytreeStats* stats = nullptr);
+
+/// Full Props. 5.4/5.5 solver: unlabeled ⊔DWT query on a ⊔PT instance.
+Result<Rational> SolveDwtQueryOnPolytreeForest(const DiGraph& query,
+                                               const ProbGraph& instance,
+                                               PolytreeStats* stats = nullptr);
+
+}  // namespace phom

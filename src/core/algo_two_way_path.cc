@@ -1,0 +1,69 @@
+#include "src/core/algo_two_way_path.h"
+
+#include "src/graph/classify.h"
+#include "src/hom/arc_consistency.h"
+#include "src/lineage/interval_dp.h"
+
+namespace phom {
+
+Result<Rational> SolveConnectedOn2wpComponent(const DiGraph& query,
+                                              const ProbGraph& component,
+                                              TwoWayPathStats* stats,
+                                              MonotoneDnf* lineage_out) {
+  const DiGraph& g = component.graph();
+  if (!IsTwoWayPath(g)) {
+    return Status::Invalid("SolveConnectedOn2wpComponent requires a 2WP");
+  }
+  if (!IsConnected(query) || query.num_edges() == 0) {
+    return Status::Invalid("query must be connected with at least one edge");
+  }
+  if (lineage_out != nullptr) {
+    *lineage_out = MonotoneDnf(static_cast<uint32_t>(g.num_edges()));
+  }
+  std::vector<VertexId> order = TwoWayPathOrder(g);
+  size_t length = g.num_edges();
+  if (length == 0) return Rational::Zero();
+
+  // Path edges in order: edge k joins order[k] and order[k+1].
+  std::vector<EdgeId> path_edges(length);
+  std::vector<Rational> edge_probs(length);
+  for (size_t k = 0; k < length; ++k) {
+    std::optional<EdgeId> e = g.FindEdge(order[k], order[k + 1]);
+    if (!e.has_value()) e = g.FindEdge(order[k + 1], order[k]);
+    PHOM_CHECK(e.has_value());
+    path_edges[k] = *e;
+    edge_probs[k] = component.prob(*e);
+  }
+
+  // Two-pointer sweep for the minimal homomorphic vertex windows
+  // [a .. b] (b > a); r(a) is non-decreasing in a.
+  auto window_has_hom = [&](size_t a, size_t b) {
+    if (stats != nullptr) ++stats->hom_tests;
+    std::vector<VertexId> domain(order.begin() + a, order.begin() + b + 1);
+    return XPropertyHomomorphism(query, g, order, domain).has_hom;
+  };
+
+  std::vector<EdgeInterval> intervals;
+  size_t b = 1;
+  for (size_t a = 0; a + 1 <= length; ++a) {
+    if (b < a + 1) b = a + 1;
+    while (b <= length && !window_has_hom(a, b)) ++b;
+    if (b > length) break;  // no window starting at or after a can work
+    intervals.emplace_back(static_cast<uint32_t>(a),
+                           static_cast<uint32_t>(b - 1));
+  }
+  if (stats != nullptr) stats->minimal_intervals = intervals.size();
+  if (lineage_out != nullptr) {
+    for (const EdgeInterval& iv : intervals) {
+      std::vector<uint32_t> clause;
+      for (uint32_t k = iv.first; k <= iv.second; ++k) {
+        clause.push_back(path_edges[k]);
+      }
+      lineage_out->AddClause(std::move(clause));
+    }
+  }
+  if (intervals.empty()) return Rational::Zero();
+  return IntervalDnfProbability(edge_probs, std::move(intervals));
+}
+
+}  // namespace phom

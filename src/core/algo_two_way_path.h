@@ -1,0 +1,37 @@
+#pragma once
+
+#include "src/graph/prob_graph.h"
+#include "src/lineage/dnf.h"
+#include "src/util/rational.h"
+#include "src/util/result.h"
+
+/// \file algo_two_way_path.h
+/// Prop. 4.11: PHom(Connected, 2WP) in PTIME, labeled or not.
+///
+/// Pipeline (the three-step scheme of §4.2):
+///  1. enumerate candidate matches = connected subpaths of the instance path;
+///     by monotonicity only the inclusion-minimal homomorphic subpaths
+///     matter, found with a two-pointer sweep (min right endpoint is
+///     monotone in the left endpoint), so O(L) X-property homomorphism
+///     tests suffice;
+///  2. each test uses arc consistency, valid because every subpath has the
+///     X-property w.r.t. the path order (Theorem 4.13);
+///  3. the lineage is an interval DNF — β-acyclic by eliminating edges from
+///     the path's end inward — evaluated by the O(L²) run-length DP.
+
+namespace phom {
+
+struct TwoWayPathStats {
+  size_t hom_tests = 0;
+  size_t minimal_intervals = 0;
+};
+
+/// Pr(query ⇝ component) for a connected query with >= 1 edge on a single
+/// 2WP component. `lineage_out`, if non-null, receives the interval DNF over
+/// the component's edge ids (for β-acyclicity checks and ablations).
+Result<Rational> SolveConnectedOn2wpComponent(const DiGraph& query,
+                                              const ProbGraph& component,
+                                              TwoWayPathStats* stats = nullptr,
+                                              MonotoneDnf* lineage_out = nullptr);
+
+}  // namespace phom

@@ -1,0 +1,206 @@
+#include "src/core/case.h"
+
+#include "src/graph/builders.h"
+
+namespace phom {
+
+const char* ToString(Algorithm a) {
+  switch (a) {
+    case Algorithm::kTrivial: return "trivial";
+    case Algorithm::kConnectedOn2wp: return "connected-on-2wp";
+    case Algorithm::kPathOnDwt: return "path-on-dwt";
+    case Algorithm::kUnlabeledDwtInstance: return "unlabeled-dwt-instance";
+    case Algorithm::kUnlabeledPolytree: return "unlabeled-polytree";
+    case Algorithm::kPerComponent: return "per-component";
+    case Algorithm::kFallback: return "fallback";
+  }
+  return "?";
+}
+
+DiGraph DropIsolatedVertices(const DiGraph& g) {
+  std::vector<int64_t> remap(g.num_vertices(), -1);
+  size_t kept = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (g.UndirectedDegree(v) > 0) remap[v] = static_cast<int64_t>(kept++);
+  }
+  DiGraph out(kept);
+  for (const Edge& e : g.edges()) {
+    AddEdgeOrDie(&out, static_cast<VertexId>(remap[e.src]),
+                 static_cast<VertexId>(remap[e.dst]), e.label);
+  }
+  return out;
+}
+
+std::string TableClassLabel(const Classification& c) {
+  if (c.connected) return ToString(c.finest);
+  if (c.all_1wp) return "u1WP";
+  if (c.all_2wp && c.all_dwt) return "u(2WP|DWT)";
+  if (c.all_2wp) return "u2WP";
+  if (c.all_dwt) return "uDWT";
+  if (c.all_pt) return "uPT";
+  return "All";
+}
+
+namespace {
+
+/// Can this instance component be solved in PTIME for this query shape?
+/// Mirrors the per-component dispatch in solver.cc.
+bool ComponentPolySolvable(const Classification& comp, bool query_is_1wp,
+                           bool unlabeled) {
+  if (comp.is_2wp) return true;                                  // Prop. 4.11
+  if (comp.is_dwt) return query_is_1wp || unlabeled;  // Props. 4.10 / 3.6
+  if (comp.is_pt) return unlabeled && query_is_1wp;   // Props. 5.4/5.5
+  return false;
+}
+
+std::string HardnessCitation(bool unlabeled, const Classification& query,
+                             const Classification& instance) {
+  if (!unlabeled) {
+    if (!query.connected) return "Prop. 3.3 (#P-hard)";
+    if (instance.all_dwt) {
+      if (query.is_2wp) return "Prop. 4.5 (#P-hard)";
+      return "Prop. 4.4 (#P-hard)";
+    }
+    if (instance.all_pt) return "Prop. 4.1 (#P-hard)";
+    return "Prop. 4.1 / [Dalvi & Suciu] (#P-hard)";
+  }
+  if (!query.connected) return "Prop. 3.4 (#P-hard)";
+  if (instance.all_pt) return "Prop. 5.6 (#P-hard)";
+  return "Prop. 5.1 / [Suciu et al.] (#P-hard)";
+}
+
+}  // namespace
+
+PreparedProblem PrepareProblem(const DiGraph& query,
+                               const ProbGraph& instance) {
+  PreparedProblem out{DiGraph(0), ProbGraph(0), std::nullopt, {}};
+
+  // Trivial shells: empty vertex sets.
+  if (query.num_vertices() == 0) {
+    out.analysis.algorithm = Algorithm::kTrivial;
+    out.analysis.tractable = true;
+    out.analysis.proposition = "trivial (empty query)";
+    out.immediate = Rational::One();
+    return out;
+  }
+  if (instance.num_vertices() == 0) {
+    out.analysis.algorithm = Algorithm::kTrivial;
+    out.analysis.tractable = true;
+    out.analysis.proposition = "trivial (empty instance)";
+    out.immediate = Rational::Zero();
+    return out;
+  }
+
+  // 1. Drop isolated query vertices (instance is non-empty).
+  DiGraph q = DropIsolatedVertices(query);
+  if (q.num_edges() == 0) {
+    out.analysis.algorithm = Algorithm::kTrivial;
+    out.analysis.tractable = true;
+    out.analysis.proposition = "trivial (edgeless query)";
+    out.immediate = Rational::One();
+    return out;
+  }
+
+  // 2. Restrict the instance to the query's labels.
+  std::vector<LabelId> labels = q.UsedLabels();
+  ProbGraph h = instance.RestrictToLabels(labels);
+  bool unlabeled = labels.size() <= 1;
+  out.analysis.effective_unlabeled = unlabeled;
+
+  Classification qc = Classify(q);
+  Classification ic = Classify(h.graph());
+
+  // 3. Unlabeled collapses to a 1WP query.
+  if (unlabeled) {
+    if (qc.all_dwt) {
+      // Prop. 5.5: a ⊔DWT query is equivalent to →^maxheight everywhere.
+      GradedAnalysis ga = AnalyzeGraded(q);
+      PHOM_CHECK(ga.is_graded);  // trees are graded
+      out.analysis.query_collapsed = true;
+      out.analysis.collapsed_length = ga.difference_of_levels;
+      q = MakeOneWayPath(static_cast<size_t>(ga.difference_of_levels),
+                         labels[0]);
+      qc = Classify(q);
+    } else if (ic.all_dwt) {
+      // Prop. 3.6: on forest instances any graded query collapses; a
+      // non-graded query has probability 0.
+      GradedAnalysis ga = AnalyzeGraded(q);
+      if (!ga.is_graded) {
+        out.analysis.algorithm = Algorithm::kUnlabeledDwtInstance;
+        out.analysis.tractable = true;
+        out.analysis.proposition = "Prop. 3.6 (non-graded query)";
+        out.analysis.query_class = qc;
+        out.analysis.instance_class = ic;
+        out.analysis.cell = "PHom!L(" + TableClassLabel(qc) + ", " +
+                            TableClassLabel(ic) + ")";
+        out.immediate = Rational::Zero();
+        return out;
+      }
+      out.analysis.query_collapsed = true;
+      out.analysis.collapsed_length = ga.difference_of_levels;
+      q = MakeOneWayPath(static_cast<size_t>(ga.difference_of_levels),
+                         labels[0]);
+      qc = Classify(q);
+    }
+  }
+
+  out.analysis.query_class = qc;
+  out.analysis.instance_class = ic;
+  out.analysis.cell = std::string(unlabeled ? "PHom!L(" : "PHomL(") +
+                      TableClassLabel(qc) + ", " + TableClassLabel(ic) + ")";
+
+  // 4. Verdict + algorithm.
+  bool query_is_1wp = qc.is_1wp;
+  if (!qc.connected) {
+    out.analysis.tractable = false;
+    out.analysis.algorithm = Algorithm::kFallback;
+    out.analysis.proposition = HardnessCitation(unlabeled, qc, ic);
+  } else {
+    // Per-component solvability over the instance.
+    bool all_poly = true;
+    bool any_dwt = false;
+    bool any_pt_strict = false;
+    bool all_2wp = true;
+    for (const ComponentView& comp : SplitComponents(h)) {
+      Classification cc = Classify(comp.graph.graph());
+      all_poly =
+          all_poly && ComponentPolySolvable(cc, query_is_1wp, unlabeled);
+      any_dwt = any_dwt || (cc.is_dwt && !cc.is_2wp);
+      any_pt_strict = any_pt_strict || (cc.is_pt && !cc.is_dwt && !cc.is_2wp);
+      all_2wp = all_2wp && cc.is_2wp;
+    }
+    out.analysis.tractable = all_poly;
+    if (!all_poly) {
+      out.analysis.algorithm = Algorithm::kFallback;
+      out.analysis.proposition = HardnessCitation(unlabeled, qc, ic);
+    } else if (all_2wp) {
+      out.analysis.algorithm = Algorithm::kConnectedOn2wp;
+      out.analysis.proposition = "Prop. 4.11";
+    } else if (unlabeled && ic.all_dwt) {
+      out.analysis.algorithm = out.analysis.query_collapsed
+                                   ? Algorithm::kUnlabeledDwtInstance
+                                   : Algorithm::kPathOnDwt;
+      out.analysis.proposition =
+          out.analysis.query_collapsed ? "Prop. 3.6" : "Prop. 4.10";
+    } else if (!unlabeled && ic.all_dwt) {
+      out.analysis.algorithm = Algorithm::kPathOnDwt;
+      out.analysis.proposition = "Prop. 4.10";
+    } else if (unlabeled && any_pt_strict && !any_dwt && ic.all_pt) {
+      out.analysis.algorithm = Algorithm::kUnlabeledPolytree;
+      out.analysis.proposition = "Props. 5.4/5.5";
+    } else {
+      out.analysis.algorithm = Algorithm::kPerComponent;
+      out.analysis.proposition = "Props. 4.11/4.10/3.6/5.4 + Lemma 3.7";
+    }
+  }
+
+  out.query = std::move(q);
+  out.instance = std::move(h);
+  return out;
+}
+
+CaseAnalysis AnalyzeCase(const DiGraph& query, const ProbGraph& instance) {
+  return PrepareProblem(query, instance).analysis;
+}
+
+}  // namespace phom

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "src/graph/classify.h"
+#include "src/graph/graded.h"
+#include "src/graph/prob_graph.h"
+#include "src/util/rational.h"
+
+/// \file case.h
+/// The dichotomy of Tables 1–3 as code: given a PHom input, decide whether it
+/// falls in a PTIME cell (and which algorithm/proposition applies) or in a
+/// #P-hard cell (and which hardness proposition witnesses it).
+///
+/// Preparation steps applied before classification (all sound for PHom):
+///  1. isolated query vertices are dropped (possible worlds keep all instance
+///     vertices, so they only require a non-empty instance);
+///  2. the instance is marginalized to the labels used by the query;
+///  3. in the (effective) unlabeled setting, a ⊔DWT query is replaced by the
+///     equivalent one-way path →^height (Prop. 5.5), and any query on a ⊔DWT
+///     instance is replaced by →^(difference of levels) via its level mapping
+///     or answered 0 when not graded (Prop. 3.6).
+
+namespace phom {
+
+enum class Algorithm {
+  kTrivial = 0,            ///< answered during preparation
+  kConnectedOn2wp,         ///< Prop. 4.11 (X-property + β-acyclic interval DNF)
+  kPathOnDwt,              ///< Prop. 4.10 (tree-KMP matches + run-length DP)
+  kUnlabeledDwtInstance,   ///< Prop. 3.6 (level-mapping collapse, then DWT DP)
+  kUnlabeledPolytree,      ///< Props. 5.4/5.5 (tree automaton → d-DNNF)
+  kPerComponent,           ///< mixed instance: per-component algorithms + Lemma 3.7
+  kFallback,               ///< #P-hard cell: exact exponential solver
+};
+
+const char* ToString(Algorithm a);
+
+struct CaseAnalysis {
+  /// |σ_effective| <= 1 after restricting to the query's labels.
+  bool effective_unlabeled = false;
+  /// The query was replaced by an equivalent / world-equivalent 1WP.
+  bool query_collapsed = false;
+  /// Length of the collapsed path (valid if query_collapsed).
+  int64_t collapsed_length = 0;
+
+  Classification query_class;     ///< of the prepared query
+  Classification instance_class;  ///< of the restricted instance
+
+  /// Verdict of Tables 1–3 for this cell (union classes included).
+  bool tractable = false;
+  Algorithm algorithm = Algorithm::kFallback;
+  /// The proposition(s) justifying the verdict, e.g. "Prop. 4.11".
+  std::string proposition;
+  /// Human-readable cell, e.g. "PHomL(⊔1WP, 1WP)".
+  std::string cell;
+};
+
+struct PreparedProblem {
+  DiGraph query;       ///< simplified (and possibly collapsed) query
+  ProbGraph instance;  ///< label-restricted instance
+  /// Set when preparation alone decides the answer (trivial cases and the
+  /// non-graded-query-on-forest case of Prop. 3.6).
+  std::optional<Rational> immediate;
+  CaseAnalysis analysis;
+};
+
+PreparedProblem PrepareProblem(const DiGraph& query, const ProbGraph& instance);
+
+/// Classification only (PrepareProblem's analysis).
+CaseAnalysis AnalyzeCase(const DiGraph& query, const ProbGraph& instance);
+
+/// Removes vertices with no incident edges (keeps edge order).
+DiGraph DropIsolatedVertices(const DiGraph& g);
+
+/// Row/column label of a graph in the tables: 1WP/2WP/DWT/PT/Connected for
+/// connected graphs, ⊔1WP/⊔2WP/⊔DWT/⊔PT/All otherwise.
+std::string TableClassLabel(const Classification& c);
+
+}  // namespace phom

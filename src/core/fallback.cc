@@ -1,0 +1,134 @@
+#include "src/core/fallback.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/graph/classify.h"
+#include "src/lineage/dnf.h"
+#include "src/lineage/dnf_prob.h"
+
+namespace phom {
+
+Result<Rational> SolveByWorldEnumeration(const DiGraph& query,
+                                         const ProbGraph& instance,
+                                         const FallbackOptions& options,
+                                         FallbackStats* stats) {
+  const DiGraph& g = instance.graph();
+  if (query.num_vertices() == 0) return Rational::One();
+  if (g.num_vertices() == 0) return Rational::Zero();
+
+  std::vector<EdgeId> uncertain;
+  std::vector<EdgeId> certain;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Rational& p = instance.prob(e);
+    if (p.is_one()) {
+      certain.push_back(e);
+    } else if (!p.is_zero()) {
+      uncertain.push_back(e);
+    }
+  }
+  if (uncertain.size() > options.max_uncertain_edges) {
+    return Status::ResourceExhausted(
+        "world enumeration over " + std::to_string(uncertain.size()) +
+        " uncertain edges exceeds the limit of " +
+        std::to_string(options.max_uncertain_edges));
+  }
+
+  // Short-circuits: hom with only certain edges -> 1; no hom even with all
+  // uncertain edges -> 0.
+  auto build_world = [&](uint64_t mask) {
+    DiGraph world(g.num_vertices());
+    for (EdgeId e : certain) {
+      const Edge& edge = g.edge(e);
+      AddEdgeOrDie(&world, edge.src, edge.dst, edge.label);
+    }
+    for (size_t i = 0; i < uncertain.size(); ++i) {
+      if ((mask >> i) & 1) {
+        const Edge& edge = g.edge(uncertain[i]);
+        AddEdgeOrDie(&world, edge.src, edge.dst, edge.label);
+      }
+    }
+    return world;
+  };
+  {
+    PHOM_ASSIGN_OR_RETURN(
+        bool certain_hom,
+        HasHomomorphism(query, build_world(0), options.backtrack));
+    if (certain_hom) return Rational::One();
+    uint64_t full = uncertain.size() >= 64
+                        ? ~uint64_t{0}
+                        : (uint64_t{1} << uncertain.size()) - 1;
+    PHOM_ASSIGN_OR_RETURN(
+        bool any_hom,
+        HasHomomorphism(query, build_world(full), options.backtrack));
+    if (!any_hom) return Rational::Zero();
+  }
+
+  Rational total = Rational::Zero();
+  uint64_t num_worlds = uint64_t{1} << uncertain.size();
+  for (uint64_t mask = 0; mask < num_worlds; ++mask) {
+    if (stats != nullptr) ++stats->worlds;
+    DiGraph world = build_world(mask);
+    PHOM_ASSIGN_OR_RETURN(bool hom,
+                          HasHomomorphism(query, world, options.backtrack));
+    if (!hom) continue;
+    Rational w = Rational::One();
+    for (size_t i = 0; i < uncertain.size(); ++i) {
+      const Rational& p = instance.prob(uncertain[i]);
+      w *= ((mask >> i) & 1) ? p : p.Complement();
+    }
+    total += w;
+  }
+  return total;
+}
+
+Result<Rational> SolveByMatchLineage(const DiGraph& query,
+                                     const ProbGraph& instance,
+                                     const FallbackOptions& options,
+                                     FallbackStats* stats) {
+  if (!IsConnected(query) || query.num_edges() == 0) {
+    return Status::Invalid(
+        "match-lineage fallback requires a connected query with edges");
+  }
+  const DiGraph& g = instance.graph();
+  // Remove probability-0 edges from consideration.
+  std::set<std::vector<uint32_t>> images;
+  uint64_t matches = 0;
+  bool exhausted = false;
+  auto collect = [&](const std::vector<VertexId>& assignment) {
+    std::vector<uint32_t> image;
+    image.reserve(query.num_edges());
+    for (const Edge& qe : query.edges()) {
+      std::optional<EdgeId> e =
+          g.FindEdge(assignment[qe.src], assignment[qe.dst]);
+      PHOM_CHECK(e.has_value());
+      if (instance.prob(*e).is_zero()) return true;  // impossible image
+      image.push_back(*e);
+    }
+    std::sort(image.begin(), image.end());
+    image.erase(std::unique(image.begin(), image.end()), image.end());
+    images.insert(std::move(image));
+    if (++matches > options.max_matches) {
+      exhausted = true;
+      return false;
+    }
+    return true;
+  };
+  PHOM_ASSIGN_OR_RETURN(
+      uint64_t total,
+      ForEachHomomorphism(query, g, collect, options.backtrack));
+  (void)total;
+  if (exhausted) {
+    return Status::ResourceExhausted("match-lineage exceeded max_matches");
+  }
+  if (stats != nullptr) stats->matches = matches;
+
+  MonotoneDnf lineage(static_cast<uint32_t>(g.num_edges()));
+  for (const auto& image : images) {
+    lineage.AddClause(image);
+  }
+  lineage.RemoveSubsumed();
+  return DnfProbabilityShannon(lineage, instance.probs());
+}
+
+}  // namespace phom

@@ -1,0 +1,45 @@
+#pragma once
+
+#include "src/graph/prob_graph.h"
+#include "src/hom/backtrack.h"
+#include "src/util/rational.h"
+#include "src/util/result.h"
+
+/// \file fallback.h
+/// Exact exponential solvers for the #P-hard cells (and the ground-truth
+/// oracle for every tractable algorithm's tests):
+///  * world enumeration — conditions on the uncertain edges (probability
+///    strictly between 0 and 1) and tests query ⇝ world by backtracking;
+///  * match lineage — enumerates homomorphism images of a connected query,
+///    builds the (generally non-β-acyclic) monotone DNF, and evaluates it
+///    with the memoized Shannon engine. Often far faster than 2^edges when
+///    there are few matches; exponential in the worst case.
+
+namespace phom {
+
+struct FallbackOptions {
+  /// World enumeration refuses instances with more uncertain edges.
+  size_t max_uncertain_edges = 26;
+  /// Per-world homomorphism search budget.
+  BacktrackOptions backtrack;
+  /// Cap on enumerated homomorphisms for the match-lineage solver.
+  uint64_t max_matches = 200'000;
+};
+
+struct FallbackStats {
+  uint64_t worlds = 0;
+  uint64_t matches = 0;
+};
+
+Result<Rational> SolveByWorldEnumeration(const DiGraph& query,
+                                         const ProbGraph& instance,
+                                         const FallbackOptions& options = {},
+                                         FallbackStats* stats = nullptr);
+
+/// Requires a connected query with >= 1 edge.
+Result<Rational> SolveByMatchLineage(const DiGraph& query,
+                                     const ProbGraph& instance,
+                                     const FallbackOptions& options = {},
+                                     FallbackStats* stats = nullptr);
+
+}  // namespace phom

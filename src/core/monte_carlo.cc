@@ -1,0 +1,45 @@
+#include "src/core/monte_carlo.h"
+
+#include <cmath>
+
+namespace phom {
+
+Result<MonteCarloEstimate> EstimateProbabilityMonteCarlo(
+    const DiGraph& query, const ProbGraph& instance, uint64_t seed,
+    const MonteCarloOptions& options) {
+  MonteCarloEstimate out;
+  out.samples = options.samples;
+  if (options.samples == 0) return Status::Invalid("samples must be > 0");
+
+  const DiGraph& g = instance.graph();
+  // Pre-convert probabilities once; sampling uses double precision, which is
+  // fine for an estimator.
+  std::vector<double> probs;
+  probs.reserve(g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    probs.push_back(instance.prob(e).ToDouble());
+  }
+
+  Rng rng(seed);
+  uint64_t hits = 0;
+  for (uint64_t s = 0; s < options.samples; ++s) {
+    DiGraph world(g.num_vertices());
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      if (rng.Bernoulli(probs[e])) {
+        const Edge& edge = g.edge(e);
+        AddEdgeOrDie(&world, edge.src, edge.dst, edge.label);
+      }
+    }
+    PHOM_ASSIGN_OR_RETURN(bool hom,
+                          HasHomomorphism(query, world, options.backtrack));
+    if (hom) ++hits;
+  }
+  out.hits = hits;
+  out.estimate = static_cast<double>(hits) / options.samples;
+  double p = out.estimate;
+  out.half_width_95 =
+      1.96 * std::sqrt(p * (1.0 - p) / static_cast<double>(options.samples));
+  return out;
+}
+
+}  // namespace phom

@@ -1,0 +1,34 @@
+#pragma once
+
+#include "src/graph/prob_graph.h"
+#include "src/hom/backtrack.h"
+#include "src/util/rng.h"
+
+/// \file monte_carlo.h
+/// Monte Carlo estimation of Pr(G ⇝ H): the standard practical fallback for
+/// #P-hard cells in probabilistic database systems. Samples possible worlds
+/// independently and returns the match frequency with a normal-approximation
+/// confidence half-width. Used as a cross-check and as a baseline in the
+/// ablation benchmarks; NOT exact, unlike everything else in this library.
+
+namespace phom {
+
+struct MonteCarloOptions {
+  uint64_t samples = 100'000;
+  BacktrackOptions backtrack;
+};
+
+struct MonteCarloEstimate {
+  double estimate = 0.0;
+  /// 95% confidence half-width (1.96 · sqrt(p(1-p)/n)).
+  double half_width_95 = 0.0;
+  uint64_t samples = 0;
+  uint64_t hits = 0;
+};
+
+/// Samples worlds of `instance` with the given seed and tests query ⇝ world.
+Result<MonteCarloEstimate> EstimateProbabilityMonteCarlo(
+    const DiGraph& query, const ProbGraph& instance, uint64_t seed,
+    const MonteCarloOptions& options = {});
+
+}  // namespace phom

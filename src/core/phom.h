@@ -1,0 +1,26 @@
+#pragma once
+
+/// \file phom.h
+/// Umbrella header for the phom library: probabilistic query evaluation on
+/// graphs with combined-complexity-aware dispatch, reproducing
+/// "Conjunctive Queries on Probabilistic Graphs: Combined Complexity"
+/// (Amarilli, Monet, Senellart; PODS 2017).
+
+#include "src/core/algo_dwt.h"
+#include "src/core/algo_polytree.h"
+#include "src/core/algo_two_way_path.h"
+#include "src/core/case.h"
+#include "src/core/fallback.h"
+#include "src/core/solver.h"
+#include "src/graph/alphabet.h"
+#include "src/graph/builders.h"
+#include "src/graph/classify.h"
+#include "src/graph/digraph.h"
+#include "src/graph/generators.h"
+#include "src/graph/graded.h"
+#include "src/graph/io.h"
+#include "src/graph/prob_graph.h"
+#include "src/hom/backtrack.h"
+#include "src/hom/equivalence.h"
+#include "src/util/rational.h"
+#include "src/util/rng.h"

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <optional>
+
+#include "src/core/case.h"
+#include "src/core/fallback.h"
+#include "src/graph/prob_graph.h"
+#include "src/util/rational.h"
+#include "src/util/result.h"
+
+/// \file solver.h
+/// The PHom solver: Pr(G ⇝ H) for a query graph G and probabilistic
+/// instance (H, π). Dispatches per the dichotomy of Tables 1–3:
+///
+///   * trivial/collapse preparation (case.h);
+///   * connected queries are solved per instance component and combined by
+///     Lemma 3.7, each component with the finest applicable algorithm
+///     (Prop. 4.11 on 2WPs; Prop. 4.10 / 3.6 on DWTs; Props. 5.4/5.5 on
+///     polytrees) — this also covers instances mixing component classes;
+///   * anything in a #P-hard cell falls back to the exact exponential
+///     solver, subject to FallbackOptions limits.
+
+namespace phom {
+
+struct SolveOptions {
+  /// Force a specific algorithm (ablations / cross-checks). NotSupported if
+  /// the algorithm does not apply to the prepared problem.
+  std::optional<Algorithm> force_algorithm;
+  /// Use the lineage+Shannon engine instead of the direct DP on DWTs.
+  bool dwt_via_lineage = false;
+  FallbackOptions fallback;
+};
+
+struct SolveStats {
+  Algorithm primary = Algorithm::kTrivial;
+  size_t components = 0;
+  size_t fallback_components = 0;
+  uint64_t worlds = 0;             ///< worlds enumerated by fallbacks
+  size_t hom_tests = 0;            ///< X-property AC calls (Prop. 4.11)
+  size_t lineage_clauses = 0;      ///< interval/match clauses built
+  size_t circuit_gates = 0;        ///< provenance circuit size (Prop. 5.4)
+  size_t match_ends = 0;           ///< DWT match ends (Prop. 4.10)
+};
+
+struct SolveResult {
+  Rational probability;
+  CaseAnalysis analysis;
+  SolveStats stats;
+};
+
+class Solver {
+ public:
+  explicit Solver(SolveOptions options = {}) : options_(std::move(options)) {}
+
+  Result<SolveResult> Solve(const DiGraph& query,
+                            const ProbGraph& instance) const;
+
+ private:
+  SolveOptions options_;
+};
+
+/// One-call convenience.
+Result<Rational> SolveProbability(const DiGraph& query,
+                                  const ProbGraph& instance,
+                                  const SolveOptions& options = {});
+
+/// The unweighted counting view (the paper's future-work "counting CSP"
+/// variant where every probability is 1/2): the number of subgraphs of
+/// `instance` to which `query` has a homomorphism. Computed as
+/// Pr(G ⇝ H_{π≡1/2}) · 2^|E|, which is exact by construction.
+Result<BigInt> CountSatisfyingWorlds(const DiGraph& query,
+                                     const DiGraph& instance,
+                                     const SolveOptions& options = {});
+
+}  // namespace phom

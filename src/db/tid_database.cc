@@ -1,0 +1,66 @@
+#include "src/db/tid_database.h"
+
+namespace phom {
+
+VertexId TidDatabase::InternConstant(std::string_view name) {
+  size_t before = constants_.size();
+  LabelId id = constants_.Intern(name);
+  if (constants_.size() > before) {
+    VertexId v = instance_.AddVertex();
+    PHOM_CHECK(v == id);  // constants and vertices stay aligned
+  }
+  return id;
+}
+
+Status TidDatabase::AddFact(std::string_view relation,
+                            std::string_view subject, std::string_view object,
+                            Rational probability) {
+  if (!probability.IsProbability()) {
+    return Status::Invalid("fact probability outside [0, 1]: " +
+                           probability.ToString());
+  }
+  LabelId label = relations_.Intern(relation);
+  VertexId a = InternConstant(subject);
+  VertexId b = InternConstant(object);
+  Result<EdgeId> added = instance_.AddEdge(a, b, label, std::move(probability));
+  if (!added.ok()) {
+    return Status::Invalid("the pair (" + std::string(subject) + ", " +
+                           std::string(object) +
+                           ") already carries a fact (arity-two signatures "
+                           "allow one fact per ordered pair)");
+  }
+  return Status::OK();
+}
+
+Rational TidDatabase::FactProbability(std::string_view relation,
+                                      std::string_view subject,
+                                      std::string_view object) const {
+  std::optional<LabelId> label = relations_.Find(relation);
+  std::optional<LabelId> a = constants_.Find(subject);
+  std::optional<LabelId> b = constants_.Find(object);
+  if (!label || !a || !b) return Rational::Zero();
+  std::optional<EdgeId> e = instance_.graph().FindEdge(*a, *b);
+  if (!e || instance_.graph().edge(*e).label != *label) {
+    return Rational::Zero();
+  }
+  return instance_.prob(*e);
+}
+
+Result<SolveResult> TidDatabase::Evaluate(std::string_view query,
+                                          const SolveOptions& options) const {
+  // Parse against a copy of the relation alphabet so unknown relations get
+  // fresh label ids (which then match nothing in the instance).
+  Alphabet scratch = relations_;
+  PHOM_ASSIGN_OR_RETURN(ParsedQuery parsed,
+                        ParseConjunctiveQuery(query, &scratch));
+  Solver solver(options);
+  return solver.Solve(parsed.graph, instance_);
+}
+
+Result<Rational> TidDatabase::EvaluateProbability(
+    std::string_view query, const SolveOptions& options) const {
+  PHOM_ASSIGN_OR_RETURN(SolveResult result, Evaluate(query, options));
+  return result.probability;
+}
+
+}  // namespace phom

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "src/core/solver.h"
+#include "src/graph/alphabet.h"
+#include "src/graph/cq_parser.h"
+#include "src/graph/prob_graph.h"
+
+/// \file tid_database.h
+/// The tuple-independent database view of PHom (paper §2: the problem "is
+/// easily seen to be equivalent to conjunctive query evaluation on
+/// probabilistic tuple-independent relational databases over binary
+/// relational signatures"). Facts are R(a, b) with a probability; constants
+/// and relation names are interned strings; Boolean conjunctive queries are
+/// evaluated through the dichotomy-aware Solver.
+///
+///   TidDatabase db;
+///   db.AddFact("Friend", "alice", "bob", Rational(9, 10));
+///   db.AddFact("Likes", "bob", "jazz", Rational(1, 2));
+///   auto result = db.Evaluate("Friend(x, y), Likes(y, z)");
+
+namespace phom {
+
+class TidDatabase {
+ public:
+  TidDatabase() = default;
+
+  /// Adds the fact relation(subject, object) with the given marginal
+  /// probability. Fails if the pair already carries a fact of any relation
+  /// (arity-two graphs carry one label per ordered pair, paper §2) or if the
+  /// probability is outside [0, 1].
+  Status AddFact(std::string_view relation, std::string_view subject,
+                 std::string_view object, Rational probability);
+  Status AddCertainFact(std::string_view relation, std::string_view subject,
+                        std::string_view object) {
+    return AddFact(relation, subject, object, Rational::One());
+  }
+
+  size_t num_constants() const { return instance_.num_vertices(); }
+  size_t num_facts() const { return instance_.num_edges(); }
+  const ProbGraph& instance() const { return instance_; }
+  const Alphabet& relations() const { return relations_; }
+
+  /// Marginal probability of a fact; 0 when absent.
+  Rational FactProbability(std::string_view relation,
+                           std::string_view subject,
+                           std::string_view object) const;
+
+  /// Evaluates a Boolean conjunctive query ("R(x,y), S(y,z)"; all variables
+  /// existential) against the database. Unknown relation names simply never
+  /// match. Returns the full SolveResult (probability + dichotomy analysis).
+  Result<SolveResult> Evaluate(std::string_view query,
+                               const SolveOptions& options = {}) const;
+
+  /// Convenience: just the probability.
+  Result<Rational> EvaluateProbability(std::string_view query,
+                                       const SolveOptions& options = {}) const;
+
+ private:
+  VertexId InternConstant(std::string_view name);
+
+  Alphabet relations_;
+  Alphabet constants_;
+  ProbGraph instance_;
+};
+
+}  // namespace phom

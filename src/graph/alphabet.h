@@ -1,0 +1,49 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/graph/digraph.h"
+#include "src/util/status.h"
+
+/// \file alphabet.h
+/// Maps human-readable label names ("R", "S", ...) to the LabelId integers
+/// used by DiGraph. The query and instance graphs of one PHom problem must
+/// share an Alphabet so their label ids are comparable.
+
+namespace phom {
+
+class Alphabet {
+ public:
+  /// Returns the id of `name`, interning it if new.
+  LabelId Intern(std::string_view name) {
+    auto it = ids_.find(std::string(name));
+    if (it != ids_.end()) return it->second;
+    LabelId id = static_cast<LabelId>(names_.size());
+    names_.emplace_back(name);
+    ids_.emplace(names_.back(), id);
+    return id;
+  }
+
+  std::optional<LabelId> Find(std::string_view name) const {
+    auto it = ids_.find(std::string(name));
+    if (it == ids_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  const std::string& Name(LabelId id) const {
+    PHOM_CHECK(id < names_.size());
+    return names_[id];
+  }
+
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, LabelId> ids_;
+};
+
+}  // namespace phom

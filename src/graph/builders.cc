@@ -1,0 +1,89 @@
+#include "src/graph/builders.h"
+
+#include "src/util/status.h"
+
+namespace phom {
+
+DiGraph MakeLabeledPath(const std::vector<LabelId>& labels) {
+  DiGraph g(labels.size() + 1);
+  for (size_t i = 0; i < labels.size(); ++i) {
+    AddEdgeOrDie(&g, static_cast<VertexId>(i), static_cast<VertexId>(i + 1),
+                 labels[i]);
+  }
+  return g;
+}
+
+DiGraph MakeOneWayPath(size_t length, LabelId label) {
+  return MakeLabeledPath(std::vector<LabelId>(length, label));
+}
+
+DiGraph MakeTwoWayPath(const std::vector<TwoWayStep>& steps) {
+  DiGraph g(steps.size() + 1);
+  for (size_t i = 0; i < steps.size(); ++i) {
+    VertexId a = static_cast<VertexId>(i);
+    VertexId b = static_cast<VertexId>(i + 1);
+    if (steps[i].forward) {
+      AddEdgeOrDie(&g, a, b, steps[i].label);
+    } else {
+      AddEdgeOrDie(&g, b, a, steps[i].label);
+    }
+  }
+  return g;
+}
+
+DiGraph MakeArrowPath(std::string_view arrows, LabelId label) {
+  std::vector<TwoWayStep> steps;
+  steps.reserve(arrows.size());
+  for (char c : arrows) {
+    PHOM_CHECK_MSG(c == '>' || c == '<', "arrow pattern must be '>'/'<'");
+    steps.push_back(TwoWayStep{label, c == '>'});
+  }
+  return MakeTwoWayPath(steps);
+}
+
+std::string RepeatArrows(std::string_view arrows, size_t times) {
+  std::string out;
+  out.reserve(arrows.size() * times);
+  for (size_t i = 0; i < times; ++i) out += arrows;
+  return out;
+}
+
+DiGraph MakeDownwardTree(const std::vector<VertexId>& parents,
+                         const std::vector<LabelId>& labels) {
+  PHOM_CHECK(parents.size() == labels.size());
+  DiGraph g(parents.size() + 1);
+  for (size_t i = 0; i < parents.size(); ++i) {
+    PHOM_CHECK_MSG(parents[i] <= i, "parent must precede child");
+    AddEdgeOrDie(&g, parents[i], static_cast<VertexId>(i + 1), labels[i]);
+  }
+  return g;
+}
+
+DiGraph MakeDownwardTree(const std::vector<VertexId>& parents, LabelId label) {
+  return MakeDownwardTree(parents,
+                          std::vector<LabelId>(parents.size(), label));
+}
+
+DiGraph DisjointUnion(const std::vector<DiGraph>& parts) {
+  size_t total = 0;
+  for (const DiGraph& p : parts) total += p.num_vertices();
+  DiGraph g(total);
+  VertexId offset = 0;
+  for (const DiGraph& p : parts) {
+    for (const Edge& e : p.edges()) {
+      AddEdgeOrDie(&g, offset + e.src, offset + e.dst, e.label);
+    }
+    offset += static_cast<VertexId>(p.num_vertices());
+  }
+  return g;
+}
+
+DiGraph MakeOutStar(size_t leaves, LabelId label) {
+  DiGraph g(leaves + 1);
+  for (size_t i = 0; i < leaves; ++i) {
+    AddEdgeOrDie(&g, 0, static_cast<VertexId>(i + 1), label);
+  }
+  return g;
+}
+
+}  // namespace phom

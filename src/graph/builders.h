@@ -1,0 +1,55 @@
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "src/graph/digraph.h"
+#include "src/graph/prob_graph.h"
+
+/// \file builders.h
+/// Deterministic constructors for the paper's graph classes. The arrow-string
+/// builders mirror the paper's notation: e.g. the query of Prop. 5.6 is
+/// MakeArrowPath(">>>" + Repeat(">><", m+3) + ">>>").
+
+namespace phom {
+
+/// One-way path with the given edge labels: a_1 -L[0]-> a_2 -L[1]-> ...
+/// Named differently from MakeOneWayPath because a braced single-element
+/// list would otherwise silently select the size_t overload.
+DiGraph MakeLabeledPath(const std::vector<LabelId>& labels);
+
+/// Single-label one-way path with `length` edges: →^length.
+DiGraph MakeOneWayPath(size_t length, LabelId label = kUnlabeled);
+
+/// A step of a two-way path: label plus orientation (true = forward).
+struct TwoWayStep {
+  LabelId label;
+  bool forward;
+};
+
+/// Two-way path a_1 − a_2 − ... with the given steps.
+DiGraph MakeTwoWayPath(const std::vector<TwoWayStep>& steps);
+
+/// Two-way path from an arrow pattern: '>' is a forward edge, '<' a backward
+/// edge, all with the same label. ">><" is a_1→a_2→a_3←a_4.
+DiGraph MakeArrowPath(std::string_view arrows, LabelId label = kUnlabeled);
+
+/// Repeats an arrow pattern `times` times (helper for the codings of
+/// Props. 3.4 and 5.6).
+std::string RepeatArrows(std::string_view arrows, size_t times);
+
+/// Downward tree from a parent array: vertex 0 is the root; vertex i+1 has
+/// parent parents[i] (which must be < i+1) and incoming label labels[i].
+DiGraph MakeDownwardTree(const std::vector<VertexId>& parents,
+                         const std::vector<LabelId>& labels);
+DiGraph MakeDownwardTree(const std::vector<VertexId>& parents,
+                         LabelId label = kUnlabeled);
+
+/// Disjoint union; vertex ids of parts[i] are shifted by the total size of
+/// the preceding parts.
+DiGraph DisjointUnion(const std::vector<DiGraph>& parts);
+
+/// Star with `leaves` children (a DWT of height 1).
+DiGraph MakeOutStar(size_t leaves, LabelId label = kUnlabeled);
+
+}  // namespace phom

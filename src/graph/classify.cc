@@ -1,0 +1,261 @@
+#include "src/graph/classify.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "src/util/status.h"
+
+namespace phom {
+
+const char* ToString(GraphClass c) {
+  switch (c) {
+    case GraphClass::kOneWayPath: return "1WP";
+    case GraphClass::kTwoWayPath: return "2WP";
+    case GraphClass::kDownwardTree: return "DWT";
+    case GraphClass::kPolytree: return "PT";
+    case GraphClass::kConnected: return "Connected";
+    case GraphClass::kGeneral: return "General";
+  }
+  return "?";
+}
+
+std::vector<std::vector<VertexId>> ConnectedComponents(const DiGraph& g) {
+  std::vector<int32_t> comp(g.num_vertices(), -1);
+  std::vector<std::vector<VertexId>> out;
+  for (VertexId start = 0; start < g.num_vertices(); ++start) {
+    if (comp[start] >= 0) continue;
+    int32_t id = static_cast<int32_t>(out.size());
+    out.emplace_back();
+    std::queue<VertexId> queue;
+    queue.push(start);
+    comp[start] = id;
+    while (!queue.empty()) {
+      VertexId v = queue.front();
+      queue.pop();
+      out[id].push_back(v);
+      for (EdgeId e : g.OutEdges(v)) {
+        VertexId w = g.edge(e).dst;
+        if (comp[w] < 0) {
+          comp[w] = id;
+          queue.push(w);
+        }
+      }
+      for (EdgeId e : g.InEdges(v)) {
+        VertexId w = g.edge(e).src;
+        if (comp[w] < 0) {
+          comp[w] = id;
+          queue.push(w);
+        }
+      }
+    }
+    std::sort(out[id].begin(), out[id].end());
+  }
+  return out;
+}
+
+bool IsConnected(const DiGraph& g) {
+  return ConnectedComponents(g).size() <= 1;
+}
+
+namespace {
+
+/// True iff g contains a self-loop or an anti-parallel pair (u,v),(v,u).
+/// No graph in any path/tree class may contain either.
+bool HasLoopOrAntiParallel(const DiGraph& g) {
+  for (const Edge& e : g.edges()) {
+    if (e.src == e.dst) return true;
+    if (e.src < e.dst && g.FindEdge(e.dst, e.src).has_value()) return true;
+    if (e.src > e.dst && g.FindEdge(e.dst, e.src).has_value()) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool IsOneWayPath(const DiGraph& g) {
+  if (g.num_vertices() == 0) return false;  // graphs have non-empty V
+  if (g.num_edges() != g.num_vertices() - 1) return false;
+  VertexId start = g.num_vertices();
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (g.OutDegree(v) > 1 || g.InDegree(v) > 1) return false;
+    if (g.InDegree(v) == 0) {
+      if (start != g.num_vertices()) return false;  // two starts
+      start = v;
+    }
+  }
+  if (start == g.num_vertices()) return false;  // cycle
+  // Walk the unique chain; must cover all vertices.
+  size_t visited = 1;
+  VertexId v = start;
+  while (g.OutDegree(v) == 1) {
+    v = g.edge(g.OutEdges(v)[0]).dst;
+    ++visited;
+    if (visited > g.num_vertices()) return false;  // defensive (cycle)
+  }
+  return visited == g.num_vertices();
+}
+
+bool IsTwoWayPath(const DiGraph& g) {
+  if (g.num_vertices() == 0) return false;
+  if (g.num_edges() != g.num_vertices() - 1) return false;
+  if (HasLoopOrAntiParallel(g)) return false;
+  if (!IsConnected(g)) return false;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (g.UndirectedDegree(v) > 2) return false;
+  }
+  return true;
+}
+
+bool IsDownwardTree(const DiGraph& g) {
+  if (g.num_vertices() == 0) return false;
+  if (g.num_edges() != g.num_vertices() - 1) return false;
+  if (!IsConnected(g)) return false;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (g.InDegree(v) > 1) return false;
+  }
+  // Connected with n-1 edges and in-degrees <= 1: exactly one root, no
+  // cycles, no anti-parallel pairs (those would force a multi-edge in the
+  // underlying graph, contradicting connectivity with n-1 edges).
+  return true;
+}
+
+bool IsPolytree(const DiGraph& g) {
+  if (g.num_vertices() == 0) return false;
+  if (g.num_edges() != g.num_vertices() - 1) return false;
+  return IsConnected(g);
+}
+
+Classification Classify(const DiGraph& g) {
+  Classification out;
+  std::vector<std::vector<VertexId>> comps = ConnectedComponents(g);
+  out.num_components = comps.size();
+  out.connected = comps.size() <= 1;
+
+  if (out.connected) {
+    out.is_1wp = IsOneWayPath(g);
+    out.is_2wp = IsTwoWayPath(g);
+    out.is_dwt = IsDownwardTree(g);
+    out.is_pt = IsPolytree(g);
+    out.all_1wp = out.is_1wp;
+    out.all_2wp = out.is_2wp;
+    out.all_dwt = out.is_dwt;
+    out.all_pt = out.is_pt;
+  } else {
+    out.all_1wp = out.all_2wp = out.all_dwt = out.all_pt = true;
+    // Classify each component via an extracted subgraph.
+    std::vector<uint32_t> local(g.num_vertices(), 0);
+    for (const std::vector<VertexId>& vs : comps) {
+      for (uint32_t i = 0; i < vs.size(); ++i) local[vs[i]] = i;
+    }
+    std::vector<DiGraph> sub;
+    sub.reserve(comps.size());
+    for (const std::vector<VertexId>& vs : comps) sub.emplace_back(vs.size());
+    std::vector<uint32_t> comp_of(g.num_vertices(), 0);
+    for (uint32_t c = 0; c < comps.size(); ++c) {
+      for (VertexId v : comps[c]) comp_of[v] = c;
+    }
+    for (const Edge& e : g.edges()) {
+      AddEdgeOrDie(&sub[comp_of[e.src]], local[e.src], local[e.dst], e.label);
+    }
+    for (const DiGraph& s : sub) {
+      out.all_1wp = out.all_1wp && IsOneWayPath(s);
+      out.all_2wp = out.all_2wp && IsTwoWayPath(s);
+      out.all_dwt = out.all_dwt && IsDownwardTree(s);
+      out.all_pt = out.all_pt && IsPolytree(s);
+    }
+  }
+
+  if (out.is_1wp) {
+    out.finest = GraphClass::kOneWayPath;
+  } else if (out.is_2wp) {
+    out.finest = GraphClass::kTwoWayPath;
+  } else if (out.is_dwt) {
+    out.finest = GraphClass::kDownwardTree;
+  } else if (out.is_pt) {
+    out.finest = GraphClass::kPolytree;
+  } else if (out.connected) {
+    out.finest = GraphClass::kConnected;
+  } else {
+    out.finest = GraphClass::kGeneral;
+  }
+  return out;
+}
+
+std::string Classification::ToString() const {
+  std::string s = "{finest=";
+  s += phom::ToString(finest);
+  s += connected ? ", connected" : ", disconnected";
+  auto add = [&s](const char* name, bool v) {
+    if (v) {
+      s += ", ";
+      s += name;
+    }
+  };
+  add("u1wp", all_1wp);
+  add("u2wp", all_2wp);
+  add("udwt", all_dwt);
+  add("upt", all_pt);
+  s += "}";
+  return s;
+}
+
+std::vector<VertexId> TwoWayPathOrder(const DiGraph& g) {
+  PHOM_CHECK_MSG(IsTwoWayPath(g), "TwoWayPathOrder requires a 2WP");
+  if (g.num_vertices() == 1) return {0};
+  // Find an endpoint (undirected degree 1), then walk.
+  VertexId start = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (g.UndirectedDegree(v) == 1) {
+      start = v;
+      break;
+    }
+  }
+  std::vector<VertexId> order;
+  order.reserve(g.num_vertices());
+  std::vector<bool> seen(g.num_vertices(), false);
+  VertexId v = start;
+  seen[v] = true;
+  order.push_back(v);
+  while (order.size() < g.num_vertices()) {
+    VertexId next = g.num_vertices();
+    for (EdgeId e : g.OutEdges(v)) {
+      if (!seen[g.edge(e).dst]) next = g.edge(e).dst;
+    }
+    for (EdgeId e : g.InEdges(v)) {
+      if (!seen[g.edge(e).src]) next = g.edge(e).src;
+    }
+    PHOM_CHECK(next != g.num_vertices());
+    seen[next] = true;
+    order.push_back(next);
+    v = next;
+  }
+  return order;
+}
+
+VertexId DownwardTreeRoot(const DiGraph& g) {
+  PHOM_CHECK_MSG(IsDownwardTree(g), "DownwardTreeRoot requires a DWT");
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (g.InDegree(v) == 0) return v;
+  }
+  PHOM_CHECK_MSG(false, "DWT without root");
+  return 0;
+}
+
+std::vector<LabelId> OneWayPathLabels(const DiGraph& g) {
+  PHOM_CHECK_MSG(IsOneWayPath(g), "OneWayPathLabels requires a 1WP");
+  std::vector<LabelId> labels;
+  labels.reserve(g.num_edges());
+  VertexId v = 0;
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    if (g.InDegree(u) == 0) v = u;
+  }
+  while (g.OutDegree(v) == 1) {
+    EdgeId e = g.OutEdges(v)[0];
+    labels.push_back(g.edge(e).label);
+    v = g.edge(e).dst;
+  }
+  PHOM_CHECK(labels.size() == g.num_edges());
+  return labels;
+}
+
+}  // namespace phom

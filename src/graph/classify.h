@@ -1,0 +1,84 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/graph/digraph.h"
+
+/// \file classify.h
+/// Recognizers for the paper's graph classes (§2, Figure 2):
+///
+///   1WP ⊆ 2WP ⊆ PT,  1WP ⊆ DWT ⊆ PT ⊆ Connected ⊆ All,
+///   ⊔C = graphs all of whose connected components are in C.
+///
+/// Conventions (following the paper's definitions):
+///  * a single vertex with no edge is a 1WP (m = 1);
+///  * paths have pairwise-distinct vertices, so self-loops and anti-parallel
+///    edge pairs disqualify a graph from every tree-like class;
+///  * polytree = the underlying undirected graph is a tree.
+
+namespace phom {
+
+enum class GraphClass {
+  kOneWayPath = 0,
+  kTwoWayPath,
+  kDownwardTree,
+  kPolytree,
+  kConnected,
+  kGeneral,
+};
+
+const char* ToString(GraphClass c);
+
+/// Connectivity of the underlying undirected graph. The empty graph and
+/// single vertices are connected.
+bool IsConnected(const DiGraph& g);
+
+/// Vertex sets of the connected components (underlying undirected graph),
+/// each sorted ascending; components ordered by smallest vertex.
+std::vector<std::vector<VertexId>> ConnectedComponents(const DiGraph& g);
+
+bool IsOneWayPath(const DiGraph& g);
+bool IsTwoWayPath(const DiGraph& g);
+bool IsDownwardTree(const DiGraph& g);
+bool IsPolytree(const DiGraph& g);
+
+/// Class membership summary used by the dichotomy dispatcher. The `is_*`
+/// flags describe the whole graph (so they imply connectivity); the `all_*`
+/// flags describe the ⊔-classes (every component in the class).
+struct Classification {
+  bool connected = false;
+  size_t num_components = 0;
+
+  bool is_1wp = false;
+  bool is_2wp = false;
+  bool is_dwt = false;
+  bool is_pt = false;
+
+  bool all_1wp = false;  ///< g ∈ ⊔1WP
+  bool all_2wp = false;  ///< g ∈ ⊔2WP
+  bool all_dwt = false;  ///< g ∈ ⊔DWT
+  bool all_pt = false;   ///< g ∈ ⊔PT
+
+  /// Finest class of the whole graph in the order of Figure 2 (1WP before
+  /// 2WP before DWT before PT before Connected before General). For
+  /// disconnected graphs this is kGeneral.
+  GraphClass finest = GraphClass::kGeneral;
+
+  std::string ToString() const;
+};
+
+Classification Classify(const DiGraph& g);
+
+/// For a 2WP, the vertex order a_1 − a_2 − ... − a_m along the path
+/// (an arbitrary one of the two orientations). PHOM_CHECKs IsTwoWayPath.
+std::vector<VertexId> TwoWayPathOrder(const DiGraph& g);
+
+/// For a DWT, the root (the unique vertex of in-degree 0; the single vertex
+/// for edgeless graphs). PHOM_CHECKs IsDownwardTree.
+VertexId DownwardTreeRoot(const DiGraph& g);
+
+/// For a 1WP, the edge labels in path order. PHOM_CHECKs IsOneWayPath.
+std::vector<LabelId> OneWayPathLabels(const DiGraph& g);
+
+}  // namespace phom

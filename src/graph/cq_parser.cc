@@ -1,0 +1,125 @@
+#include "src/graph/cq_parser.h"
+
+#include <cctype>
+#include <sstream>
+#include <unordered_map>
+
+namespace phom {
+
+namespace {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '\'';
+}
+
+struct Cursor {
+  std::string_view text;
+  size_t pos = 0;
+
+  void SkipSpace() {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+  }
+  bool AtEnd() {
+    SkipSpace();
+    return pos >= text.size();
+  }
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+  Result<std::string> Identifier() {
+    SkipSpace();
+    size_t start = pos;
+    while (pos < text.size() && IsIdentChar(text[pos])) ++pos;
+    if (pos == start) {
+      return Status::Invalid("expected identifier at position " +
+                             std::to_string(start));
+    }
+    return std::string(text.substr(start, pos - start));
+  }
+};
+
+}  // namespace
+
+Result<ParsedQuery> ParseConjunctiveQuery(std::string_view text,
+                                          Alphabet* alphabet) {
+  ParsedQuery out{DiGraph(0), {}};
+  std::unordered_map<std::string, VertexId> var_ids;
+  auto intern_var = [&](const std::string& name) {
+    auto it = var_ids.find(name);
+    if (it != var_ids.end()) return it->second;
+    VertexId id = out.graph.AddVertex();
+    var_ids.emplace(name, id);
+    out.variables.push_back(name);
+    return id;
+  };
+
+  Cursor cursor{text};
+  bool first = true;
+  while (!cursor.AtEnd()) {
+    if (!first && !cursor.Consume(',')) {
+      return Status::Invalid("expected ',' between atoms");
+    }
+    if (cursor.AtEnd()) break;  // allow trailing comma
+    first = false;
+    PHOM_ASSIGN_OR_RETURN(std::string relation, cursor.Identifier());
+    if (!cursor.Consume('(')) {
+      return Status::Invalid("expected '(' after relation " + relation);
+    }
+    PHOM_ASSIGN_OR_RETURN(std::string src, cursor.Identifier());
+    if (!cursor.Consume(',')) {
+      return Status::Invalid("binary atoms need two arguments: " + relation);
+    }
+    PHOM_ASSIGN_OR_RETURN(std::string dst, cursor.Identifier());
+    if (!cursor.Consume(')')) {
+      return Status::Invalid("expected ')' closing atom " + relation);
+    }
+    LabelId label = alphabet->Intern(relation);
+    VertexId a = intern_var(src);
+    VertexId b = intern_var(dst);
+    // Repeated atoms are idempotent; a second label on the same pair is a
+    // genuine error under the no-multi-edge semantics.
+    if (std::optional<EdgeId> existing = out.graph.FindEdge(a, b)) {
+      if (out.graph.edge(*existing).label != label) {
+        return Status::Invalid("conflicting atoms on (" + src + ", " + dst +
+                               "): the paper's graphs carry one label per "
+                               "ordered pair");
+      }
+      continue;
+    }
+    PHOM_ASSIGN_OR_RETURN(EdgeId ignored, out.graph.AddEdge(a, b, label));
+    (void)ignored;
+  }
+  if (out.graph.num_vertices() == 0) {
+    return Status::Invalid("empty query");
+  }
+  return out;
+}
+
+std::string FormatConjunctiveQuery(const DiGraph& query,
+                                   const Alphabet& alphabet,
+                                   const std::vector<std::string>* names) {
+  std::ostringstream os;
+  auto name = [&](VertexId v) {
+    if (names != nullptr && v < names->size()) return (*names)[v];
+    return "v" + std::to_string(v);
+  };
+  bool first = true;
+  for (const Edge& e : query.edges()) {
+    if (!first) os << ", ";
+    first = false;
+    os << (e.label < alphabet.size() ? alphabet.Name(e.label)
+                                     : "L" + std::to_string(e.label))
+       << "(" << name(e.src) << ", " << name(e.dst) << ")";
+  }
+  return os.str();
+}
+
+}  // namespace phom

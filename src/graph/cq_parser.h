@@ -1,0 +1,39 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/graph/alphabet.h"
+#include "src/graph/digraph.h"
+#include "src/util/result.h"
+
+/// \file cq_parser.h
+/// Textual conjunctive queries over binary atoms, the database-theory view
+/// of query graphs (paper §2: PHom "is easily seen to be equivalent to
+/// conjunctive query evaluation on probabilistic tuple-independent
+/// databases over binary signatures").
+///
+/// Syntax: comma-separated atoms `R(x, y)`; all variables are existential.
+///   "R(x,y), S(y,z), S(t,z)"  becomes the query graph of Example 2.2.
+/// Repeated atoms collapse (no multi-edges); `R(x,x)` yields a self-loop.
+
+namespace phom {
+
+struct ParsedQuery {
+  DiGraph graph;
+  /// Variable names indexed by vertex id.
+  std::vector<std::string> variables;
+};
+
+Result<ParsedQuery> ParseConjunctiveQuery(std::string_view text,
+                                          Alphabet* alphabet);
+
+/// Renders a query graph back to atom syntax using the vertex names
+/// v0, v1, ... (or the provided names).
+std::string FormatConjunctiveQuery(const DiGraph& query,
+                                   const Alphabet& alphabet,
+                                   const std::vector<std::string>* names =
+                                       nullptr);
+
+}  // namespace phom

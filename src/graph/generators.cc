@@ -1,0 +1,128 @@
+#include "src/graph/generators.h"
+
+#include <cmath>
+
+#include "src/graph/builders.h"
+
+namespace phom {
+
+namespace {
+LabelId RandomLabel(Rng* rng, size_t num_labels) {
+  PHOM_CHECK(num_labels >= 1);
+  return static_cast<LabelId>(rng->UniformInt(0, num_labels - 1));
+}
+}  // namespace
+
+DiGraph RandomOneWayPath(Rng* rng, size_t edges, size_t num_labels) {
+  std::vector<LabelId> labels(edges);
+  for (LabelId& l : labels) l = RandomLabel(rng, num_labels);
+  return MakeLabeledPath(labels);
+}
+
+DiGraph RandomTwoWayPath(Rng* rng, size_t edges, size_t num_labels) {
+  std::vector<TwoWayStep> steps(edges);
+  for (TwoWayStep& s : steps) {
+    s.label = RandomLabel(rng, num_labels);
+    s.forward = rng->Bernoulli(0.5);
+  }
+  return MakeTwoWayPath(steps);
+}
+
+DiGraph RandomDownwardTree(Rng* rng, size_t vertices, size_t num_labels,
+                           double depth_bias) {
+  PHOM_CHECK(vertices >= 1);
+  std::vector<VertexId> parents;
+  std::vector<LabelId> labels;
+  parents.reserve(vertices - 1);
+  for (size_t i = 1; i < vertices; ++i) {
+    // Bias toward recent vertices for deeper trees: pick an offset from the
+    // back with geometric-ish decay.
+    VertexId parent;
+    if (depth_bias <= 0.0) {
+      parent = static_cast<VertexId>(rng->UniformInt(0, i - 1));
+    } else {
+      size_t back = 0;
+      while (back + 1 < i && rng->Bernoulli(depth_bias)) ++back;
+      parent = static_cast<VertexId>(i - 1 - back);
+    }
+    parents.push_back(parent);
+    labels.push_back(RandomLabel(rng, num_labels));
+  }
+  return MakeDownwardTree(parents, labels);
+}
+
+DiGraph RandomPolytree(Rng* rng, size_t vertices, size_t num_labels) {
+  PHOM_CHECK(vertices >= 1);
+  DiGraph g(vertices);
+  for (size_t i = 1; i < vertices; ++i) {
+    VertexId other = static_cast<VertexId>(rng->UniformInt(0, i - 1));
+    VertexId self = static_cast<VertexId>(i);
+    LabelId label = RandomLabel(rng, num_labels);
+    if (rng->Bernoulli(0.5)) {
+      AddEdgeOrDie(&g, other, self, label);
+    } else {
+      AddEdgeOrDie(&g, self, other, label);
+    }
+  }
+  return g;
+}
+
+DiGraph RandomConnected(Rng* rng, size_t vertices, size_t extra_edges,
+                        size_t num_labels) {
+  DiGraph g = RandomPolytree(rng, vertices, num_labels);
+  size_t attempts = 0;
+  size_t added = 0;
+  while (added < extra_edges && attempts < 50 * extra_edges + 100) {
+    ++attempts;
+    VertexId a = static_cast<VertexId>(rng->UniformInt(0, vertices - 1));
+    VertexId b = static_cast<VertexId>(rng->UniformInt(0, vertices - 1));
+    if (a == b || g.FindEdge(a, b).has_value()) continue;
+    AddEdgeOrDie(&g, a, b, RandomLabel(rng, num_labels));
+    ++added;
+  }
+  return g;
+}
+
+DiGraph RandomDisjointUnion(
+    Rng* rng, size_t parts,
+    const std::function<DiGraph(Rng*)>& part_generator) {
+  std::vector<DiGraph> graphs;
+  graphs.reserve(parts);
+  for (size_t i = 0; i < parts; ++i) graphs.push_back(part_generator(rng));
+  return DisjointUnion(graphs);
+}
+
+DiGraph RandomGradedDag(Rng* rng, size_t vertices, size_t levels,
+                        double edge_prob, size_t num_labels) {
+  PHOM_CHECK(levels >= 1);
+  DiGraph g(vertices);
+  std::vector<size_t> level(vertices);
+  for (size_t v = 0; v < vertices; ++v) {
+    level[v] = static_cast<size_t>(rng->UniformInt(0, levels - 1));
+  }
+  for (size_t u = 0; u < vertices; ++u) {
+    for (size_t v = 0; v < vertices; ++v) {
+      if (level[u] != level[v] + 1) continue;
+      if (!rng->Bernoulli(edge_prob)) continue;
+      AddEdgeOrDie(&g, static_cast<VertexId>(u), static_cast<VertexId>(v),
+                   RandomLabel(rng, num_labels));
+    }
+  }
+  return g;
+}
+
+ProbGraph AttachRandomProbabilities(Rng* rng, DiGraph g, int log2_den,
+                                    double certain_fraction) {
+  std::vector<Rational> probs;
+  probs.reserve(g.num_edges());
+  for (size_t e = 0; e < g.num_edges(); ++e) {
+    if (certain_fraction > 0.0 && rng->Bernoulli(certain_fraction)) {
+      probs.push_back(Rational::One());
+    } else {
+      probs.push_back(rng->NontrivialDyadicProbability(log2_den));
+    }
+  }
+  return ProbGraph(std::move(g), std::move(probs));
+}
+
+}  // namespace phom

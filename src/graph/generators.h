@@ -1,0 +1,50 @@
+#pragma once
+
+#include <functional>
+
+#include "src/graph/digraph.h"
+#include "src/graph/prob_graph.h"
+#include "src/util/rng.h"
+
+/// \file generators.h
+/// Seeded random workload generators, one per graph class of the paper. All
+/// benchmarks and property tests draw their inputs here, so every experiment
+/// is reproducible from its seed.
+
+namespace phom {
+
+/// Random 1WP with `edges` edges and labels uniform in [0, num_labels).
+DiGraph RandomOneWayPath(Rng* rng, size_t edges, size_t num_labels);
+
+/// Random 2WP with `edges` edges, uniform labels and orientations.
+DiGraph RandomTwoWayPath(Rng* rng, size_t edges, size_t num_labels);
+
+/// Random DWT with `vertices` vertices: vertex i attaches below a uniform
+/// earlier vertex. `depth_bias` > 0 skews parents toward recent vertices,
+/// producing deeper trees (bias 0 = uniform attachment).
+DiGraph RandomDownwardTree(Rng* rng, size_t vertices, size_t num_labels,
+                           double depth_bias = 0.0);
+
+/// Random polytree: random tree shape, each edge oriented uniformly.
+DiGraph RandomPolytree(Rng* rng, size_t vertices, size_t num_labels);
+
+/// Random connected graph: random tree plus `extra_edges` random non-parallel
+/// directed edges (so it is connected but generally not a polytree).
+DiGraph RandomConnected(Rng* rng, size_t vertices, size_t extra_edges,
+                        size_t num_labels);
+
+/// Disjoint union of `parts` graphs drawn from `part_generator`.
+DiGraph RandomDisjointUnion(Rng* rng, size_t parts,
+                            const std::function<DiGraph(Rng*)>& part_generator);
+
+/// Random graded DAG with the given number of levels; every edge goes from
+/// some level l to level l-1 (Definition 3.5 is satisfied by construction).
+DiGraph RandomGradedDag(Rng* rng, size_t vertices, size_t levels,
+                        double edge_prob, size_t num_labels);
+
+/// Attaches probabilities to every edge: with probability `certain_fraction`
+/// an edge is certain (prob 1), otherwise uniform dyadic k/2^log2_den.
+ProbGraph AttachRandomProbabilities(Rng* rng, DiGraph g, int log2_den = 4,
+                                    double certain_fraction = 0.0);
+
+}  // namespace phom

@@ -1,0 +1,55 @@
+#include "src/graph/graded.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace phom {
+
+GradedAnalysis AnalyzeGraded(const DiGraph& g) {
+  GradedAnalysis out;
+  size_t n = g.num_vertices();
+  std::vector<int64_t> level(n, 0);
+  std::vector<bool> assigned(n, false);
+
+  for (VertexId start = 0; start < n; ++start) {
+    if (assigned[start]) continue;
+    level[start] = 0;
+    assigned[start] = true;
+    int64_t lo = 0;
+    int64_t hi = 0;
+    std::vector<VertexId> component{start};
+    std::queue<VertexId> queue;
+    queue.push(start);
+    while (!queue.empty()) {
+      VertexId v = queue.front();
+      queue.pop();
+      auto relax = [&](VertexId w, int64_t expected) -> bool {
+        if (!assigned[w]) {
+          assigned[w] = true;
+          level[w] = expected;
+          lo = std::min(lo, expected);
+          hi = std::max(hi, expected);
+          component.push_back(w);
+          queue.push(w);
+          return true;
+        }
+        return level[w] == expected;
+      };
+      for (EdgeId e : g.OutEdges(v)) {
+        if (!relax(g.edge(e).dst, level[v] - 1)) return out;  // not graded
+      }
+      for (EdgeId e : g.InEdges(v)) {
+        if (!relax(g.edge(e).src, level[v] + 1)) return out;  // not graded
+      }
+    }
+    for (VertexId v : component) level[v] -= lo;
+    out.difference_of_levels = std::max(out.difference_of_levels, hi - lo);
+  }
+
+  out.is_graded = true;
+  out.levels = std::move(level);
+  return out;
+}
+
+}  // namespace phom

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/digraph.h"
+
+/// \file graded.h
+/// Graded DAGs and level mappings (Definition 3.5, Figure 6). A level mapping
+/// maps every vertex to an integer such that each edge u → v satisfies
+/// µ(v) = µ(u) − 1. A graph is graded iff it admits one, iff it has no
+/// directed cycle and no "jumping edge" (two directed u→v paths of different
+/// lengths) [Odagiri & Goto, Prop. 1].
+///
+/// These mappings power two collapses in the paper:
+///  * Prop. 3.6: on ⊔DWT instances, an unlabeled graded query is equivalent
+///    to the 1WP →^m where m is its difference of levels (and a non-graded
+///    query has probability 0);
+///  * Prop. 5.5: an unlabeled ⊔DWT *query* is equivalent to →^height, and a
+///    DWT's height equals its difference of levels.
+
+namespace phom {
+
+struct GradedAnalysis {
+  /// True iff the graph admits a level mapping.
+  bool is_graded = false;
+  /// A minimal level mapping: per connected component, levels are shifted so
+  /// the smallest is 0. Only meaningful when is_graded.
+  std::vector<int64_t> levels;
+  /// max over components of (max level − min level); this is the length m of
+  /// the equivalent 1WP →^m on forest instances. 0 for edgeless graphs.
+  int64_t difference_of_levels = 0;
+};
+
+/// BFS over the underlying undirected graph, propagating the level constraint
+/// µ(dst) = µ(src) − 1; any conflict witnesses a cycle or a jumping edge.
+GradedAnalysis AnalyzeGraded(const DiGraph& g);
+
+}  // namespace phom

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "src/graph/alphabet.h"
+#include "src/graph/digraph.h"
+#include "src/graph/prob_graph.h"
+#include "src/util/result.h"
+
+/// \file io.h
+/// Text serialization (a simple line format for fixtures and tooling) and
+/// Graphviz DOT export for visual inspection of instances and reductions.
+///
+/// Text format:
+///   line 1: "<num_vertices> <num_edges>"
+///   then per edge: "<src> <dst> <label-name> [<prob>]"
+/// Probabilities accept "1/2" and "0.5" forms; omitted means certain.
+
+namespace phom {
+
+std::string Serialize(const DiGraph& g, const Alphabet& alphabet);
+std::string Serialize(const ProbGraph& g, const Alphabet& alphabet);
+
+Result<DiGraph> ParseDiGraph(std::string_view text, Alphabet* alphabet);
+Result<ProbGraph> ParseProbGraph(std::string_view text, Alphabet* alphabet);
+
+/// DOT rendering. Dashed edges carry a probability < 1 (annotated), solid
+/// edges are certain — mirroring the paper's figures.
+std::string ToDot(const DiGraph& g, const Alphabet* alphabet = nullptr);
+std::string ToDot(const ProbGraph& g, const Alphabet* alphabet = nullptr);
+
+}  // namespace phom

@@ -1,0 +1,111 @@
+#include "src/graph/prob_graph.h"
+
+#include <algorithm>
+
+#include "src/graph/classify.h"
+
+namespace phom {
+
+ProbGraph::ProbGraph(DiGraph g, std::vector<Rational> probs)
+    : graph_(std::move(g)), probs_(std::move(probs)) {
+  PHOM_CHECK_MSG(graph_.num_edges() == probs_.size(),
+                 "probability vector does not align with edges");
+  for (const Rational& p : probs_) {
+    PHOM_CHECK_MSG(p.IsProbability(), "edge probability outside [0, 1]");
+  }
+}
+
+ProbGraph ProbGraph::Certain(DiGraph g) {
+  std::vector<Rational> probs(g.num_edges(), Rational::One());
+  return ProbGraph(std::move(g), std::move(probs));
+}
+
+Result<EdgeId> ProbGraph::AddEdge(VertexId src, VertexId dst, LabelId label,
+                                  Rational prob) {
+  if (!prob.IsProbability()) {
+    return Status::Invalid("edge probability outside [0, 1]: " +
+                           prob.ToString());
+  }
+  PHOM_ASSIGN_OR_RETURN(EdgeId id, graph_.AddEdge(src, dst, label));
+  probs_.push_back(std::move(prob));
+  return id;
+}
+
+size_t ProbGraph::NumUncertainEdges() const {
+  size_t count = 0;
+  for (const Rational& p : probs_) {
+    if (!p.is_zero() && !p.is_one()) ++count;
+  }
+  return count;
+}
+
+Rational ProbGraph::WorldProbability(const std::vector<bool>& keep) const {
+  PHOM_CHECK(keep.size() == probs_.size());
+  Rational out = Rational::One();
+  for (size_t e = 0; e < probs_.size(); ++e) {
+    out *= keep[e] ? probs_[e] : probs_[e].Complement();
+  }
+  return out;
+}
+
+ProbGraph ProbGraph::RestrictToLabels(
+    const std::vector<LabelId>& labels) const {
+  ProbGraph out(num_vertices());
+  for (EdgeId e = 0; e < graph_.num_edges(); ++e) {
+    const Edge& edge = graph_.edge(e);
+    if (std::binary_search(labels.begin(), labels.end(), edge.label)) {
+      AddEdgeOrDie(&out, edge.src, edge.dst, edge.label, probs_[e]);
+    }
+  }
+  return out;
+}
+
+EdgeId AddEdgeOrDie(ProbGraph* g, VertexId src, VertexId dst, LabelId label,
+                    const Rational& prob) {
+  Result<EdgeId> result = g->AddEdge(src, dst, label, prob);
+  PHOM_CHECK_MSG(result.ok(), result.status().ToString());
+  return result.ValueOrDie();
+}
+
+namespace {
+
+std::vector<ComponentView> SplitComponentsImpl(const DiGraph& g,
+                                               const std::vector<Rational>* probs) {
+  std::vector<std::vector<VertexId>> comps = ConnectedComponents(g);
+  std::vector<uint32_t> comp_of(g.num_vertices(), 0);
+  std::vector<uint32_t> local_id(g.num_vertices(), 0);
+  for (uint32_t c = 0; c < comps.size(); ++c) {
+    for (uint32_t i = 0; i < comps[c].size(); ++i) {
+      comp_of[comps[c][i]] = c;
+      local_id[comps[c][i]] = i;
+    }
+  }
+  std::vector<ComponentView> views;
+  views.reserve(comps.size());
+  for (const std::vector<VertexId>& vs : comps) {
+    ComponentView view;
+    view.graph = ProbGraph(vs.size());
+    view.vertex_map = vs;
+    views.push_back(std::move(view));
+  }
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Edge& edge = g.edge(e);
+    ComponentView& view = views[comp_of[edge.src]];
+    AddEdgeOrDie(&view.graph, local_id[edge.src], local_id[edge.dst],
+                 edge.label, probs ? (*probs)[e] : Rational::One());
+    view.edge_map.push_back(e);
+  }
+  return views;
+}
+
+}  // namespace
+
+std::vector<ComponentView> SplitComponents(const ProbGraph& g) {
+  return SplitComponentsImpl(g.graph(), &g.probs());
+}
+
+std::vector<ComponentView> SplitComponents(const DiGraph& g) {
+  return SplitComponentsImpl(g, nullptr);
+}
+
+}  // namespace phom

@@ -1,0 +1,148 @@
+#include "src/hom/arc_consistency.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "src/util/status.h"
+
+namespace phom {
+
+namespace {
+
+/// Position of each instance vertex in the X-property order.
+std::vector<uint32_t> PositionOf(const DiGraph& instance,
+                                 const std::vector<VertexId>& order) {
+  std::vector<uint32_t> pos(instance.num_vertices(), UINT32_MAX);
+  for (uint32_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  return pos;
+}
+
+}  // namespace
+
+XPropertyHomResult XPropertyHomomorphism(
+    const DiGraph& query, const DiGraph& instance,
+    const std::vector<VertexId>& order,
+    const std::vector<VertexId>& initial_domain) {
+  XPropertyHomResult out;
+  size_t nq = query.num_vertices();
+  size_t ni = instance.num_vertices();
+  if (nq == 0) {
+    out.has_hom = true;
+    return out;
+  }
+  if (ni == 0) return out;
+
+  // Domains as membership bitmaps.
+  std::vector<std::vector<bool>> domain(
+      nq, std::vector<bool>(ni, initial_domain.empty()));
+  if (!initial_domain.empty()) {
+    for (auto& d : domain) {
+      for (VertexId v : initial_domain) d[v] = true;
+    }
+  }
+
+  // AC-3 over the directed constraints given by query edges. For a query
+  // edge u -R-> v we must revise both endpoints: a ∈ D(u) needs some
+  // b ∈ D(v) with a -R-> b, and b ∈ D(v) needs some a ∈ D(u) with a -R-> b.
+  std::deque<std::pair<EdgeId, bool>> work;  // (edge, revise_source?)
+  for (EdgeId e = 0; e < query.num_edges(); ++e) {
+    work.emplace_back(e, true);
+    work.emplace_back(e, false);
+  }
+
+  auto enqueue_neighbors = [&](VertexId u) {
+    for (EdgeId e : query.OutEdges(u)) work.emplace_back(e, false);
+    for (EdgeId e : query.InEdges(u)) work.emplace_back(e, true);
+  };
+
+  while (!work.empty()) {
+    auto [e, revise_source] = work.front();
+    work.pop_front();
+    const Edge& qe = query.edge(e);
+    VertexId revised = revise_source ? qe.src : qe.dst;
+    VertexId other = revise_source ? qe.dst : qe.src;
+    bool changed = false;
+    for (VertexId a = 0; a < ni; ++a) {
+      if (!domain[revised][a]) continue;
+      bool supported = false;
+      if (revise_source) {
+        for (EdgeId ie : instance.OutEdges(a)) {
+          const Edge& h = instance.edge(ie);
+          if (h.label == qe.label && domain[other][h.dst]) {
+            supported = true;
+            break;
+          }
+        }
+      } else {
+        for (EdgeId ie : instance.InEdges(a)) {
+          const Edge& h = instance.edge(ie);
+          if (h.label == qe.label && domain[other][h.src]) {
+            supported = true;
+            break;
+          }
+        }
+      }
+      if (!supported) {
+        domain[revised][a] = false;
+        changed = true;
+      }
+    }
+    if (changed) {
+      bool empty = true;
+      for (VertexId a = 0; a < ni && empty; ++a) empty = !domain[revised][a];
+      if (empty) return out;  // no homomorphism
+      enqueue_neighbors(revised);
+    }
+  }
+
+  // Min-closed constraints: the per-vertex minima (w.r.t. the X-property
+  // order) of arc-consistent domains form a homomorphism.
+  std::vector<uint32_t> pos = PositionOf(instance, order);
+  out.witness.assign(nq, 0);
+  for (VertexId u = 0; u < nq; ++u) {
+    uint32_t best_pos = UINT32_MAX;
+    VertexId best = 0;
+    bool any = false;
+    for (VertexId a = 0; a < ni; ++a) {
+      if (!domain[u][a]) continue;
+      PHOM_CHECK_MSG(pos[a] != UINT32_MAX,
+                     "domain vertex missing from X-property order");
+      if (!any || pos[a] < best_pos) {
+        any = true;
+        best_pos = pos[a];
+        best = a;
+      }
+    }
+    PHOM_CHECK(any);
+    out.witness[u] = best;
+  }
+  // Verify the witness; failure would mean the instance violates the
+  // X-property precondition.
+  for (const Edge& qe : query.edges()) {
+    PHOM_CHECK_MSG(
+        instance.HasEdge(out.witness[qe.src], out.witness[qe.dst], qe.label),
+        "X-property witness invalid: instance lacks the X-property w.r.t. "
+        "the provided order");
+  }
+  out.has_hom = true;
+  return out;
+}
+
+bool HasXProperty(const DiGraph& instance,
+                  const std::vector<VertexId>& order) {
+  std::vector<uint32_t> pos(instance.num_vertices(), UINT32_MAX);
+  for (uint32_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  for (const Edge& e1 : instance.edges()) {
+    for (const Edge& e2 : instance.edges()) {
+      if (e1.label != e2.label) continue;
+      // e1 = n0 -> n3, e2 = n1 -> n2 with n0 < n1 and n2 < n3.
+      VertexId n0 = e1.src, n3 = e1.dst, n1 = e2.src, n2 = e2.dst;
+      if (pos[n0] < pos[n1] && pos[n2] < pos[n3]) {
+        if (!instance.HasEdge(n0, n2, e1.label)) return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace phom

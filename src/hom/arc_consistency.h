@@ -1,0 +1,48 @@
+#pragma once
+
+#include <vector>
+
+#include "src/graph/digraph.h"
+#include "src/util/result.h"
+
+/// \file arc_consistency.h
+/// Polynomial-time homomorphism testing for instances with the X-property
+/// (Definition 4.12; Gutjahr–Welzl–Woeginger / Gottlob–Koch–Schulz,
+/// Theorem 4.13).
+///
+/// The X-property of a label R w.r.t. a total vertex order < says: whenever
+/// n0 < n1, n2 < n3, and both n0 -R-> n3 and n1 -R-> n2 are edges, then
+/// n0 -R-> n2 is an edge. Viewing each label relation (and its inverse) as a
+/// binary constraint, this is exactly closure under coordinatewise minimum.
+/// For min-closed constraint networks, establishing arc consistency is a
+/// complete decision procedure: if no domain empties, assigning every query
+/// vertex the minimum of its domain is a homomorphism.
+///
+/// The solver runs AC-3 in O(|G| · |H| · d) and then verifies the minimum
+/// witness (a PHOM_CHECK — it cannot fail when the precondition holds).
+/// Instances that are (sub)paths trivially have the X-property, which is how
+/// Prop. 4.11 uses this machinery.
+
+namespace phom {
+
+struct XPropertyHomResult {
+  bool has_hom = false;
+  /// A witness homomorphism (query vertex -> instance vertex); valid iff
+  /// has_hom.
+  std::vector<VertexId> witness;
+};
+
+/// Decides query ⇝ instance, where `order` lists instance vertices in a total
+/// order w.r.t. which the instance has the X-property (caller's obligation;
+/// see HasXProperty). `initial_domain` optionally restricts the instance
+/// vertices usable as images (used to test subpaths of a 2WP); pass empty for
+/// all vertices.
+XPropertyHomResult XPropertyHomomorphism(
+    const DiGraph& query, const DiGraph& instance,
+    const std::vector<VertexId>& order,
+    const std::vector<VertexId>& initial_domain = {});
+
+/// Checks Definition 4.12 directly in O(|E|² · labels) — test helper.
+bool HasXProperty(const DiGraph& instance, const std::vector<VertexId>& order);
+
+}  // namespace phom

@@ -1,0 +1,181 @@
+#include "src/hom/backtrack.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace phom {
+
+namespace {
+
+/// BFS order over the query's underlying undirected graph so that each
+/// assigned vertex (after the first of its component) has at least one
+/// previously-assigned neighbor, enabling candidate propagation.
+std::vector<VertexId> ConnectivityOrder(const DiGraph& query) {
+  std::vector<VertexId> order;
+  order.reserve(query.num_vertices());
+  std::vector<bool> seen(query.num_vertices(), false);
+  for (VertexId start = 0; start < query.num_vertices(); ++start) {
+    if (seen[start]) continue;
+    std::queue<VertexId> queue;
+    queue.push(start);
+    seen[start] = true;
+    while (!queue.empty()) {
+      VertexId v = queue.front();
+      queue.pop();
+      order.push_back(v);
+      for (EdgeId e : query.OutEdges(v)) {
+        VertexId w = query.edge(e).dst;
+        if (!seen[w]) {
+          seen[w] = true;
+          queue.push(w);
+        }
+      }
+      for (EdgeId e : query.InEdges(v)) {
+        VertexId w = query.edge(e).src;
+        if (!seen[w]) {
+          seen[w] = true;
+          queue.push(w);
+        }
+      }
+    }
+  }
+  return order;
+}
+
+class Search {
+ public:
+  Search(const DiGraph& query, const DiGraph& instance,
+         const BacktrackOptions& options,
+         const std::function<bool(const std::vector<VertexId>&)>* callback)
+      : query_(query),
+        instance_(instance),
+        options_(options),
+        callback_(callback),
+        order_(ConnectivityOrder(query)),
+        assignment_(query.num_vertices(), 0),
+        assigned_(query.num_vertices(), false) {}
+
+  /// Returns OK(true) if the search completed (or was stopped by the
+  /// callback), an error Status if the step budget was exhausted.
+  Status Run() {
+    stopped_ = false;
+    Status st = Recurse(0);
+    return st;
+  }
+
+  uint64_t count() const { return count_; }
+  bool found_any() const { return count_ > 0; }
+  bool stopped() const { return stopped_; }
+
+ private:
+  Status Recurse(size_t depth) {
+    if (stopped_) return Status::OK();
+    if (++steps_ > options_.max_steps) {
+      return Status::ResourceExhausted(
+          "homomorphism search exceeded max_steps");
+    }
+    if (depth == order_.size()) {
+      ++count_;
+      if (callback_ != nullptr && !(*callback_)(assignment_)) {
+        stopped_ = true;
+      } else if (callback_ == nullptr) {
+        stopped_ = true;  // existence query: first hit suffices
+      }
+      return Status::OK();
+    }
+    VertexId u = order_[depth];
+    // Candidates: propagate from an assigned neighbor when available.
+    std::vector<VertexId> candidates;
+    if (!CollectCandidates(u, &candidates)) {
+      for (VertexId a = 0; a < instance_.num_vertices(); ++a) {
+        candidates.push_back(a);
+      }
+    }
+    for (VertexId a : candidates) {
+      if (!Consistent(u, a)) continue;
+      assignment_[u] = a;
+      assigned_[u] = true;
+      PHOM_RETURN_NOT_OK(Recurse(depth + 1));
+      assigned_[u] = false;
+      if (stopped_) return Status::OK();
+    }
+    return Status::OK();
+  }
+
+  /// Fills candidates from one assigned neighbor of u, if any; returns false
+  /// when u has no assigned neighbor (caller falls back to all vertices).
+  bool CollectCandidates(VertexId u, std::vector<VertexId>* candidates) {
+    for (EdgeId e : query_.OutEdges(u)) {
+      VertexId w = query_.edge(e).dst;
+      if (!assigned_[w]) continue;
+      for (EdgeId ie : instance_.InEdges(assignment_[w])) {
+        if (instance_.edge(ie).label == query_.edge(e).label) {
+          candidates->push_back(instance_.edge(ie).src);
+        }
+      }
+      return true;
+    }
+    for (EdgeId e : query_.InEdges(u)) {
+      VertexId w = query_.edge(e).src;
+      if (!assigned_[w]) continue;
+      for (EdgeId oe : instance_.OutEdges(assignment_[w])) {
+        if (instance_.edge(oe).label == query_.edge(e).label) {
+          candidates->push_back(instance_.edge(oe).dst);
+        }
+      }
+      return true;
+    }
+    return false;
+  }
+
+  /// Checks all query edges between u and already-assigned vertices.
+  bool Consistent(VertexId u, VertexId a) const {
+    for (EdgeId e : query_.OutEdges(u)) {
+      const Edge& qe = query_.edge(e);
+      if (qe.dst != u && !assigned_[qe.dst]) continue;
+      VertexId target = qe.dst == u ? a : assignment_[qe.dst];
+      if (!instance_.HasEdge(a, target, qe.label)) return false;
+    }
+    for (EdgeId e : query_.InEdges(u)) {
+      const Edge& qe = query_.edge(e);
+      if (qe.src == u) continue;  // self-loop handled in OutEdges pass
+      if (!assigned_[qe.src]) continue;
+      if (!instance_.HasEdge(assignment_[qe.src], a, qe.label)) return false;
+    }
+    return true;
+  }
+
+  const DiGraph& query_;
+  const DiGraph& instance_;
+  const BacktrackOptions& options_;
+  const std::function<bool(const std::vector<VertexId>&)>* callback_;
+  std::vector<VertexId> order_;
+  std::vector<VertexId> assignment_;
+  std::vector<bool> assigned_;
+  uint64_t steps_ = 0;
+  uint64_t count_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace
+
+Result<bool> HasHomomorphism(const DiGraph& query, const DiGraph& instance,
+                             const BacktrackOptions& options) {
+  if (query.num_vertices() == 0) return true;
+  if (instance.num_vertices() == 0) return false;
+  Search search(query, instance, options, nullptr);
+  PHOM_RETURN_NOT_OK(search.Run());
+  return search.found_any();
+}
+
+Result<uint64_t> ForEachHomomorphism(
+    const DiGraph& query, const DiGraph& instance,
+    const std::function<bool(const std::vector<VertexId>&)>& callback,
+    const BacktrackOptions& options) {
+  if (instance.num_vertices() == 0) return uint64_t{0};
+  Search search(query, instance, options, &callback);
+  PHOM_RETURN_NOT_OK(search.Run());
+  return search.count();
+}
+
+}  // namespace phom

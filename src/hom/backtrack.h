@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/graph/digraph.h"
+#include "src/util/result.h"
+
+/// \file backtrack.h
+/// General graph homomorphism by backtracking search. Exponential in the
+/// worst case (the problem is NP-hard); used as the ground-truth oracle in
+/// tests and as the per-world test inside the exact fallback solver. Query
+/// vertices are assigned in a connectivity-aware order with forward checking
+/// against already-assigned neighbors.
+
+namespace phom {
+
+struct BacktrackOptions {
+  /// Abort with ResourceExhausted after this many search-node expansions.
+  uint64_t max_steps = 50'000'000;
+};
+
+/// Is there a homomorphism query ⇝ instance? (Label-respecting, directed.)
+Result<bool> HasHomomorphism(const DiGraph& query, const DiGraph& instance,
+                             const BacktrackOptions& options = {});
+
+/// Enumerates every homomorphism h : V(query) → V(instance); the callback
+/// receives the image vector and returns false to stop early. Returns the
+/// number of homomorphisms visited.
+Result<uint64_t> ForEachHomomorphism(
+    const DiGraph& query, const DiGraph& instance,
+    const std::function<bool(const std::vector<VertexId>&)>& callback,
+    const BacktrackOptions& options = {});
+
+}  // namespace phom

@@ -1,0 +1,14 @@
+#include "src/hom/equivalence.h"
+
+#include "src/hom/backtrack.h"
+
+namespace phom {
+
+Result<bool> AreEquivalent(const DiGraph& g1, const DiGraph& g2) {
+  PHOM_ASSIGN_OR_RETURN(bool forward, HasHomomorphism(g1, g2));
+  if (!forward) return false;
+  PHOM_ASSIGN_OR_RETURN(bool backward, HasHomomorphism(g2, g1));
+  return backward;
+}
+
+}  // namespace phom

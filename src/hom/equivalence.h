@@ -1,0 +1,17 @@
+#pragma once
+
+#include "src/graph/digraph.h"
+#include "src/util/result.h"
+
+/// \file equivalence.h
+/// Query equivalence (paper §2): G and G' are equivalent iff G ⇝ G' and
+/// G' ⇝ G; equivalent queries have the same probability on every instance.
+/// Used to validate the collapses of Props. 3.6 and 5.5 (a ⊔DWT query is
+/// equivalent to the one-way path of its maximal height).
+
+namespace phom {
+
+/// Decides equivalence via two backtracking homomorphism tests.
+Result<bool> AreEquivalent(const DiGraph& g1, const DiGraph& g2);
+
+}  // namespace phom

@@ -1,0 +1,104 @@
+#include "src/lineage/cspd.h"
+
+#include <algorithm>
+
+namespace phom {
+
+WeightedConstraint::WeightedConstraint(std::vector<uint32_t> vars,
+                                       Rational default_value)
+    : vars_(std::move(vars)), default_value_(std::move(default_value)) {
+  std::sort(vars_.begin(), vars_.end());
+  vars_.erase(std::unique(vars_.begin(), vars_.end()), vars_.end());
+  PHOM_CHECK_MSG(!vars_.empty(), "constraint scopes must be non-empty");
+  PHOM_CHECK_MSG(vars_.size() <= 63, "constraint scope too wide");
+  PHOM_CHECK_MSG(!default_value_.is_negative(),
+                 "weights must be non-negative");
+}
+
+void WeightedConstraint::SetWeight(uint64_t valuation_bits, Rational weight) {
+  PHOM_CHECK(valuation_bits < (uint64_t{1} << vars_.size()));
+  PHOM_CHECK_MSG(!weight.is_negative(), "weights must be non-negative");
+  support_[valuation_bits] = std::move(weight);
+}
+
+const Rational& WeightedConstraint::Weight(uint64_t valuation_bits) const {
+  auto it = support_.find(valuation_bits);
+  return it == support_.end() ? default_value_ : it->second;
+}
+
+Rational WeightedConstraint::WeightUnder(
+    const std::vector<bool>& valuation) const {
+  uint64_t bits = 0;
+  for (size_t i = 0; i < vars_.size(); ++i) {
+    PHOM_CHECK(vars_[i] < valuation.size());
+    if (valuation[vars_[i]]) bits |= uint64_t{1} << i;
+  }
+  return Weight(bits);
+}
+
+void CspdInstance::AddConstraint(WeightedConstraint constraint) {
+  for (uint32_t v : constraint.vars()) PHOM_CHECK(v < num_vars_);
+  constraints_.push_back(std::move(constraint));
+}
+
+Hypergraph CspdInstance::ToHypergraph() const {
+  Hypergraph h(num_vars_);
+  for (const WeightedConstraint& c : constraints_) {
+    h.AddHyperedge(c.vars());
+  }
+  return h;
+}
+
+Rational CspdInstance::PartitionFunctionBruteForce() const {
+  PHOM_CHECK_MSG(num_vars_ <= 26,
+                 "brute-force partition function limited to 26 variables");
+  Rational total = Rational::Zero();
+  std::vector<bool> valuation(num_vars_, false);
+  for (uint64_t mask = 0; mask < (uint64_t{1} << num_vars_); ++mask) {
+    for (uint32_t i = 0; i < num_vars_; ++i) {
+      valuation[i] = (mask >> i) & 1;
+    }
+    Rational product = Rational::One();
+    for (const WeightedConstraint& c : constraints_) {
+      product *= c.WeightUnder(valuation);
+      if (product.is_zero()) break;
+    }
+    total += product;
+  }
+  return total;
+}
+
+CspdInstance EncodeDnfProbabilityAsCspd(const MonotoneDnf& dnf,
+                                        const std::vector<Rational>& probs) {
+  PHOM_CHECK(probs.size() >= dnf.num_vars());
+  CspdInstance instance(dnf.num_vars());
+  // Variable weights: the primed variable X' stands for ¬X, so
+  // π'(X') = 1 − π(X). c_{X'}(1) = π'(X'), c_{X'}(0) = 1 − π'(X').
+  for (uint32_t x = 0; x < dnf.num_vars(); ++x) {
+    WeightedConstraint c({x}, Rational::Zero());
+    c.SetWeight(1, probs[x].Complement());
+    c.SetWeight(0, probs[x]);
+    instance.AddConstraint(c);
+  }
+  // Clause constraints: the De Morgan dual of the DNF clause ∧ X_i is the
+  // CNF clause ∨ X'_i, violated exactly by the all-false valuation of the
+  // primed variables — weight 0 there, default 1 (Lemma 3 of [BCM15]).
+  for (const std::vector<uint32_t>& clause : dnf.clauses()) {
+    if (clause.empty()) {
+      // A constantly-true DNF: its negation is unsatisfiable; encode with an
+      // always-zero constraint over a dummy scope ({0} exists since the DNF
+      // has an empty clause only when it has variables... guard anyway).
+      PHOM_CHECK_MSG(dnf.num_vars() > 0,
+                     "cannot encode the empty clause without variables");
+      WeightedConstraint c({0}, Rational::Zero());
+      instance.AddConstraint(c);
+      continue;
+    }
+    WeightedConstraint c(clause, Rational::One());
+    c.SetWeight(0, Rational::Zero());  // all primed variables false
+    instance.AddConstraint(c);
+  }
+  return instance;
+}
+
+}  // namespace phom

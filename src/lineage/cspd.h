@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/lineage/dnf.h"
+#include "src/lineage/hypergraph.h"
+#include "src/util/rational.h"
+#include "src/util/result.h"
+
+/// \file cspd.h
+/// The #CSP^d formalism of Brault-Baron, Capelli and Mengel as used in the
+/// paper's proof of Theorem 4.9 (appendix B): weighted constraints with
+/// default values over a Boolean domain, whose partition function
+///
+///   w(I) = Σ_{ν ∈ {0,1}^var(I)} Π_{c ∈ I} c(ν|var(c))
+///
+/// generalizes weighted model counting. The paper reduces probability
+/// computation for β-acyclic positive DNFs to β-acyclic #CSP^d: negate the
+/// DNF into a monotone CNF by De Morgan, encode each CNF clause as a
+/// constraint that maps the all-false valuation to 0 (default 1), and each
+/// variable's probability as a singleton constraint; then
+/// Pr(ϕ, π) = 1 − w(I). This module implements the formalism, the encoding,
+/// and exact evaluation of w(I) (enumerative for reference; the PTIME route
+/// in this library evaluates the original DNF with the memoized Shannon
+/// engine, see dnf_prob.h).
+
+namespace phom {
+
+/// A weighted constraint with default value (Definition 1-2 of [BCM15],
+/// Boolean domain): an explicit support table plus a default weight for
+/// valuations outside the support.
+class WeightedConstraint {
+ public:
+  /// `vars`: the constraint scope (sorted, deduplicated internally).
+  WeightedConstraint(std::vector<uint32_t> vars, Rational default_value);
+
+  const std::vector<uint32_t>& vars() const { return vars_; }
+  const Rational& default_value() const { return default_value_; }
+  size_t support_size() const { return support_.size(); }
+
+  /// Sets the weight of one valuation of the scope, given as bits aligned
+  /// with vars() (bit i = value of vars()[i]).
+  void SetWeight(uint64_t valuation_bits, Rational weight);
+
+  /// The induced total function: support weight or default.
+  const Rational& Weight(uint64_t valuation_bits) const;
+
+  /// Weight under a full valuation of all variables.
+  Rational WeightUnder(const std::vector<bool>& valuation) const;
+
+ private:
+  std::vector<uint32_t> vars_;
+  Rational default_value_;
+  std::map<uint64_t, Rational> support_;
+};
+
+/// A #CSP^d instance: a set of weighted constraints over variables
+/// 0..num_vars-1.
+class CspdInstance {
+ public:
+  explicit CspdInstance(uint32_t num_vars) : num_vars_(num_vars) {}
+
+  uint32_t num_vars() const { return num_vars_; }
+  const std::vector<WeightedConstraint>& constraints() const {
+    return constraints_;
+  }
+  void AddConstraint(WeightedConstraint constraint);
+
+  /// The constraint hypergraph H(I); the instance is β-acyclic iff this is.
+  Hypergraph ToHypergraph() const;
+  bool IsBetaAcyclic() const { return ToHypergraph().IsBetaAcyclic(); }
+
+  /// The partition function w(I) by enumeration (PHOM_CHECKs
+  /// num_vars <= 26) — the reference semantics.
+  Rational PartitionFunctionBruteForce() const;
+
+ private:
+  uint32_t num_vars_;
+  std::vector<WeightedConstraint> constraints_;
+};
+
+/// The paper's appendix-B encoding: from a positive DNF ϕ and variable
+/// probabilities π, build the #CSP^d instance I (over the De-Morgan-negated
+/// CNF) such that Pr(ϕ, π) = 1 − w(I). Preserves β-acyclicity (the clause
+/// hypergraph is unchanged; singleton scopes never break β-leaves).
+CspdInstance EncodeDnfProbabilityAsCspd(const MonotoneDnf& dnf,
+                                        const std::vector<Rational>& probs);
+
+}  // namespace phom

@@ -1,0 +1,85 @@
+#include "src/lineage/dnf.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace phom {
+
+void MonotoneDnf::AddClause(std::vector<uint32_t> vars) {
+  std::sort(vars.begin(), vars.end());
+  vars.erase(std::unique(vars.begin(), vars.end()), vars.end());
+  for (uint32_t v : vars) PHOM_CHECK(v < num_vars_);
+  clauses_.push_back(std::move(vars));
+}
+
+bool MonotoneDnf::IsConstantTrue() const {
+  for (const auto& c : clauses_) {
+    if (c.empty()) return true;
+  }
+  return false;
+}
+
+void MonotoneDnf::RemoveSubsumed() {
+  // Sort by size so potential subsumers come first.
+  std::sort(clauses_.begin(), clauses_.end(),
+            [](const auto& a, const auto& b) {
+              if (a.size() != b.size()) return a.size() < b.size();
+              return a < b;
+            });
+  std::vector<std::vector<uint32_t>> kept;
+  for (const auto& clause : clauses_) {
+    bool subsumed = false;
+    for (const auto& k : kept) {
+      if (std::includes(clause.begin(), clause.end(), k.begin(), k.end())) {
+        subsumed = true;
+        break;
+      }
+    }
+    if (!subsumed) kept.push_back(clause);
+  }
+  clauses_ = std::move(kept);
+}
+
+bool MonotoneDnf::EvaluatesTrue(const std::vector<bool>& assignment) const {
+  PHOM_CHECK(assignment.size() >= num_vars_);
+  for (const auto& clause : clauses_) {
+    bool all = true;
+    for (uint32_t v : clause) {
+      if (!assignment[v]) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return true;
+  }
+  return false;
+}
+
+Hypergraph MonotoneDnf::ToHypergraph() const {
+  Hypergraph h(num_vars_);
+  for (const auto& clause : clauses_) {
+    if (!clause.empty()) h.AddHyperedge(clause);
+  }
+  return h;
+}
+
+std::string MonotoneDnf::ToString() const {
+  if (clauses_.empty()) return "false";
+  std::ostringstream os;
+  for (size_t i = 0; i < clauses_.size(); ++i) {
+    if (i) os << " v ";
+    if (clauses_[i].empty()) {
+      os << "true";
+      continue;
+    }
+    os << "(";
+    for (size_t j = 0; j < clauses_[i].size(); ++j) {
+      if (j) os << "&";
+      os << "x" << clauses_[i][j];
+    }
+    os << ")";
+  }
+  return os.str();
+}
+
+}  // namespace phom

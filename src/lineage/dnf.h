@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/lineage/hypergraph.h"
+#include "src/util/status.h"
+
+/// \file dnf.h
+/// Positive (monotone) DNF formulas (Definition 4.3): disjunctions of
+/// conjunctions of variables. Lineages of conjunctive queries on probabilistic
+/// graphs are monotone DNFs whose variables are instance edges and whose
+/// clauses are the candidate matches (Definition 4.6).
+
+namespace phom {
+
+class MonotoneDnf {
+ public:
+  explicit MonotoneDnf(uint32_t num_vars) : num_vars_(num_vars) {}
+
+  uint32_t num_vars() const { return num_vars_; }
+  size_t num_clauses() const { return clauses_.size(); }
+  const std::vector<std::vector<uint32_t>>& clauses() const {
+    return clauses_;
+  }
+
+  /// Adds a clause (sorted, deduplicated). An empty clause makes the formula
+  /// constantly true.
+  void AddClause(std::vector<uint32_t> vars);
+
+  /// No clauses at all: the formula is constantly false.
+  bool IsConstantFalse() const { return clauses_.empty(); }
+  /// Contains an empty clause: constantly true.
+  bool IsConstantTrue() const;
+
+  /// Removes clauses that are supersets of other clauses (logically
+  /// redundant for monotone DNF) and duplicate clauses.
+  void RemoveSubsumed();
+
+  bool EvaluatesTrue(const std::vector<bool>& assignment) const;
+
+  /// The clause hypergraph H(ϕ) of Definition 4.8.
+  Hypergraph ToHypergraph() const;
+  bool IsBetaAcyclic() const { return ToHypergraph().IsBetaAcyclic(); }
+
+  std::string ToString() const;
+
+ private:
+  uint32_t num_vars_;
+  std::vector<std::vector<uint32_t>> clauses_;
+};
+
+}  // namespace phom

@@ -1,0 +1,190 @@
+#include "src/lineage/dnf_compile.h"
+
+#include <unordered_map>
+#include <utility>
+
+#include "src/lineage/dnf_internal.h"
+
+namespace phom {
+
+namespace {
+
+using dnf_internal::Canonicalize;
+using dnf_internal::Clauses;
+using dnf_internal::ClausesKey;
+using dnf_internal::ClausesKeyHash;
+using dnf_internal::MakeKey;
+using dnf_internal::SplitVariableComponents;
+
+/// Compiles both polarities at once: for each residual formula F we build a
+/// gate computing F and a gate computing ¬F. Negation thereby only ever
+/// touches literals, and the two d-DNNF-breaking constructions become legal:
+///  * decision:  F = (x ∧ F|x=1) ∨ (¬x ∧ F|x=0)       — deterministic OR;
+///               ¬F analogously from the negated cofactors;
+///  * disjoint components F = F₁ ∨ ... ∨ F_k:
+///               ¬F = ∧ ¬F_i                            — decomposable AND;
+///               F  = ∨_i (¬F₁ ∧ ... ∧ ¬F_{i-1} ∧ F_i)  — deterministic
+///                 ("which component is the first true one"), decomposable
+///                 because components share no variables.
+/// The component rule is what keeps tree-shaped lineages (Prop. 4.10)
+/// polynomial, exactly as component caching does in the probability engine.
+class Compiler {
+ public:
+  struct Gates {
+    uint32_t pos = 0;
+    uint32_t neg = 0;
+  };
+
+  Compiler(Circuit* circuit, std::vector<uint32_t> rank, uint64_t max_states,
+           ShannonStats* stats)
+      : circuit_(circuit), rank_(std::move(rank)), max_states_(max_states),
+        stats_(stats) {}
+
+  Gates Compile(Clauses clauses) {
+    if (exhausted_) return {};
+    Canonicalize(&clauses);
+    if (clauses.empty()) return ConstGates(false);
+    if (clauses.front().empty()) return ConstGates(true);
+
+    ClausesKey key = MakeKey(clauses);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      if (stats_ != nullptr) ++stats_->cache_hits;
+      return it->second;
+    }
+    if (stats_ != nullptr) ++stats_->states;
+    if (++states_ > max_states_) {
+      exhausted_ = true;
+      return {};
+    }
+
+    Gates gates = CompileComponents(clauses);
+    cache_.emplace(std::move(key), gates);
+    return gates;
+  }
+
+  bool exhausted() const { return exhausted_; }
+
+ private:
+  Gates ConstGates(bool value) {
+    if (!consts_built_) {
+      true_gate_ = circuit_->AddConst(true);
+      false_gate_ = circuit_->AddConst(false);
+      consts_built_ = true;
+    }
+    return value ? Gates{true_gate_, false_gate_}
+                 : Gates{false_gate_, true_gate_};
+  }
+
+  Gates CompileComponents(const Clauses& clauses) {
+    std::vector<Clauses> groups = SplitVariableComponents(clauses);
+    if (groups.size() > 1) {
+      if (stats_ != nullptr) ++stats_->component_splits;
+      std::vector<Gates> parts;
+      parts.reserve(groups.size());
+      for (Clauses& group : groups) {
+        parts.push_back(Compile(std::move(group)));
+        if (exhausted_) return {};
+      }
+      // ¬F = ∧ ¬F_i.
+      std::vector<uint32_t> neg_inputs;
+      neg_inputs.reserve(parts.size());
+      for (const Gates& p : parts) neg_inputs.push_back(p.neg);
+      uint32_t neg = circuit_->AddAnd(neg_inputs);
+      // F = ∨_i (first true component is i).
+      std::vector<uint32_t> disjuncts;
+      disjuncts.reserve(parts.size());
+      for (size_t i = 0; i < parts.size(); ++i) {
+        std::vector<uint32_t> conj;
+        conj.reserve(i + 1);
+        for (size_t j = 0; j < i; ++j) conj.push_back(parts[j].neg);
+        conj.push_back(parts[i].pos);
+        disjuncts.push_back(conj.size() == 1 ? conj[0]
+                                             : circuit_->AddAnd(conj));
+      }
+      uint32_t pos = circuit_->AddOr(disjuncts);
+      return Gates{pos, neg};
+    }
+
+    // Branch on the variable of minimal rank in the formula.
+    uint32_t branch = 0;
+    uint32_t best_rank = UINT32_MAX;
+    for (const auto& c : clauses) {
+      for (uint32_t v : c) {
+        if (rank_[v] < best_rank) {
+          best_rank = rank_[v];
+          branch = v;
+        }
+      }
+    }
+    Clauses pos_clauses;
+    Clauses neg_clauses;
+    pos_clauses.reserve(clauses.size());
+    neg_clauses.reserve(clauses.size());
+    for (const auto& c : clauses) {
+      auto it = std::lower_bound(c.begin(), c.end(), branch);
+      if (it != c.end() && *it == branch) {
+        std::vector<uint32_t> shrunk(c.begin(), it);
+        shrunk.insert(shrunk.end(), it + 1, c.end());
+        pos_clauses.push_back(std::move(shrunk));
+      } else {
+        pos_clauses.push_back(c);
+        neg_clauses.push_back(c);
+      }
+    }
+    Gates g1 = Compile(std::move(pos_clauses));
+    if (exhausted_) return {};
+    Gates g0 = Compile(std::move(neg_clauses));
+    if (exhausted_) return {};
+    uint32_t x = circuit_->AddVar(branch);
+    uint32_t nx = circuit_->AddNegVar(branch);
+    uint32_t pos = circuit_->AddOr(
+        {circuit_->AddAnd({x, g1.pos}), circuit_->AddAnd({nx, g0.pos})});
+    uint32_t neg = circuit_->AddOr(
+        {circuit_->AddAnd({x, g1.neg}), circuit_->AddAnd({nx, g0.neg})});
+    return Gates{pos, neg};
+  }
+
+  Circuit* circuit_;
+  std::vector<uint32_t> rank_;
+  uint64_t max_states_;
+  ShannonStats* stats_;
+  uint64_t states_ = 0;
+  bool exhausted_ = false;
+  bool consts_built_ = false;
+  uint32_t true_gate_ = 0;
+  uint32_t false_gate_ = 0;
+  std::unordered_map<ClausesKey, Gates, ClausesKeyHash> cache_;
+};
+
+}  // namespace
+
+Result<DnnfCompilation> CompileDnfToDnnf(const MonotoneDnf& dnf,
+                                         const ShannonOptions& options) {
+  std::vector<uint32_t> rank(dnf.num_vars());
+  if (options.variable_order.empty()) {
+    for (uint32_t i = 0; i < dnf.num_vars(); ++i) rank[i] = i;
+  } else {
+    std::fill(rank.begin(), rank.end(), UINT32_MAX);
+    uint32_t r = 0;
+    for (uint32_t v : options.variable_order) {
+      PHOM_CHECK(v < dnf.num_vars());
+      rank[v] = r++;
+    }
+    for (uint32_t v = 0; v < dnf.num_vars(); ++v) {
+      PHOM_CHECK_MSG(rank[v] != UINT32_MAX,
+                     "variable_order must cover all variables");
+    }
+  }
+  DnnfCompilation out{Circuit(dnf.num_vars()), 0, {}};
+  Compiler compiler(&out.circuit, std::move(rank), options.max_states,
+                    &out.stats);
+  Compiler::Gates gates = compiler.Compile(dnf.clauses());
+  if (compiler.exhausted()) {
+    return Status::ResourceExhausted("d-DNNF compilation exceeded max_states");
+  }
+  out.root_gate = gates.pos;
+  return out;
+}
+
+}  // namespace phom

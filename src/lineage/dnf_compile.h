@@ -1,0 +1,34 @@
+#pragma once
+
+#include "src/circuits/circuit.h"
+#include "src/lineage/dnf.h"
+#include "src/lineage/dnf_prob.h"
+#include "src/util/result.h"
+
+/// \file dnf_compile.h
+/// Knowledge compilation of monotone DNFs into d-DNNF circuits
+/// (Definition 5.3) by the same memoized Shannon expansion as
+/// DnfProbabilityShannon: decision nodes are deterministic ORs
+/// (x ∧ F|x=1) ∨ (¬x ∧ F|x=0), component splits become decomposable ANDs,
+/// and residuals are cached so shared subformulas share gates.
+///
+/// This ties the paper's two tractability tools together: the β-acyclic
+/// lineages of Props. 4.10/4.11 compile to polynomial-size d-DNNFs (same
+/// state bound as the probability engine), the same target the automaton
+/// pipeline of Prop. 5.4 produces directly.
+
+namespace phom {
+
+struct DnnfCompilation {
+  Circuit circuit;
+  uint32_t root_gate = 0;
+  ShannonStats stats;
+};
+
+/// Compiles `dnf` to a d-DNNF over the same variable ids. The circuit
+/// computes exactly the DNF's Boolean function; probabilities follow via
+/// DnnfProbability. Fails with ResourceExhausted past options.max_states.
+Result<DnnfCompilation> CompileDnfToDnnf(const MonotoneDnf& dnf,
+                                         const ShannonOptions& options = {});
+
+}  // namespace phom

@@ -1,0 +1,35 @@
+#include "src/lineage/dnf_internal.h"
+
+#include <unordered_map>
+
+namespace phom::dnf_internal {
+
+std::vector<Clauses> SplitVariableComponents(const Clauses& clauses) {
+  if (clauses.size() <= 1) return {clauses};
+  std::unordered_map<uint32_t, size_t> var_owner;
+  std::vector<size_t> parent(clauses.size());
+  for (size_t i = 0; i < parent.size(); ++i) parent[i] = i;
+  auto find = [&parent](size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (size_t i = 0; i < clauses.size(); ++i) {
+    for (uint32_t v : clauses[i]) {
+      auto [it, inserted] = var_owner.emplace(v, i);
+      if (!inserted) parent[find(i)] = find(it->second);
+    }
+  }
+  std::unordered_map<size_t, Clauses> groups;
+  for (size_t i = 0; i < clauses.size(); ++i) {
+    groups[find(i)].push_back(clauses[i]);
+  }
+  std::vector<Clauses> out;
+  out.reserve(groups.size());
+  for (auto& [root, group] : groups) out.push_back(std::move(group));
+  return out;
+}
+
+}  // namespace phom::dnf_internal

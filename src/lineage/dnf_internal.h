@@ -1,0 +1,72 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+/// \file dnf_internal.h
+/// Shared internals of the Shannon-expansion DNF engines (dnf_prob.cc and
+/// dnf_compile.cc): residual clause sets, canonicalization by subsumption,
+/// and the memoization key. Not part of the public API.
+
+namespace phom::dnf_internal {
+
+using Clauses = std::vector<std::vector<uint32_t>>;
+
+/// Canonical serialization of a clause set for memoization.
+struct ClausesKey {
+  std::vector<uint32_t> data;
+
+  bool operator==(const ClausesKey& other) const { return data == other.data; }
+};
+
+struct ClausesKeyHash {
+  size_t operator()(const ClausesKey& key) const {
+    size_t h = 0xcbf29ce484222325ull;
+    for (uint32_t v : key.data) {
+      h ^= v;
+      h *= 0x100000001b3ull;
+    }
+    return h;
+  }
+};
+
+inline ClausesKey MakeKey(const Clauses& clauses) {
+  ClausesKey key;
+  size_t total = clauses.size();
+  for (const auto& c : clauses) total += c.size();
+  key.data.reserve(total);
+  for (const auto& c : clauses) {
+    key.data.push_back(static_cast<uint32_t>(c.size()) | 0x80000000u);
+    key.data.insert(key.data.end(), c.begin(), c.end());
+  }
+  return key;
+}
+
+/// Subsumption removal + canonical clause order (shortest first, then
+/// lexicographic). After this, an empty first clause means "constant true".
+inline void Canonicalize(Clauses* clauses) {
+  std::sort(clauses->begin(), clauses->end(),
+            [](const auto& a, const auto& b) {
+              if (a.size() != b.size()) return a.size() < b.size();
+              return a < b;
+            });
+  Clauses kept;
+  for (auto& clause : *clauses) {
+    bool subsumed = false;
+    for (const auto& k : kept) {
+      if (std::includes(clause.begin(), clause.end(), k.begin(), k.end())) {
+        subsumed = true;
+        break;
+      }
+    }
+    if (!subsumed) kept.push_back(std::move(clause));
+  }
+  *clauses = std::move(kept);
+}
+
+/// Splits clauses into variable-connected components; returns one group per
+/// component (singleton result when already connected).
+std::vector<Clauses> SplitVariableComponents(const Clauses& clauses);
+
+}  // namespace phom::dnf_internal

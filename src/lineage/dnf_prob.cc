@@ -1,0 +1,205 @@
+#include "src/lineage/dnf_prob.h"
+
+#include <algorithm>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+
+#include "src/lineage/dnf_internal.h"
+
+namespace phom {
+
+Rational DnfProbabilityBruteForce(const MonotoneDnf& dnf,
+                                  const std::vector<Rational>& probs) {
+  PHOM_CHECK(probs.size() >= dnf.num_vars());
+  PHOM_CHECK_MSG(dnf.num_vars() <= 30, "brute force limited to 30 variables");
+  uint32_t n = dnf.num_vars();
+  Rational total = Rational::Zero();
+  std::vector<bool> assignment(n, false);
+  for (uint64_t mask = 0; mask < (uint64_t{1} << n); ++mask) {
+    for (uint32_t i = 0; i < n; ++i) assignment[i] = (mask >> i) & 1;
+    if (!dnf.EvaluatesTrue(assignment)) continue;
+    Rational w = Rational::One();
+    for (uint32_t i = 0; i < n; ++i) {
+      w *= assignment[i] ? probs[i] : probs[i].Complement();
+    }
+    total += w;
+  }
+  return total;
+}
+
+Rational DnfProbabilityInclusionExclusion(const MonotoneDnf& dnf,
+                                          const std::vector<Rational>& probs) {
+  MonotoneDnf reduced = dnf;
+  reduced.RemoveSubsumed();
+  if (reduced.IsConstantTrue()) return Rational::One();
+  size_t k = reduced.num_clauses();
+  PHOM_CHECK_MSG(k <= 20, "inclusion-exclusion limited to 20 clauses");
+  Rational total = Rational::Zero();
+  std::vector<uint32_t> union_vars;
+  for (uint64_t mask = 1; mask < (uint64_t{1} << k); ++mask) {
+    union_vars.clear();
+    for (size_t i = 0; i < k; ++i) {
+      if ((mask >> i) & 1) {
+        const auto& c = reduced.clauses()[i];
+        union_vars.insert(union_vars.end(), c.begin(), c.end());
+      }
+    }
+    std::sort(union_vars.begin(), union_vars.end());
+    union_vars.erase(std::unique(union_vars.begin(), union_vars.end()),
+                     union_vars.end());
+    Rational term = Rational::One();
+    for (uint32_t v : union_vars) term *= probs[v];
+    if (__builtin_popcountll(mask) % 2 == 1) {
+      total += term;
+    } else {
+      total -= term;
+    }
+  }
+  return total;
+}
+
+namespace {
+
+using dnf_internal::Canonicalize;
+using dnf_internal::Clauses;
+using dnf_internal::ClausesKey;
+using dnf_internal::ClausesKeyHash;
+using dnf_internal::MakeKey;
+using dnf_internal::SplitVariableComponents;
+
+class ShannonEvaluator {
+ public:
+  ShannonEvaluator(const std::vector<Rational>& probs,
+                   std::vector<uint32_t> rank, uint64_t max_states,
+                   ShannonStats* stats)
+      : probs_(probs), rank_(std::move(rank)), max_states_(max_states),
+        stats_(stats) {}
+
+  Rational Eval(Clauses clauses) {
+    if (exhausted_) return Rational::Zero();
+    Canonicalize(&clauses);
+    if (clauses.empty()) return Rational::Zero();
+    if (clauses.front().empty()) return Rational::One();
+
+    ClausesKey key = MakeKey(clauses);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      if (stats_ != nullptr) ++stats_->cache_hits;
+      return it->second;
+    }
+    if (stats_ != nullptr) ++stats_->states;
+    if (++states_ > max_states_) {
+      exhausted_ = true;
+      return Rational::Zero();
+    }
+
+    Rational result = EvalComponents(clauses);
+    cache_.emplace(std::move(key), result);
+    return result;
+  }
+
+  bool exhausted() const { return exhausted_; }
+
+ private:
+  Rational EvalComponents(const Clauses& clauses) {
+    // Split clauses into variable-connected components: independent parts
+    // combine as 1 - Π(1 - p_i).
+    std::vector<Clauses> groups = SplitVariableComponents(clauses);
+    if (groups.size() > 1) {
+      if (stats_ != nullptr) ++stats_->component_splits;
+      Rational none = Rational::One();  // Pr(no component true)
+      for (Clauses& group : groups) {
+        none *= Eval(std::move(group)).Complement();
+        if (exhausted_) return Rational::Zero();
+      }
+      return none.Complement();
+    }
+
+    // Branch on the variable of minimal rank occurring in the formula.
+    uint32_t branch = 0;
+    uint32_t best_rank = UINT32_MAX;
+    for (const auto& c : clauses) {
+      for (uint32_t v : c) {
+        if (rank_[v] < best_rank) {
+          best_rank = rank_[v];
+          branch = v;
+        }
+      }
+    }
+    Clauses pos;
+    Clauses neg;
+    pos.reserve(clauses.size());
+    neg.reserve(clauses.size());
+    for (const auto& c : clauses) {
+      auto it = std::lower_bound(c.begin(), c.end(), branch);
+      if (it != c.end() && *it == branch) {
+        std::vector<uint32_t> shrunk;
+        shrunk.reserve(c.size() - 1);
+        shrunk.insert(shrunk.end(), c.begin(), it);
+        shrunk.insert(shrunk.end(), it + 1, c.end());
+        pos.push_back(std::move(shrunk));
+      } else {
+        pos.push_back(c);
+        neg.push_back(c);
+      }
+    }
+    const Rational& p = probs_[branch];
+    Rational r1 = p.is_zero() ? Rational::Zero() : Eval(std::move(pos));
+    if (exhausted_) return Rational::Zero();
+    Rational r0 = p.is_one() ? Rational::Zero() : Eval(std::move(neg));
+    if (exhausted_) return Rational::Zero();
+    return p * r1 + p.Complement() * r0;
+  }
+
+  const std::vector<Rational>& probs_;
+  std::vector<uint32_t> rank_;
+  uint64_t max_states_;
+  ShannonStats* stats_;
+  uint64_t states_ = 0;
+  bool exhausted_ = false;
+  std::unordered_map<ClausesKey, Rational, ClausesKeyHash> cache_;
+};
+
+}  // namespace
+
+Result<Rational> DnfProbabilityShannon(const MonotoneDnf& dnf,
+                                       const std::vector<Rational>& probs,
+                                       const ShannonOptions& options,
+                                       ShannonStats* stats) {
+  PHOM_CHECK(probs.size() >= dnf.num_vars());
+  std::vector<uint32_t> rank(dnf.num_vars());
+  if (options.variable_order.empty()) {
+    for (uint32_t i = 0; i < dnf.num_vars(); ++i) rank[i] = i;
+  } else {
+    std::fill(rank.begin(), rank.end(), UINT32_MAX);
+    uint32_t r = 0;
+    for (uint32_t v : options.variable_order) {
+      PHOM_CHECK(v < dnf.num_vars());
+      rank[v] = r++;
+    }
+    for (uint32_t v = 0; v < dnf.num_vars(); ++v) {
+      PHOM_CHECK_MSG(rank[v] != UINT32_MAX,
+                     "variable_order must cover all variables");
+    }
+  }
+  ShannonEvaluator evaluator(probs, std::move(rank), options.max_states,
+                             stats);
+  Rational result = evaluator.Eval(dnf.clauses());
+  if (evaluator.exhausted()) {
+    return Status::ResourceExhausted("Shannon expansion exceeded max_states");
+  }
+  return result;
+}
+
+Result<Rational> DnfProbabilityBetaAcyclic(const MonotoneDnf& dnf,
+                                           const std::vector<Rational>& probs,
+                                           ShannonStats* stats) {
+  ShannonOptions options;
+  std::optional<std::vector<uint32_t>> order =
+      dnf.ToHypergraph().BetaEliminationOrder();
+  if (order.has_value()) options.variable_order = std::move(*order);
+  return DnfProbabilityShannon(dnf, probs, options, stats);
+}
+
+}  // namespace phom

@@ -1,0 +1,96 @@
+#include "src/lineage/hypergraph.h"
+
+#include <algorithm>
+
+namespace phom {
+
+namespace {
+
+/// Is a ⊆ b for sorted vectors?
+bool IsSubset(const std::vector<uint32_t>& a, const std::vector<uint32_t>& b) {
+  return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+bool ChainUnderInclusion(std::vector<const std::vector<uint32_t>*> edges) {
+  std::sort(edges.begin(), edges.end(),
+            [](const auto* a, const auto* b) { return a->size() < b->size(); });
+  for (size_t i = 0; i + 1 < edges.size(); ++i) {
+    if (!IsSubset(*edges[i], *edges[i + 1])) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void Hypergraph::AddHyperedge(std::vector<uint32_t> vertices) {
+  PHOM_CHECK_MSG(!vertices.empty(), "hyperedges must be non-empty");
+  std::sort(vertices.begin(), vertices.end());
+  vertices.erase(std::unique(vertices.begin(), vertices.end()),
+                 vertices.end());
+  for (uint32_t v : vertices) PHOM_CHECK(v < num_vertices_);
+  edges_.push_back(std::move(vertices));
+}
+
+bool Hypergraph::IsBetaLeaf(uint32_t v) const {
+  std::vector<const std::vector<uint32_t>*> incident;
+  for (const auto& e : edges_) {
+    if (std::binary_search(e.begin(), e.end(), v)) incident.push_back(&e);
+  }
+  return ChainUnderInclusion(std::move(incident));
+}
+
+std::optional<std::vector<uint32_t>> Hypergraph::BetaEliminationOrder() const {
+  // Work on a copy: eliminate β-leaves one by one, dropping emptied edges.
+  std::vector<std::vector<uint32_t>> edges = edges_;
+  std::vector<bool> removed(num_vertices_, false);
+  std::vector<uint32_t> order;
+  order.reserve(num_vertices_);
+
+  auto is_leaf_now = [&edges](uint32_t v) {
+    std::vector<const std::vector<uint32_t>*> incident;
+    for (const auto& e : edges) {
+      if (std::binary_search(e.begin(), e.end(), v)) incident.push_back(&e);
+    }
+    return ChainUnderInclusion(std::move(incident));
+  };
+
+  // Vertices appearing in some hyperedge, to eliminate first.
+  std::vector<bool> active(num_vertices_, false);
+  for (const auto& e : edges) {
+    for (uint32_t v : e) active[v] = true;
+  }
+
+  size_t remaining = 0;
+  for (uint32_t v = 0; v < num_vertices_; ++v) {
+    if (active[v]) ++remaining;
+  }
+
+  while (remaining > 0) {
+    bool progressed = false;
+    for (uint32_t v = 0; v < num_vertices_; ++v) {
+      if (!active[v] || removed[v]) continue;
+      if (!is_leaf_now(v)) continue;
+      // Eliminate v.
+      removed[v] = true;
+      order.push_back(v);
+      --remaining;
+      for (auto& e : edges) {
+        auto it = std::lower_bound(e.begin(), e.end(), v);
+        if (it != e.end() && *it == v) e.erase(it);
+      }
+      edges.erase(std::remove_if(edges.begin(), edges.end(),
+                                 [](const auto& e) { return e.empty(); }),
+                  edges.end());
+      progressed = true;
+      break;
+    }
+    if (!progressed) return std::nullopt;  // stuck: not β-acyclic
+  }
+
+  for (uint32_t v = 0; v < num_vertices_; ++v) {
+    if (!active[v]) order.push_back(v);
+  }
+  return order;
+}
+
+}  // namespace phom

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/util/status.h"
+
+/// \file hypergraph.h
+/// Hypergraphs and β-acyclicity (Definition 4.7). A vertex is a β-leaf when
+/// the hyperedges containing it are totally ordered by inclusion; a
+/// hypergraph is β-acyclic when repeatedly deleting β-leaves (collapsing
+/// duplicate hyperedges, dropping empty ones) empties it. The paper's
+/// tractable lineages (Props. 4.10 and 4.11) are β-acyclic, which is what
+/// makes their probability computable in PTIME (Theorem 4.9).
+
+namespace phom {
+
+class Hypergraph {
+ public:
+  explicit Hypergraph(uint32_t num_vertices) : num_vertices_(num_vertices) {}
+
+  uint32_t num_vertices() const { return num_vertices_; }
+  size_t num_hyperedges() const { return edges_.size(); }
+  const std::vector<std::vector<uint32_t>>& hyperedges() const {
+    return edges_;
+  }
+
+  /// Adds a non-empty hyperedge (vertices sorted and deduplicated).
+  /// Duplicate hyperedges are kept (E is a multiset here; β-leaf logic
+  /// treats equal sets as comparable, so duplicates are harmless).
+  void AddHyperedge(std::vector<uint32_t> vertices);
+
+  /// Is v a β-leaf: are the hyperedges containing v a ⊆-chain?
+  bool IsBetaLeaf(uint32_t v) const;
+
+  /// A β-elimination order covering all vertices, or nullopt if none exists.
+  /// Vertices in no hyperedge are trivially β-leaves and come last.
+  std::optional<std::vector<uint32_t>> BetaEliminationOrder() const;
+
+  bool IsBetaAcyclic() const { return BetaEliminationOrder().has_value(); }
+
+ private:
+  uint32_t num_vertices_;
+  std::vector<std::vector<uint32_t>> edges_;
+};
+
+}  // namespace phom

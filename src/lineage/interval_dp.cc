@@ -1,0 +1,62 @@
+#include "src/lineage/interval_dp.h"
+
+#include <algorithm>
+
+#include "src/util/status.h"
+
+namespace phom {
+
+Rational IntervalDnfProbability(const std::vector<Rational>& edge_probs,
+                                std::vector<EdgeInterval> intervals) {
+  const uint32_t kNone = UINT32_MAX;
+  size_t L = edge_probs.size();
+  if (intervals.empty()) return Rational::Zero();
+  for (const EdgeInterval& iv : intervals) {
+    PHOM_CHECK_MSG(iv.first <= iv.second && iv.second < L,
+                   "interval out of range");
+  }
+
+  // Keep only inclusion-minimal intervals: scan by lo descending, keeping an
+  // interval iff its hi is smaller than every hi seen so far.
+  std::sort(intervals.begin(), intervals.end(),
+            [](const EdgeInterval& a, const EdgeInterval& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;
+            });
+  // earliest_lo_ending_at[hi] = lo of the (unique) minimal interval ending
+  // at hi, or kNone.
+  std::vector<uint32_t> lo_ending_at(L, kNone);
+  uint32_t min_hi = kNone;
+  for (const EdgeInterval& iv : intervals) {
+    if (min_hi == kNone || iv.second < min_hi) {
+      min_hi = iv.second;
+      lo_ending_at[iv.second] = iv.first;
+    }
+  }
+
+  // dist[s] = probability that the process survives (no clause fired) with
+  // current run start s; s == k+1 encodes "edge k absent". Edges processed
+  // left to right.
+  std::vector<Rational> dist(L + 2, Rational::Zero());
+  dist[0] = Rational::One();
+  for (uint32_t k = 0; k < L; ++k) {
+    std::vector<Rational> next(L + 2, Rational::Zero());
+    const Rational& p = edge_probs[k];
+    Rational q = p.Complement();
+    for (uint32_t s = 0; s <= k; ++s) {
+      if (dist[s].is_zero()) continue;
+      // Edge k present: run start stays s; clause [lo, k] fires iff s <= lo.
+      bool fires = lo_ending_at[k] != kNone && s <= lo_ending_at[k];
+      if (!fires && !p.is_zero()) next[s] += dist[s] * p;
+      if (!q.is_zero()) next[k + 1] += dist[s] * q;
+    }
+    // s == k means previous edge absent (run start would be k).
+    // (Covered by the loop above since s ranges to k.)
+    dist = std::move(next);
+  }
+  Rational survive = Rational::Zero();
+  for (const Rational& r : dist) survive += r;
+  return survive.Complement();
+}
+
+}  // namespace phom

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/util/rational.h"
+
+/// \file interval_dp.h
+/// Specialized O(L²) evaluation of interval DNFs: variables are the edges
+/// e_0, ..., e_{L-1} of a path in order, each clause is a contiguous interval
+/// [lo, hi] of edge indices (all those edges conjoined). These are exactly
+/// the lineages produced by connected queries on 2WP instances (Prop. 4.11);
+/// their clause hypergraphs are β-acyclic (eliminate variables from one path
+/// endpoint inward), and this DP is the direct dynamic-programming form of
+/// that elimination: it tracks the distribution of the current run-start
+/// position (the leftmost index s such that edges s..k are all present).
+
+namespace phom {
+
+/// Inclusive edge-index interval.
+using EdgeInterval = std::pair<uint32_t, uint32_t>;
+
+/// Pr(at least one interval fully present) with independent edge
+/// probabilities. Intervals may overlap arbitrarily; dominated (superset)
+/// intervals are removed internally.
+Rational IntervalDnfProbability(const std::vector<Rational>& edge_probs,
+                                std::vector<EdgeInterval> intervals);
+
+}  // namespace phom

@@ -1,0 +1,69 @@
+#include "src/reductions/arrow_rewrite.h"
+
+#include "src/util/status.h"
+
+namespace phom {
+
+namespace {
+
+/// Shared skeleton: emits rewritten edges through a callback taking
+/// (src, dst, probability).
+template <typename EmitEdge, typename AddVertex>
+void RewriteImpl(const DiGraph& g,
+                 const std::map<LabelId, ArrowRewriteRule>& rules,
+                 const std::vector<Rational>* probs, AddVertex add_vertex,
+                 EmitEdge emit) {
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Edge& edge = g.edge(e);
+    auto it = rules.find(edge.label);
+    PHOM_CHECK_MSG(it != rules.end(), "no arrow rule for label " +
+                                          std::to_string(edge.label));
+    const ArrowRewriteRule& rule = it->second;
+    PHOM_CHECK(!rule.pattern.empty());
+    PHOM_CHECK(rule.prob_position < rule.pattern.size());
+    size_t steps = rule.pattern.size();
+    std::vector<VertexId> chain(steps + 1);
+    chain[0] = edge.src;
+    chain[steps] = edge.dst;
+    for (size_t s = 1; s < steps; ++s) chain[s] = add_vertex();
+    for (size_t s = 0; s < steps; ++s) {
+      char c = rule.pattern[s];
+      PHOM_CHECK_MSG(c == '>' || c == '<', "arrow pattern must be '>'/'<'");
+      Rational p = Rational::One();
+      if (probs != nullptr && s == rule.prob_position) p = (*probs)[e];
+      if (c == '>') {
+        emit(chain[s], chain[s + 1], p);
+      } else {
+        emit(chain[s + 1], chain[s], p);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+ProbGraph RewriteArrows(const ProbGraph& g,
+                        const std::map<LabelId, ArrowRewriteRule>& rules,
+                        LabelId out_label) {
+  ProbGraph out(g.num_vertices());
+  RewriteImpl(
+      g.graph(), rules, &g.probs(), [&out] { return out.AddVertex(); },
+      [&out, out_label](VertexId a, VertexId b, const Rational& p) {
+        AddEdgeOrDie(&out, a, b, out_label, p);
+      });
+  return out;
+}
+
+DiGraph RewriteArrows(const DiGraph& g,
+                      const std::map<LabelId, ArrowRewriteRule>& rules,
+                      LabelId out_label) {
+  DiGraph out(g.num_vertices());
+  RewriteImpl(
+      g, rules, nullptr, [&out] { return out.AddVertex(); },
+      [&out, out_label](VertexId a, VertexId b, const Rational&) {
+        AddEdgeOrDie(&out, a, b, out_label);
+      });
+  return out;
+}
+
+}  // namespace phom

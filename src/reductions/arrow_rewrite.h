@@ -1,0 +1,36 @@
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "src/graph/prob_graph.h"
+
+/// \file arrow_rewrite.h
+/// The label-elimination gadget shared by Props. 3.4 and 5.6: every labeled
+/// edge a -R-> b is replaced by an unlabeled arrow path between a and b
+/// (e.g. R ↦ "→→←" creates a → x1 → x2 ← b). Distinct labels map to arrow
+/// patterns that cannot be confused with each other inside the rewritten
+/// graph, which is how two-wayness simulates labels.
+
+namespace phom {
+
+struct ArrowRewriteRule {
+  /// '>' = forward step, '<' = backward step; non-empty.
+  std::string pattern;
+  /// Which step inherits the original edge's probability (all other steps
+  /// are certain). Ignored for certain edges.
+  size_t prob_position = 0;
+};
+
+/// Rewrites every edge according to the rule of its label. All output edges
+/// carry `out_label`.
+ProbGraph RewriteArrows(const ProbGraph& g,
+                        const std::map<LabelId, ArrowRewriteRule>& rules,
+                        LabelId out_label = kUnlabeled);
+
+/// Structure-only variant for query graphs.
+DiGraph RewriteArrows(const DiGraph& g,
+                      const std::map<LabelId, ArrowRewriteRule>& rules,
+                      LabelId out_label = kUnlabeled);
+
+}  // namespace phom

@@ -1,0 +1,80 @@
+#include "src/reductions/bipartite.h"
+
+#include <set>
+
+#include "src/util/status.h"
+
+namespace phom {
+
+BipartiteGraph RandomBipartite(Rng* rng, size_t nl, size_t nr,
+                               double edge_prob, bool cover_all) {
+  BipartiteGraph g;
+  g.left_size = nl;
+  g.right_size = nr;
+  std::set<std::pair<uint32_t, uint32_t>> edges;
+  for (uint32_t x = 0; x < nl; ++x) {
+    for (uint32_t y = 0; y < nr; ++y) {
+      if (rng->Bernoulli(edge_prob)) edges.emplace(x, y);
+    }
+  }
+  if (cover_all && nl > 0 && nr > 0) {
+    std::vector<bool> left_covered(nl, false);
+    std::vector<bool> right_covered(nr, false);
+    for (const auto& [x, y] : edges) {
+      left_covered[x] = true;
+      right_covered[y] = true;
+    }
+    for (uint32_t x = 0; x < nl; ++x) {
+      if (!left_covered[x]) {
+        edges.emplace(x, static_cast<uint32_t>(rng->UniformInt(0, nr - 1)));
+      }
+    }
+    for (const auto& [x, y] : edges) right_covered[y] = true;
+    for (uint32_t y = 0; y < nr; ++y) {
+      if (!right_covered[y]) {
+        edges.emplace(static_cast<uint32_t>(rng->UniformInt(0, nl - 1)), y);
+      }
+    }
+  }
+  g.edges.assign(edges.begin(), edges.end());
+  return g;
+}
+
+BigInt CountEdgeCoversBruteForce(const BipartiteGraph& graph) {
+  size_t m = graph.edges.size();
+  PHOM_CHECK_MSG(m <= 26, "brute-force edge cover limited to 26 edges");
+  // A vertex with no incident edge can never be covered.
+  std::vector<uint32_t> left_degree(graph.left_size, 0);
+  std::vector<uint32_t> right_degree(graph.right_size, 0);
+  for (const auto& [x, y] : graph.edges) {
+    ++left_degree[x];
+    ++right_degree[y];
+  }
+  for (uint32_t d : left_degree) {
+    if (d == 0) return BigInt(0);
+  }
+  for (uint32_t d : right_degree) {
+    if (d == 0) return BigInt(0);
+  }
+
+  BigInt count(0);
+  std::vector<bool> left_cov(graph.left_size);
+  std::vector<bool> right_cov(graph.right_size);
+  for (uint64_t mask = 0; mask < (uint64_t{1} << m); ++mask) {
+    std::fill(left_cov.begin(), left_cov.end(), false);
+    std::fill(right_cov.begin(), right_cov.end(), false);
+    for (size_t i = 0; i < m; ++i) {
+      if ((mask >> i) & 1) {
+        left_cov[graph.edges[i].first] = true;
+        right_cov[graph.edges[i].second] = true;
+      }
+    }
+    bool cover = true;
+    for (size_t x = 0; x < graph.left_size && cover; ++x) cover = left_cov[x];
+    for (size_t y = 0; y < graph.right_size && cover; ++y) cover = right_cov[y];
+    if (cover) count += BigInt(1);
+  }
+  return count;
+}
+
+}  // namespace phom

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/util/bigint.h"
+#include "src/util/rng.h"
+
+/// \file bipartite.h
+/// Bipartite undirected graphs and the #Bipartite-Edge-Cover problem
+/// (Definition 3.1): counting the subsets of edges covering every vertex.
+/// #P-complete (Theorem 3.2); the source problem of the reductions in
+/// Props. 3.3 and 3.4.
+
+namespace phom {
+
+struct BipartiteGraph {
+  size_t left_size = 0;
+  size_t right_size = 0;
+  /// (x, y) with x in [0, left_size), y in [0, right_size). No multi-edges.
+  std::vector<std::pair<uint32_t, uint32_t>> edges;
+};
+
+/// Uniform random bipartite graph; each of the nl × nr pairs is an edge with
+/// probability edge_prob. When `cover_all` is set, every isolated vertex gets
+/// one incident random edge so the edge-cover count is non-zero.
+BipartiteGraph RandomBipartite(Rng* rng, size_t nl, size_t nr,
+                               double edge_prob, bool cover_all = true);
+
+/// 2^|E| enumeration; PHOM_CHECKs |E| <= 26.
+BigInt CountEdgeCoversBruteForce(const BipartiteGraph& graph);
+
+}  // namespace phom

@@ -1,0 +1,86 @@
+#include "src/reductions/edge_cover_reduction.h"
+
+#include "src/graph/builders.h"
+#include "src/reductions/arrow_rewrite.h"
+
+namespace phom {
+
+Alphabet EdgeCoverAlphabet() {
+  Alphabet alphabet;
+  PHOM_CHECK(alphabet.Intern("C") == kCoverLabelC);
+  PHOM_CHECK(alphabet.Intern("L") == kCoverLabelL);
+  PHOM_CHECK(alphabet.Intern("V") == kCoverLabelV);
+  PHOM_CHECK(alphabet.Intern("R") == kCoverLabelR);
+  return alphabet;
+}
+
+EdgeCoverReduction BuildEdgeCoverReductionLabeled(
+    const BipartiteGraph& graph) {
+  EdgeCoverReduction out;
+  out.num_probabilistic_edges = graph.edges.size();
+
+  // Instance: C (L^{l_j} V R^{r_j}) C ... C — one block per bipartite edge,
+  // C separators around them; V edges have probability 1/2, the rest 1.
+  // Endpoint indices are 1-based in the gadget lengths.
+  ProbGraph instance(1);
+  VertexId tip = 0;
+  auto extend = [&instance, &tip](LabelId label, const Rational& p) {
+    VertexId next = instance.AddVertex();
+    AddEdgeOrDie(&instance, tip, next, label, p);
+    tip = next;
+  };
+  extend(kCoverLabelC, Rational::One());
+  for (const auto& [x, y] : graph.edges) {
+    for (uint32_t i = 0; i < x + 1; ++i) extend(kCoverLabelL, Rational::One());
+    extend(kCoverLabelV, Rational::Half());
+    for (uint32_t i = 0; i < y + 1; ++i) extend(kCoverLabelR, Rational::One());
+    extend(kCoverLabelC, Rational::One());
+  }
+  out.instance = std::move(instance);
+
+  // Query: one component per vertex of Γ. x_i: C L^{i+1} V. y_i: V R^{i+1} C.
+  std::vector<DiGraph> components;
+  components.reserve(graph.left_size + graph.right_size);
+  for (uint32_t i = 0; i < graph.left_size; ++i) {
+    std::vector<LabelId> labels{kCoverLabelC};
+    labels.insert(labels.end(), i + 1, kCoverLabelL);
+    labels.push_back(kCoverLabelV);
+    components.push_back(MakeLabeledPath(labels));
+  }
+  for (uint32_t i = 0; i < graph.right_size; ++i) {
+    std::vector<LabelId> labels{kCoverLabelV};
+    labels.insert(labels.end(), i + 1, kCoverLabelR);
+    labels.push_back(kCoverLabelC);
+    components.push_back(MakeLabeledPath(labels));
+  }
+  out.query = DisjointUnion(components);
+  return out;
+}
+
+EdgeCoverReduction BuildEdgeCoverReductionUnlabeled(
+    const BipartiteGraph& graph) {
+  EdgeCoverReduction labeled = BuildEdgeCoverReductionLabeled(graph);
+  // Prop. 3.4 rewriting: L, R ↦ →→←; C ↦ ←←←; V ↦ →→→→→← with the first
+  // edge of the V block carrying the 1/2 probability.
+  std::map<LabelId, ArrowRewriteRule> rules;
+  rules[kCoverLabelL] = ArrowRewriteRule{">><", 0};
+  rules[kCoverLabelR] = ArrowRewriteRule{">><", 0};
+  rules[kCoverLabelC] = ArrowRewriteRule{"<<<", 0};
+  rules[kCoverLabelV] = ArrowRewriteRule{">>>>><", 0};
+
+  EdgeCoverReduction out;
+  out.num_probabilistic_edges = labeled.num_probabilistic_edges;
+  out.instance = RewriteArrows(labeled.instance, rules);
+  out.query = RewriteArrows(labeled.query, rules);
+  return out;
+}
+
+BigInt RecoverCount(const Rational& prob, size_t num_probabilistic_edges) {
+  Rational scaled = prob * Rational(BigInt::Pow2(num_probabilistic_edges),
+                                    BigInt(1));
+  PHOM_CHECK_MSG(scaled.den() == BigInt(1),
+                 "probability is not an integer multiple of 2^-m");
+  return scaled.num();
+}
+
+}  // namespace phom

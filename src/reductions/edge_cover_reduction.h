@@ -1,0 +1,48 @@
+#pragma once
+
+#include "src/graph/alphabet.h"
+#include "src/graph/prob_graph.h"
+#include "src/reductions/bipartite.h"
+#include "src/util/bigint.h"
+
+/// \file edge_cover_reduction.h
+/// The #P-hardness reductions from #Bipartite-Edge-Cover:
+///  * Prop. 3.3 — PHomL(⊔1WP, 1WP), labels {C, L, V, R}: the 1WP instance
+///    chains one block (L^{l_j} V R^{r_j}) per bipartite edge e_j = (x_{l_j},
+///    y_{r_j}) between C separators; the V edges have probability 1/2. One
+///    1WP query component per bipartite vertex codes its covering constraint
+///    (C L^i V for x_i, V R^i C for y_i). See Figure 5.
+///  * Prop. 3.4 — PHom̸L(⊔2WP, 2WP): same construction with labels
+///    simulated by arrows (L, R ↦ →→←; C ↦ ←←←; V ↦ →→→→→←, first edge
+///    probabilistic).
+/// In both cases #EdgeCovers(Γ) = Pr(G ⇝ H) · 2^|E(Γ)|.
+
+namespace phom {
+
+/// Fixed label ids used by the labeled reduction.
+inline constexpr LabelId kCoverLabelC = 0;
+inline constexpr LabelId kCoverLabelL = 1;
+inline constexpr LabelId kCoverLabelV = 2;
+inline constexpr LabelId kCoverLabelR = 3;
+
+/// Alphabet mapping the ids above to "C", "L", "V", "R".
+Alphabet EdgeCoverAlphabet();
+
+struct EdgeCoverReduction {
+  ProbGraph instance;
+  DiGraph query;
+  /// |E(Γ)|: the count is Pr · 2^this.
+  size_t num_probabilistic_edges = 0;
+};
+
+/// Prop. 3.3: labeled, instance ∈ 1WP, query ∈ ⊔1WP.
+EdgeCoverReduction BuildEdgeCoverReductionLabeled(const BipartiteGraph& graph);
+
+/// Prop. 3.4: unlabeled, instance ∈ 2WP, query ∈ ⊔2WP.
+EdgeCoverReduction BuildEdgeCoverReductionUnlabeled(
+    const BipartiteGraph& graph);
+
+/// count = prob · 2^num_probabilistic_edges; PHOM_CHECKs integrality.
+BigInt RecoverCount(const Rational& prob, size_t num_probabilistic_edges);
+
+}  // namespace phom

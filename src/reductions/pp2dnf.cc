@@ -1,0 +1,45 @@
+#include "src/reductions/pp2dnf.h"
+
+#include <set>
+
+#include "src/util/status.h"
+
+namespace phom {
+
+Pp2Dnf RandomPp2Dnf(Rng* rng, size_t num_x, size_t num_y,
+                    size_t num_clauses) {
+  PHOM_CHECK(num_x >= 1 && num_y >= 1);
+  Pp2Dnf out;
+  out.num_x = num_x;
+  out.num_y = num_y;
+  std::set<std::pair<uint32_t, uint32_t>> clauses;
+  size_t attempts = 0;
+  while (clauses.size() < num_clauses && attempts < 100 * num_clauses + 100) {
+    ++attempts;
+    clauses.emplace(static_cast<uint32_t>(rng->UniformInt(0, num_x - 1)),
+                    static_cast<uint32_t>(rng->UniformInt(0, num_y - 1)));
+  }
+  out.clauses.assign(clauses.begin(), clauses.end());
+  return out;
+}
+
+BigInt CountSatisfyingAssignments(const Pp2Dnf& formula) {
+  size_t n = formula.num_x + formula.num_y;
+  PHOM_CHECK_MSG(n <= 26, "brute-force #PP2DNF limited to 26 variables");
+  BigInt count(0);
+  for (uint64_t mask = 0; mask < (uint64_t{1} << n); ++mask) {
+    bool satisfied = false;
+    for (const auto& [x, y] : formula.clauses) {
+      bool xv = (mask >> x) & 1;
+      bool yv = (mask >> (formula.num_x + y)) & 1;
+      if (xv && yv) {
+        satisfied = true;
+        break;
+      }
+    }
+    if (satisfied) count += BigInt(1);
+  }
+  return count;
+}
+
+}  // namespace phom

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/util/bigint.h"
+#include "src/util/rng.h"
+
+/// \file pp2dnf.h
+/// Positive partitioned 2-DNF formulas (Definition 4.3): variables X ⊔ Y and
+/// clauses X_{x_j} ∧ Y_{y_j}. Counting satisfying assignments (#PP2DNF,
+/// all probabilities 1/2) is #P-hard [Provan & Ball]; the source problem of
+/// the reductions in Props. 4.1 and 5.6.
+
+namespace phom {
+
+struct Pp2Dnf {
+  size_t num_x = 0;
+  size_t num_y = 0;
+  /// Clauses (x_j, y_j), 0-based into X and Y respectively.
+  std::vector<std::pair<uint32_t, uint32_t>> clauses;
+};
+
+/// `num_clauses` distinct random clauses (fewer if the grid is exhausted).
+Pp2Dnf RandomPp2Dnf(Rng* rng, size_t num_x, size_t num_y, size_t num_clauses);
+
+/// 2^(num_x + num_y) enumeration; PHOM_CHECKs num_x + num_y <= 26.
+BigInt CountSatisfyingAssignments(const Pp2Dnf& formula);
+
+}  // namespace phom

@@ -1,0 +1,105 @@
+#include "src/reductions/pp2dnf_reduction.h"
+
+#include "src/graph/builders.h"
+#include "src/reductions/arrow_rewrite.h"
+
+namespace phom {
+
+Alphabet Pp2DnfAlphabet() {
+  Alphabet alphabet;
+  PHOM_CHECK(alphabet.Intern("S") == kPpLabelS);
+  PHOM_CHECK(alphabet.Intern("T") == kPpLabelT);
+  return alphabet;
+}
+
+Pp2DnfReduction BuildPp2DnfReductionLabeled(const Pp2Dnf& formula) {
+  size_t n1 = formula.num_x;
+  size_t n2 = formula.num_y;
+  size_t m = formula.clauses.size();
+
+  Pp2DnfReduction out;
+  out.num_probabilistic_edges = n1 + n2;
+
+  // Vertex layout: R | X_i | Y_i | X_{i,j} | Y_{i,j} | A_j | B_j.
+  size_t total = 1 + n1 + n2 + n1 * m + n2 * m + m + m;
+  ProbGraph instance(total);
+  auto r_vertex = [] { return VertexId{0}; };
+  auto x_vertex = [&](size_t i) { return static_cast<VertexId>(1 + i); };
+  auto y_vertex = [&](size_t i) { return static_cast<VertexId>(1 + n1 + i); };
+  auto xij_vertex = [&](size_t i, size_t j) {
+    return static_cast<VertexId>(1 + n1 + n2 + i * m + j);
+  };
+  auto yij_vertex = [&](size_t i, size_t j) {
+    return static_cast<VertexId>(1 + n1 + n2 + n1 * m + i * m + j);
+  };
+  auto a_vertex = [&](size_t j) {
+    return static_cast<VertexId>(1 + n1 + n2 + (n1 + n2) * m + j);
+  };
+  auto b_vertex = [&](size_t j) {
+    return static_cast<VertexId>(1 + n1 + n2 + (n1 + n2) * m + m + j);
+  };
+
+  // Variable edges (probability 1/2): X_i -S-> R and R -S-> Y_i.
+  for (size_t i = 0; i < n1; ++i) {
+    AddEdgeOrDie(&instance, x_vertex(i), r_vertex(), kPpLabelS,
+                 Rational::Half());
+  }
+  for (size_t i = 0; i < n2; ++i) {
+    AddEdgeOrDie(&instance, r_vertex(), y_vertex(i), kPpLabelS,
+                 Rational::Half());
+  }
+  // X chains: X_{i,0} -> ... -> X_{i,m-1} -> X_i (upward toward R).
+  for (size_t i = 0; i < n1; ++i) {
+    for (size_t j = 0; j + 1 < m; ++j) {
+      AddEdgeOrDie(&instance, xij_vertex(i, j), xij_vertex(i, j + 1),
+                   kPpLabelS, Rational::One());
+    }
+    if (m > 0) {
+      AddEdgeOrDie(&instance, xij_vertex(i, m - 1), x_vertex(i), kPpLabelS,
+                   Rational::One());
+    }
+  }
+  // Y chains: Y_i -> Y_{i,0} -> ... -> Y_{i,m-1} (downward from R).
+  for (size_t i = 0; i < n2; ++i) {
+    if (m > 0) {
+      AddEdgeOrDie(&instance, y_vertex(i), yij_vertex(i, 0), kPpLabelS,
+                   Rational::One());
+    }
+    for (size_t j = 0; j + 1 < m; ++j) {
+      AddEdgeOrDie(&instance, yij_vertex(i, j), yij_vertex(i, j + 1),
+                   kPpLabelS, Rational::One());
+    }
+  }
+  // Clause gadgets: A_j -T-> X_{x_j, j} and Y_{y_j, j} -T-> B_j.
+  for (size_t j = 0; j < m; ++j) {
+    const auto& [x, y] = formula.clauses[j];
+    AddEdgeOrDie(&instance, a_vertex(j), xij_vertex(x, j), kPpLabelT,
+                 Rational::One());
+    AddEdgeOrDie(&instance, yij_vertex(y, j), b_vertex(j), kPpLabelT,
+                 Rational::One());
+  }
+  out.instance = std::move(instance);
+
+  // Query: T S^{m+3} T.
+  std::vector<LabelId> labels{kPpLabelT};
+  labels.insert(labels.end(), m + 3, kPpLabelS);
+  labels.push_back(kPpLabelT);
+  out.query = MakeLabeledPath(labels);
+  return out;
+}
+
+Pp2DnfReduction BuildPp2DnfReductionUnlabeled(const Pp2Dnf& formula) {
+  Pp2DnfReduction labeled = BuildPp2DnfReductionLabeled(formula);
+  // Prop. 5.6 rewriting: S ↦ →→← (middle edge probabilistic), T ↦ →→→.
+  std::map<LabelId, ArrowRewriteRule> rules;
+  rules[kPpLabelS] = ArrowRewriteRule{">><", 1};
+  rules[kPpLabelT] = ArrowRewriteRule{">>>", 0};
+
+  Pp2DnfReduction out;
+  out.num_probabilistic_edges = labeled.num_probabilistic_edges;
+  out.instance = RewriteArrows(labeled.instance, rules);
+  out.query = RewriteArrows(labeled.query, rules);
+  return out;
+}
+
+}  // namespace phom

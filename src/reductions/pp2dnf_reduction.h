@@ -1,0 +1,40 @@
+#pragma once
+
+#include "src/graph/alphabet.h"
+#include "src/graph/prob_graph.h"
+#include "src/reductions/pp2dnf.h"
+#include "src/util/bigint.h"
+
+/// \file pp2dnf_reduction.h
+/// The #P-hardness reductions from #PP2DNF:
+///  * Prop. 4.1 — PHomL(1WP, PT), labels {S, T}: the polytree instance hangs
+///    one branch per variable off the shared vertex R; the variable edges
+///    (X_i -S-> R and R -S-> Y_i) have probability 1/2; gadget T-edges at
+///    depth j mark the clauses containing each variable. The 1WP query
+///    T S^{m+3} T has a match iff some clause has both variables true
+///    (the S-distance m+3 forces the two T gadgets to belong to the same
+///    clause index). See Figure 7.
+///  * Prop. 5.6 — PHom̸L(2WP, PT): same with S ↦ →→← (middle edge carries
+///    the probability) and T ↦ →→→; query →→→ (→→←)^{m+3} →→→. Figure 8.
+/// In both cases #SAT(ϕ) = Pr(G ⇝ H) · 2^(n₁+n₂).
+
+namespace phom {
+
+inline constexpr LabelId kPpLabelS = 0;
+inline constexpr LabelId kPpLabelT = 1;
+
+Alphabet Pp2DnfAlphabet();
+
+struct Pp2DnfReduction {
+  ProbGraph instance;  ///< a polytree
+  DiGraph query;       ///< 1WP (labeled) / 2WP (unlabeled)
+  size_t num_probabilistic_edges = 0;  ///< n1 + n2
+};
+
+/// Prop. 4.1: labeled, query ∈ 1WP, instance ∈ PT.
+Pp2DnfReduction BuildPp2DnfReductionLabeled(const Pp2Dnf& formula);
+
+/// Prop. 5.6: unlabeled, query ∈ 2WP, instance ∈ PT.
+Pp2DnfReduction BuildPp2DnfReductionUnlabeled(const Pp2Dnf& formula);
+
+}  // namespace phom

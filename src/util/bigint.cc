@@ -1,0 +1,375 @@
+#include "src/util/bigint.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace phom {
+
+namespace {
+constexpr uint64_t kLimbBits = 32;
+constexpr uint64_t kLimbBase = uint64_t{1} << kLimbBits;
+}  // namespace
+
+BigInt::BigInt(int sign, std::vector<uint32_t> mag)
+    : sign_(sign), mag_(std::move(mag)) {
+  Normalize(&mag_);
+  if (mag_.empty()) sign_ = 0;
+  PHOM_CHECK(mag_.empty() == (sign_ == 0));
+}
+
+BigInt::BigInt(int64_t value) {
+  if (value == 0) {
+    sign_ = 0;
+    return;
+  }
+  sign_ = value > 0 ? 1 : -1;
+  // Avoid UB on INT64_MIN by going through uint64_t.
+  uint64_t mag = value > 0 ? static_cast<uint64_t>(value)
+                           : ~static_cast<uint64_t>(value) + 1;
+  mag_.push_back(static_cast<uint32_t>(mag & 0xffffffffu));
+  if (mag >> kLimbBits) mag_.push_back(static_cast<uint32_t>(mag >> kLimbBits));
+}
+
+void BigInt::Normalize(std::vector<uint32_t>* mag) {
+  while (!mag->empty() && mag->back() == 0) mag->pop_back();
+}
+
+int BigInt::CompareMag(const std::vector<uint32_t>& a,
+                       const std::vector<uint32_t>& b) {
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  for (size_t i = a.size(); i-- > 0;) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+std::vector<uint32_t> BigInt::AddMag(const std::vector<uint32_t>& a,
+                                     const std::vector<uint32_t>& b) {
+  const std::vector<uint32_t>& longer = a.size() >= b.size() ? a : b;
+  const std::vector<uint32_t>& shorter = a.size() >= b.size() ? b : a;
+  std::vector<uint32_t> out;
+  out.reserve(longer.size() + 1);
+  uint64_t carry = 0;
+  for (size_t i = 0; i < longer.size(); ++i) {
+    uint64_t sum = carry + longer[i] + (i < shorter.size() ? shorter[i] : 0);
+    out.push_back(static_cast<uint32_t>(sum & 0xffffffffu));
+    carry = sum >> kLimbBits;
+  }
+  if (carry) out.push_back(static_cast<uint32_t>(carry));
+  return out;
+}
+
+std::vector<uint32_t> BigInt::SubMag(const std::vector<uint32_t>& a,
+                                     const std::vector<uint32_t>& b) {
+  PHOM_CHECK(CompareMag(a, b) >= 0);
+  std::vector<uint32_t> out;
+  out.reserve(a.size());
+  int64_t borrow = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    int64_t diff = static_cast<int64_t>(a[i]) -
+                   (i < b.size() ? static_cast<int64_t>(b[i]) : 0) - borrow;
+    if (diff < 0) {
+      diff += static_cast<int64_t>(kLimbBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out.push_back(static_cast<uint32_t>(diff));
+  }
+  Normalize(&out);
+  return out;
+}
+
+std::vector<uint32_t> BigInt::MulMag(const std::vector<uint32_t>& a,
+                                     const std::vector<uint32_t>& b) {
+  if (a.empty() || b.empty()) return {};
+  std::vector<uint32_t> out(a.size() + b.size(), 0);
+  for (size_t i = 0; i < a.size(); ++i) {
+    uint64_t carry = 0;
+    for (size_t j = 0; j < b.size(); ++j) {
+      uint64_t cur = static_cast<uint64_t>(a[i]) * b[j] + out[i + j] + carry;
+      out[i + j] = static_cast<uint32_t>(cur & 0xffffffffu);
+      carry = cur >> kLimbBits;
+    }
+    size_t k = i + b.size();
+    while (carry) {
+      uint64_t cur = out[k] + carry;
+      out[k] = static_cast<uint32_t>(cur & 0xffffffffu);
+      carry = cur >> kLimbBits;
+      ++k;
+    }
+  }
+  Normalize(&out);
+  return out;
+}
+
+BigInt BigInt::operator+(const BigInt& other) const {
+  if (sign_ == 0) return other;
+  if (other.sign_ == 0) return *this;
+  if (sign_ == other.sign_) return BigInt(sign_, AddMag(mag_, other.mag_));
+  int cmp = CompareMag(mag_, other.mag_);
+  if (cmp == 0) return BigInt();
+  if (cmp > 0) return BigInt(sign_, SubMag(mag_, other.mag_));
+  return BigInt(other.sign_, SubMag(other.mag_, mag_));
+}
+
+BigInt BigInt::operator-(const BigInt& other) const {
+  return *this + other.Negated();
+}
+
+BigInt BigInt::operator*(const BigInt& other) const {
+  if (sign_ == 0 || other.sign_ == 0) return BigInt();
+  return BigInt(sign_ * other.sign_, MulMag(mag_, other.mag_));
+}
+
+BigInt BigInt::Abs() const { return BigInt(sign_ == 0 ? 0 : 1, mag_); }
+
+BigInt BigInt::Negated() const { return BigInt(-sign_, mag_); }
+
+uint64_t BigInt::BitLength() const {
+  if (mag_.empty()) return 0;
+  uint32_t top = mag_.back();
+  uint64_t bits = (mag_.size() - 1) * kLimbBits;
+  while (top) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+bool BigInt::Bit(uint64_t i) const {
+  size_t limb = i / kLimbBits;
+  if (limb >= mag_.size()) return false;
+  return (mag_[limb] >> (i % kLimbBits)) & 1u;
+}
+
+bool BigInt::IsPowerOfTwo() const {
+  if (sign_ <= 0) return false;
+  return TrailingZeroBits() + 1 == BitLength();
+}
+
+uint64_t BigInt::TrailingZeroBits() const {
+  if (mag_.empty()) return 0;
+  uint64_t bits = 0;
+  for (uint32_t limb : mag_) {
+    if (limb == 0) {
+      bits += kLimbBits;
+    } else {
+      bits += static_cast<uint64_t>(__builtin_ctz(limb));
+      break;
+    }
+  }
+  return bits;
+}
+
+BigInt BigInt::ShiftLeft(uint64_t bits) const {
+  if (sign_ == 0 || bits == 0) return *this;
+  size_t limb_shift = bits / kLimbBits;
+  uint32_t bit_shift = static_cast<uint32_t>(bits % kLimbBits);
+  std::vector<uint32_t> out(limb_shift, 0);
+  uint32_t carry = 0;
+  for (uint32_t limb : mag_) {
+    if (bit_shift == 0) {
+      out.push_back(limb);
+    } else {
+      out.push_back((limb << bit_shift) | carry);
+      carry = static_cast<uint32_t>(static_cast<uint64_t>(limb) >>
+                                    (kLimbBits - bit_shift));
+    }
+  }
+  if (carry) out.push_back(carry);
+  return BigInt(sign_, std::move(out));
+}
+
+BigInt BigInt::ShiftRight(uint64_t bits) const {
+  if (sign_ == 0) return *this;
+  if (bits >= BitLength()) return BigInt();
+  size_t limb_shift = bits / kLimbBits;
+  uint32_t bit_shift = static_cast<uint32_t>(bits % kLimbBits);
+  std::vector<uint32_t> out;
+  out.reserve(mag_.size() - limb_shift);
+  for (size_t i = limb_shift; i < mag_.size(); ++i) {
+    uint64_t cur = mag_[i] >> bit_shift;
+    if (bit_shift && i + 1 < mag_.size()) {
+      cur |= static_cast<uint64_t>(mag_[i + 1]) << (kLimbBits - bit_shift);
+    }
+    out.push_back(static_cast<uint32_t>(cur & 0xffffffffu));
+  }
+  return BigInt(sign_, std::move(out));
+}
+
+void BigInt::DivMod(const BigInt& divisor, BigInt* quotient,
+                    BigInt* remainder) const {
+  PHOM_CHECK_MSG(!divisor.is_zero(), "BigInt division by zero");
+  int cmp = CompareMag(mag_, divisor.mag_);
+  if (sign_ == 0 || cmp < 0) {
+    *quotient = BigInt();
+    *remainder = *this;
+    return;
+  }
+  // Fast path: single-limb divisor.
+  if (divisor.mag_.size() == 1) {
+    std::vector<uint32_t> q = mag_;
+    uint32_t r = DivModSmall(&q, divisor.mag_[0]);
+    *quotient = BigInt(sign_ * divisor.sign_, std::move(q));
+    *remainder = BigInt(r == 0 ? 0 : sign_,
+                        std::vector<uint32_t>{r});
+    return;
+  }
+  // Binary long division on magnitudes.
+  BigInt rem;   // accumulates |this| bit by bit
+  uint64_t n = BitLength();
+  std::vector<uint32_t> q((n + kLimbBits - 1) / kLimbBits, 0);
+  BigInt divisor_abs = divisor.Abs();
+  for (uint64_t i = n; i-- > 0;) {
+    rem = rem.ShiftLeft(1);
+    if (Bit(i)) {
+      if (rem.sign_ == 0) {
+        rem = BigInt(1);
+      } else {
+        rem.mag_[0] |= 1u;
+      }
+    }
+    if (rem.Compare(divisor_abs) >= 0) {
+      rem = rem - divisor_abs;
+      q[i / kLimbBits] |= uint32_t{1} << (i % kLimbBits);
+    }
+  }
+  *quotient = BigInt(sign_ * divisor.sign_, std::move(q));
+  *remainder = rem.is_zero() ? BigInt() : BigInt(sign_, rem.mag_);
+}
+
+BigInt BigInt::operator/(const BigInt& other) const {
+  BigInt q, r;
+  DivMod(other, &q, &r);
+  return q;
+}
+
+BigInt BigInt::operator%(const BigInt& other) const {
+  BigInt q, r;
+  DivMod(other, &q, &r);
+  return r;
+}
+
+int BigInt::Compare(const BigInt& other) const {
+  if (sign_ != other.sign_) return sign_ < other.sign_ ? -1 : 1;
+  int mag_cmp = CompareMag(mag_, other.mag_);
+  return sign_ >= 0 ? mag_cmp : -mag_cmp;
+}
+
+BigInt BigInt::Pow2(uint64_t exponent) { return BigInt(1).ShiftLeft(exponent); }
+
+BigInt BigInt::Gcd(const BigInt& a, const BigInt& b) {
+  BigInt x = a.Abs();
+  BigInt y = b.Abs();
+  if (x.is_zero()) return y;
+  if (y.is_zero()) return x;
+  uint64_t shift = std::min(x.TrailingZeroBits(), y.TrailingZeroBits());
+  x = x.ShiftRight(x.TrailingZeroBits());
+  do {
+    y = y.ShiftRight(y.TrailingZeroBits());
+    if (x.Compare(y) > 0) std::swap(x, y);
+    y = y - x;
+  } while (!y.is_zero());
+  return x.ShiftLeft(shift);
+}
+
+uint32_t BigInt::DivModSmall(std::vector<uint32_t>* mag, uint32_t divisor) {
+  PHOM_CHECK(divisor != 0);
+  uint64_t rem = 0;
+  for (size_t i = mag->size(); i-- > 0;) {
+    uint64_t cur = (rem << kLimbBits) | (*mag)[i];
+    (*mag)[i] = static_cast<uint32_t>(cur / divisor);
+    rem = cur % divisor;
+  }
+  Normalize(mag);
+  return static_cast<uint32_t>(rem);
+}
+
+void BigInt::MulSmallAdd(std::vector<uint32_t>* mag, uint32_t factor,
+                         uint32_t addend) {
+  uint64_t carry = addend;
+  for (uint32_t& limb : *mag) {
+    uint64_t cur = static_cast<uint64_t>(limb) * factor + carry;
+    limb = static_cast<uint32_t>(cur & 0xffffffffu);
+    carry = cur >> kLimbBits;
+  }
+  while (carry) {
+    mag->push_back(static_cast<uint32_t>(carry & 0xffffffffu));
+    carry >>= kLimbBits;
+  }
+  Normalize(mag);
+}
+
+Result<BigInt> BigInt::FromString(std::string_view text) {
+  if (text.empty()) return Status::Invalid("empty integer literal");
+  int sign = 1;
+  size_t pos = 0;
+  if (text[0] == '-' || text[0] == '+') {
+    sign = text[0] == '-' ? -1 : 1;
+    pos = 1;
+  }
+  if (pos == text.size()) return Status::Invalid("sign without digits");
+  std::vector<uint32_t> mag;
+  for (; pos < text.size(); ++pos) {
+    char c = text[pos];
+    if (c < '0' || c > '9') {
+      return Status::Invalid("invalid digit in integer literal: " +
+                             std::string(text));
+    }
+    MulSmallAdd(&mag, 10, static_cast<uint32_t>(c - '0'));
+  }
+  Normalize(&mag);
+  int final_sign = mag.empty() ? 0 : sign;  // read before the move below
+  return BigInt(final_sign, std::move(mag));
+}
+
+std::string BigInt::ToString() const {
+  if (sign_ == 0) return "0";
+  std::vector<uint32_t> mag = mag_;
+  std::string digits;
+  while (!mag.empty()) {
+    uint32_t chunk = DivModSmall(&mag, 1000000000u);
+    for (int i = 0; i < 9; ++i) {
+      digits.push_back(static_cast<char>('0' + chunk % 10));
+      chunk /= 10;
+    }
+  }
+  while (digits.size() > 1 && digits.back() == '0') digits.pop_back();
+  if (sign_ < 0) digits.push_back('-');
+  std::reverse(digits.begin(), digits.end());
+  return digits;
+}
+
+double BigInt::ToDouble() const {
+  double out = 0.0;
+  for (size_t i = mag_.size(); i-- > 0;) {
+    out = out * static_cast<double>(kLimbBase) + static_cast<double>(mag_[i]);
+  }
+  return sign_ < 0 ? -out : out;
+}
+
+std::optional<int64_t> BigInt::ToInt64() const {
+  if (BitLength() > 63) {
+    // The only 64-bit-magnitude value that fits is INT64_MIN (= -2^63).
+    bool is_int64_min =
+        sign_ < 0 && BitLength() == 64 && TrailingZeroBits() == 63;
+    if (!is_int64_min) return std::nullopt;
+  }
+  uint64_t mag = 0;
+  for (size_t i = mag_.size(); i-- > 0;) {
+    mag = (mag << kLimbBits) | mag_[i];
+  }
+  if (sign_ < 0) return -static_cast<int64_t>(mag);
+  return static_cast<int64_t>(mag);
+}
+
+size_t BigInt::Hash() const {
+  size_t h = static_cast<size_t>(sign_) * 0x9e3779b97f4a7c15ull;
+  for (uint32_t limb : mag_) {
+    h ^= limb + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+}  // namespace phom

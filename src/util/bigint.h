@@ -1,0 +1,109 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/result.h"
+#include "src/util/status.h"
+
+/// \file bigint.h
+/// Arbitrary-precision signed integers. The paper manipulates probabilities
+/// as exact rationals (e.g. hardness reductions recover integer counts as
+/// Pr · 2^m), so the whole library computes with exact arithmetic built on
+/// this type. Representation: sign + little-endian base-2^32 magnitude.
+
+namespace phom {
+
+class BigInt {
+ public:
+  /// Zero.
+  BigInt() : sign_(0) {}
+  /*implicit*/ BigInt(int64_t value);
+
+  /// Parses an optionally signed decimal integer.
+  static Result<BigInt> FromString(std::string_view text);
+  /// Returns 2^exponent.
+  static BigInt Pow2(uint64_t exponent);
+  /// Greatest common divisor of |a| and |b| (binary GCD; Gcd(0,0) == 0).
+  static BigInt Gcd(const BigInt& a, const BigInt& b);
+
+  bool is_zero() const { return sign_ == 0; }
+  bool is_negative() const { return sign_ < 0; }
+  /// -1, 0 or +1.
+  int sign() const { return sign_; }
+
+  BigInt Abs() const;
+  BigInt Negated() const;
+
+  /// Number of bits in the magnitude (0 for zero).
+  uint64_t BitLength() const;
+  /// Bit i (little-endian) of the magnitude.
+  bool Bit(uint64_t i) const;
+  /// True iff the magnitude is a power of two times `2^0` (i.e. == 2^k).
+  bool IsPowerOfTwo() const;
+  /// Largest k such that 2^k divides the magnitude (0 for zero).
+  uint64_t TrailingZeroBits() const;
+
+  BigInt ShiftLeft(uint64_t bits) const;
+  BigInt ShiftRight(uint64_t bits) const;
+
+  BigInt operator+(const BigInt& other) const;
+  BigInt operator-(const BigInt& other) const;
+  BigInt operator*(const BigInt& other) const;
+  /// Quotient truncated toward zero. PHOM_CHECKs against division by zero.
+  BigInt operator/(const BigInt& other) const;
+  /// Remainder with the sign of the dividend (C++ semantics).
+  BigInt operator%(const BigInt& other) const;
+  BigInt operator-() const { return Negated(); }
+
+  BigInt& operator+=(const BigInt& other) { return *this = *this + other; }
+  BigInt& operator-=(const BigInt& other) { return *this = *this - other; }
+  BigInt& operator*=(const BigInt& other) { return *this = *this * other; }
+
+  /// Computes both quotient (toward zero) and remainder at once.
+  void DivMod(const BigInt& divisor, BigInt* quotient, BigInt* remainder) const;
+
+  /// Three-way comparison: negative, zero or positive.
+  int Compare(const BigInt& other) const;
+  bool operator==(const BigInt& other) const { return Compare(other) == 0; }
+  bool operator!=(const BigInt& other) const { return Compare(other) != 0; }
+  bool operator<(const BigInt& other) const { return Compare(other) < 0; }
+  bool operator<=(const BigInt& other) const { return Compare(other) <= 0; }
+  bool operator>(const BigInt& other) const { return Compare(other) > 0; }
+  bool operator>=(const BigInt& other) const { return Compare(other) >= 0; }
+
+  /// Decimal rendering, e.g. "-1234".
+  std::string ToString() const;
+  /// Nearest double (may overflow to +/-inf for huge values).
+  double ToDouble() const;
+  /// Value as int64_t if it fits, nullopt otherwise.
+  std::optional<int64_t> ToInt64() const;
+
+  size_t Hash() const;
+
+ private:
+  static std::vector<uint32_t> AddMag(const std::vector<uint32_t>& a,
+                                      const std::vector<uint32_t>& b);
+  /// Requires |a| >= |b| as magnitudes.
+  static std::vector<uint32_t> SubMag(const std::vector<uint32_t>& a,
+                                      const std::vector<uint32_t>& b);
+  static std::vector<uint32_t> MulMag(const std::vector<uint32_t>& a,
+                                      const std::vector<uint32_t>& b);
+  static int CompareMag(const std::vector<uint32_t>& a,
+                        const std::vector<uint32_t>& b);
+  static void Normalize(std::vector<uint32_t>* mag);
+  /// Divides magnitude by a single limb; returns remainder.
+  static uint32_t DivModSmall(std::vector<uint32_t>* mag, uint32_t divisor);
+  static void MulSmallAdd(std::vector<uint32_t>* mag, uint32_t factor,
+                          uint32_t addend);
+
+  BigInt(int sign, std::vector<uint32_t> mag);
+
+  int sign_;                   // -1, 0, +1; 0 iff mag_ empty
+  std::vector<uint32_t> mag_;  // little-endian limbs, no leading zero limb
+};
+
+}  // namespace phom

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <utility>
+#include <variant>
+
+#include "src/util/status.h"
+
+/// \file result.h
+/// Result<T> holds either a value or a non-OK Status (Arrow's arrow::Result
+/// idiom). Accessing the value of an errored Result is a programming error.
+
+namespace phom {
+
+template <typename T>
+class Result {
+ public:
+  /*implicit*/ Result(T value) : repr_(std::move(value)) {}
+  /*implicit*/ Result(Status status) : repr_(std::move(status)) {
+    PHOM_CHECK_MSG(!std::get<Status>(repr_).ok(),
+                   "Result constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  const Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  const T& ValueOrDie() const {
+    PHOM_CHECK_MSG(ok(), "ValueOrDie on errored Result: " +
+                             std::get<Status>(repr_).ToString());
+    return std::get<T>(repr_);
+  }
+
+  T& ValueOrDie() {
+    PHOM_CHECK_MSG(ok(), "ValueOrDie on errored Result: " +
+                             std::get<Status>(repr_).ToString());
+    return std::get<T>(repr_);
+  }
+
+  T MoveValueOrDie() {
+    PHOM_CHECK_MSG(ok(), "MoveValueOrDie on errored Result: " +
+                             std::get<Status>(repr_).ToString());
+    return std::move(std::get<T>(repr_));
+  }
+
+  const T& operator*() const { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+}  // namespace phom
+
+/// Assign the value of a Result expression to `lhs`, or propagate its Status.
+#define PHOM_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                               \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = tmp.MoveValueOrDie();
+
+#define PHOM_ASSIGN_OR_RETURN(lhs, rexpr)                                 \
+  PHOM_ASSIGN_OR_RETURN_IMPL(PHOM_CONCAT_(phom_result_, __LINE__), lhs, \
+                             rexpr)
+
+#define PHOM_CONCAT_INNER_(a, b) a##b
+#define PHOM_CONCAT_(a, b) PHOM_CONCAT_INNER_(a, b)

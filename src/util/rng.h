@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "src/util/rational.h"
+#include "src/util/status.h"
+
+/// \file rng.h
+/// Seeded random number generation for workload generators. All generators in
+/// the library take an explicit Rng so every experiment is reproducible.
+
+namespace phom {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    PHOM_CHECK(lo <= hi);
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  /// Bernoulli draw with probability p (given as double; generator-only use).
+  bool Bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Uniform dyadic probability k / 2^log2_den with k in [0, 2^log2_den].
+  /// Both endpoints (0 and 1) are included, matching the paper's allowance of
+  /// certain and impossible edges.
+  Rational DyadicProbability(int log2_den) {
+    PHOM_CHECK(log2_den >= 1 && log2_den <= 62);
+    int64_t den = int64_t{1} << log2_den;
+    return Rational(UniformInt(0, den), den);
+  }
+
+  /// Uniform dyadic probability excluding the endpoints 0 and 1.
+  Rational NontrivialDyadicProbability(int log2_den) {
+    PHOM_CHECK(log2_den >= 1 && log2_den <= 62);
+    int64_t den = int64_t{1} << log2_den;
+    return Rational(UniformInt(1, den - 1), den);
+  }
+
+  /// Uniformly picks an element of a non-empty vector.
+  template <typename T>
+  const T& Pick(const std::vector<T>& items) {
+    PHOM_CHECK(!items.empty());
+    return items[static_cast<size_t>(UniformInt(0, items.size() - 1))];
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace phom

@@ -1,0 +1,97 @@
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+/// \file status.h
+/// Arrow/RocksDB-style error model: fallible operations return a Status (or a
+/// Result<T>, see result.h) instead of throwing. Internal invariant violations
+/// use PHOM_CHECK, which throws std::logic_error (they indicate bugs, not
+/// recoverable conditions).
+
+namespace phom {
+
+/// Outcome of a fallible operation.
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kNotSupported,     ///< e.g. requesting a PTIME algorithm outside its cell
+    kResourceExhausted ///< fallback solver exceeded its configured limits
+  };
+
+  Status() : code_(Code::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status Invalid(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(Code::kNotSupported, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(Code::kResourceExhausted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    std::string name;
+    switch (code_) {
+      case Code::kOk: name = "OK"; break;
+      case Code::kInvalidArgument: name = "Invalid"; break;
+      case Code::kNotSupported: name = "NotSupported"; break;
+      case Code::kResourceExhausted: name = "ResourceExhausted"; break;
+    }
+    return name + ": " + message_;
+  }
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  Code code_;
+  std::string message_;
+};
+
+namespace internal {
+[[noreturn]] inline void ThrowCheckFailure(const char* expr, const char* file,
+                                           int line, const std::string& extra) {
+  std::ostringstream os;
+  os << "PHOM_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!extra.empty()) os << " — " << extra;
+  throw std::logic_error(os.str());
+}
+}  // namespace internal
+
+}  // namespace phom
+
+/// Internal invariant check; failure is a bug in this library.
+#define PHOM_CHECK(expr)                                                      \
+  do {                                                                        \
+    if (!(expr)) {                                                            \
+      ::phom::internal::ThrowCheckFailure(#expr, __FILE__, __LINE__, "");     \
+    }                                                                         \
+  } while (0)
+
+#define PHOM_CHECK_MSG(expr, msg)                                             \
+  do {                                                                        \
+    if (!(expr)) {                                                            \
+      std::ostringstream phom_check_os_;                                      \
+      phom_check_os_ << msg;                                                  \
+      ::phom::internal::ThrowCheckFailure(#expr, __FILE__, __LINE__,          \
+                                          phom_check_os_.str());              \
+    }                                                                         \
+  } while (0)
+
+/// Propagate a non-OK Status to the caller.
+#define PHOM_RETURN_NOT_OK(expr)                \
+  do {                                          \
+    ::phom::Status phom_status_ = (expr);       \
+    if (!phom_status_.ok()) return phom_status_; \
+  } while (0)

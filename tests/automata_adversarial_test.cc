@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "src/core/algo_dwt.h"
+#include "src/core/algo_polytree.h"
+#include "src/core/fallback.h"
+#include "src/graph/builders.h"
+#include "src/graph/generators.h"
+
+/// Adversarial shapes for the Prop. 5.4 pipeline: deep chains (recursion /
+/// encoding depth), wide stars (binarization spine length), alternating
+/// zig-zags (no long directed runs), and caterpillars. Parameterized over
+/// the query length.
+
+namespace phom {
+namespace {
+
+class AdversarialShapeTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(AdversarialShapeTest, DeepChain) {
+  uint32_t m = GetParam();
+  // A 600-edge directed chain, every edge probability 1/2: Pr of a run of
+  // length m follows the run-length DP; cross-check automaton vs. DWT DP.
+  ProbGraph h(601);
+  for (int i = 0; i < 600; ++i) {
+    AddEdgeOrDie(&h, i, i + 1, 0, Rational::Half());
+  }
+  PolytreeStats stats;
+  Result<Rational> automaton = SolvePathProbabilityOnPolytree(m, h, &stats);
+  ASSERT_TRUE(automaton.ok());
+  Result<Rational> dp = SolvePathOnDwtForest(
+      std::vector<LabelId>(m, 0), h);
+  ASSERT_TRUE(dp.ok());
+  EXPECT_EQ(*automaton, *dp);
+  EXPECT_GT(stats.encoded_nodes, 600u);
+}
+
+TEST_P(AdversarialShapeTest, WideStar) {
+  uint32_t m = GetParam();
+  // 400 leaves below one root: the ε-spine is long; only m == 1 can match.
+  ProbGraph h = ProbGraph(0);
+  VertexId root = h.AddVertex();
+  Rational miss = Rational::One();
+  for (int i = 0; i < 400; ++i) {
+    VertexId leaf = h.AddVertex();
+    AddEdgeOrDie(&h, root, leaf, 0, Rational(1, 4));
+    miss *= Rational(3, 4);
+  }
+  Result<Rational> p = SolvePathProbabilityOnPolytree(m, h);
+  ASSERT_TRUE(p.ok());
+  if (m == 1) {
+    EXPECT_EQ(*p, miss.Complement());
+  } else {
+    EXPECT_EQ(*p, Rational::Zero());
+  }
+}
+
+TEST_P(AdversarialShapeTest, ZigZag) {
+  uint32_t m = GetParam();
+  // -> <- -> <- ...: no directed run longer than 1.
+  DiGraph shape = MakeArrowPath(RepeatArrows("><", 150));
+  Rng rng(71);
+  ProbGraph h = AttachRandomProbabilities(&rng, shape, 3);
+  Result<Rational> p = SolvePathProbabilityOnPolytree(m, h);
+  ASSERT_TRUE(p.ok());
+  if (m >= 2) {
+    EXPECT_EQ(*p, Rational::Zero());
+  } else {
+    EXPECT_GT(*p, Rational::Zero());
+  }
+}
+
+TEST_P(AdversarialShapeTest, CaterpillarMatchesFallbackAtSmallSize) {
+  uint32_t m = GetParam();
+  // A chain with a leaf at every vertex, small enough for the oracle.
+  Rng rng(72);
+  ProbGraph h(0);
+  VertexId prev = h.AddVertex();
+  for (int i = 0; i < 5; ++i) {
+    VertexId next = h.AddVertex();
+    AddEdgeOrDie(&h, prev, next, 0, rng.NontrivialDyadicProbability(2));
+    VertexId leaf = h.AddVertex();
+    AddEdgeOrDie(&h, next, leaf, 0, rng.NontrivialDyadicProbability(2));
+    prev = next;
+  }
+  Result<Rational> fast = SolvePathProbabilityOnPolytree(m, h);
+  ASSERT_TRUE(fast.ok());
+  Rational oracle = *SolveByWorldEnumeration(MakeOneWayPath(m), h);
+  EXPECT_EQ(*fast, oracle);
+}
+
+INSTANTIATE_TEST_SUITE_P(QueryLengths, AdversarialShapeTest,
+                         ::testing::Values(1, 2, 3, 5, 8));
+
+}  // namespace
+}  // namespace phom

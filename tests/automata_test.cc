@@ -1,0 +1,180 @@
+#include "src/automata/tree_automaton.h"
+
+#include <gtest/gtest.h>
+
+#include "src/automata/binary_encoding.h"
+#include "src/automata/provenance.h"
+#include "src/circuits/dnnf.h"
+#include "src/graph/builders.h"
+#include "src/graph/classify.h"
+#include "src/graph/generators.h"
+
+namespace phom {
+namespace {
+
+/// World of a polytree as a plain DiGraph (kept edges only).
+DiGraph WorldOf(const DiGraph& g, const std::vector<bool>& kept) {
+  DiGraph world(g.num_vertices());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (kept[e]) {
+      const Edge& edge = g.edge(e);
+      AddEdgeOrDie(&world, edge.src, edge.dst, edge.label);
+    }
+  }
+  return world;
+}
+
+TEST(Encoding, FullBinaryAndTopological) {
+  Rng rng(61);
+  for (int trial = 0; trial < 50; ++trial) {
+    ProbGraph h = AttachRandomProbabilities(
+        &rng, RandomPolytree(&rng, 1 + rng.UniformInt(0, 14), 1), 3);
+    Result<EncodedPolytree> enc = EncodePolytree(h);
+    ASSERT_TRUE(enc.ok());
+    for (size_t i = 0; i < enc->nodes.size(); ++i) {
+      const EncodedNode& node = enc->nodes[i];
+      EXPECT_EQ(node.left < 0, node.right < 0);
+      if (node.left >= 0) {
+        EXPECT_LT(node.left, static_cast<int32_t>(i));
+        EXPECT_LT(node.right, static_cast<int32_t>(i));
+      }
+    }
+    // Every instance edge appears exactly once as a source edge.
+    std::vector<int> seen(h.num_edges(), 0);
+    for (const EncodedNode& node : enc->nodes) {
+      if (node.source_edge != EncodedNode::kNoSourceEdge) {
+        ++seen[node.source_edge];
+        EXPECT_NE(node.label, StepLabel::kEps);
+      } else {
+        EXPECT_EQ(node.label, StepLabel::kEps);
+        EXPECT_TRUE(node.prob.is_one());
+      }
+    }
+    for (int s : seen) EXPECT_EQ(s, 1);
+  }
+}
+
+TEST(Encoding, RequiresPolytree) {
+  DiGraph cyclic(3);
+  AddEdgeOrDie(&cyclic, 0, 1, 0);
+  AddEdgeOrDie(&cyclic, 1, 2, 0);
+  AddEdgeOrDie(&cyclic, 2, 0, 0);
+  EXPECT_FALSE(EncodePolytree(ProbGraph::Certain(cyclic)).ok());
+  DiGraph forest = DisjointUnion({MakeOneWayPath(1), MakeOneWayPath(1)});
+  EXPECT_FALSE(EncodePolytree(ProbGraph::Certain(forest)).ok());
+}
+
+TEST(LongestRunAutomaton, StateRoundTrip) {
+  LongestRunAutomaton a(5);
+  for (uint32_t i = 0; i <= 5; ++i) {
+    for (uint32_t j = 0; j <= 5; ++j) {
+      for (uint32_t k = 0; k <= 5; ++k) {
+        uint32_t s = a.Encode(i, j, k);
+        uint32_t i2, j2, k2;
+        a.Decode(s, &i2, &j2, &k2);
+        EXPECT_EQ(i, i2);
+        EXPECT_EQ(j, j2);
+        EXPECT_EQ(k, k2);
+      }
+    }
+  }
+}
+
+TEST(LongestRunAutomaton, AcceptsIffWorldHasPathOfLengthM) {
+  // Exhaustive check over all worlds of random small polytrees: the
+  // automaton run on the encoded world accepts iff the world contains a
+  // directed path with >= m edges.
+  Rng rng(62);
+  for (int trial = 0; trial < 60; ++trial) {
+    size_t n = 1 + rng.UniformInt(1, 7);
+    DiGraph g = RandomPolytree(&rng, n, 1);
+    ProbGraph h = AttachRandomProbabilities(&rng, g, 2);
+    Result<EncodedPolytree> enc = EncodePolytree(h);
+    ASSERT_TRUE(enc.ok());
+    for (uint32_t m = 1; m <= 4; ++m) {
+      LongestRunAutomaton automaton(m);
+      for (uint32_t mask = 0; mask < (1u << g.num_edges()); ++mask) {
+        std::vector<bool> kept(g.num_edges());
+        for (size_t e = 0; e < g.num_edges(); ++e) kept[e] = (mask >> e) & 1;
+        uint32_t root_state = RunOnWorld(
+            automaton, *enc, enc->WorldToNodePresence(kept));
+        bool expected = LongestDirectedPath(WorldOf(g, kept)) >= m;
+        EXPECT_EQ(automaton.IsAccepting(root_state), expected)
+            << "trial " << trial << " m " << m << " mask " << mask;
+      }
+    }
+  }
+}
+
+TEST(Provenance, CircuitIsDnnfAndMatchesSemantics) {
+  Rng rng(63);
+  for (int trial = 0; trial < 40; ++trial) {
+    size_t n = 1 + rng.UniformInt(1, 6);
+    DiGraph g = RandomPolytree(&rng, n, 1);
+    ProbGraph h = AttachRandomProbabilities(&rng, g, 2);
+    Result<EncodedPolytree> enc = EncodePolytree(h);
+    ASSERT_TRUE(enc.ok());
+    uint32_t m = static_cast<uint32_t>(rng.UniformInt(1, 3));
+    LongestRunAutomaton automaton(m);
+    ProvenanceCircuit prov = BuildProvenanceCircuit(automaton, *enc);
+    EXPECT_TRUE(
+        ValidateDecomposability(prov.circuit, prov.root_gate).ok());
+    if (prov.circuit.num_vars() <= 18) {
+      EXPECT_TRUE(
+          ValidateDeterminismExhaustive(prov.circuit, prov.root_gate).ok());
+    }
+    // Circuit value on each possible world == automaton acceptance.
+    for (uint32_t mask = 0; mask < (1u << g.num_edges()); ++mask) {
+      std::vector<bool> kept(g.num_edges());
+      for (size_t e = 0; e < g.num_edges(); ++e) kept[e] = (mask >> e) & 1;
+      // Skip impossible worlds (probability-0/1 branches are pruned).
+      bool possible = true;
+      for (size_t e = 0; e < g.num_edges(); ++e) {
+        if (kept[e] && h.prob(e).is_zero()) possible = false;
+        if (!kept[e] && h.prob(e).is_one()) possible = false;
+      }
+      if (!possible) continue;
+      std::vector<bool> present = enc->WorldToNodePresence(kept);
+      bool circuit_value = prov.circuit.Evaluate(prov.root_gate, present);
+      bool automaton_accepts = automaton.IsAccepting(
+          RunOnWorld(automaton, *enc, present));
+      EXPECT_EQ(circuit_value, automaton_accepts) << trial;
+    }
+  }
+}
+
+TEST(Provenance, ProbabilityMatchesWorldEnumeration) {
+  Rng rng(64);
+  for (int trial = 0; trial < 60; ++trial) {
+    size_t n = 1 + rng.UniformInt(1, 7);
+    DiGraph g = RandomPolytree(&rng, n, 1);
+    ProbGraph h = AttachRandomProbabilities(&rng, g, 2, 0.3);
+    Result<EncodedPolytree> enc = EncodePolytree(h);
+    ASSERT_TRUE(enc.ok());
+    uint32_t m = static_cast<uint32_t>(rng.UniformInt(1, 4));
+    LongestRunAutomaton automaton(m);
+    ProvenanceCircuit prov = BuildProvenanceCircuit(automaton, *enc);
+    Rational circuit_prob =
+        DnnfProbability(prov.circuit, prov.root_gate, prov.var_probs);
+
+    Rational expected = Rational::Zero();
+    for (uint32_t mask = 0; mask < (1u << g.num_edges()); ++mask) {
+      std::vector<bool> kept(g.num_edges());
+      for (size_t e = 0; e < g.num_edges(); ++e) kept[e] = (mask >> e) & 1;
+      if (LongestDirectedPath(WorldOf(g, kept)) >= m) {
+        expected += h.WorldProbability(kept);
+      }
+    }
+    EXPECT_EQ(circuit_prob, expected) << "trial " << trial << " m " << m;
+  }
+}
+
+TEST(LongestDirectedPath, Basics) {
+  EXPECT_EQ(LongestDirectedPath(MakeOneWayPath(4)), 4u);
+  EXPECT_EQ(LongestDirectedPath(DiGraph(3)), 0u);
+  EXPECT_EQ(LongestDirectedPath(MakeArrowPath("><")), 1u);
+  EXPECT_EQ(LongestDirectedPath(MakeDownwardTree({0, 1, 0})), 2u);
+}
+
+}  // namespace
+}  // namespace phom

@@ -1,0 +1,107 @@
+#include "src/circuits/circuit.h"
+
+#include <gtest/gtest.h>
+
+#include "src/circuits/dnnf.h"
+
+namespace phom {
+namespace {
+
+TEST(Circuit, EvaluateBasics) {
+  Circuit c(2);
+  uint32_t x = c.AddVar(0);
+  uint32_t y = c.AddVar(1);
+  uint32_t ny = c.AddNegVar(1);
+  uint32_t both = c.AddAnd({x, y});
+  uint32_t either = c.AddOr({both, ny});
+  EXPECT_TRUE(c.Evaluate(either, {true, true}));
+  EXPECT_TRUE(c.Evaluate(either, {false, false}));
+  EXPECT_FALSE(c.Evaluate(either, {false, true}));
+  EXPECT_EQ(c.NumWires(), 4u);
+}
+
+TEST(Circuit, Constants) {
+  Circuit c(1);
+  uint32_t t = c.AddConst(true);
+  uint32_t f = c.AddConst(false);
+  EXPECT_TRUE(c.Evaluate(t, {false}));
+  EXPECT_FALSE(c.Evaluate(f, {true}));
+  uint32_t empty_and = c.AddAnd({});
+  uint32_t empty_or = c.AddOr({});
+  EXPECT_TRUE(c.Evaluate(empty_and, {false}));
+  EXPECT_FALSE(c.Evaluate(empty_or, {false}));
+}
+
+TEST(Circuit, InputsMustPrecedeGate) {
+  Circuit c(1);
+  EXPECT_THROW(c.AddAnd({5}), std::logic_error);
+}
+
+TEST(Dnnf, ProbabilityOfDecomposableDeterministicCircuit) {
+  // (x AND y) OR (NOT x AND z): deterministic (branches disagree on x),
+  // decomposable (x⊥y, x⊥z).
+  Circuit c(3);
+  uint32_t x = c.AddVar(0);
+  uint32_t nx = c.AddNegVar(0);
+  uint32_t y = c.AddVar(1);
+  uint32_t z = c.AddVar(2);
+  uint32_t a = c.AddAnd({x, y});
+  uint32_t b = c.AddAnd({nx, z});
+  uint32_t root = c.AddOr({a, b});
+  std::vector<Rational> probs{Rational::Half(), Rational(1, 4),
+                              Rational(3, 4)};
+  Rational expected = Rational::Half() * Rational(1, 4) +
+                      Rational::Half() * Rational(3, 4);
+  EXPECT_EQ(DnnfProbability(c, root, probs), expected);
+  EXPECT_TRUE(ValidateDecomposability(c, root).ok());
+  EXPECT_TRUE(ValidateDeterminismExhaustive(c, root).ok());
+}
+
+TEST(Dnnf, DetectsNonDecomposableAnd) {
+  Circuit c(1);
+  uint32_t x = c.AddVar(0);
+  uint32_t x2 = c.AddVar(0);
+  uint32_t root = c.AddAnd({x, x2});
+  EXPECT_FALSE(ValidateDecomposability(c, root).ok());
+}
+
+TEST(Dnnf, DetectsNonDeterministicOr) {
+  Circuit c(2);
+  uint32_t x = c.AddVar(0);
+  uint32_t y = c.AddVar(1);
+  uint32_t root = c.AddOr({x, y});  // both true under (1,1)
+  EXPECT_FALSE(ValidateDeterminismExhaustive(c, root).ok());
+  EXPECT_TRUE(ValidateDecomposability(c, root).ok());  // OR needs no disjointness
+}
+
+TEST(Dnnf, ProbabilityAgreesWithEnumerationOnSmallDnnf) {
+  // Build a small d-DNNF and cross-check probability against brute-force
+  // enumeration of the circuit's models.
+  Circuit c(3);
+  uint32_t x = c.AddVar(0);
+  uint32_t nx = c.AddNegVar(0);
+  uint32_t y = c.AddVar(1);
+  uint32_t ny = c.AddNegVar(1);
+  uint32_t z = c.AddVar(2);
+  uint32_t xy = c.AddAnd({x, y});
+  uint32_t xny = c.AddAnd({x, ny, z});
+  uint32_t nxz = c.AddAnd({nx, z});
+  uint32_t root = c.AddOr({xy, xny, nxz});
+  ASSERT_TRUE(ValidateDeterminismExhaustive(c, root).ok());
+  ASSERT_TRUE(ValidateDecomposability(c, root).ok());
+
+  std::vector<Rational> probs{Rational(1, 3), Rational(2, 5), Rational(1, 7)};
+  Rational expected = Rational::Zero();
+  for (uint32_t mask = 0; mask < 8; ++mask) {
+    std::vector<bool> a(3);
+    for (int i = 0; i < 3; ++i) a[i] = (mask >> i) & 1;
+    if (!c.Evaluate(root, a)) continue;
+    Rational w = Rational::One();
+    for (int i = 0; i < 3; ++i) w *= a[i] ? probs[i] : probs[i].Complement();
+    expected += w;
+  }
+  EXPECT_EQ(DnnfProbability(c, root, probs), expected);
+}
+
+}  // namespace
+}  // namespace phom

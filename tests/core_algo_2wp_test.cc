@@ -1,0 +1,109 @@
+#include "src/core/algo_two_way_path.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/fallback.h"
+#include "src/graph/builders.h"
+#include "src/graph/generators.h"
+
+namespace phom {
+namespace {
+
+TEST(Algo2wp, SingleEdgeQueryOnSingleEdgeInstance) {
+  ProbGraph h(2);
+  AddEdgeOrDie(&h, 0, 1, 0, Rational(1, 3));
+  Rational p = *SolveConnectedOn2wpComponent(MakeOneWayPath(1), h);
+  EXPECT_EQ(p, Rational(1, 3));
+}
+
+TEST(Algo2wp, PathQueryOnPathInstance) {
+  // →→ on →→→ with probs 1/2 each: worlds containing 2 consecutive edges.
+  ProbGraph h(4);
+  for (int i = 0; i < 3; ++i) {
+    AddEdgeOrDie(&h, i, i + 1, 0, Rational::Half());
+  }
+  Rational p = *SolveConnectedOn2wpComponent(MakeOneWayPath(2), h);
+  // Pr(e0e1 or e1e2) = 1/4 + 1/4 - 1/8 = 3/8.
+  EXPECT_EQ(p, Rational(3, 8));
+}
+
+TEST(Algo2wp, QueryLongerThanInstance) {
+  ProbGraph h = ProbGraph::Certain(MakeOneWayPath(2));
+  EXPECT_EQ(*SolveConnectedOn2wpComponent(MakeOneWayPath(3), h),
+            Rational::Zero());
+}
+
+TEST(Algo2wp, OrientationSensitive) {
+  // Query a->b<-c cannot match a one-way instance path of length 2... it can:
+  // collapse c onto a. But ><> needs genuine two-wayness.
+  ProbGraph oneway = ProbGraph::Certain(MakeOneWayPath(2));
+  EXPECT_EQ(*SolveConnectedOn2wpComponent(MakeArrowPath("><"), oneway),
+            Rational::One());
+  EXPECT_EQ(*SolveConnectedOn2wpComponent(MakeArrowPath("><>"), oneway),
+            Rational::One());
+  // Query requiring a sink of in-degree 2 with distinct labels cannot
+  // collapse: use labels.
+  DiGraph q = MakeTwoWayPath({{0, true}, {1, false}});
+  ProbGraph labeled_oneway = ProbGraph::Certain(MakeLabeledPath({0, 0}));
+  EXPECT_EQ(*SolveConnectedOn2wpComponent(q, labeled_oneway),
+            Rational::Zero());
+}
+
+TEST(Algo2wp, StarQueryCollapsesOntoOneEdge) {
+  ProbGraph h(2);
+  AddEdgeOrDie(&h, 0, 1, 0, Rational(2, 5));
+  EXPECT_EQ(*SolveConnectedOn2wpComponent(MakeOutStar(5), h),
+            Rational(2, 5));
+}
+
+TEST(Algo2wp, RejectsBadInputs) {
+  ProbGraph star = ProbGraph::Certain(MakeOutStar(3));
+  EXPECT_FALSE(
+      SolveConnectedOn2wpComponent(MakeOneWayPath(1), star).ok());
+  ProbGraph path = ProbGraph::Certain(MakeOneWayPath(3));
+  DiGraph disconnected = DisjointUnion({MakeOneWayPath(1), MakeOneWayPath(1)});
+  EXPECT_FALSE(SolveConnectedOn2wpComponent(disconnected, path).ok());
+}
+
+TEST(Algo2wp, LineageIsBetaAcyclic) {
+  Rng rng(101);
+  for (int trial = 0; trial < 40; ++trial) {
+    ProbGraph h = AttachRandomProbabilities(
+        &rng, RandomTwoWayPath(&rng, rng.UniformInt(1, 10), 2), 3);
+    DiGraph q = RandomTwoWayPath(&rng, rng.UniformInt(1, 4), 2);
+    MonotoneDnf lineage(0);
+    Result<Rational> p =
+        SolveConnectedOn2wpComponent(q, h, nullptr, &lineage);
+    ASSERT_TRUE(p.ok());
+    EXPECT_TRUE(lineage.IsBetaAcyclic()) << trial;
+  }
+}
+
+TEST(Algo2wp, MatchesWorldEnumerationOnRandomInputs) {
+  Rng rng(102);
+  for (int trial = 0; trial < 150; ++trial) {
+    ProbGraph h = AttachRandomProbabilities(
+        &rng, RandomTwoWayPath(&rng, rng.UniformInt(1, 8), 2), 2, 0.25);
+    DiGraph q = trial % 3 == 0
+                    ? RandomDownwardTree(&rng, rng.UniformInt(2, 5), 2)
+                    : RandomTwoWayPath(&rng, rng.UniformInt(1, 5), 2);
+    TwoWayPathStats stats;
+    Result<Rational> fast = SolveConnectedOn2wpComponent(q, h, &stats);
+    ASSERT_TRUE(fast.ok());
+    Rational brute = *SolveByWorldEnumeration(q, h);
+    EXPECT_EQ(*fast, brute) << "trial " << trial;
+  }
+}
+
+TEST(Algo2wp, TwoPointerStats) {
+  // The sweep should do O(L) homomorphism tests, not O(L^2).
+  Rng rng(103);
+  ProbGraph h = AttachRandomProbabilities(
+      &rng, RandomTwoWayPath(&rng, 60, 1), 3);
+  TwoWayPathStats stats;
+  ASSERT_TRUE(SolveConnectedOn2wpComponent(MakeOneWayPath(3), h, &stats).ok());
+  EXPECT_LE(stats.hom_tests, 2 * 60 + 2u);
+}
+
+}  // namespace
+}  // namespace phom

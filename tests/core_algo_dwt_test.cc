@@ -1,0 +1,148 @@
+#include "src/core/algo_dwt.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/fallback.h"
+#include "src/graph/builders.h"
+#include "src/graph/classify.h"
+#include "src/graph/generators.h"
+
+namespace phom {
+namespace {
+
+TEST(AlgoDwt, SingleEdge) {
+  ProbGraph h(2);
+  AddEdgeOrDie(&h, 0, 1, 0, Rational(1, 4));
+  EXPECT_EQ(*SolvePathOnDwtForest({0}, h), Rational(1, 4));
+  // Wrong label: no match.
+  EXPECT_EQ(*SolvePathOnDwtForest({1}, h), Rational::Zero());
+}
+
+TEST(AlgoDwt, ChainOfTwo) {
+  ProbGraph h(3);
+  AddEdgeOrDie(&h, 0, 1, 0, Rational::Half());
+  AddEdgeOrDie(&h, 1, 2, 0, Rational::Half());
+  EXPECT_EQ(*SolvePathOnDwtForest({0, 0}, h), Rational(1, 4));
+  EXPECT_EQ(*SolvePathOnDwtForest({0}, h), Rational(3, 4));
+}
+
+TEST(AlgoDwt, LabelSequenceMustMatchExactly) {
+  // Tree path R-S; query S-R never matches.
+  ProbGraph h(3);
+  AddEdgeOrDie(&h, 0, 1, 0, Rational::One());
+  AddEdgeOrDie(&h, 1, 2, 1, Rational::One());
+  EXPECT_EQ(*SolvePathOnDwtForest({0, 1}, h), Rational::One());
+  EXPECT_EQ(*SolvePathOnDwtForest({1, 0}, h), Rational::Zero());
+}
+
+TEST(AlgoDwt, BranchingTree) {
+  // Root 0 with children 1, 2; both edges prob 1/2; query = single edge.
+  ProbGraph h(3);
+  AddEdgeOrDie(&h, 0, 1, 0, Rational::Half());
+  AddEdgeOrDie(&h, 0, 2, 0, Rational::Half());
+  EXPECT_EQ(*SolvePathOnDwtForest({0}, h), Rational(3, 4));
+}
+
+TEST(AlgoDwt, ForestCombinesComponents) {
+  // Two independent single-edge trees with prob 1/2 each.
+  ProbGraph h(4);
+  AddEdgeOrDie(&h, 0, 1, 0, Rational::Half());
+  AddEdgeOrDie(&h, 2, 3, 0, Rational::Half());
+  EXPECT_EQ(*SolvePathOnDwtForest({0}, h), Rational(3, 4));
+}
+
+TEST(AlgoDwt, RejectsNonForest) {
+  ProbGraph h(3);
+  AddEdgeOrDie(&h, 0, 2, 0, Rational::One());
+  AddEdgeOrDie(&h, 1, 2, 0, Rational::One());  // in-degree 2
+  EXPECT_FALSE(SolvePathOnDwtForest({0}, h).ok());
+}
+
+TEST(AlgoDwt, KmpOverlappingMatches) {
+  // Pattern RR on a chain RRR: matches end at depth 2 and 3.
+  ProbGraph h(4);
+  for (int i = 0; i < 3; ++i) {
+    AddEdgeOrDie(&h, i, i + 1, 0, Rational::Half());
+  }
+  DwtStats stats;
+  Rational p = *SolvePathOnDwtForest({0, 0}, h, &stats);
+  EXPECT_EQ(stats.match_ends, 2u);
+  EXPECT_EQ(p, Rational(3, 8));
+}
+
+TEST(AlgoDwt, DirectDpMatchesLineageEngine) {
+  Rng rng(111);
+  for (int trial = 0; trial < 100; ++trial) {
+    ProbGraph h = AttachRandomProbabilities(
+        &rng, RandomDownwardTree(&rng, rng.UniformInt(2, 14), 2, 0.5), 2,
+        0.3);
+    size_t m = rng.UniformInt(1, 4);
+    std::vector<LabelId> pattern;
+    for (size_t i = 0; i < m; ++i) {
+      pattern.push_back(static_cast<LabelId>(rng.UniformInt(0, 1)));
+    }
+    Rational direct = *SolvePathOnDwtForest(pattern, h);
+    MonotoneDnf lineage(0);
+    Rational via_lineage =
+        *SolvePathOnDwtForestViaLineage(pattern, h, &lineage);
+    EXPECT_EQ(direct, via_lineage) << trial;
+    EXPECT_TRUE(lineage.IsBetaAcyclic()) << trial;  // Prop. 4.10's key fact
+  }
+}
+
+TEST(AlgoDwt, MatchesWorldEnumeration) {
+  Rng rng(112);
+  for (int trial = 0; trial < 100; ++trial) {
+    ProbGraph h = AttachRandomProbabilities(
+        &rng, RandomDownwardTree(&rng, rng.UniformInt(2, 9), 2, 0.5), 2);
+    size_t m = rng.UniformInt(1, 3);
+    std::vector<LabelId> pattern;
+    for (size_t i = 0; i < m; ++i) {
+      pattern.push_back(static_cast<LabelId>(rng.UniformInt(0, 1)));
+    }
+    DiGraph q = MakeLabeledPath(pattern);
+    Rational fast = *SolvePathOnDwtForest(pattern, h);
+    Rational brute = *SolveByWorldEnumeration(q, h);
+    EXPECT_EQ(fast, brute) << "trial " << trial;
+  }
+}
+
+TEST(AlgoDwtUnlabeled, GradedCollapse) {
+  // Prop. 3.6: a balanced diamond query (difference of levels 2) on a chain.
+  DiGraph diamond(4);
+  AddEdgeOrDie(&diamond, 0, 1, 0);
+  AddEdgeOrDie(&diamond, 0, 2, 0);
+  AddEdgeOrDie(&diamond, 1, 3, 0);
+  AddEdgeOrDie(&diamond, 2, 3, 0);
+  ProbGraph h(3);
+  AddEdgeOrDie(&h, 0, 1, 0, Rational::Half());
+  AddEdgeOrDie(&h, 1, 2, 0, Rational::Half());
+  // Equivalent to →→ on forests: Pr = 1/4.
+  EXPECT_EQ(*SolveUnlabeledOnDwtForest(diamond, h), Rational(1, 4));
+}
+
+TEST(AlgoDwtUnlabeled, NonGradedQueryHasProbabilityZero) {
+  DiGraph jumping(3);
+  AddEdgeOrDie(&jumping, 0, 1, 0);
+  AddEdgeOrDie(&jumping, 1, 2, 0);
+  AddEdgeOrDie(&jumping, 0, 2, 0);
+  ProbGraph h = ProbGraph::Certain(MakeOneWayPath(5));
+  EXPECT_EQ(*SolveUnlabeledOnDwtForest(jumping, h), Rational::Zero());
+}
+
+TEST(AlgoDwtUnlabeled, MatchesWorldEnumerationOnArbitraryQueries) {
+  Rng rng(113);
+  for (int trial = 0; trial < 80; ++trial) {
+    ProbGraph h = AttachRandomProbabilities(
+        &rng, RandomDownwardTree(&rng, rng.UniformInt(2, 8), 1, 0.5), 2);
+    // Random connected-or-not unlabeled query, possibly cyclic.
+    DiGraph q = trial % 4 == 0 ? RandomConnected(&rng, 4, 2, 1)
+                               : RandomPolytree(&rng, rng.UniformInt(2, 5), 1);
+    Rational fast = *SolveUnlabeledOnDwtForest(q, h);
+    Rational brute = *SolveByWorldEnumeration(q, h);
+    EXPECT_EQ(fast, brute) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace phom

@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "src/core/phom.h"
+
+/// Golden regression corpus: fixed seeded instances across the dichotomy's
+/// cells with their exact probabilities pinned. Any future change to the
+/// generators, the arithmetic, or any algorithm that alters one of these
+/// bit-exact rationals is a regression (or a deliberate, documented change).
+
+namespace phom {
+namespace {
+
+TEST(Golden, UnlabeledPathOnPolytree) {
+  Rng rng(7);
+  ProbGraph h = AttachRandomProbabilities(&rng, RandomPolytree(&rng, 40, 1), 4);
+  EXPECT_EQ(*SolveProbability(MakeOneWayPath(5), h),
+            *Rational::FromString("7405970523/274877906944"));
+}
+
+TEST(Golden, LabeledPathOnDownwardTree) {
+  Rng rng(8);
+  ProbGraph h =
+      AttachRandomProbabilities(&rng, RandomDownwardTree(&rng, 60, 2, 0.5), 4);
+  DiGraph q = RandomOneWayPath(&rng, 3, 2);
+  EXPECT_EQ(*SolveProbability(q, h),
+            *Rational::FromString("1076418867/4294967296"));
+}
+
+TEST(Golden, TwoWayPathQueryOnTwoWayPath) {
+  Rng rng(9);
+  ProbGraph h =
+      AttachRandomProbabilities(&rng, RandomTwoWayPath(&rng, 50, 2), 4);
+  DiGraph q = RandomTwoWayPath(&rng, 4, 2);
+  EXPECT_EQ(*SolveProbability(q, h), *Rational::FromString("3375/4096"));
+}
+
+TEST(Golden, GradedDiamondOnDownwardTree) {
+  Rng rng(10);
+  ProbGraph h =
+      AttachRandomProbabilities(&rng, RandomDownwardTree(&rng, 30, 1, 0.6), 4);
+  DiGraph q(4);
+  AddEdgeOrDie(&q, 0, 1, 0);
+  AddEdgeOrDie(&q, 0, 2, 0);
+  AddEdgeOrDie(&q, 1, 3, 0);
+  AddEdgeOrDie(&q, 2, 3, 0);
+  EXPECT_EQ(*SolveProbability(q, h),
+            *Rational::FromString(
+                "309468788518854059628001681/309485009821345068724781056"));
+}
+
+TEST(Golden, DisconnectedLabeledQueryViaFallback) {
+  Rng rng(11);
+  ProbGraph h =
+      AttachRandomProbabilities(&rng, RandomOneWayPath(&rng, 10, 2), 4);
+  DiGraph q = DisjointUnion(
+      {RandomOneWayPath(&rng, 2, 2), RandomOneWayPath(&rng, 2, 2)});
+  EXPECT_EQ(*SolveProbability(q, h),
+            *Rational::FromString("1423225819/4294967296"));
+}
+
+TEST(Golden, PaperExampleIsForever574) {
+  // Examples 2.1-2.2, once more, as a permanent anchor.
+  DiGraph query(4);
+  AddEdgeOrDie(&query, 0, 1, 0);
+  AddEdgeOrDie(&query, 1, 2, 1);
+  AddEdgeOrDie(&query, 3, 2, 1);
+  ProbGraph instance(4);
+  AddEdgeOrDie(&instance, 0, 1, 0, Rational(1, 10));
+  AddEdgeOrDie(&instance, 3, 1, 0, Rational(4, 5));
+  AddEdgeOrDie(&instance, 1, 2, 1, Rational(7, 10));
+  AddEdgeOrDie(&instance, 0, 3, 0, Rational::One());
+  AddEdgeOrDie(&instance, 2, 3, 0, Rational(1, 20));
+  AddEdgeOrDie(&instance, 2, 0, 1, Rational(1, 10));
+  EXPECT_EQ(*SolveProbability(query, instance), Rational(287, 500));
+}
+
+}  // namespace
+}  // namespace phom

@@ -1,0 +1,79 @@
+#include "src/core/monte_carlo.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/solver.h"
+#include "src/graph/builders.h"
+#include "src/graph/generators.h"
+
+namespace phom {
+namespace {
+
+TEST(MonteCarlo, DegenerateProbabilities) {
+  ProbGraph h(3);
+  AddEdgeOrDie(&h, 0, 1, 0, Rational::One());
+  AddEdgeOrDie(&h, 1, 2, 0, Rational::One());
+  MonteCarloOptions options;
+  options.samples = 200;
+  Result<MonteCarloEstimate> e = EstimateProbabilityMonteCarlo(
+      MakeOneWayPath(2), h, /*seed=*/7, options);
+  ASSERT_TRUE(e.ok());
+  EXPECT_DOUBLE_EQ(e->estimate, 1.0);
+  EXPECT_EQ(e->hits, 200u);
+
+  ProbGraph h0(3);
+  AddEdgeOrDie(&h0, 0, 1, 0, Rational::Zero());
+  AddEdgeOrDie(&h0, 1, 2, 0, Rational::One());
+  e = EstimateProbabilityMonteCarlo(MakeOneWayPath(2), h0, 7, options);
+  ASSERT_TRUE(e.ok());
+  EXPECT_DOUBLE_EQ(e->estimate, 0.0);
+}
+
+TEST(MonteCarlo, ConvergesToExactAnswer) {
+  Rng rng(401);
+  for (int trial = 0; trial < 6; ++trial) {
+    ProbGraph h = AttachRandomProbabilities(
+        &rng, RandomPolytree(&rng, 8, 1), 3);
+    DiGraph q = MakeOneWayPath(2);
+    double exact = SolveProbability(q, h)->ToDouble();
+    MonteCarloOptions options;
+    options.samples = 40'000;
+    Result<MonteCarloEstimate> e =
+        EstimateProbabilityMonteCarlo(q, h, 1000 + trial, options);
+    ASSERT_TRUE(e.ok());
+    // 5 sigma-ish margin: half_width_95 is ~2 sigma, use 3x.
+    EXPECT_NEAR(e->estimate, exact,
+                3.0 * e->half_width_95 + 1e-3)
+        << "trial " << trial;
+  }
+}
+
+TEST(MonteCarlo, DeterministicPerSeed) {
+  Rng rng(402);
+  ProbGraph h = AttachRandomProbabilities(&rng, RandomPolytree(&rng, 6, 1), 2);
+  DiGraph q = MakeOneWayPath(1);
+  MonteCarloOptions options;
+  options.samples = 500;
+  MonteCarloEstimate a =
+      *EstimateProbabilityMonteCarlo(q, h, 42, options);
+  MonteCarloEstimate b =
+      *EstimateProbabilityMonteCarlo(q, h, 42, options);
+  EXPECT_EQ(a.hits, b.hits);
+  MonteCarloEstimate c =
+      *EstimateProbabilityMonteCarlo(q, h, 43, options);
+  // Different seed: almost surely different hit count on 500 samples; allow
+  // equality but check the API plumbed the seed through (estimates finite).
+  EXPECT_GE(c.samples, 500u);
+}
+
+TEST(MonteCarlo, RejectsZeroSamples) {
+  ProbGraph h(2);
+  AddEdgeOrDie(&h, 0, 1, 0, Rational::Half());
+  MonteCarloOptions options;
+  options.samples = 0;
+  EXPECT_FALSE(
+      EstimateProbabilityMonteCarlo(MakeOneWayPath(1), h, 1, options).ok());
+}
+
+}  // namespace
+}  // namespace phom

@@ -1,0 +1,83 @@
+#include "src/db/tid_database.h"
+
+#include <gtest/gtest.h>
+
+namespace phom {
+namespace {
+
+TEST(TidDatabase, FactsAndLookups) {
+  TidDatabase db;
+  ASSERT_TRUE(db.AddFact("Friend", "alice", "bob", Rational(9, 10)).ok());
+  ASSERT_TRUE(db.AddCertainFact("Likes", "bob", "jazz").ok());
+  EXPECT_EQ(db.num_constants(), 3u);
+  EXPECT_EQ(db.num_facts(), 2u);
+  EXPECT_EQ(db.FactProbability("Friend", "alice", "bob"), Rational(9, 10));
+  EXPECT_EQ(db.FactProbability("Likes", "bob", "jazz"), Rational::One());
+  EXPECT_EQ(db.FactProbability("Friend", "bob", "alice"), Rational::Zero());
+  EXPECT_EQ(db.FactProbability("Hates", "alice", "bob"), Rational::Zero());
+}
+
+TEST(TidDatabase, RejectsBadFacts) {
+  TidDatabase db;
+  EXPECT_FALSE(db.AddFact("R", "a", "b", Rational(3, 2)).ok());
+  ASSERT_TRUE(db.AddFact("R", "a", "b", Rational::Half()).ok());
+  // One fact per ordered pair (arity-two signature, no multi-edges).
+  EXPECT_FALSE(db.AddFact("S", "a", "b", Rational::Half()).ok());
+  EXPECT_TRUE(db.AddFact("S", "b", "a", Rational::Half()).ok());
+}
+
+TEST(TidDatabase, EvaluatesJoinQuery) {
+  TidDatabase db;
+  ASSERT_TRUE(db.AddFact("Friend", "alice", "bob", Rational(1, 2)).ok());
+  ASSERT_TRUE(db.AddFact("Likes", "bob", "jazz", Rational(1, 2)).ok());
+  ASSERT_TRUE(db.AddFact("Likes", "carol", "jazz", Rational(1, 2)).ok());
+  // ∃xyz Friend(x,y) ∧ Likes(y,z): needs Friend(alice,bob) ∧ Likes(bob,jazz).
+  Result<Rational> p = db.EvaluateProbability("Friend(x,y), Likes(y,z)");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_EQ(*p, Rational(1, 4));
+  // ∃yz Likes(y,z): either Likes fact.
+  EXPECT_EQ(*db.EvaluateProbability("Likes(y,z)"), Rational(3, 4));
+}
+
+TEST(TidDatabase, UnknownRelationNeverMatches) {
+  TidDatabase db;
+  ASSERT_TRUE(db.AddFact("R", "a", "b", Rational::Half()).ok());
+  EXPECT_EQ(*db.EvaluateProbability("Missing(x,y)"), Rational::Zero());
+  // ...and does not corrupt the database's own relation ids.
+  EXPECT_EQ(*db.EvaluateProbability("R(x,y)"), Rational::Half());
+}
+
+TEST(TidDatabase, PaperExampleThroughTheRelationalView) {
+  TidDatabase db;
+  ASSERT_TRUE(db.AddFact("R", "a", "b", *Rational::FromString("0.1")).ok());
+  ASSERT_TRUE(db.AddFact("R", "d", "b", *Rational::FromString("0.8")).ok());
+  ASSERT_TRUE(db.AddFact("S", "b", "c", *Rational::FromString("0.7")).ok());
+  ASSERT_TRUE(db.AddCertainFact("R", "a", "d").ok());
+  ASSERT_TRUE(db.AddFact("R", "c", "d", *Rational::FromString("0.05")).ok());
+  ASSERT_TRUE(db.AddFact("S", "c", "a", *Rational::FromString("0.1")).ok());
+  Result<SolveResult> result = db.Evaluate("R(x,y), S(y,z), S(t,z)");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->probability, Rational(287, 500));
+}
+
+TEST(TidDatabase, DichotomyAnalysisSurfaces) {
+  TidDatabase db;
+  // A chain of Parent facts: a DWT instance; path queries are Prop. 4.10.
+  ASSERT_TRUE(db.AddFact("Parent", "a", "b", Rational(1, 2)).ok());
+  ASSERT_TRUE(db.AddFact("Parent", "b", "c", Rational(1, 2)).ok());
+  Result<SolveResult> result = db.Evaluate("Parent(x,y), Parent(y,z)");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->analysis.tractable);
+  EXPECT_EQ(result->probability, Rational(1, 4));
+}
+
+TEST(TidDatabase, SelfJoinVariableReuse) {
+  TidDatabase db;
+  ASSERT_TRUE(db.AddFact("E", "a", "a", Rational::Half()).ok());
+  ASSERT_TRUE(db.AddFact("E", "a", "b", Rational::Half()).ok());
+  // ∃x E(x,x): only the self-loop.
+  EXPECT_EQ(*db.EvaluateProbability("E(x,x)"), Rational::Half());
+}
+
+}  // namespace
+}  // namespace phom

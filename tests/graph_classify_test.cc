@@ -1,0 +1,190 @@
+#include "src/graph/classify.h"
+
+#include <gtest/gtest.h>
+
+#include "src/graph/builders.h"
+#include "src/graph/generators.h"
+
+namespace phom {
+namespace {
+
+TEST(Classify, SingleVertexIsInEveryClass) {
+  DiGraph g(1);
+  EXPECT_TRUE(IsOneWayPath(g));
+  EXPECT_TRUE(IsTwoWayPath(g));
+  EXPECT_TRUE(IsDownwardTree(g));
+  EXPECT_TRUE(IsPolytree(g));
+  EXPECT_TRUE(IsConnected(g));
+  EXPECT_EQ(Classify(g).finest, GraphClass::kOneWayPath);
+}
+
+TEST(Classify, OneWayPath) {
+  DiGraph g = MakeOneWayPath(3);
+  EXPECT_TRUE(IsOneWayPath(g));
+  EXPECT_TRUE(IsTwoWayPath(g));
+  EXPECT_TRUE(IsDownwardTree(g));
+  EXPECT_TRUE(IsPolytree(g));
+  EXPECT_EQ(Classify(g).finest, GraphClass::kOneWayPath);
+}
+
+TEST(Classify, TwoWayPathProper) {
+  DiGraph g = MakeArrowPath("><>");
+  EXPECT_FALSE(IsOneWayPath(g));
+  EXPECT_TRUE(IsTwoWayPath(g));
+  EXPECT_FALSE(IsDownwardTree(g));  // a <- b pattern gives in-degree 2 or root x2
+  EXPECT_TRUE(IsPolytree(g));
+  EXPECT_EQ(Classify(g).finest, GraphClass::kTwoWayPath);
+}
+
+TEST(Classify, DownwardTreeProper) {
+  // Root with three children: not a path.
+  DiGraph g = MakeOutStar(3);
+  EXPECT_FALSE(IsOneWayPath(g));
+  EXPECT_FALSE(IsTwoWayPath(g));
+  EXPECT_TRUE(IsDownwardTree(g));
+  EXPECT_TRUE(IsPolytree(g));
+  EXPECT_EQ(Classify(g).finest, GraphClass::kDownwardTree);
+  EXPECT_EQ(DownwardTreeRoot(g), 0u);
+}
+
+TEST(Classify, TwoLeafStarIsBoth2wpAndDwt) {
+  // 1 <- 0 -> 2 is simultaneously a 2WP and a DWT (but not a 1WP): the
+  // overlap of the two classes is the out-directed paths, not just 1WPs.
+  DiGraph g = MakeOutStar(2);
+  EXPECT_FALSE(IsOneWayPath(g));
+  EXPECT_TRUE(IsTwoWayPath(g));
+  EXPECT_TRUE(IsDownwardTree(g));
+}
+
+TEST(Classify, PolytreeProper) {
+  // Branching (vertex 1 has three neighbors) + two-wayness (in-degree 2).
+  DiGraph g(4);
+  AddEdgeOrDie(&g, 0, 1, 0);
+  AddEdgeOrDie(&g, 2, 1, 0);
+  AddEdgeOrDie(&g, 1, 3, 0);
+  EXPECT_FALSE(IsTwoWayPath(g));
+  EXPECT_FALSE(IsDownwardTree(g));
+  EXPECT_TRUE(IsPolytree(g));
+  EXPECT_EQ(Classify(g).finest, GraphClass::kPolytree);
+}
+
+TEST(Classify, CycleIsOnlyConnected) {
+  DiGraph g(3);
+  AddEdgeOrDie(&g, 0, 1, 0);
+  AddEdgeOrDie(&g, 1, 2, 0);
+  AddEdgeOrDie(&g, 2, 0, 0);
+  EXPECT_FALSE(IsPolytree(g));
+  EXPECT_TRUE(IsConnected(g));
+  EXPECT_EQ(Classify(g).finest, GraphClass::kConnected);
+}
+
+TEST(Classify, AntiParallelPairRejectedFromTreeClasses) {
+  DiGraph g(2);
+  AddEdgeOrDie(&g, 0, 1, 0);
+  AddEdgeOrDie(&g, 1, 0, 0);
+  EXPECT_FALSE(IsOneWayPath(g));
+  EXPECT_FALSE(IsTwoWayPath(g));
+  EXPECT_FALSE(IsDownwardTree(g));
+  EXPECT_FALSE(IsPolytree(g));
+  EXPECT_TRUE(IsConnected(g));
+}
+
+TEST(Classify, SelfLoop) {
+  DiGraph g(1);
+  AddEdgeOrDie(&g, 0, 0, 0);
+  EXPECT_FALSE(IsOneWayPath(g));
+  EXPECT_FALSE(IsTwoWayPath(g));
+  EXPECT_FALSE(IsDownwardTree(g));
+  EXPECT_FALSE(IsPolytree(g));
+  EXPECT_EQ(Classify(g).finest, GraphClass::kConnected);
+}
+
+TEST(Classify, DisconnectedUnions) {
+  DiGraph u = DisjointUnion({MakeOneWayPath(2), MakeArrowPath("><")});
+  Classification c = Classify(u);
+  EXPECT_FALSE(c.connected);
+  EXPECT_EQ(c.num_components, 2u);
+  EXPECT_FALSE(c.all_1wp);
+  EXPECT_TRUE(c.all_2wp);
+  EXPECT_FALSE(c.all_dwt);
+  EXPECT_TRUE(c.all_pt);
+  EXPECT_EQ(c.finest, GraphClass::kGeneral);
+}
+
+TEST(Classify, MixedUnion) {
+  DiGraph u = DisjointUnion({MakeOutStar(3), MakeArrowPath("><")});
+  Classification c = Classify(u);
+  EXPECT_FALSE(c.all_2wp);  // the star is not a 2WP
+  EXPECT_FALSE(c.all_dwt);  // >< is not a DWT
+  EXPECT_TRUE(c.all_pt);
+}
+
+TEST(Classify, InclusionDiagramOnRandomGraphs) {
+  // Figure 2: 1WP ⊆ 2WP, 1WP ⊆ DWT, 2WP ⊆ PT, DWT ⊆ PT, PT ⊆ Connected.
+  Rng rng(99);
+  for (int trial = 0; trial < 300; ++trial) {
+    DiGraph g = RandomPolytree(&rng, 1 + rng.UniformInt(0, 9), 2);
+    if (IsOneWayPath(g)) {
+      EXPECT_TRUE(IsTwoWayPath(g));
+      EXPECT_TRUE(IsDownwardTree(g));
+    }
+    if (IsTwoWayPath(g)) {
+      EXPECT_TRUE(IsPolytree(g));
+    }
+    if (IsDownwardTree(g)) {
+      EXPECT_TRUE(IsPolytree(g));
+    }
+    if (IsPolytree(g)) {
+      EXPECT_TRUE(IsConnected(g));
+    }
+  }
+}
+
+TEST(Classify, OverlapOf2wpAndDwtIsOutDirectedPaths) {
+  // A graph in 2WP ∩ DWT is a path whose edges all point away from a single
+  // source vertex (so every vertex has in-degree <= 1 and out-degree <= 2).
+  Rng rng(100);
+  for (int trial = 0; trial < 300; ++trial) {
+    DiGraph g = RandomPolytree(&rng, 1 + rng.UniformInt(0, 9), 1);
+    if (IsTwoWayPath(g) && IsDownwardTree(g)) {
+      size_t sources = 0;
+      for (VertexId v = 0; v < g.num_vertices(); ++v) {
+        EXPECT_LE(g.InDegree(v), 1u);
+        EXPECT_LE(g.OutDegree(v), 2u);
+        if (g.InDegree(v) == 0) ++sources;
+      }
+      EXPECT_EQ(sources, 1u) << trial;
+    }
+  }
+}
+
+TEST(TwoWayPathOrder, WalksThePath) {
+  DiGraph g = MakeArrowPath("><>");
+  std::vector<VertexId> order = TwoWayPathOrder(g);
+  ASSERT_EQ(order.size(), 4u);
+  // Consecutive vertices in the order are adjacent in the graph.
+  for (size_t i = 0; i + 1 < order.size(); ++i) {
+    bool adj = g.FindEdge(order[i], order[i + 1]).has_value() ||
+               g.FindEdge(order[i + 1], order[i]).has_value();
+    EXPECT_TRUE(adj);
+  }
+}
+
+TEST(OneWayPathLabels, ReadsLabelsInOrder) {
+  DiGraph g = MakeLabeledPath({5, 3, 5});
+  EXPECT_EQ(OneWayPathLabels(g), (std::vector<LabelId>{5, 3, 5}));
+}
+
+TEST(ConnectedComponents, SortedBySmallestVertex) {
+  DiGraph g(5);
+  AddEdgeOrDie(&g, 4, 3, 0);
+  AddEdgeOrDie(&g, 0, 1, 0);
+  auto comps = ConnectedComponents(g);
+  ASSERT_EQ(comps.size(), 3u);
+  EXPECT_EQ(comps[0], (std::vector<VertexId>{0, 1}));
+  EXPECT_EQ(comps[1], (std::vector<VertexId>{2}));
+  EXPECT_EQ(comps[2], (std::vector<VertexId>{3, 4}));
+}
+
+}  // namespace
+}  // namespace phom

@@ -1,0 +1,73 @@
+#include "src/graph/cq_parser.h"
+
+#include <gtest/gtest.h>
+
+#include "src/hom/equivalence.h"
+
+namespace phom {
+namespace {
+
+TEST(CqParser, PaperExampleQuery) {
+  Alphabet alphabet;
+  Result<ParsedQuery> q =
+      ParseConjunctiveQuery("R(x,y), S(y,z), S(t,z)", &alphabet);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->graph.num_vertices(), 4u);
+  EXPECT_EQ(q->graph.num_edges(), 3u);
+  EXPECT_EQ(q->variables, (std::vector<std::string>{"x", "y", "z", "t"}));
+  LabelId r = *alphabet.Find("R");
+  LabelId s = *alphabet.Find("S");
+  EXPECT_TRUE(q->graph.HasEdge(0, 1, r));
+  EXPECT_TRUE(q->graph.HasEdge(1, 2, s));
+  EXPECT_TRUE(q->graph.HasEdge(3, 2, s));
+}
+
+TEST(CqParser, WhitespaceAndTrailingComma) {
+  Alphabet alphabet;
+  Result<ParsedQuery> q =
+      ParseConjunctiveQuery("  U( a , b ) ,U(b,c), ", &alphabet);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->graph.num_edges(), 2u);
+}
+
+TEST(CqParser, SelfLoopAndRepeatedAtoms) {
+  Alphabet alphabet;
+  Result<ParsedQuery> q =
+      ParseConjunctiveQuery("R(x,x), R(x,x)", &alphabet);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->graph.num_vertices(), 1u);
+  EXPECT_EQ(q->graph.num_edges(), 1u);  // idempotent repetition
+}
+
+TEST(CqParser, ConflictingLabelsRejected) {
+  Alphabet alphabet;
+  Result<ParsedQuery> q = ParseConjunctiveQuery("R(x,y), S(x,y)", &alphabet);
+  EXPECT_FALSE(q.ok());
+}
+
+TEST(CqParser, SyntaxErrors) {
+  Alphabet alphabet;
+  EXPECT_FALSE(ParseConjunctiveQuery("", &alphabet).ok());
+  EXPECT_FALSE(ParseConjunctiveQuery("R(x)", &alphabet).ok());
+  EXPECT_FALSE(ParseConjunctiveQuery("R(x,y,z)", &alphabet).ok());
+  EXPECT_FALSE(ParseConjunctiveQuery("R(x,y) S(y,z)", &alphabet).ok());
+  EXPECT_FALSE(ParseConjunctiveQuery("R(x,y", &alphabet).ok());
+  EXPECT_FALSE(ParseConjunctiveQuery("(x,y)", &alphabet).ok());
+}
+
+TEST(CqParser, RoundTripThroughFormat) {
+  Alphabet alphabet;
+  Result<ParsedQuery> q =
+      ParseConjunctiveQuery("R(x,y), S(y,z), T(z,x)", &alphabet);
+  ASSERT_TRUE(q.ok());
+  std::string text = FormatConjunctiveQuery(q->graph, alphabet,
+                                            &q->variables);
+  Alphabet alphabet2;
+  Result<ParsedQuery> q2 = ParseConjunctiveQuery(text, &alphabet2);
+  ASSERT_TRUE(q2.ok()) << text;
+  EXPECT_EQ(q->graph.num_edges(), q2->graph.num_edges());
+  EXPECT_TRUE(*AreEquivalent(q->graph, q2->graph));
+}
+
+}  // namespace
+}  // namespace phom

@@ -1,0 +1,133 @@
+#include "src/graph/digraph.h"
+
+#include <gtest/gtest.h>
+
+#include "src/graph/alphabet.h"
+#include "src/graph/prob_graph.h"
+
+namespace phom {
+namespace {
+
+TEST(DiGraph, AddVerticesAndEdges) {
+  DiGraph g(3);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EdgeId e = AddEdgeOrDie(&g, 0, 1, 5);
+  EXPECT_EQ(g.edge(e).src, 0u);
+  EXPECT_EQ(g.edge(e).dst, 1u);
+  EXPECT_EQ(g.edge(e).label, 5u);
+  EXPECT_EQ(g.OutDegree(0), 1u);
+  EXPECT_EQ(g.InDegree(1), 1u);
+  EXPECT_EQ(g.UndirectedDegree(0), 1u);
+  VertexId v = g.AddVertex();
+  EXPECT_EQ(v, 3u);
+  EXPECT_EQ(g.num_vertices(), 4u);
+}
+
+TEST(DiGraph, RejectsMultiEdgesAndBadEndpoints) {
+  DiGraph g(2);
+  AddEdgeOrDie(&g, 0, 1, 0);
+  EXPECT_FALSE(g.AddEdge(0, 1, 1).ok());  // same ordered pair, even new label
+  EXPECT_TRUE(g.AddEdge(1, 0, 0).ok());   // reverse pair is fine
+  EXPECT_FALSE(g.AddEdge(0, 2, 0).ok());
+  EXPECT_FALSE(g.AddEdge(5, 0, 0).ok());
+}
+
+TEST(DiGraph, AllowsSelfLoops) {
+  DiGraph g(1);
+  EXPECT_TRUE(g.AddEdge(0, 0, 0).ok());
+  EXPECT_EQ(g.OutDegree(0), 1u);
+  EXPECT_EQ(g.InDegree(0), 1u);
+}
+
+TEST(DiGraph, FindAndHasEdge) {
+  DiGraph g(3);
+  AddEdgeOrDie(&g, 0, 1, 2);
+  ASSERT_TRUE(g.FindEdge(0, 1).has_value());
+  EXPECT_FALSE(g.FindEdge(1, 0).has_value());
+  EXPECT_TRUE(g.HasEdge(0, 1, 2));
+  EXPECT_FALSE(g.HasEdge(0, 1, 3));
+  EXPECT_FALSE(g.HasEdge(0, 2, 2));
+}
+
+TEST(DiGraph, UsedLabels) {
+  DiGraph g(4);
+  AddEdgeOrDie(&g, 0, 1, 7);
+  AddEdgeOrDie(&g, 1, 2, 3);
+  AddEdgeOrDie(&g, 2, 3, 7);
+  EXPECT_EQ(g.UsedLabels(), (std::vector<LabelId>{3, 7}));
+  EXPECT_FALSE(g.UsesSingleLabel());
+  DiGraph single(2);
+  AddEdgeOrDie(&single, 0, 1, 9);
+  EXPECT_TRUE(single.UsesSingleLabel());
+  EXPECT_TRUE(DiGraph(3).UsesSingleLabel());
+}
+
+TEST(Alphabet, InternAndLookup) {
+  Alphabet a;
+  LabelId r = a.Intern("R");
+  LabelId s = a.Intern("S");
+  EXPECT_NE(r, s);
+  EXPECT_EQ(a.Intern("R"), r);
+  EXPECT_EQ(a.Name(r), "R");
+  EXPECT_EQ(*a.Find("S"), s);
+  EXPECT_FALSE(a.Find("T").has_value());
+  EXPECT_EQ(a.size(), 2u);
+}
+
+TEST(ProbGraph, ProbabilityBookkeeping) {
+  ProbGraph g(3);
+  AddEdgeOrDie(&g, 0, 1, 0, Rational::Half());
+  AddEdgeOrDie(&g, 1, 2, 0, Rational::One());
+  EXPECT_EQ(g.prob(0), Rational::Half());
+  EXPECT_EQ(g.NumUncertainEdges(), 1u);
+  EXPECT_FALSE(g.AddEdge(0, 2, 0, Rational(3, 2)).ok());
+}
+
+TEST(ProbGraph, WorldProbability) {
+  ProbGraph g(3);
+  AddEdgeOrDie(&g, 0, 1, 0, Rational::Half());
+  AddEdgeOrDie(&g, 1, 2, 0, Rational(1, 4));
+  EXPECT_EQ(g.WorldProbability({true, true}), Rational(1, 8));
+  EXPECT_EQ(g.WorldProbability({true, false}), Rational(3, 8));
+  EXPECT_EQ(g.WorldProbability({false, false}), Rational(3, 8));
+  // All four worlds sum to 1.
+  Rational total = g.WorldProbability({true, true}) +
+                   g.WorldProbability({true, false}) +
+                   g.WorldProbability({false, true}) +
+                   g.WorldProbability({false, false});
+  EXPECT_EQ(total, Rational::One());
+}
+
+TEST(ProbGraph, RestrictToLabelsKeepsVertices) {
+  ProbGraph g(4);
+  AddEdgeOrDie(&g, 0, 1, 0, Rational::Half());
+  AddEdgeOrDie(&g, 1, 2, 1, Rational::Half());
+  AddEdgeOrDie(&g, 2, 3, 0, Rational(1, 4));
+  ProbGraph restricted = g.RestrictToLabels({0});
+  EXPECT_EQ(restricted.num_vertices(), 4u);
+  EXPECT_EQ(restricted.num_edges(), 2u);
+  EXPECT_EQ(restricted.prob(1), Rational(1, 4));
+}
+
+TEST(SplitComponents, MapsBackToOriginalIds) {
+  ProbGraph g(5);
+  AddEdgeOrDie(&g, 0, 1, 0, Rational::Half());
+  AddEdgeOrDie(&g, 3, 2, 1, Rational(1, 4));
+  // vertex 4 isolated.
+  std::vector<ComponentView> comps = SplitComponents(g);
+  ASSERT_EQ(comps.size(), 3u);
+  EXPECT_EQ(comps[0].vertex_map, (std::vector<VertexId>{0, 1}));
+  EXPECT_EQ(comps[1].vertex_map, (std::vector<VertexId>{2, 3}));
+  EXPECT_EQ(comps[2].vertex_map, (std::vector<VertexId>{4}));
+  EXPECT_EQ(comps[0].graph.num_edges(), 1u);
+  EXPECT_EQ(comps[1].graph.num_edges(), 1u);
+  EXPECT_EQ(comps[1].graph.prob(0), Rational(1, 4));
+  EXPECT_EQ(comps[1].edge_map, (std::vector<EdgeId>{1}));
+  // Edge direction preserved: 3 -> 2 maps to local 1 -> 0.
+  EXPECT_EQ(comps[1].graph.graph().edge(0).src, 1u);
+  EXPECT_EQ(comps[1].graph.graph().edge(0).dst, 0u);
+}
+
+}  // namespace
+}  // namespace phom

@@ -1,0 +1,113 @@
+#include "src/graph/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "src/graph/builders.h"
+#include "src/graph/classify.h"
+#include "src/graph/graded.h"
+
+namespace phom {
+namespace {
+
+TEST(Generators, RandomOneWayPathIsOneWayPath) {
+  Rng rng(1);
+  for (size_t edges : {0u, 1u, 5u, 30u}) {
+    DiGraph g = RandomOneWayPath(&rng, edges, 3);
+    EXPECT_TRUE(IsOneWayPath(g)) << edges;
+    EXPECT_EQ(g.num_edges(), edges);
+  }
+}
+
+TEST(Generators, RandomTwoWayPathIsTwoWayPath) {
+  Rng rng(2);
+  for (int trial = 0; trial < 50; ++trial) {
+    DiGraph g = RandomTwoWayPath(&rng, rng.UniformInt(0, 20), 3);
+    EXPECT_TRUE(IsTwoWayPath(g));
+  }
+}
+
+TEST(Generators, RandomDownwardTreeIsDwt) {
+  Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    DiGraph g = RandomDownwardTree(&rng, 1 + rng.UniformInt(0, 30), 2);
+    EXPECT_TRUE(IsDownwardTree(g));
+  }
+}
+
+TEST(Generators, DepthBiasDeepensTrees) {
+  Rng rng(4);
+  auto height = [](const DiGraph& g) {
+    return AnalyzeGraded(g).difference_of_levels;
+  };
+  int64_t shallow = 0;
+  int64_t deep = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    shallow += height(RandomDownwardTree(&rng, 60, 1, 0.0));
+    deep += height(RandomDownwardTree(&rng, 60, 1, 0.9));
+  }
+  EXPECT_GT(deep, shallow);
+}
+
+TEST(Generators, RandomPolytreeIsPolytree) {
+  Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    DiGraph g = RandomPolytree(&rng, 1 + rng.UniformInt(0, 30), 2);
+    EXPECT_TRUE(IsPolytree(g));
+  }
+}
+
+TEST(Generators, RandomConnectedIsConnectedAndUsuallyNotPolytree) {
+  Rng rng(6);
+  size_t non_polytrees = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    DiGraph g = RandomConnected(&rng, 12, 6, 2);
+    EXPECT_TRUE(IsConnected(g));
+    if (!IsPolytree(g)) ++non_polytrees;
+  }
+  EXPECT_GT(non_polytrees, 20u);
+}
+
+TEST(Generators, RandomDisjointUnionComponentCount) {
+  Rng rng(7);
+  DiGraph g = RandomDisjointUnion(
+      &rng, 4, [](Rng* r) { return RandomOneWayPath(r, 2, 1); });
+  Classification c = Classify(g);
+  EXPECT_EQ(c.num_components, 4u);
+  EXPECT_TRUE(c.all_1wp);
+}
+
+TEST(Generators, RandomGradedDagIsGraded) {
+  Rng rng(8);
+  for (int trial = 0; trial < 20; ++trial) {
+    DiGraph g = RandomGradedDag(&rng, 30, 5, 0.3, 1);
+    EXPECT_TRUE(AnalyzeGraded(g).is_graded);
+  }
+}
+
+TEST(Generators, AttachRandomProbabilitiesRange) {
+  Rng rng(9);
+  ProbGraph g =
+      AttachRandomProbabilities(&rng, RandomOneWayPath(&rng, 50, 1), 4, 0.5);
+  size_t certain = 0;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_TRUE(g.prob(e).IsProbability());
+    EXPECT_FALSE(g.prob(e).is_zero());
+    if (g.prob(e).is_one()) ++certain;
+  }
+  EXPECT_GT(certain, 10u);
+  EXPECT_LT(certain, 45u);
+}
+
+TEST(Generators, Deterministic) {
+  Rng rng1(42);
+  Rng rng2(42);
+  DiGraph a = RandomPolytree(&rng1, 20, 3);
+  DiGraph b = RandomPolytree(&rng2, 20, 3);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (EdgeId e = 0; e < a.num_edges(); ++e) {
+    EXPECT_EQ(a.edge(e), b.edge(e));
+  }
+}
+
+}  // namespace
+}  // namespace phom

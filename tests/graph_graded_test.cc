@@ -1,0 +1,113 @@
+#include "src/graph/graded.h"
+
+#include <gtest/gtest.h>
+
+#include "src/graph/builders.h"
+
+namespace phom {
+namespace {
+
+TEST(Graded, PathIsGraded) {
+  GradedAnalysis a = AnalyzeGraded(MakeOneWayPath(4));
+  ASSERT_TRUE(a.is_graded);
+  EXPECT_EQ(a.difference_of_levels, 4);
+  // Levels decrease along the path, shifted so the minimum is 0.
+  EXPECT_EQ(a.levels, (std::vector<int64_t>{4, 3, 2, 1, 0}));
+}
+
+TEST(Graded, TwoWayPathLevels) {
+  // a -> b <- c: a and c sit one level above b.
+  DiGraph g = MakeArrowPath("><");
+  GradedAnalysis a = AnalyzeGraded(g);
+  ASSERT_TRUE(a.is_graded);
+  EXPECT_EQ(a.difference_of_levels, 1);
+}
+
+TEST(Graded, DwtDifferenceEqualsHeight) {
+  // Root, a child, a grandchild, plus a second child of the root.
+  DiGraph g = MakeDownwardTree({0, 1, 0});
+  GradedAnalysis a = AnalyzeGraded(g);
+  ASSERT_TRUE(a.is_graded);
+  EXPECT_EQ(a.difference_of_levels, 2);
+}
+
+TEST(Graded, DirectedCycleIsNotGraded) {
+  DiGraph g(3);
+  AddEdgeOrDie(&g, 0, 1, 0);
+  AddEdgeOrDie(&g, 1, 2, 0);
+  AddEdgeOrDie(&g, 2, 0, 0);
+  EXPECT_FALSE(AnalyzeGraded(g).is_graded);
+}
+
+TEST(Graded, SelfLoopIsNotGraded) {
+  DiGraph g(1);
+  AddEdgeOrDie(&g, 0, 0, 0);
+  EXPECT_FALSE(AnalyzeGraded(g).is_graded);
+}
+
+TEST(Graded, JumpingEdgeIsNotGraded) {
+  // Two directed u->v paths of different lengths (a "diamond" with a chord).
+  DiGraph g(3);
+  AddEdgeOrDie(&g, 0, 1, 0);
+  AddEdgeOrDie(&g, 1, 2, 0);
+  AddEdgeOrDie(&g, 0, 2, 0);  // jumps a level
+  EXPECT_FALSE(AnalyzeGraded(g).is_graded);
+}
+
+TEST(Graded, BalancedDiamondIsGraded) {
+  // u -> a -> w and u -> b -> w: both paths have length 2.
+  DiGraph g(4);
+  AddEdgeOrDie(&g, 0, 1, 0);
+  AddEdgeOrDie(&g, 0, 2, 0);
+  AddEdgeOrDie(&g, 1, 3, 0);
+  AddEdgeOrDie(&g, 2, 3, 0);
+  GradedAnalysis a = AnalyzeGraded(g);
+  ASSERT_TRUE(a.is_graded);
+  EXPECT_EQ(a.difference_of_levels, 2);
+}
+
+TEST(Graded, Figure6Dag) {
+  // The DAG of Figure 6: levels 5..0 with one vertex per level depicted on a
+  // zig-zag; reconstruct a graded DAG whose difference of levels (5) exceeds
+  // the longest root-to-leaf distance from any single root.
+  DiGraph g(6);
+  AddEdgeOrDie(&g, 0, 1, 0);  // level 5 -> 4
+  AddEdgeOrDie(&g, 2, 1, 0);  // level 5 -> 4 (second root)
+  AddEdgeOrDie(&g, 1, 3, 0);  // 4 -> 3
+  AddEdgeOrDie(&g, 4, 5, 0);  // separate component chain: 1 -> 0
+  GradedAnalysis a = AnalyzeGraded(g);
+  ASSERT_TRUE(a.is_graded);
+  EXPECT_EQ(a.difference_of_levels, 2);
+  // Per-component shift: both components have a vertex at level 0.
+  EXPECT_EQ(*std::min_element(a.levels.begin(), a.levels.begin() + 4), 0);
+  EXPECT_EQ(*std::min_element(a.levels.begin() + 4, a.levels.end()), 0);
+}
+
+TEST(Graded, DisconnectedTakesMaxDifference) {
+  DiGraph g = DisjointUnion({MakeOneWayPath(2), MakeOneWayPath(5)});
+  GradedAnalysis a = AnalyzeGraded(g);
+  ASSERT_TRUE(a.is_graded);
+  EXPECT_EQ(a.difference_of_levels, 5);
+}
+
+TEST(Graded, EdgelessGraph) {
+  GradedAnalysis a = AnalyzeGraded(DiGraph(3));
+  ASSERT_TRUE(a.is_graded);
+  EXPECT_EQ(a.difference_of_levels, 0);
+}
+
+TEST(Graded, LevelMappingSatisfiesEdgeConstraint) {
+  DiGraph g(5);
+  AddEdgeOrDie(&g, 0, 1, 0);
+  AddEdgeOrDie(&g, 2, 1, 0);
+  AddEdgeOrDie(&g, 2, 3, 0);
+  AddEdgeOrDie(&g, 4, 3, 0);
+  GradedAnalysis a = AnalyzeGraded(g);
+  ASSERT_TRUE(a.is_graded);
+  for (const Edge& e : g.edges()) {
+    EXPECT_EQ(a.levels[e.dst], a.levels[e.src] - 1);
+  }
+}
+
+}  // namespace
+}  // namespace phom

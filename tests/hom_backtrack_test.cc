@@ -1,0 +1,124 @@
+#include "src/hom/backtrack.h"
+
+#include <gtest/gtest.h>
+
+#include "src/graph/builders.h"
+#include "src/graph/generators.h"
+#include "src/hom/equivalence.h"
+
+namespace phom {
+namespace {
+
+TEST(Backtrack, PathIntoLongerPath) {
+  EXPECT_TRUE(*HasHomomorphism(MakeOneWayPath(2), MakeOneWayPath(5)));
+  EXPECT_FALSE(*HasHomomorphism(MakeOneWayPath(6), MakeOneWayPath(5)));
+}
+
+TEST(Backtrack, LabelsMustMatch) {
+  DiGraph q = MakeLabeledPath({0, 1});
+  EXPECT_TRUE(*HasHomomorphism(q, MakeLabeledPath({0, 1, 0})));
+  EXPECT_TRUE(*HasHomomorphism(q, MakeLabeledPath({1, 0, 1, 0})));
+  EXPECT_TRUE(*HasHomomorphism(q, MakeLabeledPath({1, 0, 1})));
+  // No 1-labeled edge at all: the second query edge has no image.
+  EXPECT_FALSE(*HasHomomorphism(q, MakeLabeledPath({0, 0})));
+  // 0 and 1 edges exist but never consecutively in the right order.
+  EXPECT_FALSE(*HasHomomorphism(q, MakeLabeledPath({1, 0})));
+}
+
+TEST(Backtrack, DirectionMatters) {
+  // a->b<-c collapses onto a single edge (a,c -> x; b -> y)...
+  EXPECT_TRUE(*HasHomomorphism(MakeArrowPath("><"), MakeOneWayPath(1)));
+  // ...but >>< needs two consecutive forward edges (difference of levels 2).
+  EXPECT_FALSE(*HasHomomorphism(MakeArrowPath(">><"), MakeOneWayPath(1)));
+  EXPECT_TRUE(*HasHomomorphism(MakeArrowPath(">><"), MakeOneWayPath(2)));
+  EXPECT_TRUE(*HasHomomorphism(MakeOutStar(3), MakeOneWayPath(1)));
+}
+
+TEST(Backtrack, StarCollapsesOntoEdge) {
+  // A DWT query maps onto a single edge iff its height is 1.
+  EXPECT_TRUE(*HasHomomorphism(MakeOutStar(4), MakeOneWayPath(1)));
+  DiGraph deep = MakeDownwardTree({0, 1});  // height 2
+  EXPECT_FALSE(*HasHomomorphism(deep, MakeOneWayPath(1)));
+}
+
+TEST(Backtrack, DirectedCycleQueryOnAcyclicInstance) {
+  DiGraph cycle(3);
+  AddEdgeOrDie(&cycle, 0, 1, 0);
+  AddEdgeOrDie(&cycle, 1, 2, 0);
+  AddEdgeOrDie(&cycle, 2, 0, 0);
+  EXPECT_FALSE(*HasHomomorphism(cycle, MakeOneWayPath(10)));
+  // But a cycle maps into a cycle of dividing length.
+  DiGraph hexagon(6);
+  for (int i = 0; i < 6; ++i) {
+    AddEdgeOrDie(&hexagon, i, (i + 1) % 6, 0);
+  }
+  EXPECT_TRUE(*HasHomomorphism(hexagon, cycle));
+  EXPECT_FALSE(*HasHomomorphism(cycle, hexagon));
+}
+
+TEST(Backtrack, DisconnectedQuery) {
+  DiGraph q = DisjointUnion({MakeLabeledPath({0}), MakeLabeledPath({1})});
+  DiGraph h1 = MakeLabeledPath({0, 1});
+  EXPECT_TRUE(*HasHomomorphism(q, h1));
+  DiGraph h2 = MakeLabeledPath({0, 0});
+  EXPECT_FALSE(*HasHomomorphism(q, h2));
+}
+
+TEST(Backtrack, EmptyGraphs) {
+  EXPECT_TRUE(*HasHomomorphism(DiGraph(0), MakeOneWayPath(2)));
+  EXPECT_TRUE(*HasHomomorphism(DiGraph(3), MakeOneWayPath(2)));  // isolated
+  EXPECT_FALSE(*HasHomomorphism(DiGraph(1), DiGraph(0)));
+}
+
+TEST(Backtrack, CountHomomorphisms) {
+  // →^1 into →^3: three edges, each a homomorphism image.
+  uint64_t count = *ForEachHomomorphism(
+      MakeOneWayPath(1), MakeOneWayPath(3),
+      [](const std::vector<VertexId>&) { return true; });
+  EXPECT_EQ(count, 3u);
+  // Isolated query vertex multiplies by |V(H)|.
+  DiGraph q(2);
+  AddEdgeOrDie(&q, 0, 1, 0);
+  VertexId iso = q.AddVertex();
+  (void)iso;
+  count = *ForEachHomomorphism(
+      q, MakeOneWayPath(3),
+      [](const std::vector<VertexId>&) { return true; });
+  EXPECT_EQ(count, 12u);  // 3 edge images x 4 vertices
+}
+
+TEST(Backtrack, CallbackEarlyStop) {
+  uint64_t seen = 0;
+  uint64_t count = *ForEachHomomorphism(
+      MakeOneWayPath(1), MakeOneWayPath(5),
+      [&seen](const std::vector<VertexId>&) { return ++seen < 2; });
+  EXPECT_EQ(count, 2u);
+}
+
+TEST(Backtrack, StepLimit) {
+  BacktrackOptions options;
+  options.max_steps = 10;
+  Rng rng(5);
+  DiGraph big = RandomDownwardTree(&rng, 200, 1);
+  Result<bool> r = HasHomomorphism(MakeOneWayPath(8), big, options);
+  // Either it finishes within 10 steps or reports exhaustion.
+  if (!r.ok()) {
+    EXPECT_EQ(r.status().code(), Status::Code::kResourceExhausted);
+  }
+}
+
+TEST(Equivalence, DwtEquivalentToItsHeightPath) {
+  // Prop. 5.5: a DWT is equivalent to →^height in the unlabeled setting.
+  DiGraph tree = MakeDownwardTree({0, 0, 1, 1, 2});  // height 2
+  EXPECT_TRUE(*AreEquivalent(tree, MakeOneWayPath(2)));
+  EXPECT_FALSE(*AreEquivalent(tree, MakeOneWayPath(3)));
+  EXPECT_FALSE(*AreEquivalent(tree, MakeOneWayPath(1)));
+}
+
+TEST(Equivalence, LabeledPathsNotEquivalent) {
+  EXPECT_FALSE(*AreEquivalent(MakeLabeledPath({0, 1}), MakeLabeledPath({1, 0})));
+  EXPECT_TRUE(*AreEquivalent(MakeLabeledPath({0, 1}), MakeLabeledPath({0, 1})));
+}
+
+}  // namespace
+}  // namespace phom

@@ -1,0 +1,113 @@
+#include "src/hom/arc_consistency.h"
+
+#include <gtest/gtest.h>
+
+#include "src/graph/builders.h"
+#include "src/graph/classify.h"
+#include "src/graph/generators.h"
+#include "src/hom/backtrack.h"
+
+namespace phom {
+namespace {
+
+TEST(XProperty, PathsHaveTheXProperty) {
+  // Prop. 4.11's proof: 2WPs trivially satisfy Definition 4.12 w.r.t. the
+  // path order.
+  Rng rng(31);
+  for (int trial = 0; trial < 40; ++trial) {
+    DiGraph g = RandomTwoWayPath(&rng, rng.UniformInt(1, 12), 2);
+    EXPECT_TRUE(HasXProperty(g, TwoWayPathOrder(g)));
+  }
+}
+
+TEST(XProperty, ViolationDetected) {
+  // Crossing edges without the completion edge: n0=0 < n1=1, n2=2 < n3=3,
+  // 0->3 and 1->2 but no 0->2.
+  DiGraph g(4);
+  AddEdgeOrDie(&g, 0, 3, 0);
+  AddEdgeOrDie(&g, 1, 2, 0);
+  EXPECT_FALSE(HasXProperty(g, {0, 1, 2, 3}));
+  // Adding the min edge restores it.
+  AddEdgeOrDie(&g, 0, 2, 0);
+  EXPECT_TRUE(HasXProperty(g, {0, 1, 2, 3}));
+}
+
+TEST(XProperty, SimpleDecisions) {
+  DiGraph path = MakeArrowPath(">><");
+  std::vector<VertexId> order = TwoWayPathOrder(path);
+  EXPECT_TRUE(
+      XPropertyHomomorphism(MakeOneWayPath(2), path, order).has_hom);
+  EXPECT_FALSE(
+      XPropertyHomomorphism(MakeOneWayPath(3), path, order).has_hom);
+  EXPECT_TRUE(XPropertyHomomorphism(MakeArrowPath("><"), path, order).has_hom);
+}
+
+TEST(XProperty, WitnessIsAHomomorphism) {
+  Rng rng(37);
+  for (int trial = 0; trial < 100; ++trial) {
+    DiGraph instance = RandomTwoWayPath(&rng, rng.UniformInt(1, 10), 2);
+    DiGraph query = RandomTwoWayPath(&rng, rng.UniformInt(1, 5), 2);
+    std::vector<VertexId> order = TwoWayPathOrder(instance);
+    XPropertyHomResult result =
+        XPropertyHomomorphism(query, instance, order);
+    if (result.has_hom) {
+      for (const Edge& qe : query.edges()) {
+        EXPECT_TRUE(instance.HasEdge(result.witness[qe.src],
+                                     result.witness[qe.dst], qe.label));
+      }
+    }
+  }
+}
+
+TEST(XProperty, AgreesWithBacktrackingOnRandomPaths) {
+  Rng rng(41);
+  for (int trial = 0; trial < 300; ++trial) {
+    DiGraph instance = RandomTwoWayPath(&rng, rng.UniformInt(1, 9), 2);
+    DiGraph query = trial % 2 == 0
+                        ? RandomTwoWayPath(&rng, rng.UniformInt(1, 6), 2)
+                        : RandomDownwardTree(&rng, rng.UniformInt(2, 7), 2);
+    std::vector<VertexId> order = TwoWayPathOrder(instance);
+    bool ac = XPropertyHomomorphism(query, instance, order).has_hom;
+    bool bt = *HasHomomorphism(query, instance);
+    EXPECT_EQ(ac, bt) << "trial " << trial;
+  }
+}
+
+TEST(XProperty, DomainRestrictionMatchesSubpath) {
+  // Restricting domains to a window of the path equals testing against the
+  // induced subpath.
+  Rng rng(43);
+  for (int trial = 0; trial < 150; ++trial) {
+    DiGraph instance = RandomTwoWayPath(&rng, rng.UniformInt(3, 9), 2);
+    DiGraph query = RandomTwoWayPath(&rng, rng.UniformInt(1, 4), 2);
+    std::vector<VertexId> order = TwoWayPathOrder(instance);
+    size_t a = rng.UniformInt(0, order.size() - 2);
+    size_t b = rng.UniformInt(a + 1, order.size() - 1);
+    std::vector<VertexId> window(order.begin() + a, order.begin() + b + 1);
+    bool ac =
+        XPropertyHomomorphism(query, instance, order, window).has_hom;
+
+    // Build the induced subpath explicitly.
+    DiGraph sub(window.size());
+    for (size_t i = 0; i + 1 < window.size(); ++i) {
+      if (auto e = instance.FindEdge(order[a + i], order[a + i + 1])) {
+        AddEdgeOrDie(&sub, i, i + 1, instance.edge(*e).label);
+      } else if (auto e2 = instance.FindEdge(order[a + i + 1], order[a + i])) {
+        AddEdgeOrDie(&sub, i + 1, i, instance.edge(*e2).label);
+      }
+    }
+    bool bt = *HasHomomorphism(query, sub);
+    EXPECT_EQ(ac, bt) << "trial " << trial;
+  }
+}
+
+TEST(XProperty, EmptyQueryAndInstance) {
+  DiGraph path = MakeOneWayPath(2);
+  EXPECT_TRUE(
+      XPropertyHomomorphism(DiGraph(0), path, TwoWayPathOrder(path)).has_hom);
+  EXPECT_FALSE(XPropertyHomomorphism(MakeOneWayPath(1), DiGraph(0), {})
+                   .has_hom);
+}
+
+}  // namespace
+}  // namespace phom

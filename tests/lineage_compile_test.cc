@@ -1,0 +1,156 @@
+#include "src/lineage/dnf_compile.h"
+
+#include <gtest/gtest.h>
+
+#include "src/circuits/dnnf.h"
+#include "src/core/algo_dwt.h"
+#include "src/core/algo_two_way_path.h"
+#include "src/graph/builders.h"
+#include "src/graph/generators.h"
+#include "src/lineage/dnf_prob.h"
+
+namespace phom {
+namespace {
+
+std::vector<Rational> RandomProbs(Rng* rng, uint32_t n) {
+  std::vector<Rational> probs;
+  for (uint32_t i = 0; i < n; ++i) probs.push_back(rng->DyadicProbability(3));
+  return probs;
+}
+
+TEST(DnfCompile, Constants) {
+  MonotoneDnf f(2);
+  DnnfCompilation c = *CompileDnfToDnnf(f);
+  EXPECT_FALSE(c.circuit.Evaluate(c.root_gate, {false, false}));
+  f.AddClause({});
+  c = *CompileDnfToDnnf(f);
+  EXPECT_TRUE(c.circuit.Evaluate(c.root_gate, {true, false}));
+}
+
+TEST(DnfCompile, ComputesTheSameBooleanFunction) {
+  Rng rng(501);
+  for (int trial = 0; trial < 120; ++trial) {
+    uint32_t n = static_cast<uint32_t>(rng.UniformInt(1, 8));
+    MonotoneDnf f(n);
+    for (int c = 0, k = rng.UniformInt(1, 5); c < k; ++c) {
+      std::vector<uint32_t> clause;
+      for (int i = 0, w = rng.UniformInt(1, 3); i < w; ++i) {
+        clause.push_back(static_cast<uint32_t>(rng.UniformInt(0, n - 1)));
+      }
+      f.AddClause(std::move(clause));
+    }
+    DnnfCompilation compiled = *CompileDnfToDnnf(f);
+    for (uint32_t mask = 0; mask < (1u << n); ++mask) {
+      std::vector<bool> a(n);
+      for (uint32_t i = 0; i < n; ++i) a[i] = (mask >> i) & 1;
+      EXPECT_EQ(compiled.circuit.Evaluate(compiled.root_gate, a),
+                f.EvaluatesTrue(a))
+          << trial << " mask " << mask;
+    }
+  }
+}
+
+TEST(DnfCompile, OutputIsDnnf) {
+  Rng rng(502);
+  for (int trial = 0; trial < 60; ++trial) {
+    uint32_t n = static_cast<uint32_t>(rng.UniformInt(2, 10));
+    MonotoneDnf f(n);
+    for (int c = 0, k = rng.UniformInt(1, 5); c < k; ++c) {
+      std::vector<uint32_t> clause;
+      for (int i = 0, w = rng.UniformInt(1, 3); i < w; ++i) {
+        clause.push_back(static_cast<uint32_t>(rng.UniformInt(0, n - 1)));
+      }
+      f.AddClause(std::move(clause));
+    }
+    DnnfCompilation compiled = *CompileDnfToDnnf(f);
+    EXPECT_TRUE(
+        ValidateDecomposability(compiled.circuit, compiled.root_gate).ok())
+        << trial;
+    if (n <= 12) {
+      EXPECT_TRUE(ValidateDeterminismExhaustive(compiled.circuit,
+                                                compiled.root_gate)
+                      .ok())
+          << trial;
+    }
+  }
+}
+
+TEST(DnfCompile, ProbabilityAgreesWithShannonEngine) {
+  Rng rng(503);
+  for (int trial = 0; trial < 80; ++trial) {
+    uint32_t n = static_cast<uint32_t>(rng.UniformInt(1, 9));
+    MonotoneDnf f(n);
+    for (int c = 0, k = rng.UniformInt(1, 5); c < k; ++c) {
+      std::vector<uint32_t> clause;
+      for (int i = 0, w = rng.UniformInt(1, 3); i < w; ++i) {
+        clause.push_back(static_cast<uint32_t>(rng.UniformInt(0, n - 1)));
+      }
+      f.AddClause(std::move(clause));
+    }
+    std::vector<Rational> probs = RandomProbs(&rng, n);
+    DnnfCompilation compiled = *CompileDnfToDnnf(f);
+    Rational via_circuit =
+        DnnfProbability(compiled.circuit, compiled.root_gate, probs);
+    EXPECT_EQ(via_circuit, *DnfProbabilityShannon(f, probs)) << trial;
+  }
+}
+
+TEST(DnfCompile, TwoWayPathLineagesCompileSmall) {
+  // Prop. 4.11 lineages (interval DNFs) should compile to circuits of size
+  // polynomial in the path length; empirically near-linear gate counts.
+  Rng rng(504);
+  size_t gates_at_64 = 0;
+  size_t gates_at_256 = 0;
+  for (size_t n : {64u, 256u}) {
+    ProbGraph h = AttachRandomProbabilities(
+        &rng, RandomTwoWayPath(&rng, n, 1), 3);
+    MonotoneDnf lineage(0);
+    ASSERT_TRUE(SolveConnectedOn2wpComponent(MakeArrowPath("><>"), h, nullptr,
+                                             &lineage)
+                    .ok());
+    DnnfCompilation compiled = *CompileDnfToDnnf(lineage);
+    if (n == 64) gates_at_64 = compiled.circuit.num_gates();
+    if (n == 256) gates_at_256 = compiled.circuit.num_gates();
+  }
+  // 4x input growth should not blow up gate count by more than ~8x.
+  EXPECT_LT(gates_at_256, 8 * gates_at_64 + 64);
+}
+
+TEST(DnfCompile, DwtLineagesCompileViaComponentRule) {
+  // Prop. 4.10 lineages: rootward path clauses in a branching tree need the
+  // disjoint-component construction for polynomial size.
+  Rng rng(505);
+  ProbGraph h = AttachRandomProbabilities(
+      &rng, RandomDownwardTree(&rng, 200, 1, 0.3), 3);
+  MonotoneDnf lineage(0);
+  ASSERT_TRUE(
+      SolvePathOnDwtForestViaLineage({0, 0}, h, &lineage).ok());
+  ShannonOptions options;
+  DnnfCompilation compiled = *CompileDnfToDnnf(lineage, options);
+  EXPECT_GT(compiled.stats.component_splits, 0u);
+  // Probability through the compiled circuit equals the direct DP.
+  Rational via_circuit =
+      DnnfProbability(compiled.circuit, compiled.root_gate, h.probs());
+  EXPECT_EQ(via_circuit, *SolvePathOnDwtForest({0, 0}, h));
+}
+
+TEST(DnfCompile, StateLimit) {
+  Rng rng(506);
+  uint32_t n = 30;
+  MonotoneDnf f(n);
+  for (int c = 0; c < 40; ++c) {
+    std::vector<uint32_t> clause;
+    for (int i = 0; i < 6; ++i) {
+      clause.push_back(static_cast<uint32_t>(rng.UniformInt(0, n - 1)));
+    }
+    f.AddClause(std::move(clause));
+  }
+  ShannonOptions options;
+  options.max_states = 4;
+  Result<DnnfCompilation> r = CompileDnfToDnnf(f, options);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace phom

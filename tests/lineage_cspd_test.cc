@@ -1,0 +1,117 @@
+#include "src/lineage/cspd.h"
+
+#include <gtest/gtest.h>
+
+#include "src/lineage/dnf_prob.h"
+#include "src/util/rng.h"
+
+namespace phom {
+namespace {
+
+TEST(WeightedConstraint, SupportAndDefault) {
+  WeightedConstraint c({2, 0}, Rational(1, 3));
+  EXPECT_EQ(c.vars(), (std::vector<uint32_t>{0, 2}));  // sorted scope
+  c.SetWeight(0b01, Rational(5));  // var 0 = 1, var 2 = 0
+  EXPECT_EQ(c.Weight(0b01), Rational(5));
+  EXPECT_EQ(c.Weight(0b10), Rational(1, 3));  // default
+  std::vector<bool> valuation{true, false, false};
+  EXPECT_EQ(c.WeightUnder(valuation), Rational(5));
+}
+
+TEST(WeightedConstraint, RejectsNegativeWeights) {
+  EXPECT_THROW(WeightedConstraint({0}, Rational(-1)), std::logic_error);
+  WeightedConstraint c({0}, Rational::One());
+  EXPECT_THROW(c.SetWeight(0, Rational(-1, 2)), std::logic_error);
+}
+
+TEST(CspdInstance, PartitionFunctionByHand) {
+  // One variable, weights 1/4 (true) and 3/4 (false): w = 1.
+  CspdInstance instance(1);
+  WeightedConstraint c({0}, Rational::Zero());
+  c.SetWeight(1, Rational(1, 4));
+  c.SetWeight(0, Rational(3, 4));
+  instance.AddConstraint(c);
+  EXPECT_EQ(instance.PartitionFunctionBruteForce(), Rational::One());
+
+  // Add a hard constraint forbidding x = 1: w = 3/4.
+  WeightedConstraint forbid({0}, Rational::One());
+  forbid.SetWeight(1, Rational::Zero());
+  instance.AddConstraint(forbid);
+  EXPECT_EQ(instance.PartitionFunctionBruteForce(), Rational(3, 4));
+}
+
+TEST(CspdInstance, HypergraphMirrorsScopes) {
+  CspdInstance instance(3);
+  WeightedConstraint a({0, 1}, Rational::One());
+  WeightedConstraint b({1, 2}, Rational::One());
+  instance.AddConstraint(a);
+  instance.AddConstraint(b);
+  EXPECT_EQ(instance.ToHypergraph().num_hyperedges(), 2u);
+  EXPECT_TRUE(instance.IsBetaAcyclic());
+}
+
+TEST(Encoding, PaperIdentityOnHandDnf) {
+  // ϕ = x0x1 ∨ x2 with π = (1/2, 1/3, 1/4).
+  MonotoneDnf dnf(3);
+  dnf.AddClause({0, 1});
+  dnf.AddClause({2});
+  std::vector<Rational> probs{Rational(1, 2), Rational(1, 3), Rational(1, 4)};
+  CspdInstance instance = EncodeDnfProbabilityAsCspd(dnf, probs);
+  // Appendix B of the paper: Pr(ϕ, π) = 1 − w(I).
+  Rational via_cspd = instance.PartitionFunctionBruteForce().Complement();
+  EXPECT_EQ(via_cspd, DnfProbabilityBruteForce(dnf, probs));
+}
+
+TEST(Encoding, PreservesBetaAcyclicity) {
+  Rng rng(301);
+  for (int trial = 0; trial < 60; ++trial) {
+    uint32_t n = static_cast<uint32_t>(rng.UniformInt(2, 8));
+    MonotoneDnf dnf(n);
+    // Interval clauses: always β-acyclic.
+    for (int c = 0; c < 4; ++c) {
+      uint32_t lo = static_cast<uint32_t>(rng.UniformInt(0, n - 1));
+      uint32_t hi = static_cast<uint32_t>(rng.UniformInt(lo, n - 1));
+      std::vector<uint32_t> clause;
+      for (uint32_t v = lo; v <= hi; ++v) clause.push_back(v);
+      dnf.AddClause(std::move(clause));
+    }
+    std::vector<Rational> probs(n, Rational::Half());
+    CspdInstance instance = EncodeDnfProbabilityAsCspd(dnf, probs);
+    EXPECT_EQ(dnf.IsBetaAcyclic(), instance.IsBetaAcyclic()) << trial;
+  }
+}
+
+TEST(Encoding, IdentityOnRandomDnfs) {
+  // The full Theorem 4.9 appendix identity on random formulas, against two
+  // independent DNF engines.
+  Rng rng(302);
+  for (int trial = 0; trial < 150; ++trial) {
+    uint32_t n = static_cast<uint32_t>(rng.UniformInt(1, 9));
+    MonotoneDnf dnf(n);
+    size_t clauses = rng.UniformInt(1, 5);
+    for (size_t c = 0; c < clauses; ++c) {
+      std::vector<uint32_t> clause;
+      for (int i = 0, w = rng.UniformInt(1, 3); i < w; ++i) {
+        clause.push_back(static_cast<uint32_t>(rng.UniformInt(0, n - 1)));
+      }
+      dnf.AddClause(std::move(clause));
+    }
+    std::vector<Rational> probs;
+    for (uint32_t i = 0; i < n; ++i) probs.push_back(rng.DyadicProbability(3));
+    CspdInstance instance = EncodeDnfProbabilityAsCspd(dnf, probs);
+    Rational via_cspd = instance.PartitionFunctionBruteForce().Complement();
+    EXPECT_EQ(via_cspd, DnfProbabilityBruteForce(dnf, probs)) << trial;
+    EXPECT_EQ(via_cspd, *DnfProbabilityShannon(dnf, probs)) << trial;
+  }
+}
+
+TEST(Encoding, ConstantTrueDnf) {
+  MonotoneDnf dnf(2);
+  dnf.AddClause({});
+  std::vector<Rational> probs{Rational::Half(), Rational::Half()};
+  CspdInstance instance = EncodeDnfProbabilityAsCspd(dnf, probs);
+  EXPECT_EQ(instance.PartitionFunctionBruteForce(), Rational::Zero());
+}
+
+}  // namespace
+}  // namespace phom

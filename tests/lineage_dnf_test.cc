@@ -1,0 +1,77 @@
+#include "src/lineage/dnf.h"
+
+#include <gtest/gtest.h>
+
+namespace phom {
+namespace {
+
+TEST(MonotoneDnf, Constants) {
+  MonotoneDnf f(3);
+  EXPECT_TRUE(f.IsConstantFalse());
+  EXPECT_FALSE(f.IsConstantTrue());
+  f.AddClause({});
+  EXPECT_TRUE(f.IsConstantTrue());
+  EXPECT_EQ(f.ToString(), "true");
+}
+
+TEST(MonotoneDnf, Evaluate) {
+  MonotoneDnf f(4);
+  f.AddClause({0, 1});
+  f.AddClause({2});
+  EXPECT_TRUE(f.EvaluatesTrue({true, true, false, false}));
+  EXPECT_TRUE(f.EvaluatesTrue({false, false, true, false}));
+  EXPECT_FALSE(f.EvaluatesTrue({true, false, false, true}));
+  EXPECT_FALSE(f.EvaluatesTrue({false, true, false, false}));
+}
+
+TEST(MonotoneDnf, ClauseNormalization) {
+  MonotoneDnf f(4);
+  f.AddClause({3, 1, 1, 2});
+  EXPECT_EQ(f.clauses()[0], (std::vector<uint32_t>{1, 2, 3}));
+}
+
+TEST(MonotoneDnf, RemoveSubsumed) {
+  MonotoneDnf f(5);
+  f.AddClause({0, 1, 2});
+  f.AddClause({0, 1});
+  f.AddClause({0, 1});     // duplicate
+  f.AddClause({3});
+  f.AddClause({3, 4});
+  f.RemoveSubsumed();
+  EXPECT_EQ(f.num_clauses(), 2u);
+  EXPECT_EQ(f.clauses()[0], (std::vector<uint32_t>{3}));
+  EXPECT_EQ(f.clauses()[1], (std::vector<uint32_t>{0, 1}));
+}
+
+TEST(MonotoneDnf, SubsumptionPreservesSemantics) {
+  MonotoneDnf f(4);
+  f.AddClause({0, 1, 2});
+  f.AddClause({1, 2});
+  f.AddClause({0, 3});
+  MonotoneDnf g = f;
+  g.RemoveSubsumed();
+  for (uint32_t mask = 0; mask < 16; ++mask) {
+    std::vector<bool> a(4);
+    for (int i = 0; i < 4; ++i) a[i] = (mask >> i) & 1;
+    EXPECT_EQ(f.EvaluatesTrue(a), g.EvaluatesTrue(a)) << mask;
+  }
+}
+
+TEST(MonotoneDnf, ToHypergraph) {
+  MonotoneDnf f(4);
+  f.AddClause({0, 1});
+  f.AddClause({1, 2});
+  Hypergraph h = f.ToHypergraph();
+  EXPECT_EQ(h.num_hyperedges(), 2u);
+  EXPECT_TRUE(f.IsBetaAcyclic());
+  f.AddClause({2, 0});
+  EXPECT_FALSE(f.IsBetaAcyclic());  // β-cycle
+}
+
+TEST(MonotoneDnf, OutOfRangeVariableIsABug) {
+  MonotoneDnf f(2);
+  EXPECT_THROW(f.AddClause({2}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace phom

@@ -1,0 +1,112 @@
+#include "src/lineage/hypergraph.h"
+
+#include <gtest/gtest.h>
+
+namespace phom {
+namespace {
+
+TEST(Hypergraph, EmptyIsBetaAcyclic) {
+  Hypergraph h(5);
+  EXPECT_TRUE(h.IsBetaAcyclic());
+  auto order = h.BetaEliminationOrder();
+  ASSERT_TRUE(order.has_value());
+  EXPECT_EQ(order->size(), 5u);  // all vertices, trivially
+}
+
+TEST(Hypergraph, SingleEdgeIsBetaAcyclic) {
+  Hypergraph h(4);
+  h.AddHyperedge({0, 1, 2});
+  EXPECT_TRUE(h.IsBetaAcyclic());
+}
+
+TEST(Hypergraph, ChainOfInclusionsIsBetaLeaf) {
+  Hypergraph h(4);
+  h.AddHyperedge({0});
+  h.AddHyperedge({0, 1});
+  h.AddHyperedge({0, 1, 2});
+  EXPECT_TRUE(h.IsBetaLeaf(0));
+  EXPECT_TRUE(h.IsBetaAcyclic());
+}
+
+TEST(Hypergraph, IncomparableEdgesAreNotABetaLeaf) {
+  Hypergraph h(3);
+  h.AddHyperedge({0, 1});
+  h.AddHyperedge({0, 2});
+  EXPECT_FALSE(h.IsBetaLeaf(0));
+  EXPECT_TRUE(h.IsBetaLeaf(1));
+  // Still β-acyclic: eliminate 1 and 2 first.
+  EXPECT_TRUE(h.IsBetaAcyclic());
+}
+
+TEST(Hypergraph, TriangleCycleIsNotBetaAcyclic) {
+  // The classic β-cycle: {a,b}, {b,c}, {c,a}.
+  Hypergraph h(3);
+  h.AddHyperedge({0, 1});
+  h.AddHyperedge({1, 2});
+  h.AddHyperedge({2, 0});
+  EXPECT_FALSE(h.IsBetaAcyclic());
+}
+
+TEST(Hypergraph, AlphaAcyclicButBetaCyclic) {
+  // {a,b,c} with {a,b}, {b,c}, {a,c}: α-acyclic (big edge covers) but not
+  // β-acyclic — the distinguishing example between the two notions.
+  Hypergraph h(3);
+  h.AddHyperedge({0, 1, 2});
+  h.AddHyperedge({0, 1});
+  h.AddHyperedge({1, 2});
+  h.AddHyperedge({0, 2});
+  EXPECT_FALSE(h.IsBetaAcyclic());
+}
+
+TEST(Hypergraph, IntervalHypergraphIsBetaAcyclic) {
+  // Intervals over a line (the 2WP lineage shape) are β-acyclic.
+  Hypergraph h(6);
+  h.AddHyperedge({0, 1, 2});
+  h.AddHyperedge({1, 2, 3, 4});
+  h.AddHyperedge({3, 4, 5});
+  h.AddHyperedge({2, 3});
+  EXPECT_TRUE(h.IsBetaAcyclic());
+}
+
+TEST(Hypergraph, RootwardPathHypergraphIsBetaAcyclic) {
+  // DWT lineage shape: paths of length 2 ending at each node of a small
+  // tree with root 0, children 1 and 2, grandchildren 3 (under 1) and 4
+  // (under 2). Edges (variables): e0=(0,1) e1=(0,2) e2=(1,3) e3=(2,4).
+  // Clauses: {e0,e2} (path to 3), {e1,e3} (path to 4).
+  Hypergraph h(4);
+  h.AddHyperedge({0, 2});
+  h.AddHyperedge({1, 3});
+  EXPECT_TRUE(h.IsBetaAcyclic());
+}
+
+TEST(Hypergraph, EliminationOrderIsValid) {
+  Hypergraph h(5);
+  h.AddHyperedge({0, 1, 2});
+  h.AddHyperedge({1, 2, 3});
+  h.AddHyperedge({2, 3, 4});
+  auto order = h.BetaEliminationOrder();
+  ASSERT_TRUE(order.has_value());
+  EXPECT_EQ(order->size(), 5u);
+  // Order covers every vertex exactly once.
+  std::vector<bool> seen(5, false);
+  for (uint32_t v : *order) {
+    EXPECT_FALSE(seen[v]);
+    seen[v] = true;
+  }
+}
+
+TEST(Hypergraph, DuplicateEdgesAreHarmless) {
+  Hypergraph h(3);
+  h.AddHyperedge({0, 1});
+  h.AddHyperedge({0, 1});
+  EXPECT_TRUE(h.IsBetaLeaf(0));
+  EXPECT_TRUE(h.IsBetaAcyclic());
+}
+
+TEST(Hypergraph, RejectsEmptyHyperedge) {
+  Hypergraph h(2);
+  EXPECT_THROW(h.AddHyperedge({}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace phom

@@ -1,0 +1,181 @@
+#include "src/lineage/dnf_prob.h"
+
+#include <gtest/gtest.h>
+
+#include "src/lineage/interval_dp.h"
+#include "src/util/rng.h"
+
+namespace phom {
+namespace {
+
+std::vector<Rational> HalfProbs(uint32_t n) {
+  return std::vector<Rational>(n, Rational::Half());
+}
+
+TEST(DnfProb, SingleClause) {
+  MonotoneDnf f(3);
+  f.AddClause({0, 1, 2});
+  std::vector<Rational> probs{Rational::Half(), Rational(1, 4),
+                              Rational(3, 4)};
+  Rational expected = Rational::Half() * Rational(1, 4) * Rational(3, 4);
+  EXPECT_EQ(DnfProbabilityBruteForce(f, probs), expected);
+  EXPECT_EQ(DnfProbabilityInclusionExclusion(f, probs), expected);
+  EXPECT_EQ(*DnfProbabilityShannon(f, probs), expected);
+}
+
+TEST(DnfProb, DisjointClausesUnion) {
+  MonotoneDnf f(2);
+  f.AddClause({0});
+  f.AddClause({1});
+  std::vector<Rational> probs{Rational::Half(), Rational(1, 4)};
+  Rational expected =
+      Rational::One() -
+      Rational::Half().Complement() * Rational(1, 4).Complement();
+  EXPECT_EQ(DnfProbabilityBruteForce(f, probs), expected);
+  EXPECT_EQ(DnfProbabilityInclusionExclusion(f, probs), expected);
+  EXPECT_EQ(*DnfProbabilityShannon(f, probs), expected);
+}
+
+TEST(DnfProb, ConstantFormulas) {
+  MonotoneDnf f(2);
+  EXPECT_EQ(*DnfProbabilityShannon(f, HalfProbs(2)), Rational::Zero());
+  EXPECT_EQ(DnfProbabilityBruteForce(f, HalfProbs(2)), Rational::Zero());
+  f.AddClause({});
+  EXPECT_EQ(*DnfProbabilityShannon(f, HalfProbs(2)), Rational::One());
+  EXPECT_EQ(DnfProbabilityInclusionExclusion(f, HalfProbs(2)),
+            Rational::One());
+}
+
+TEST(DnfProb, ZeroAndOneProbabilities) {
+  MonotoneDnf f(3);
+  f.AddClause({0, 1});
+  f.AddClause({2});
+  std::vector<Rational> probs{Rational::One(), Rational::Zero(),
+                              Rational(1, 3)};
+  // Clause {0,1} is dead (p1=0); answer is p2 = 1/3.
+  EXPECT_EQ(DnfProbabilityBruteForce(f, probs), Rational(1, 3));
+  EXPECT_EQ(*DnfProbabilityShannon(f, probs), Rational(1, 3));
+}
+
+TEST(DnfProb, EnginesAgreeOnRandomDnfs) {
+  Rng rng(51);
+  for (int trial = 0; trial < 200; ++trial) {
+    uint32_t n = static_cast<uint32_t>(rng.UniformInt(1, 10));
+    MonotoneDnf f(n);
+    size_t clauses = rng.UniformInt(1, 6);
+    for (size_t c = 0; c < clauses; ++c) {
+      std::vector<uint32_t> clause;
+      size_t width = rng.UniformInt(1, std::min<int64_t>(n, 4));
+      for (size_t i = 0; i < width; ++i) {
+        clause.push_back(static_cast<uint32_t>(rng.UniformInt(0, n - 1)));
+      }
+      f.AddClause(std::move(clause));
+    }
+    std::vector<Rational> probs;
+    for (uint32_t i = 0; i < n; ++i) {
+      probs.push_back(rng.DyadicProbability(3));
+    }
+    Rational brute = DnfProbabilityBruteForce(f, probs);
+    EXPECT_EQ(DnfProbabilityInclusionExclusion(f, probs), brute) << trial;
+    EXPECT_EQ(*DnfProbabilityShannon(f, probs), brute) << trial;
+    EXPECT_EQ(*DnfProbabilityBetaAcyclic(f, probs), brute) << trial;
+    // Order should not matter for correctness: reversed order.
+    ShannonOptions rev;
+    for (uint32_t v = n; v-- > 0;) rev.variable_order.push_back(v);
+    EXPECT_EQ(*DnfProbabilityShannon(f, probs, rev), brute) << trial;
+  }
+}
+
+TEST(DnfProb, ShannonStatsAndCaching) {
+  // A chain x0x1 v x1x2 v ... exercises caching and component splits.
+  uint32_t n = 12;
+  MonotoneDnf f(n);
+  for (uint32_t i = 0; i + 1 < n; ++i) f.AddClause({i, i + 1});
+  ShannonStats stats;
+  Rational p = *DnfProbabilityShannon(f, HalfProbs(n), {}, &stats);
+  EXPECT_GT(stats.states, 0u);
+  EXPECT_EQ(p, DnfProbabilityBruteForce(f, HalfProbs(n)));
+}
+
+TEST(DnfProb, ShannonStateLimit) {
+  // A formula engineered to blow up a tiny state budget.
+  uint32_t n = 24;
+  MonotoneDnf f(n);
+  Rng rng(52);
+  for (int c = 0; c < 40; ++c) {
+    std::vector<uint32_t> clause;
+    for (int i = 0; i < 5; ++i) {
+      clause.push_back(static_cast<uint32_t>(rng.UniformInt(0, n - 1)));
+    }
+    f.AddClause(std::move(clause));
+  }
+  ShannonOptions options;
+  options.max_states = 3;
+  Result<Rational> r = DnfProbabilityShannon(f, HalfProbs(n), options);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kResourceExhausted);
+}
+
+TEST(IntervalDp, MatchesShannonOnIntervalDnfs) {
+  Rng rng(53);
+  for (int trial = 0; trial < 200; ++trial) {
+    uint32_t len = static_cast<uint32_t>(rng.UniformInt(1, 12));
+    std::vector<Rational> probs;
+    for (uint32_t i = 0; i < len; ++i) {
+      probs.push_back(rng.DyadicProbability(3));
+    }
+    size_t k = rng.UniformInt(1, 5);
+    std::vector<EdgeInterval> intervals;
+    MonotoneDnf f(len);
+    for (size_t c = 0; c < k; ++c) {
+      uint32_t lo = static_cast<uint32_t>(rng.UniformInt(0, len - 1));
+      uint32_t hi = static_cast<uint32_t>(rng.UniformInt(lo, len - 1));
+      intervals.emplace_back(lo, hi);
+      std::vector<uint32_t> clause;
+      for (uint32_t v = lo; v <= hi; ++v) clause.push_back(v);
+      f.AddClause(std::move(clause));
+    }
+    Rational dp = IntervalDnfProbability(probs, intervals);
+    Rational brute = DnfProbabilityBruteForce(f, probs);
+    EXPECT_EQ(dp, brute) << "trial " << trial;
+  }
+}
+
+TEST(IntervalDp, NoIntervals) {
+  EXPECT_EQ(IntervalDnfProbability(HalfProbs(3), {}), Rational::Zero());
+}
+
+TEST(IntervalDp, FullCover) {
+  std::vector<Rational> probs{Rational::Half(), Rational::Half()};
+  Rational p = IntervalDnfProbability(probs, {{0, 1}});
+  EXPECT_EQ(p, Rational(1, 4));
+}
+
+TEST(IntervalDp, DominatedIntervalsIgnored) {
+  std::vector<Rational> probs = HalfProbs(4);
+  // [1,2] dominates [0,3]; the answer equals just [1,2].
+  Rational with_dominated =
+      IntervalDnfProbability(probs, {{0, 3}, {1, 2}});
+  Rational only_minimal = IntervalDnfProbability(probs, {{1, 2}});
+  EXPECT_EQ(with_dominated, only_minimal);
+}
+
+TEST(IntervalDp, IntervalLineagesAreBetaAcyclic) {
+  // The clause hypergraphs arising in Prop. 4.11 are β-acyclic.
+  Rng rng(54);
+  for (int trial = 0; trial < 50; ++trial) {
+    uint32_t len = static_cast<uint32_t>(rng.UniformInt(2, 10));
+    MonotoneDnf f(len);
+    for (int c = 0; c < 4; ++c) {
+      uint32_t lo = static_cast<uint32_t>(rng.UniformInt(0, len - 1));
+      uint32_t hi = static_cast<uint32_t>(rng.UniformInt(lo, len - 1));
+      std::vector<uint32_t> clause;
+      for (uint32_t v = lo; v <= hi; ++v) clause.push_back(v);
+      f.AddClause(std::move(clause));
+    }
+    EXPECT_TRUE(f.IsBetaAcyclic()) << trial;
+  }
+}
+
+}  // namespace
+}  // namespace phom

@@ -1,0 +1,89 @@
+#include "src/reductions/arrow_rewrite.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/fallback.h"
+#include "src/graph/builders.h"
+#include "src/graph/classify.h"
+
+namespace phom {
+namespace {
+
+TEST(ArrowRewrite, SingleForwardEdgeExpands) {
+  ProbGraph g(2);
+  AddEdgeOrDie(&g, 0, 1, 0, Rational::Half());
+  std::map<LabelId, ArrowRewriteRule> rules;
+  rules[0] = ArrowRewriteRule{">><", 1};
+  ProbGraph out = RewriteArrows(g, rules);
+  // a -> x1 -> x2 <- b: 4 vertices, 3 edges, middle edge carries 1/2.
+  EXPECT_EQ(out.num_vertices(), 4u);
+  EXPECT_EQ(out.num_edges(), 3u);
+  EXPECT_EQ(out.NumUncertainEdges(), 1u);
+  size_t uncertain_at = 99;
+  for (EdgeId e = 0; e < out.num_edges(); ++e) {
+    if (!out.prob(e).is_one()) uncertain_at = e;
+  }
+  EXPECT_EQ(uncertain_at, 1u);  // pattern position 1
+}
+
+TEST(ArrowRewrite, EndpointsPreserved) {
+  ProbGraph g(3);
+  AddEdgeOrDie(&g, 0, 1, 0, Rational::One());
+  AddEdgeOrDie(&g, 1, 2, 1, Rational::One());
+  std::map<LabelId, ArrowRewriteRule> rules;
+  rules[0] = ArrowRewriteRule{">>", 0};
+  rules[1] = ArrowRewriteRule{"<", 0};
+  ProbGraph out = RewriteArrows(g, rules);
+  // Label 0 edge becomes 0 -> v3 -> 1; label 1 edge becomes 2 -> 1.
+  EXPECT_EQ(out.num_vertices(), 4u);
+  EXPECT_TRUE(out.graph().FindEdge(0, 3).has_value());
+  EXPECT_TRUE(out.graph().FindEdge(3, 1).has_value());
+  EXPECT_TRUE(out.graph().FindEdge(2, 1).has_value());
+}
+
+TEST(ArrowRewrite, PreservesTwoWayPathShape) {
+  // Rewriting a labeled 1WP with path-shaped gadgets yields a 2WP.
+  DiGraph path = MakeLabeledPath({0, 1, 0, 1});
+  std::map<LabelId, ArrowRewriteRule> rules;
+  rules[0] = ArrowRewriteRule{">><", 0};
+  rules[1] = ArrowRewriteRule{"<<<", 0};
+  DiGraph out = RewriteArrows(path, rules);
+  EXPECT_TRUE(IsTwoWayPath(out));
+  EXPECT_TRUE(out.UsesSingleLabel());
+  EXPECT_EQ(out.num_edges(), 12u);
+}
+
+TEST(ArrowRewrite, PreservesPolytreeShape) {
+  DiGraph star = MakeOutStar(3, 0);
+  std::map<LabelId, ArrowRewriteRule> rules;
+  rules[0] = ArrowRewriteRule{">><", 0};
+  DiGraph out = RewriteArrows(star, rules);
+  EXPECT_TRUE(IsPolytree(out));
+  EXPECT_FALSE(IsTwoWayPath(out));
+}
+
+TEST(ArrowRewrite, MissingRuleIsABug) {
+  DiGraph g(2);
+  AddEdgeOrDie(&g, 0, 1, 7);
+  std::map<LabelId, ArrowRewriteRule> rules;
+  rules[0] = ArrowRewriteRule{">", 0};
+  EXPECT_THROW(RewriteArrows(g, rules), std::logic_error);
+}
+
+TEST(ArrowRewrite, ProbabilityMassPreservedPerGadget) {
+  // The rewritten instance's worlds marginalize back to the original edge's
+  // two outcomes: Pr(all gadget edges present) = p, and the query-relevant
+  // structure only appears when the probabilistic step is present.
+  ProbGraph g(2);
+  AddEdgeOrDie(&g, 0, 1, 0, Rational(1, 4));
+  std::map<LabelId, ArrowRewriteRule> rules;
+  rules[0] = ArrowRewriteRule{">>>", 2};
+  ProbGraph out = RewriteArrows(g, rules);
+  // Query = the full gadget path →→→: present iff the probabilistic edge is.
+  Result<Rational> p = SolveByWorldEnumeration(MakeOneWayPath(3), out);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(*p, Rational(1, 4));
+}
+
+}  // namespace
+}  // namespace phom

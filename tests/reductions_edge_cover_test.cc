@@ -1,0 +1,131 @@
+#include "src/reductions/edge_cover_reduction.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/fallback.h"
+#include "src/graph/classify.h"
+
+namespace phom {
+namespace {
+
+BipartiteGraph TriangleExample() {
+  // The bipartite graph of Figure 5: X = {x1, x2}, Y = {y1, y2, y3},
+  // E = {(x1,y1), (x1,y2), (x2,y2), (x2,y3)}  (a concrete 4-edge instance).
+  BipartiteGraph g;
+  g.left_size = 2;
+  g.right_size = 3;
+  g.edges = {{0, 0}, {0, 1}, {1, 1}, {1, 2}};
+  return g;
+}
+
+TEST(EdgeCoverBrute, SmallGraphsByHand) {
+  // Single edge between two vertices: the only cover is {e}.
+  BipartiteGraph g;
+  g.left_size = 1;
+  g.right_size = 1;
+  g.edges = {{0, 0}};
+  EXPECT_EQ(CountEdgeCoversBruteForce(g), BigInt(1));
+  // Two parallel-ish edges from one left vertex to two right vertices:
+  // both edges must be present (each right vertex needs cover) -> 1 cover.
+  g.right_size = 2;
+  g.edges = {{0, 0}, {0, 1}};
+  EXPECT_EQ(CountEdgeCoversBruteForce(g), BigInt(1));
+  // K_{2,2}: covers of the 4-cycle = 7.
+  g.left_size = 2;
+  g.right_size = 2;
+  g.edges = {{0, 0}, {0, 1}, {1, 0}, {1, 1}};
+  EXPECT_EQ(CountEdgeCoversBruteForce(g), BigInt(7));
+  // Isolated vertex -> zero covers.
+  g.right_size = 3;
+  EXPECT_EQ(CountEdgeCoversBruteForce(g), BigInt(0));
+}
+
+TEST(EdgeCoverReduction, LabeledShapesMatchProp33) {
+  EdgeCoverReduction red = BuildEdgeCoverReductionLabeled(TriangleExample());
+  EXPECT_TRUE(IsOneWayPath(red.instance.graph()));
+  Classification qc = Classify(red.query);
+  EXPECT_TRUE(qc.all_1wp);
+  EXPECT_FALSE(qc.connected);  // 5 components: one per bipartite vertex
+  EXPECT_EQ(qc.num_components, 5u);
+  EXPECT_EQ(red.num_probabilistic_edges, 4u);
+  EXPECT_EQ(red.instance.NumUncertainEdges(), 4u);
+}
+
+TEST(EdgeCoverReduction, LabeledRecoversExactCount) {
+  Rng rng(71);
+  for (int trial = 0; trial < 12; ++trial) {
+    BipartiteGraph g = RandomBipartite(&rng, rng.UniformInt(1, 3),
+                                       rng.UniformInt(1, 3), 0.5);
+    if (g.edges.size() > 8) continue;
+    EdgeCoverReduction red = BuildEdgeCoverReductionLabeled(g);
+    FallbackOptions options;
+    Result<Rational> prob =
+        SolveByWorldEnumeration(red.query, red.instance, options);
+    ASSERT_TRUE(prob.ok()) << prob.status().ToString();
+    EXPECT_EQ(RecoverCount(*prob, red.num_probabilistic_edges),
+              CountEdgeCoversBruteForce(g))
+        << "trial " << trial;
+  }
+}
+
+TEST(EdgeCoverReduction, UnlabeledShapesMatchProp34) {
+  EdgeCoverReduction red =
+      BuildEdgeCoverReductionUnlabeled(TriangleExample());
+  EXPECT_TRUE(IsTwoWayPath(red.instance.graph()));
+  EXPECT_TRUE(red.instance.graph().UsesSingleLabel());
+  EXPECT_TRUE(red.query.UsesSingleLabel());
+  Classification qc = Classify(red.query);
+  EXPECT_TRUE(qc.all_2wp);
+  EXPECT_FALSE(qc.all_1wp);
+  EXPECT_FALSE(qc.connected);
+  EXPECT_EQ(red.instance.NumUncertainEdges(), 4u);
+}
+
+TEST(EdgeCoverReduction, UnlabeledRecoversExactCount) {
+  Rng rng(72);
+  for (int trial = 0; trial < 8; ++trial) {
+    BipartiteGraph g = RandomBipartite(&rng, rng.UniformInt(1, 2),
+                                       rng.UniformInt(1, 3), 0.6);
+    if (g.edges.size() > 6) continue;
+    EdgeCoverReduction red = BuildEdgeCoverReductionUnlabeled(g);
+    Result<Rational> prob =
+        SolveByWorldEnumeration(red.query, red.instance, {});
+    ASSERT_TRUE(prob.ok()) << prob.status().ToString();
+    EXPECT_EQ(RecoverCount(*prob, red.num_probabilistic_edges),
+              CountEdgeCoversBruteForce(g))
+        << "trial " << trial;
+  }
+}
+
+TEST(EdgeCoverReduction, LabeledAndUnlabeledAgree) {
+  Rng rng(73);
+  for (int trial = 0; trial < 6; ++trial) {
+    BipartiteGraph g = RandomBipartite(&rng, 2, 2, 0.6);
+    if (g.edges.size() > 5) continue;
+    EdgeCoverReduction labeled = BuildEdgeCoverReductionLabeled(g);
+    EdgeCoverReduction unlabeled = BuildEdgeCoverReductionUnlabeled(g);
+    Rational p1 =
+        *SolveByWorldEnumeration(labeled.query, labeled.instance, {});
+    Rational p2 =
+        *SolveByWorldEnumeration(unlabeled.query, unlabeled.instance, {});
+    EXPECT_EQ(p1, p2) << "trial " << trial;
+  }
+}
+
+TEST(RecoverCount, ChecksIntegrality) {
+  EXPECT_EQ(RecoverCount(Rational(3, 8), 3), BigInt(3));
+  EXPECT_EQ(RecoverCount(Rational::Zero(), 5), BigInt(0));
+  EXPECT_EQ(RecoverCount(Rational::One(), 2), BigInt(4));
+  EXPECT_THROW(RecoverCount(Rational(1, 3), 4), std::logic_error);
+}
+
+TEST(EdgeCoverAlphabet, Names) {
+  Alphabet a = EdgeCoverAlphabet();
+  EXPECT_EQ(a.Name(kCoverLabelC), "C");
+  EXPECT_EQ(a.Name(kCoverLabelL), "L");
+  EXPECT_EQ(a.Name(kCoverLabelV), "V");
+  EXPECT_EQ(a.Name(kCoverLabelR), "R");
+}
+
+}  // namespace
+}  // namespace phom

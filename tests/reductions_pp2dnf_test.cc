@@ -1,0 +1,104 @@
+#include "src/reductions/pp2dnf_reduction.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/fallback.h"
+#include "src/graph/classify.h"
+#include "src/reductions/edge_cover_reduction.h"
+
+namespace phom {
+namespace {
+
+Pp2Dnf PaperExample() {
+  // Figure 7/8's formula: X1 Y2 v X1 Y1 v X2 Y2 (0-based pairs).
+  Pp2Dnf f;
+  f.num_x = 2;
+  f.num_y = 2;
+  f.clauses = {{0, 1}, {0, 0}, {1, 1}};
+  return f;
+}
+
+TEST(Pp2DnfBrute, PaperExampleCount) {
+  // ϕ = X1Y2 v X1Y1 v X2Y2 over 4 variables: count satisfying assignments.
+  // By hand: X1=1: any of (Y1,Y2) != (0,0) works with any X2 -> 3*2 = 6;
+  // X1=0: need X2=1 and Y2=1 -> Y1 free -> 2. Total 8.
+  EXPECT_EQ(CountSatisfyingAssignments(PaperExample()), BigInt(8));
+}
+
+TEST(Pp2DnfBrute, EdgeCases) {
+  Pp2Dnf f;
+  f.num_x = 2;
+  f.num_y = 2;
+  EXPECT_EQ(CountSatisfyingAssignments(f), BigInt(0));  // no clauses
+  f.clauses = {{0, 0}};
+  EXPECT_EQ(CountSatisfyingAssignments(f), BigInt(4));  // X1=Y1=1, others free
+}
+
+TEST(Pp2DnfReduction, LabeledShapesMatchProp41) {
+  Pp2DnfReduction red = BuildPp2DnfReductionLabeled(PaperExample());
+  EXPECT_TRUE(IsOneWayPath(red.query));
+  EXPECT_TRUE(IsPolytree(red.instance.graph()));
+  EXPECT_FALSE(IsDownwardTree(red.instance.graph()));
+  EXPECT_FALSE(IsTwoWayPath(red.instance.graph()));
+  // Query is T S^{m+3} T with m = 3.
+  std::vector<LabelId> labels = OneWayPathLabels(red.query);
+  ASSERT_EQ(labels.size(), 8u);
+  EXPECT_EQ(labels.front(), kPpLabelT);
+  EXPECT_EQ(labels.back(), kPpLabelT);
+  for (size_t i = 1; i + 1 < labels.size(); ++i) {
+    EXPECT_EQ(labels[i], kPpLabelS);
+  }
+  EXPECT_EQ(red.num_probabilistic_edges, 4u);
+  EXPECT_EQ(red.instance.NumUncertainEdges(), 4u);
+}
+
+TEST(Pp2DnfReduction, LabeledRecoversExactCount) {
+  Rng rng(81);
+  for (int trial = 0; trial < 10; ++trial) {
+    Pp2Dnf f = RandomPp2Dnf(&rng, rng.UniformInt(1, 3), rng.UniformInt(1, 3),
+                            rng.UniformInt(1, 4));
+    Pp2DnfReduction red = BuildPp2DnfReductionLabeled(f);
+    Result<Rational> prob =
+        SolveByWorldEnumeration(red.query, red.instance, {});
+    ASSERT_TRUE(prob.ok()) << prob.status().ToString();
+    EXPECT_EQ(RecoverCount(*prob, red.num_probabilistic_edges),
+              CountSatisfyingAssignments(f))
+        << "trial " << trial;
+  }
+}
+
+TEST(Pp2DnfReduction, UnlabeledShapesMatchProp56) {
+  Pp2DnfReduction red = BuildPp2DnfReductionUnlabeled(PaperExample());
+  EXPECT_TRUE(IsTwoWayPath(red.query));
+  EXPECT_FALSE(IsOneWayPath(red.query));
+  EXPECT_TRUE(red.query.UsesSingleLabel());
+  EXPECT_TRUE(IsPolytree(red.instance.graph()));
+  EXPECT_TRUE(red.instance.graph().UsesSingleLabel());
+  // Query is >>> (>><)^{m+3} >>> with m = 3: 3 + 18 + 3 = 24 edges.
+  EXPECT_EQ(red.query.num_edges(), 24u);
+}
+
+TEST(Pp2DnfReduction, UnlabeledRecoversExactCount) {
+  Rng rng(82);
+  for (int trial = 0; trial < 5; ++trial) {
+    Pp2Dnf f = RandomPp2Dnf(&rng, rng.UniformInt(1, 2), rng.UniformInt(1, 2),
+                            rng.UniformInt(1, 3));
+    Pp2DnfReduction red = BuildPp2DnfReductionUnlabeled(f);
+    Result<Rational> prob =
+        SolveByWorldEnumeration(red.query, red.instance, {});
+    ASSERT_TRUE(prob.ok()) << prob.status().ToString();
+    EXPECT_EQ(RecoverCount(*prob, red.num_probabilistic_edges),
+              CountSatisfyingAssignments(f))
+        << "trial " << trial;
+  }
+}
+
+TEST(Pp2DnfReduction, PaperExampleProbability) {
+  // 8 satisfying assignments over 2^4 valuations: Pr = 1/2.
+  Pp2DnfReduction red = BuildPp2DnfReductionLabeled(PaperExample());
+  Rational prob = *SolveByWorldEnumeration(red.query, red.instance, {});
+  EXPECT_EQ(prob, Rational::Half());
+}
+
+}  // namespace
+}  // namespace phom

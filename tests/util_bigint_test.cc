@@ -1,0 +1,158 @@
+#include "src/util/bigint.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace phom {
+namespace {
+
+TEST(BigInt, ZeroBasics) {
+  BigInt zero;
+  EXPECT_TRUE(zero.is_zero());
+  EXPECT_EQ(zero.sign(), 0);
+  EXPECT_EQ(zero.ToString(), "0");
+  EXPECT_EQ(zero.BitLength(), 0u);
+  EXPECT_EQ(zero + zero, zero);
+  EXPECT_EQ(zero * BigInt(12345), zero);
+}
+
+TEST(BigInt, Int64RoundTrip) {
+  for (int64_t v : {int64_t{0}, int64_t{1}, int64_t{-1}, int64_t{42},
+                    int64_t{-1000000007}, INT64_MAX, INT64_MIN}) {
+    BigInt b(v);
+    ASSERT_TRUE(b.ToInt64().has_value()) << v;
+    EXPECT_EQ(*b.ToInt64(), v);
+    EXPECT_EQ(b.ToString(), std::to_string(v));
+  }
+}
+
+TEST(BigInt, Int64Overflow) {
+  BigInt big = BigInt(INT64_MAX) + BigInt(1);
+  EXPECT_FALSE(big.ToInt64().has_value());
+  BigInt small = BigInt(INT64_MIN) - BigInt(1);
+  EXPECT_FALSE(small.ToInt64().has_value());
+  EXPECT_TRUE((BigInt(INT64_MIN)).ToInt64().has_value());
+}
+
+TEST(BigInt, FromStringValid) {
+  EXPECT_EQ(*BigInt::FromString("0")->ToInt64(), 0);
+  EXPECT_EQ(*BigInt::FromString("-0")->ToInt64(), 0);
+  EXPECT_EQ(*BigInt::FromString("12345678901234567")->ToInt64(),
+            12345678901234567LL);
+  EXPECT_EQ(*BigInt::FromString("-987")->ToInt64(), -987);
+  EXPECT_EQ(BigInt::FromString("123456789012345678901234567890")->ToString(),
+            "123456789012345678901234567890");
+}
+
+TEST(BigInt, FromStringInvalid) {
+  EXPECT_FALSE(BigInt::FromString("").ok());
+  EXPECT_FALSE(BigInt::FromString("-").ok());
+  EXPECT_FALSE(BigInt::FromString("12a3").ok());
+  EXPECT_FALSE(BigInt::FromString("+-3").ok());
+}
+
+TEST(BigInt, Pow2) {
+  EXPECT_EQ(BigInt::Pow2(0), BigInt(1));
+  EXPECT_EQ(BigInt::Pow2(10), BigInt(1024));
+  EXPECT_EQ(BigInt::Pow2(100).ToString(), "1267650600228229401496703205376");
+  EXPECT_EQ(BigInt::Pow2(100).BitLength(), 101u);
+  EXPECT_TRUE(BigInt::Pow2(100).IsPowerOfTwo());
+  EXPECT_EQ(BigInt::Pow2(100).TrailingZeroBits(), 100u);
+}
+
+TEST(BigInt, Shifts) {
+  BigInt v(0x12345678);
+  EXPECT_EQ(v.ShiftLeft(64).ShiftRight(64), v);
+  EXPECT_EQ(v.ShiftLeft(33).ShiftRight(33), v);
+  EXPECT_EQ(BigInt(7).ShiftRight(3), BigInt(0));
+  EXPECT_EQ(BigInt(7).ShiftRight(1), BigInt(3));
+}
+
+TEST(BigInt, DivModMatchesInt64) {
+  std::mt19937_64 rng(7);
+  for (int trial = 0; trial < 2000; ++trial) {
+    int64_t a = static_cast<int64_t>(rng()) % 1000000000;
+    int64_t b = static_cast<int64_t>(rng()) % 10000;
+    if (b == 0) b = 3;
+    BigInt q, r;
+    BigInt(a).DivMod(BigInt(b), &q, &r);
+    EXPECT_EQ(*q.ToInt64(), a / b) << a << "/" << b;
+    EXPECT_EQ(*r.ToInt64(), a % b) << a << "%" << b;
+  }
+}
+
+TEST(BigInt, ArithmeticMatchesInt64) {
+  std::mt19937_64 rng(11);
+  for (int trial = 0; trial < 2000; ++trial) {
+    int64_t a = static_cast<int64_t>(rng() % 2000001) - 1000000;
+    int64_t b = static_cast<int64_t>(rng() % 2000001) - 1000000;
+    EXPECT_EQ(*(BigInt(a) + BigInt(b)).ToInt64(), a + b);
+    EXPECT_EQ(*(BigInt(a) - BigInt(b)).ToInt64(), a - b);
+    EXPECT_EQ(*(BigInt(a) * BigInt(b)).ToInt64(), a * b);
+    EXPECT_EQ(BigInt(a).Compare(BigInt(b)), a < b ? -1 : (a == b ? 0 : 1));
+  }
+}
+
+TEST(BigInt, GcdMatchesEuclid) {
+  std::mt19937_64 rng(13);
+  auto gcd64 = [](int64_t a, int64_t b) {
+    while (b) {
+      int64_t t = a % b;
+      a = b;
+      b = t;
+    }
+    return a < 0 ? -a : a;
+  };
+  for (int trial = 0; trial < 1000; ++trial) {
+    int64_t a = static_cast<int64_t>(rng() % 1000000);
+    int64_t b = static_cast<int64_t>(rng() % 1000000);
+    EXPECT_EQ(*BigInt::Gcd(BigInt(a), BigInt(b)).ToInt64(), gcd64(a, b));
+  }
+  EXPECT_EQ(BigInt::Gcd(BigInt(0), BigInt(0)), BigInt(0));
+  EXPECT_EQ(BigInt::Gcd(BigInt(-12), BigInt(18)), BigInt(6));
+}
+
+TEST(BigInt, LargeMultiplicationIdentity) {
+  // (2^200 - 1) * (2^200 + 1) == 2^400 - 1.
+  BigInt a = BigInt::Pow2(200) - BigInt(1);
+  BigInt b = BigInt::Pow2(200) + BigInt(1);
+  EXPECT_EQ(a * b, BigInt::Pow2(400) - BigInt(1));
+}
+
+TEST(BigInt, LargeDivisionRoundTrip) {
+  std::mt19937_64 rng(17);
+  for (int trial = 0; trial < 50; ++trial) {
+    // Build random big numbers from strings of digits.
+    std::string sa, sb;
+    for (int i = 0; i < 40; ++i) sa += static_cast<char>('1' + rng() % 9);
+    for (int i = 0; i < 17; ++i) sb += static_cast<char>('1' + rng() % 9);
+    BigInt a = *BigInt::FromString(sa);
+    BigInt b = *BigInt::FromString(sb);
+    BigInt q, r;
+    a.DivMod(b, &q, &r);
+    EXPECT_EQ(q * b + r, a);
+    EXPECT_TRUE(r >= BigInt(0) && r < b);
+  }
+}
+
+TEST(BigInt, NegativeDivisionTruncatesTowardZero) {
+  EXPECT_EQ(*(BigInt(-7) / BigInt(2)).ToInt64(), -3);
+  EXPECT_EQ(*(BigInt(-7) % BigInt(2)).ToInt64(), -1);
+  EXPECT_EQ(*(BigInt(7) / BigInt(-2)).ToInt64(), -3);
+  EXPECT_EQ(*(BigInt(7) % BigInt(-2)).ToInt64(), 1);
+}
+
+TEST(BigInt, ToDouble) {
+  EXPECT_DOUBLE_EQ(BigInt(1000000).ToDouble(), 1e6);
+  EXPECT_DOUBLE_EQ(BigInt(-5).ToDouble(), -5.0);
+  EXPECT_NEAR(BigInt::Pow2(64).ToDouble(), 1.8446744073709552e19, 1e5);
+}
+
+TEST(BigInt, HashDistinguishesSign) {
+  EXPECT_NE(BigInt(5).Hash(), BigInt(-5).Hash());
+  EXPECT_EQ(BigInt(5).Hash(), BigInt(5).Hash());
+}
+
+}  // namespace
+}  // namespace phom

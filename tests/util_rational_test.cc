@@ -1,0 +1,120 @@
+#include "src/util/rational.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace phom {
+namespace {
+
+TEST(Rational, NormalizationAndAccessors) {
+  Rational r(6, 8);
+  EXPECT_EQ(r.num(), BigInt(3));
+  EXPECT_EQ(r.den(), BigInt(4));
+  Rational neg(3, -9);
+  EXPECT_EQ(neg.num(), BigInt(-1));
+  EXPECT_EQ(neg.den(), BigInt(3));
+  EXPECT_EQ(Rational(0, 17), Rational::Zero());
+  EXPECT_EQ(Rational(0, 17).den(), BigInt(1));
+}
+
+TEST(Rational, ZeroDenominatorIsABug) {
+  EXPECT_THROW(Rational(1, 0), std::logic_error);
+}
+
+TEST(Rational, Arithmetic) {
+  Rational half = Rational::Half();
+  Rational third(1, 3);
+  EXPECT_EQ(half + third, Rational(5, 6));
+  EXPECT_EQ(half - third, Rational(1, 6));
+  EXPECT_EQ(half * third, Rational(1, 6));
+  EXPECT_EQ(half / third, Rational(3, 2));
+  EXPECT_EQ(-half, Rational(-1, 2));
+  EXPECT_EQ(half.Complement(), Rational(1, 2));
+  EXPECT_EQ(Rational(1, 4).Complement(), Rational(3, 4));
+}
+
+TEST(Rational, Comparisons) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_GT(Rational(2, 3), Rational(1, 2));
+  EXPECT_LE(Rational(2, 4), Rational(1, 2));
+  EXPECT_EQ(Rational(-1, 2).Compare(Rational(1, 2)), -1);
+}
+
+TEST(Rational, Pow) {
+  EXPECT_EQ(Rational::Half().Pow(10), Rational(1, 1024));
+  EXPECT_EQ(Rational(2, 3).Pow(0), Rational::One());
+  EXPECT_EQ(Rational(2, 3).Pow(3), Rational(8, 27));
+}
+
+TEST(Rational, IsProbability) {
+  EXPECT_TRUE(Rational::Zero().IsProbability());
+  EXPECT_TRUE(Rational::One().IsProbability());
+  EXPECT_TRUE(Rational(3, 7).IsProbability());
+  EXPECT_FALSE(Rational(8, 7).IsProbability());
+  EXPECT_FALSE(Rational(-1, 7).IsProbability());
+}
+
+TEST(Rational, FromStringForms) {
+  EXPECT_EQ(*Rational::FromString("3/4"), Rational(3, 4));
+  EXPECT_EQ(*Rational::FromString("-3/4"), Rational(-3, 4));
+  EXPECT_EQ(*Rational::FromString("0.25"), Rational(1, 4));
+  EXPECT_EQ(*Rational::FromString("-0.5"), Rational(-1, 2));
+  EXPECT_EQ(*Rational::FromString("7"), Rational(7));
+  EXPECT_EQ(*Rational::FromString("1.000"), Rational::One());
+  EXPECT_EQ(*Rational::FromString("0.1"), Rational(1, 10));
+  EXPECT_FALSE(Rational::FromString("").ok());
+  EXPECT_FALSE(Rational::FromString("1/0").ok());
+  EXPECT_FALSE(Rational::FromString("1.").ok());
+  EXPECT_FALSE(Rational::FromString("a/b").ok());
+}
+
+TEST(Rational, ToStringAndDecimal) {
+  EXPECT_EQ(Rational(3, 4).ToString(), "3/4");
+  EXPECT_EQ(Rational(7).ToString(), "7");
+  EXPECT_EQ(Rational(3, 4).ToDecimalString(3), "0.750");
+  EXPECT_EQ(Rational(-1, 3).ToDecimalString(4), "-0.3333");
+  EXPECT_EQ(Rational(287, 500).ToDecimalString(3), "0.574");
+}
+
+TEST(Rational, ToDouble) {
+  EXPECT_DOUBLE_EQ(Rational(1, 2).ToDouble(), 0.5);
+  EXPECT_DOUBLE_EQ(Rational(-7, 4).ToDouble(), -1.75);
+  // Huge numerator/denominator still produce a sane ratio.
+  Rational huge(BigInt::Pow2(1000) + BigInt(1), BigInt::Pow2(1001));
+  EXPECT_NEAR(huge.ToDouble(), 0.5, 1e-9);
+}
+
+TEST(Rational, RandomFieldIdentities) {
+  std::mt19937_64 rng(23);
+  auto random_rational = [&rng] {
+    int64_t num = static_cast<int64_t>(rng() % 2001) - 1000;
+    int64_t den = static_cast<int64_t>(rng() % 1000) + 1;
+    return Rational(num, den);
+  };
+  for (int trial = 0; trial < 500; ++trial) {
+    Rational a = random_rational();
+    Rational b = random_rational();
+    Rational c = random_rational();
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ(a - a, Rational::Zero());
+    if (!b.is_zero()) {
+      EXPECT_EQ(a / b * b, a);
+    }
+  }
+}
+
+TEST(Rational, ProbabilitySemantics) {
+  // Complement chains used throughout the solver: 1 - prod(1 - p_i).
+  std::vector<Rational> ps{Rational(1, 2), Rational(1, 4), Rational(3, 4)};
+  Rational none = Rational::One();
+  for (const Rational& p : ps) none *= p.Complement();
+  EXPECT_EQ(none, Rational(3, 32));
+  EXPECT_EQ(none.Complement(), Rational(29, 32));
+}
+
+}  // namespace
+}  // namespace phom

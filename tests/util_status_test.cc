@@ -1,0 +1,64 @@
+#include "src/util/status.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/result.h"
+
+namespace phom {
+namespace {
+
+TEST(Status, Basics) {
+  EXPECT_TRUE(Status::OK().ok());
+  Status invalid = Status::Invalid("bad input");
+  EXPECT_FALSE(invalid.ok());
+  EXPECT_EQ(invalid.code(), Status::Code::kInvalidArgument);
+  EXPECT_EQ(invalid.message(), "bad input");
+  EXPECT_EQ(invalid.ToString(), "Invalid: bad input");
+  EXPECT_EQ(Status::NotSupported("x").code(), Status::Code::kNotSupported);
+  EXPECT_EQ(Status::ResourceExhausted("y").code(),
+            Status::Code::kResourceExhausted);
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(Result, HoldsStatus) {
+  Result<int> r(Status::Invalid("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().message(), "nope");
+  EXPECT_THROW(r.ValueOrDie(), std::logic_error);
+}
+
+TEST(Result, OkStatusIsABug) {
+  EXPECT_THROW(Result<int>(Status::OK()), std::logic_error);
+}
+
+Result<int> Doubler(Result<int> in) {
+  PHOM_ASSIGN_OR_RETURN(int v, in);
+  return 2 * v;
+}
+
+TEST(Result, AssignOrReturnMacro) {
+  EXPECT_EQ(Doubler(21).ValueOrDie(), 42);
+  EXPECT_FALSE(Doubler(Status::Invalid("broken")).ok());
+  EXPECT_EQ(Doubler(Status::Invalid("broken")).status().message(), "broken");
+}
+
+TEST(Check, ThrowsLogicError) {
+  EXPECT_THROW(PHOM_CHECK(1 == 2), std::logic_error);
+  EXPECT_NO_THROW(PHOM_CHECK(1 == 1));
+  try {
+    PHOM_CHECK_MSG(false, "context " << 7);
+    FAIL();
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("context 7"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace phom
