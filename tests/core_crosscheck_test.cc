@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "src/core/fallback.h"
+#include "src/core/monte_carlo.h"
+#include "src/core/solver.h"
+#include "src/graph/builders.h"
+#include "src/graph/generators.h"
+#include "tests/test_util.h"
+
+/// Cross-check verification harness (the repo's ground-truth gate): random
+/// small query/instance pairs conditioned on the paper's classes — 2WP
+/// instances (Prop. 4.11), DWT instances (Prop. 4.10/3.6), polytree
+/// instances (Props. 5.4/5.5), and a #P-hard cell (Prop. 3.3) — each
+/// checked for EXACT agreement between the dispatcher, every applicable
+/// forced polynomial-time engine, the match-lineage solver, and brute-force
+/// world enumeration, plus a statistical agreement check against Monte
+/// Carlo. All seeds are fixed; every case is reproducible.
+
+namespace phom {
+namespace {
+
+enum class CellClass { k2wp, kDwt, kPolytree, kHardCell };
+
+const char* ToString(CellClass c) {
+  switch (c) {
+    case CellClass::k2wp: return "2WP";
+    case CellClass::kDwt: return "DWT";
+    case CellClass::kPolytree: return "polytree";
+    case CellClass::kHardCell: return "hard-cell";
+  }
+  return "?";
+}
+
+struct CrosscheckCase {
+  DiGraph query;
+  ProbGraph instance;
+  /// The class guarantees tractability (or, for the hard cell, hardness by
+  /// construction), so the dispatcher's analysis is asserted per case.
+  bool expect_tractable = false;
+};
+
+/// Class-conditioned generators. Instances stay small enough (≤ 12 edges)
+/// that the 2^m world enumeration oracle is instant.
+CrosscheckCase MakeCase(CellClass cell, Rng* rng) {
+  CrosscheckCase out;
+  switch (cell) {
+    case CellClass::k2wp: {
+      // Any connected query on a 2WP instance is PTIME (Prop. 4.11).
+      size_t labels = static_cast<size_t>(rng->UniformInt(1, 2));
+      out.query = RandomTwoWayPath(rng, rng->UniformInt(1, 3), labels);
+      out.instance = AttachRandomProbabilities(
+          rng, RandomTwoWayPath(rng, rng->UniformInt(2, 10), labels), 3);
+      out.expect_tractable = true;
+      break;
+    }
+    case CellClass::kDwt: {
+      // Labeled 1WP queries on DWT instances are PTIME (Prop. 4.10).
+      std::vector<LabelId> pattern;
+      for (int i = 0, m = rng->UniformInt(1, 3); i < m; ++i) {
+        pattern.push_back(static_cast<LabelId>(rng->UniformInt(0, 1)));
+      }
+      out.query = MakeLabeledPath(pattern);
+      out.instance = AttachRandomProbabilities(
+          rng, RandomDownwardTree(rng, rng->UniformInt(3, 11), 2, 0.4), 3);
+      out.expect_tractable = true;
+      break;
+    }
+    case CellClass::kPolytree: {
+      // Unlabeled DWT queries collapse to a 1WP (Prop. 5.5) and are then
+      // PTIME on polytree instances via the tree-automaton route
+      // (Prop. 5.4); general polytree queries on polytree instances are
+      // #P-hard (Prop. 5.6), so the class conditions on DWT queries.
+      out.query = RandomDownwardTree(rng, rng->UniformInt(2, 5), 1, 0.5);
+      out.instance = AttachRandomProbabilities(
+          rng, RandomPolytree(rng, rng->UniformInt(3, 10), 1), 3);
+      out.expect_tractable = true;
+      break;
+    }
+    case CellClass::kHardCell: {
+      // Disconnected two-label query (an R-path ⊔ an S-path) on an instance
+      // containing both labels: the Prop. 3.3 #P-hard cell. No collapse
+      // applies (two labels, no homomorphism between the components), so the
+      // dispatcher must route through the exact exponential fallback.
+      std::vector<LabelId> r_part(rng->UniformInt(1, 2), 0);
+      std::vector<LabelId> s_part(rng->UniformInt(1, 2), 1);
+      out.query =
+          DisjointUnion({MakeLabeledPath(r_part), MakeLabeledPath(s_part)});
+      DiGraph shape = RandomTwoWayPath(rng, rng->UniformInt(3, 9), 2);
+      // Force both labels to appear so the answer is not trivially zero.
+      DiGraph relabeled(shape.num_vertices());
+      for (size_t e = 0; e < shape.num_edges(); ++e) {
+        Edge edge = shape.edge(static_cast<EdgeId>(e));
+        if (e == 0) edge.label = 0;
+        if (e + 1 == shape.num_edges()) edge.label = 1;
+        AddEdgeOrDie(&relabeled, edge.src, edge.dst, edge.label);
+      }
+      out.instance = AttachRandomProbabilities(rng, std::move(relabeled), 3);
+      out.expect_tractable = false;
+      break;
+    }
+  }
+  return out;
+}
+
+constexpr uint64_t kSeedBase = 20170514;  // PODS 2017, fixed forever
+constexpr int kCasesPerClass = 220;
+
+class CrosscheckTest : public ::testing::TestWithParam<CellClass> {};
+
+/// Exact agreement: dispatcher == brute-force world enumeration, and every
+/// forced polynomial-time engine that accepts the problem agrees bit-exactly.
+TEST_P(CrosscheckTest, SolverAgreesWithWorldEnumeration) {
+  CellClass cell = GetParam();
+  Rng rng(kSeedBase + static_cast<uint64_t>(cell));
+  Solver solver;
+  for (int trial = 0; trial < kCasesPerClass; ++trial) {
+    CrosscheckCase c = MakeCase(cell, &rng);
+    Result<SolveResult> fast = solver.Solve(c.query, c.instance);
+    ASSERT_TRUE(fast.ok())
+        << ToString(cell) << " trial " << trial << ": "
+        << fast.status().ToString();
+    EXPECT_EQ(fast->analysis.tractable, c.expect_tractable)
+        << ToString(cell) << " trial " << trial << " dispatched to "
+        << ToString(fast->analysis.algorithm);
+
+    Result<Rational> oracle = SolveByWorldEnumeration(c.query, c.instance);
+    ASSERT_TRUE(oracle.ok()) << ToString(cell) << " trial " << trial;
+    EXPECT_EQ(fast->probability, *oracle)
+        << ToString(cell) << " trial " << trial << " cell "
+        << fast->analysis.cell << " algo "
+        << ToString(fast->analysis.algorithm);
+
+    // Every forced polynomial-time engine that accepts this problem must
+    // reproduce the oracle exactly; rejections are fine (the engine's
+    // preconditions just do not hold for this case).
+    for (Algorithm algo :
+         {Algorithm::kConnectedOn2wp, Algorithm::kPathOnDwt,
+          Algorithm::kUnlabeledDwtInstance, Algorithm::kUnlabeledPolytree}) {
+      SolveOptions force;
+      force.force_algorithm = algo;
+      Result<Rational> forced = SolveProbability(c.query, c.instance, force);
+      if (forced.ok()) {
+        EXPECT_EQ(*forced, *oracle)
+            << ToString(cell) << " trial " << trial << " forced engine "
+            << ToString(algo);
+      }
+    }
+
+    // The match-lineage exponential solver is an independent second oracle
+    // for connected queries.
+    if (Classify(c.query).num_components == 1 && c.query.num_edges() > 0) {
+      Result<Rational> lineage = SolveByMatchLineage(c.query, c.instance);
+      ASSERT_TRUE(lineage.ok()) << ToString(cell) << " trial " << trial;
+      EXPECT_EQ(*lineage, *oracle) << ToString(cell) << " trial " << trial;
+    }
+  }
+}
+
+/// Statistical agreement: Monte Carlo estimates land within a 5-sigma-ish
+/// band of the exact answer on a handful of cases per class.
+TEST_P(CrosscheckTest, MonteCarloAgreesStatistically) {
+  CellClass cell = GetParam();
+  Rng rng(kSeedBase + 1000 + static_cast<uint64_t>(cell));
+  for (int trial = 0; trial < 8; ++trial) {
+    CrosscheckCase c = MakeCase(cell, &rng);
+    Result<Rational> exact_r = SolveProbability(c.query, c.instance);
+    ASSERT_TRUE(exact_r.ok())
+        << ToString(cell) << " trial " << trial << ": "
+        << exact_r.status().ToString();
+    double exact = exact_r->ToDouble();
+    MonteCarloOptions options;
+    options.samples = 20'000;
+    Result<MonteCarloEstimate> e = EstimateProbabilityMonteCarlo(
+        c.query, c.instance, kSeedBase + trial, options);
+    ASSERT_TRUE(e.ok()) << ToString(cell) << " trial " << trial;
+    // half_width_95 is ~2 sigma; 2.5x that plus an absolute floor for the
+    // p≈0/p≈1 cases where the width estimate itself degenerates.
+    EXPECT_NEAR(e->estimate, exact, 2.5 * e->half_width_95 + 5e-3)
+        << ToString(cell) << " trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Classes, CrosscheckTest,
+                         ::testing::Values(CellClass::k2wp, CellClass::kDwt,
+                                           CellClass::kPolytree,
+                                           CellClass::kHardCell),
+                         [](const ::testing::TestParamInfo<CellClass>& info) {
+                           switch (info.param) {
+                             case CellClass::k2wp: return "TwoWayPath";
+                             case CellClass::kDwt: return "DownwardTree";
+                             case CellClass::kPolytree: return "Polytree";
+                             case CellClass::kHardCell: return "HardCell";
+                           }
+                           return "Unknown";
+                         });
+
+}  // namespace
+}  // namespace phom

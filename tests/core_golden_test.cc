@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "src/core/phom.h"
+#include "tests/test_util.h"
 
 /// Golden regression corpus: fixed seeded instances across the dichotomy's
 /// cells with their exact probabilities pinned. Any future change to the
@@ -60,18 +61,8 @@ TEST(Golden, DisconnectedLabeledQueryViaFallback) {
 
 TEST(Golden, PaperExampleIsForever574) {
   // Examples 2.1-2.2, once more, as a permanent anchor.
-  DiGraph query(4);
-  AddEdgeOrDie(&query, 0, 1, 0);
-  AddEdgeOrDie(&query, 1, 2, 1);
-  AddEdgeOrDie(&query, 3, 2, 1);
-  ProbGraph instance(4);
-  AddEdgeOrDie(&instance, 0, 1, 0, Rational(1, 10));
-  AddEdgeOrDie(&instance, 3, 1, 0, Rational(4, 5));
-  AddEdgeOrDie(&instance, 1, 2, 1, Rational(7, 10));
-  AddEdgeOrDie(&instance, 0, 3, 0, Rational::One());
-  AddEdgeOrDie(&instance, 2, 3, 0, Rational(1, 20));
-  AddEdgeOrDie(&instance, 2, 0, 1, Rational(1, 10));
-  EXPECT_EQ(*SolveProbability(query, instance), Rational(287, 500));
+  test_util::PaperFigure1 ex;
+  EXPECT_EQ(*SolveProbability(ex.query, ex.instance), Rational(287, 500));
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 #include "src/hom/backtrack.h"
 #include "src/reductions/edge_cover_reduction.h"
 #include "src/reductions/pp2dnf_reduction.h"
+#include "tests/test_util.h"
 
 /// End-to-end suites crossing module boundaries: counting semantics,
 /// Lemma 3.7, label restriction, the reductions run through the full solver,
@@ -17,22 +18,7 @@ namespace {
 // Counting view (all probabilities 1/2).
 // ---------------------------------------------------------------------------
 
-BigInt CountByEnumeration(const DiGraph& query, const DiGraph& instance) {
-  size_t m = instance.num_edges();
-  PHOM_CHECK(m <= 20);
-  BigInt count(0);
-  for (uint64_t mask = 0; mask < (uint64_t{1} << m); ++mask) {
-    DiGraph world(instance.num_vertices());
-    for (size_t e = 0; e < m; ++e) {
-      if ((mask >> e) & 1) {
-        const Edge& edge = instance.edge(e);
-        AddEdgeOrDie(&world, edge.src, edge.dst, edge.label);
-      }
-    }
-    if (*HasHomomorphism(query, world)) count += BigInt(1);
-  }
-  return count;
-}
+using test_util::CountWorldsByEnumeration;
 
 TEST(Counting, MatchesEnumerationAcrossCells) {
   Rng rng(201);
@@ -49,7 +35,7 @@ TEST(Counting, MatchesEnumerationAcrossCells) {
                         : RandomTwoWayPath(&rng, rng.UniformInt(1, 3), 1);
     Result<BigInt> counted = CountSatisfyingWorlds(query, instance);
     ASSERT_TRUE(counted.ok()) << counted.status().ToString();
-    EXPECT_EQ(*counted, CountByEnumeration(query, instance)) << trial;
+    EXPECT_EQ(*counted, CountWorldsByEnumeration(query, instance)) << trial;
   }
 }
 
@@ -229,10 +215,7 @@ TEST(PaperFixtures, Figure5Construction) {
 }
 
 TEST(PaperFixtures, Figure7And8AgreeWithEachOther) {
-  Pp2Dnf example;
-  example.num_x = 2;
-  example.num_y = 2;
-  example.clauses = {{0, 1}, {0, 0}, {1, 1}};
+  Pp2Dnf example = test_util::MakePaperPp2Dnf();
   Pp2DnfReduction labeled = BuildPp2DnfReductionLabeled(example);
   Pp2DnfReduction unlabeled = BuildPp2DnfReductionUnlabeled(example);
   Rational p1 = *SolveProbability(labeled.query, labeled.instance);

@@ -3,6 +3,7 @@
 #include "src/core/solver.h"
 #include "src/graph/builders.h"
 #include "src/graph/generators.h"
+#include "tests/test_util.h"
 
 /// Randomized ground-truth testing: for every combination of query class and
 /// instance class in Tables 1-3 (plus general graphs), the dispatcher's
@@ -12,48 +13,20 @@
 namespace phom {
 namespace {
 
-enum class Kind { k1wp, k2wp, kDwt, kPt, kConn, kU1wp, kU2wp, kUDwt, kUPt };
-
-DiGraph MakeKind(Kind kind, Rng* rng, size_t size, size_t labels) {
-  switch (kind) {
-    case Kind::k1wp: return RandomOneWayPath(rng, size, labels);
-    case Kind::k2wp: return RandomTwoWayPath(rng, size, labels);
-    case Kind::kDwt: return RandomDownwardTree(rng, size + 1, labels, 0.4);
-    case Kind::kPt: return RandomPolytree(rng, size + 1, labels);
-    case Kind::kConn: return RandomConnected(rng, size + 1, 2, labels);
-    case Kind::kU1wp:
-      return RandomDisjointUnion(rng, 2, [&](Rng* r) {
-        return RandomOneWayPath(r, 1 + size / 2, labels);
-      });
-    case Kind::kU2wp:
-      return RandomDisjointUnion(rng, 2, [&](Rng* r) {
-        return RandomTwoWayPath(r, 1 + size / 2, labels);
-      });
-    case Kind::kUDwt:
-      return RandomDisjointUnion(rng, 2, [&](Rng* r) {
-        return RandomDownwardTree(r, 2 + size / 2, labels, 0.4);
-      });
-    case Kind::kUPt:
-      return RandomDisjointUnion(rng, 2, [&](Rng* r) {
-        return RandomPolytree(r, 2 + size / 2, labels);
-      });
-  }
-  return DiGraph(1);
-}
+using test_util::GraphClass;
+using test_util::MakeClassGraph;
 
 class SolverPropertyTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(SolverPropertyTest, DispatcherMatchesBruteForceOracle) {
   Rng rng(GetParam());
-  const std::vector<Kind> kinds = {Kind::k1wp, Kind::k2wp, Kind::kDwt,
-                                   Kind::kPt,  Kind::kConn, Kind::kU1wp,
-                                   Kind::kU2wp, Kind::kUDwt, Kind::kUPt};
+  const std::vector<GraphClass>& kinds = test_util::AllGraphClasses();
   Solver solver;
-  for (Kind qk : kinds) {
-    for (Kind ik : kinds) {
+  for (GraphClass qk : kinds) {
+    for (GraphClass ik : kinds) {
       for (size_t labels : {1u, 2u}) {
-        DiGraph q = MakeKind(qk, &rng, rng.UniformInt(1, 3), labels);
-        DiGraph ig = MakeKind(ik, &rng, rng.UniformInt(1, 6), labels);
+        DiGraph q = MakeClassGraph(qk, &rng, rng.UniformInt(1, 3), labels);
+        DiGraph ig = MakeClassGraph(ik, &rng, rng.UniformInt(1, 6), labels);
         if (ig.num_edges() > 14) continue;  // keep the oracle cheap
         ProbGraph h = AttachRandomProbabilities(&rng, ig, 2, 0.25);
         Result<SolveResult> fast = solver.Solve(q, h);

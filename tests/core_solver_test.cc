@@ -4,48 +4,27 @@
 
 #include "src/graph/builders.h"
 #include "src/graph/generators.h"
+#include "tests/test_util.h"
 
 namespace phom {
 namespace {
 
-/// The running example of the paper (Figure 1 / Examples 2.1-2.2).
-/// Vertices: a=0, b=1, c=2, d=3. Labels: R=0, S=1.
-/// Query: R(x,y) ∧ S(y,z) ∧ S(t,z), i.e. -R-> -S-> <-S-.
-/// With S(b,c) at 0.7 and R-edges into b at 0.1 and 0.8, the paper's
-/// computation gives 0.7 * (1 - 0.9 * 0.2) = 0.574 = 287/500.
-struct PaperExample {
-  DiGraph query;
-  ProbGraph instance;
-
-  PaperExample() : query(4), instance(4) {
-    AddEdgeOrDie(&query, 0, 1, 0);  // x -R-> y
-    AddEdgeOrDie(&query, 1, 2, 1);  // y -S-> z
-    AddEdgeOrDie(&query, 3, 2, 1);  // t -S-> z
-
-    AddEdgeOrDie(&instance, 0, 1, 0, *Rational::FromString("0.1"));  // R(a,b)
-    AddEdgeOrDie(&instance, 3, 1, 0, *Rational::FromString("0.8"));  // R(d,b)
-    AddEdgeOrDie(&instance, 1, 2, 1, *Rational::FromString("0.7"));  // S(b,c)
-    AddEdgeOrDie(&instance, 0, 3, 0, Rational::One());               // R(a,d)
-    AddEdgeOrDie(&instance, 2, 3, 0, *Rational::FromString("0.05")); // R(c,d)
-    AddEdgeOrDie(&instance, 2, 0, 1, *Rational::FromString("0.1"));  // S(c,a)
-  }
-};
+using test_util::PaperFigure1;
 
 TEST(Solver, PaperRunningExample) {
-  PaperExample ex;
+  PaperFigure1 ex;
   Solver solver;
   Result<SolveResult> result = solver.Solve(ex.query, ex.instance);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
-  EXPECT_EQ(result->probability, Rational(287, 500));
+  EXPECT_EQ(result->probability, ex.expected);
   EXPECT_EQ(result->probability.ToDecimalString(3), "0.574");
 }
 
 TEST(Solver, PaperExampleMatchesBruteForce) {
-  PaperExample ex;
+  PaperFigure1 ex;
   SolveOptions force;
   force.force_algorithm = Algorithm::kFallback;
-  EXPECT_EQ(*SolveProbability(ex.query, ex.instance, force),
-            Rational(287, 500));
+  EXPECT_EQ(*SolveProbability(ex.query, ex.instance, force), ex.expected);
 }
 
 TEST(Solver, TrivialAnswers) {

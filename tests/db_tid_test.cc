@@ -2,8 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include "tests/test_util.h"
+
 namespace phom {
 namespace {
+
+using test_util::Q;
 
 TEST(TidDatabase, FactsAndLookups) {
   TidDatabase db;
@@ -49,12 +53,12 @@ TEST(TidDatabase, UnknownRelationNeverMatches) {
 
 TEST(TidDatabase, PaperExampleThroughTheRelationalView) {
   TidDatabase db;
-  ASSERT_TRUE(db.AddFact("R", "a", "b", *Rational::FromString("0.1")).ok());
-  ASSERT_TRUE(db.AddFact("R", "d", "b", *Rational::FromString("0.8")).ok());
-  ASSERT_TRUE(db.AddFact("S", "b", "c", *Rational::FromString("0.7")).ok());
+  ASSERT_TRUE(db.AddFact("R", "a", "b", Q("0.1")).ok());
+  ASSERT_TRUE(db.AddFact("R", "d", "b", Q("0.8")).ok());
+  ASSERT_TRUE(db.AddFact("S", "b", "c", Q("0.7")).ok());
   ASSERT_TRUE(db.AddCertainFact("R", "a", "d").ok());
-  ASSERT_TRUE(db.AddFact("R", "c", "d", *Rational::FromString("0.05")).ok());
-  ASSERT_TRUE(db.AddFact("S", "c", "a", *Rational::FromString("0.1")).ok());
+  ASSERT_TRUE(db.AddFact("R", "c", "d", Q("0.05")).ok());
+  ASSERT_TRUE(db.AddFact("S", "c", "a", Q("0.1")).ok());
   Result<SolveResult> result = db.Evaluate("R(x,y), S(y,z), S(t,z)");
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result->probability, Rational(287, 500));

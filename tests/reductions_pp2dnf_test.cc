@@ -5,18 +5,13 @@
 #include "src/core/fallback.h"
 #include "src/graph/classify.h"
 #include "src/reductions/edge_cover_reduction.h"
+#include "tests/test_util.h"
 
 namespace phom {
 namespace {
 
-Pp2Dnf PaperExample() {
-  // Figure 7/8's formula: X1 Y2 v X1 Y1 v X2 Y2 (0-based pairs).
-  Pp2Dnf f;
-  f.num_x = 2;
-  f.num_y = 2;
-  f.clauses = {{0, 1}, {0, 0}, {1, 1}};
-  return f;
-}
+/// Figure 7/8's formula: X1 Y2 v X1 Y1 v X2 Y2 (0-based pairs).
+Pp2Dnf PaperExample() { return test_util::MakePaperPp2Dnf(); }
 
 TEST(Pp2DnfBrute, PaperExampleCount) {
   // ϕ = X1Y2 v X1Y1 v X2Y2 over 4 variables: count satisfying assignments.

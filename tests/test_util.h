@@ -1,0 +1,142 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "src/core/fallback.h"
+#include "src/graph/builders.h"
+#include "src/graph/digraph.h"
+#include "src/graph/generators.h"
+#include "src/graph/prob_graph.h"
+#include "src/hom/backtrack.h"
+#include "src/reductions/pp2dnf.h"
+#include "src/util/bigint.h"
+#include "src/util/rational.h"
+#include "src/util/rng.h"
+
+/// \file test_util.h
+/// Shared fixtures and generators for the test suites: the paper's running
+/// example (Figure 1 / Examples 2.1-2.2), the Figure 7/8 PP2DNF formula,
+/// class-conditioned random graph generators spanning Tables 1-3, rational
+/// helpers, and an independent brute-force world counter.
+
+namespace phom::test_util {
+
+/// Parses a decimal/fraction literal into an exact Rational, dying on
+/// malformed input — test shorthand for *Rational::FromString(...).
+inline Rational Q(std::string_view text) {
+  Result<Rational> r = Rational::FromString(text);
+  PHOM_CHECK_MSG(r.ok(), "bad rational literal in test");
+  return *r;
+}
+
+/// The running example of the paper (Figure 1 / Examples 2.1-2.2).
+/// Vertices: a=0, b=1, c=2, d=3. Labels: R=0, S=1.
+/// Query: R(x,y) ∧ S(y,z) ∧ S(t,z), i.e. -R-> -S-> <-S-.
+/// With S(b,c) at 0.7 and R-edges into b at 0.1 and 0.8, the paper's
+/// computation gives 0.7 * (1 - 0.9 * 0.2) = 0.574 = 287/500.
+struct PaperFigure1 {
+  DiGraph query;
+  ProbGraph instance;
+  Rational expected;
+
+  PaperFigure1() : query(4), instance(4), expected(287, 500) {
+    AddEdgeOrDie(&query, 0, 1, 0);  // x -R-> y
+    AddEdgeOrDie(&query, 1, 2, 1);  // y -S-> z
+    AddEdgeOrDie(&query, 3, 2, 1);  // t -S-> z
+
+    AddEdgeOrDie(&instance, 0, 1, 0, Rational(1, 10));  // R(a,b)
+    AddEdgeOrDie(&instance, 3, 1, 0, Rational(4, 5));   // R(d,b)
+    AddEdgeOrDie(&instance, 1, 2, 1, Rational(7, 10));  // S(b,c)
+    AddEdgeOrDie(&instance, 0, 3, 0, Rational::One());  // R(a,d)
+    AddEdgeOrDie(&instance, 2, 3, 0, Rational(1, 20));  // R(c,d)
+    AddEdgeOrDie(&instance, 2, 0, 1, Rational(1, 10));  // S(c,a)
+  }
+};
+
+/// Figure 7/8's PP2DNF formula X1Y2 ∨ X1Y1 ∨ X2Y2 (0-based pairs); it has
+/// exactly 8 satisfying assignments over its 4 variables.
+inline Pp2Dnf MakePaperPp2Dnf() {
+  Pp2Dnf f;
+  f.num_x = 2;
+  f.num_y = 2;
+  f.clauses = {{0, 1}, {0, 0}, {1, 1}};
+  return f;
+}
+
+/// Graph classes of Tables 1-3 (and their ⊔-closures) for class-conditioned
+/// random generation of queries and instances.
+enum class GraphClass {
+  k1wp,
+  k2wp,
+  kDwt,
+  kPt,
+  kConn,
+  kU1wp,
+  kU2wp,
+  kUDwt,
+  kUPt,
+};
+
+inline const std::vector<GraphClass>& AllGraphClasses() {
+  static const std::vector<GraphClass> kAll = {
+      GraphClass::k1wp, GraphClass::k2wp,  GraphClass::kDwt,
+      GraphClass::kPt,  GraphClass::kConn, GraphClass::kU1wp,
+      GraphClass::kU2wp, GraphClass::kUDwt, GraphClass::kUPt};
+  return kAll;
+}
+
+/// Random member of the class; `size` scales edges/vertices, labels are
+/// uniform in [0, labels).
+inline DiGraph MakeClassGraph(GraphClass kind, Rng* rng, size_t size,
+                              size_t labels) {
+  switch (kind) {
+    case GraphClass::k1wp: return RandomOneWayPath(rng, size, labels);
+    case GraphClass::k2wp: return RandomTwoWayPath(rng, size, labels);
+    case GraphClass::kDwt:
+      return RandomDownwardTree(rng, size + 1, labels, 0.4);
+    case GraphClass::kPt: return RandomPolytree(rng, size + 1, labels);
+    case GraphClass::kConn: return RandomConnected(rng, size + 1, 2, labels);
+    case GraphClass::kU1wp:
+      return RandomDisjointUnion(rng, 2, [&](Rng* r) {
+        return RandomOneWayPath(r, 1 + size / 2, labels);
+      });
+    case GraphClass::kU2wp:
+      return RandomDisjointUnion(rng, 2, [&](Rng* r) {
+        return RandomTwoWayPath(r, 1 + size / 2, labels);
+      });
+    case GraphClass::kUDwt:
+      return RandomDisjointUnion(rng, 2, [&](Rng* r) {
+        return RandomDownwardTree(r, 2 + size / 2, labels, 0.4);
+      });
+    case GraphClass::kUPt:
+      return RandomDisjointUnion(rng, 2, [&](Rng* r) {
+        return RandomPolytree(r, 2 + size / 2, labels);
+      });
+  }
+  return DiGraph(1);
+}
+
+/// Independent brute-force oracle: counts the subgraphs of `instance` that
+/// `query` maps into by enumerating all 2^edges edge subsets directly — no
+/// shared code with the solver's own fallback beyond the homomorphism test.
+inline BigInt CountWorldsByEnumeration(const DiGraph& query,
+                                       const DiGraph& instance) {
+  size_t m = instance.num_edges();
+  PHOM_CHECK(m <= 20);
+  BigInt count(0);
+  for (uint64_t mask = 0; mask < (uint64_t{1} << m); ++mask) {
+    DiGraph world(instance.num_vertices());
+    for (size_t e = 0; e < m; ++e) {
+      if ((mask >> e) & 1) {
+        const Edge& edge = instance.edge(e);
+        AddEdgeOrDie(&world, edge.src, edge.dst, edge.label);
+      }
+    }
+    if (*HasHomomorphism(query, world)) count += BigInt(1);
+  }
+  return count;
+}
+
+}  // namespace phom::test_util
