@@ -7,11 +7,16 @@
 //  C. Prop. 4.11's minimal-interval two-pointer vs. forced fallback.
 //  D. Exact-rational growth: output size (numerator+denominator bits) as a
 //     function of instance size — the "hidden" cost of exact inference.
+//
+// Engine selection goes through the engine registry (engine.h): every
+// forced variant names its engine via SolveOptions::force_engine, so these
+// benches exercise exactly the dispatch path production code uses.
 
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_util.h"
 #include "src/circuits/dnnf.h"
+#include "src/core/engine.h"
 #include "src/lineage/dnf_compile.h"
 
 namespace phom {
@@ -42,7 +47,7 @@ void BM_AblationA_DwtLineageShannon(benchmark::State& state) {
       &rng, ProperShape(Shape::kDwt, n, 2, &rng), 4);
   DiGraph q = RandomOneWayPath(&rng, 4, 2);
   SolveOptions options;
-  options.dwt_via_lineage = true;
+  options.force_engine = "dwt-lineage-shannon";
   Solver solver(options);
   for (auto _ : state) {
     benchmark::DoNotOptimize(solver.Solve(q, h));
@@ -96,7 +101,7 @@ void BM_AblationB_PolytreeFallback(benchmark::State& state) {
       &rng, ProperShape(Shape::kPt, n, 1, &rng), 2);
   DiGraph q = MakeOneWayPath(3);
   SolveOptions options;
-  options.force_algorithm = Algorithm::kFallback;
+  options.force_engine = "fallback";
   Solver solver(options);
   for (auto _ : state) {
     benchmark::DoNotOptimize(solver.Solve(q, h));
@@ -126,7 +131,7 @@ void BM_AblationC_2wpFallback(benchmark::State& state) {
       &rng, ProperShape(Shape::k2wp, n, 1, &rng), 2);
   DiGraph q = ProperShape(Shape::k2wp, 4, 1, &rng);
   SolveOptions options;
-  options.force_algorithm = Algorithm::kFallback;
+  options.force_engine = "fallback";
   Solver solver(options);
   for (auto _ : state) {
     benchmark::DoNotOptimize(solver.Solve(q, h));
@@ -134,6 +139,15 @@ void BM_AblationC_2wpFallback(benchmark::State& state) {
 }
 BENCHMARK(BM_AblationC_2wpFallback)->DenseRange(8, 16, 4)
     ->Unit(benchmark::kMillisecond);
+
+void EngineRegistryReport() {
+  std::printf("\n=== Registered engines (selection order) ===\n");
+  for (const Engine* e : EngineRegistry::Global().engines()) {
+    std::printf("  %-24s algorithm=%-24s %s\n",
+                std::string(e->name()).c_str(), ToString(e->algorithm()),
+                e->exact() ? "exact" : "estimator");
+  }
+}
 
 void RationalGrowthReport() {
   std::printf("\n=== Ablation D: exact-rational answer size ===\n");
@@ -157,6 +171,7 @@ void RationalGrowthReport() {
 
 int main(int argc, char** argv) {
   phom::bench::RunBenchmarks(argc, argv);
+  phom::EngineRegistryReport();
   phom::RationalGrowthReport();
   return 0;
 }

@@ -5,6 +5,7 @@
 #include "src/automata/binary_encoding.h"
 #include "src/automata/tree_automaton.h"
 #include "src/circuits/circuit.h"
+#include "src/util/numeric.h"
 #include "src/util/result.h"
 
 /// \file provenance.h
@@ -27,7 +28,9 @@ namespace phom {
 struct ProvenanceCircuit {
   Circuit circuit;
   uint32_t root_gate = 0;
-  /// Variable probabilities aligned with circuit variables (= tree nodes).
+  /// Variable probabilities aligned with circuit variables (= tree nodes);
+  /// wrap in BackendProbs<Num> (util/numeric.h) to evaluate the circuit in
+  /// a non-exact backend.
   std::vector<Rational> var_probs;
   /// Σ over internal nodes of |reachable left states| × |reachable right
   /// states| — the work/size driver, reported by benchmarks.

@@ -5,26 +5,30 @@
 
 namespace phom {
 
-Rational DnnfProbability(const Circuit& circuit, uint32_t root,
-                         const std::vector<Rational>& var_probs) {
+template <class Num>
+Num DnnfProbabilityT(const Circuit& circuit, uint32_t root,
+                     const std::vector<Num>& var_probs) {
+  using Ops = NumericOps<Num>;
   PHOM_CHECK(root < circuit.num_gates());
   PHOM_CHECK(var_probs.size() >= circuit.num_vars());
-  std::vector<Rational> prob(root + 1, Rational::Zero());
+  std::vector<Num> prob(root + 1, Ops::Zero());
   for (uint32_t id = 0; id <= root; ++id) {
     const Gate& g = circuit.gate(id);
     switch (g.kind) {
-      case GateKind::kConstFalse: prob[id] = Rational::Zero(); break;
-      case GateKind::kConstTrue: prob[id] = Rational::One(); break;
+      case GateKind::kConstFalse: prob[id] = Ops::Zero(); break;
+      case GateKind::kConstTrue: prob[id] = Ops::One(); break;
       case GateKind::kVar: prob[id] = var_probs[g.var]; break;
-      case GateKind::kNegVar: prob[id] = var_probs[g.var].Complement(); break;
+      case GateKind::kNegVar:
+        prob[id] = Ops::Complement(var_probs[g.var]);
+        break;
       case GateKind::kAnd: {
-        Rational p = Rational::One();
+        Num p = Ops::One();
         for (uint32_t in : g.inputs) p *= prob[in];
         prob[id] = p;
         break;
       }
       case GateKind::kOr: {
-        Rational p = Rational::Zero();
+        Num p = Ops::Zero();
         for (uint32_t in : g.inputs) p += prob[in];
         prob[id] = p;
         break;
@@ -33,6 +37,11 @@ Rational DnnfProbability(const Circuit& circuit, uint32_t root,
   }
   return prob[root];
 }
+
+template Rational DnnfProbabilityT<Rational>(const Circuit&, uint32_t,
+                                             const std::vector<Rational>&);
+template double DnnfProbabilityT<double>(const Circuit&, uint32_t,
+                                         const std::vector<double>&);
 
 Status ValidateDecomposability(const Circuit& circuit, uint32_t root) {
   // Bottom-up variable sets (sorted vectors).

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "src/circuits/circuit.h"
+#include "src/util/numeric.h"
 #include "src/util/rational.h"
 #include "src/util/result.h"
 
@@ -17,11 +18,24 @@
 namespace phom {
 
 /// Probability of the function computed at `root` under independent variable
-/// probabilities. Correct only for d-DNNF circuits (the provenance circuits
-/// built in automata/provenance.h are d-DNNF by construction; use the
-/// validators below in tests).
-Rational DnnfProbability(const Circuit& circuit, uint32_t root,
-                         const std::vector<Rational>& var_probs);
+/// probabilities, in the numeric backend of `Num` (Rational or double).
+/// Correct only for d-DNNF circuits (the provenance circuits built in
+/// automata/provenance.h are d-DNNF by construction; use the validators
+/// below in tests).
+template <class Num>
+Num DnnfProbabilityT(const Circuit& circuit, uint32_t root,
+                     const std::vector<Num>& var_probs);
+
+extern template Rational DnnfProbabilityT<Rational>(
+    const Circuit&, uint32_t, const std::vector<Rational>&);
+extern template double DnnfProbabilityT<double>(const Circuit&, uint32_t,
+                                                const std::vector<double>&);
+
+/// Exact-backend convenience (the historical entry point).
+inline Rational DnnfProbability(const Circuit& circuit, uint32_t root,
+                                const std::vector<Rational>& var_probs) {
+  return DnnfProbabilityT<Rational>(circuit, root, var_probs);
+}
 
 /// Structural check of decomposability: the variable sets reachable from the
 /// inputs of every AND gate below `root` are pairwise disjoint.

@@ -95,9 +95,10 @@ std::vector<bool> MatchEnds(const std::vector<LabelId>& pattern,
 
 }  // namespace
 
-Result<Rational> SolvePathOnDwtForest(const std::vector<LabelId>& query_labels,
-                                      const ProbGraph& instance,
-                                      DwtStats* stats) {
+template <class Num>
+Result<Num> SolvePathOnDwtForestT(const std::vector<LabelId>& query_labels,
+                                  const ProbGraph& instance, DwtStats* stats) {
+  using Ops = NumericOps<Num>;
   if (query_labels.empty()) {
     return Status::Invalid("query must have at least one edge");
   }
@@ -124,23 +125,24 @@ Result<Rational> SolvePathOnDwtForest(const std::vector<LabelId>& query_labels,
     match_below[v] = below;
   }
 
-  std::vector<std::vector<Rational>> f(n);
+  BackendProbs<Num> probs(instance.probs());
+  std::vector<std::vector<Num>> f(n);
   for (size_t idx = forest.bfs_order.size(); idx-- > 0;) {
     VertexId v = forest.bfs_order[idx];
     if (!match_below[v]) continue;  // f[v][s] == 1 for all s
-    f[v].assign(m + 1, Rational::One());
+    f[v].assign(m + 1, Ops::One());
     for (uint32_t s = 0; s <= m; ++s) {
       if (match[v] && s == m) {
-        f[v][s] = Rational::Zero();
+        f[v][s] = Ops::Zero();
         continue;
       }
-      Rational value = Rational::One();
+      Num value = Ops::One();
       for (EdgeId e : g.OutEdges(v)) {
         VertexId c = g.edge(e).dst;
         if (!match_below[c]) continue;  // contributes p·1 + (1-p)·1 = 1
-        const Rational& p = instance.prob(e);
+        const Num& p = probs[e];
         uint32_t s_present = std::min(m, s + 1);
-        value *= p * f[c][s_present] + p.Complement() * f[c][0];
+        value *= p * f[c][s_present] + Ops::Complement(p) * f[c][0];
       }
       f[v][s] = std::move(value);
     }
@@ -151,14 +153,15 @@ Result<Rational> SolvePathOnDwtForest(const std::vector<LabelId>& query_labels,
     }
   }
 
-  Rational no_match = Rational::One();
+  Num no_match = Ops::One();
   for (VertexId v = 0; v < n; ++v) {
     if (forest.parent[v] < 0 && match_below[v]) no_match *= f[v][0];
   }
-  return no_match.Complement();
+  return Ops::Complement(no_match);
 }
 
-Result<Rational> SolvePathOnDwtForestViaLineage(
+template <class Num>
+Result<Num> SolvePathOnDwtForestViaLineageT(
     const std::vector<LabelId>& query_labels, const ProbGraph& instance,
     MonotoneDnf* lineage_out, DwtStats* stats) {
   if (query_labels.empty()) {
@@ -194,15 +197,17 @@ Result<Rational> SolvePathOnDwtForestViaLineage(
   }
   ShannonOptions options;
   options.variable_order = std::move(order);
-  Result<Rational> result =
-      DnfProbabilityShannon(lineage, instance.probs(), options);
+  BackendProbs<Num> probs(instance.probs());
+  Result<Num> result =
+      DnfProbabilityShannonT<Num>(lineage, *probs, options, nullptr);
   if (lineage_out != nullptr) *lineage_out = std::move(lineage);
   return result;
 }
 
-Result<Rational> SolveUnlabeledOnDwtForest(const DiGraph& query,
-                                           const ProbGraph& instance,
-                                           DwtStats* stats) {
+template <class Num>
+Result<Num> SolveUnlabeledOnDwtForestT(const DiGraph& query,
+                                       const ProbGraph& instance,
+                                       DwtStats* stats) {
   if (query.num_edges() == 0) {
     return Status::Invalid("query must have at least one edge");
   }
@@ -211,11 +216,24 @@ Result<Rational> SolveUnlabeledOnDwtForest(const DiGraph& query,
     return Status::Invalid("SolveUnlabeledOnDwtForest requires one label");
   }
   GradedAnalysis graded = AnalyzeGraded(query);
-  if (!graded.is_graded) return Rational::Zero();  // Prop. 3.6
+  if (!graded.is_graded) return NumericOps<Num>::Zero();  // Prop. 3.6
   PHOM_CHECK(graded.difference_of_levels >= 1);
   std::vector<LabelId> pattern(
       static_cast<size_t>(graded.difference_of_levels), labels[0]);
-  return SolvePathOnDwtForest(pattern, instance, stats);
+  return SolvePathOnDwtForestT<Num>(pattern, instance, stats);
 }
+
+template Result<Rational> SolvePathOnDwtForestT<Rational>(
+    const std::vector<LabelId>&, const ProbGraph&, DwtStats*);
+template Result<double> SolvePathOnDwtForestT<double>(
+    const std::vector<LabelId>&, const ProbGraph&, DwtStats*);
+template Result<Rational> SolvePathOnDwtForestViaLineageT<Rational>(
+    const std::vector<LabelId>&, const ProbGraph&, MonotoneDnf*, DwtStats*);
+template Result<double> SolvePathOnDwtForestViaLineageT<double>(
+    const std::vector<LabelId>&, const ProbGraph&, MonotoneDnf*, DwtStats*);
+template Result<Rational> SolveUnlabeledOnDwtForestT<Rational>(
+    const DiGraph&, const ProbGraph&, DwtStats*);
+template Result<double> SolveUnlabeledOnDwtForestT<double>(
+    const DiGraph&, const ProbGraph&, DwtStats*);
 
 }  // namespace phom

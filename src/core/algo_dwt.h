@@ -4,6 +4,7 @@
 
 #include "src/graph/prob_graph.h"
 #include "src/lineage/dnf.h"
+#include "src/util/numeric.h"
 #include "src/util/rational.h"
 #include "src/util/result.h"
 
@@ -21,7 +22,8 @@
 ///  * the literal paper pipeline: materialize the DNF lineage (one clause of
 ///    m edges per matching vertex), which is β-acyclic by bottom-up
 ///    elimination, and evaluate it with the memoized Shannon engine.
-/// Both are exposed; tests check they agree.
+/// Both are exposed; tests check they agree. All entry points are templated
+/// on the numeric backend (exact Rational or double, util/numeric.h).
 
 namespace phom {
 
@@ -31,20 +33,53 @@ struct DwtStats {
 
 /// Pr(1WP query with labels `query_labels` ⇝ instance), instance ∈ ⊔DWT
 /// (a forest where every vertex has in-degree <= 1). Requires >= 1 label.
-Result<Rational> SolvePathOnDwtForest(const std::vector<LabelId>& query_labels,
-                                      const ProbGraph& instance,
-                                      DwtStats* stats = nullptr);
+template <class Num>
+Result<Num> SolvePathOnDwtForestT(const std::vector<LabelId>& query_labels,
+                                  const ProbGraph& instance, DwtStats* stats);
 
 /// Same value via the explicit β-acyclic DNF lineage + Shannon engine.
 /// `lineage_out`, if non-null, receives the DNF over instance edge ids.
-Result<Rational> SolvePathOnDwtForestViaLineage(
+template <class Num>
+Result<Num> SolvePathOnDwtForestViaLineageT(
     const std::vector<LabelId>& query_labels, const ProbGraph& instance,
-    MonotoneDnf* lineage_out = nullptr, DwtStats* stats = nullptr);
+    MonotoneDnf* lineage_out, DwtStats* stats);
 
 /// Prop. 3.6: arbitrary unlabeled query on a ⊔DWT instance. Grades the
 /// query (probability 0 if not graded), collapses it to →^m, and delegates.
-Result<Rational> SolveUnlabeledOnDwtForest(const DiGraph& query,
-                                           const ProbGraph& instance,
-                                           DwtStats* stats = nullptr);
+template <class Num>
+Result<Num> SolveUnlabeledOnDwtForestT(const DiGraph& query,
+                                       const ProbGraph& instance,
+                                       DwtStats* stats);
+
+extern template Result<Rational> SolvePathOnDwtForestT<Rational>(
+    const std::vector<LabelId>&, const ProbGraph&, DwtStats*);
+extern template Result<double> SolvePathOnDwtForestT<double>(
+    const std::vector<LabelId>&, const ProbGraph&, DwtStats*);
+extern template Result<Rational> SolvePathOnDwtForestViaLineageT<Rational>(
+    const std::vector<LabelId>&, const ProbGraph&, MonotoneDnf*, DwtStats*);
+extern template Result<double> SolvePathOnDwtForestViaLineageT<double>(
+    const std::vector<LabelId>&, const ProbGraph&, MonotoneDnf*, DwtStats*);
+extern template Result<Rational> SolveUnlabeledOnDwtForestT<Rational>(
+    const DiGraph&, const ProbGraph&, DwtStats*);
+extern template Result<double> SolveUnlabeledOnDwtForestT<double>(
+    const DiGraph&, const ProbGraph&, DwtStats*);
+
+/// Exact-backend conveniences (the historical entry points).
+inline Result<Rational> SolvePathOnDwtForest(
+    const std::vector<LabelId>& query_labels, const ProbGraph& instance,
+    DwtStats* stats = nullptr) {
+  return SolvePathOnDwtForestT<Rational>(query_labels, instance, stats);
+}
+inline Result<Rational> SolvePathOnDwtForestViaLineage(
+    const std::vector<LabelId>& query_labels, const ProbGraph& instance,
+    MonotoneDnf* lineage_out = nullptr, DwtStats* stats = nullptr) {
+  return SolvePathOnDwtForestViaLineageT<Rational>(query_labels, instance,
+                                                   lineage_out, stats);
+}
+inline Result<Rational> SolveUnlabeledOnDwtForest(const DiGraph& query,
+                                                  const ProbGraph& instance,
+                                                  DwtStats* stats = nullptr) {
+  return SolveUnlabeledOnDwtForestT<Rational>(query, instance, stats);
+}
 
 }  // namespace phom

@@ -1,5 +1,7 @@
 #include "src/core/algo_polytree.h"
 
+#include <algorithm>
+
 #include "src/automata/binary_encoding.h"
 #include "src/automata/provenance.h"
 #include "src/automata/tree_automaton.h"
@@ -9,11 +11,13 @@
 
 namespace phom {
 
-Result<Rational> SolvePathProbabilityOnPolytree(uint32_t m,
-                                                const ProbGraph& component,
-                                                PolytreeStats* stats) {
-  if (m == 0) return Rational::One();
-  if (component.num_edges() == 0) return Rational::Zero();
+template <class Num>
+Result<Num> SolvePathProbabilityOnPolytreeT(uint32_t m,
+                                            const ProbGraph& component,
+                                            PolytreeStats* stats) {
+  using Ops = NumericOps<Num>;
+  if (m == 0) return Ops::One();
+  if (component.num_edges() == 0) return Ops::Zero();
   PHOM_ASSIGN_OR_RETURN(EncodedPolytree tree, EncodePolytree(component));
   LongestRunAutomaton automaton(m);
   ProvenanceCircuit provenance = BuildProvenanceCircuit(automaton, tree);
@@ -24,19 +28,22 @@ Result<Rational> SolvePathProbabilityOnPolytree(uint32_t m,
     stats->max_states_per_node =
         std::max(stats->max_states_per_node, provenance.max_states_per_node);
   }
-  return DnnfProbability(provenance.circuit, provenance.root_gate,
-                         provenance.var_probs);
+  BackendProbs<Num> var_probs(provenance.var_probs);
+  return DnnfProbabilityT<Num>(provenance.circuit, provenance.root_gate,
+                               *var_probs);
 }
 
-Result<Rational> SolveDwtQueryOnPolytreeForest(const DiGraph& query,
-                                               const ProbGraph& instance,
-                                               PolytreeStats* stats) {
+template <class Num>
+Result<Num> SolveDwtQueryOnPolytreeForestT(const DiGraph& query,
+                                           const ProbGraph& instance,
+                                           PolytreeStats* stats) {
+  using Ops = NumericOps<Num>;
   Classification qc = Classify(query);
   if (!qc.all_dwt) {
     return Status::Invalid(
         "SolveDwtQueryOnPolytreeForest requires a ⊔DWT query");
   }
-  if (query.num_edges() == 0) return Rational::One();
+  if (query.num_edges() == 0) return Ops::One();
   // Prop. 5.5: the query is equivalent to →^m, m = max component height
   // = difference of levels.
   GradedAnalysis graded = AnalyzeGraded(query);
@@ -44,16 +51,25 @@ Result<Rational> SolveDwtQueryOnPolytreeForest(const DiGraph& query,
   uint32_t m = static_cast<uint32_t>(graded.difference_of_levels);
 
   // Lemma 3.7 across components.
-  Rational none = Rational::One();
+  Num none = Ops::One();
   for (const ComponentView& comp : SplitComponents(instance)) {
     if (!IsPolytree(comp.graph.graph())) {
       return Status::Invalid("instance component is not a polytree");
     }
-    PHOM_ASSIGN_OR_RETURN(Rational p,
-                          SolvePathProbabilityOnPolytree(m, comp.graph, stats));
-    none *= p.Complement();
+    PHOM_ASSIGN_OR_RETURN(
+        Num p, SolvePathProbabilityOnPolytreeT<Num>(m, comp.graph, stats));
+    none *= Ops::Complement(p);
   }
-  return none.Complement();
+  return Ops::Complement(none);
 }
+
+template Result<Rational> SolvePathProbabilityOnPolytreeT<Rational>(
+    uint32_t, const ProbGraph&, PolytreeStats*);
+template Result<double> SolvePathProbabilityOnPolytreeT<double>(
+    uint32_t, const ProbGraph&, PolytreeStats*);
+template Result<Rational> SolveDwtQueryOnPolytreeForestT<Rational>(
+    const DiGraph&, const ProbGraph&, PolytreeStats*);
+template Result<double> SolveDwtQueryOnPolytreeForestT<double>(
+    const DiGraph&, const ProbGraph&, PolytreeStats*);
 
 }  // namespace phom

@@ -1,6 +1,7 @@
 #pragma once
 
 #include "src/graph/prob_graph.h"
+#include "src/util/numeric.h"
 #include "src/util/rational.h"
 #include "src/util/result.h"
 
@@ -12,7 +13,8 @@
 /// building its provenance circuit — a d-DNNF because the automaton is
 /// deterministic — and evaluate the circuit's probability bottom-up.
 /// ⊔DWT queries first collapse to →^height (Prop. 5.5); components combine
-/// by Lemma 3.7.
+/// by Lemma 3.7. Circuit construction is numeric-independent; only the
+/// bottom-up evaluation pass runs in the selected backend.
 
 namespace phom {
 
@@ -24,14 +26,36 @@ struct PolytreeStats {
 };
 
 /// Pr(the world contains a directed path of m >= 1 edges) for a single
-/// polytree component.
-Result<Rational> SolvePathProbabilityOnPolytree(uint32_t m,
-                                                const ProbGraph& component,
-                                                PolytreeStats* stats = nullptr);
+/// polytree component, in the numeric backend of `Num`.
+template <class Num>
+Result<Num> SolvePathProbabilityOnPolytreeT(uint32_t m,
+                                            const ProbGraph& component,
+                                            PolytreeStats* stats);
 
 /// Full Props. 5.4/5.5 solver: unlabeled ⊔DWT query on a ⊔PT instance.
-Result<Rational> SolveDwtQueryOnPolytreeForest(const DiGraph& query,
-                                               const ProbGraph& instance,
-                                               PolytreeStats* stats = nullptr);
+template <class Num>
+Result<Num> SolveDwtQueryOnPolytreeForestT(const DiGraph& query,
+                                           const ProbGraph& instance,
+                                           PolytreeStats* stats);
+
+extern template Result<Rational> SolvePathProbabilityOnPolytreeT<Rational>(
+    uint32_t, const ProbGraph&, PolytreeStats*);
+extern template Result<double> SolvePathProbabilityOnPolytreeT<double>(
+    uint32_t, const ProbGraph&, PolytreeStats*);
+extern template Result<Rational> SolveDwtQueryOnPolytreeForestT<Rational>(
+    const DiGraph&, const ProbGraph&, PolytreeStats*);
+extern template Result<double> SolveDwtQueryOnPolytreeForestT<double>(
+    const DiGraph&, const ProbGraph&, PolytreeStats*);
+
+/// Exact-backend conveniences (the historical entry points).
+inline Result<Rational> SolvePathProbabilityOnPolytree(
+    uint32_t m, const ProbGraph& component, PolytreeStats* stats = nullptr) {
+  return SolvePathProbabilityOnPolytreeT<Rational>(m, component, stats);
+}
+inline Result<Rational> SolveDwtQueryOnPolytreeForest(
+    const DiGraph& query, const ProbGraph& instance,
+    PolytreeStats* stats = nullptr) {
+  return SolveDwtQueryOnPolytreeForestT<Rational>(query, instance, stats);
+}
 
 }  // namespace phom

@@ -6,10 +6,12 @@
 
 namespace phom {
 
-Result<Rational> SolveConnectedOn2wpComponent(const DiGraph& query,
-                                              const ProbGraph& component,
-                                              TwoWayPathStats* stats,
-                                              MonotoneDnf* lineage_out) {
+template <class Num>
+Result<Num> SolveConnectedOn2wpComponentT(const DiGraph& query,
+                                          const ProbGraph& component,
+                                          TwoWayPathStats* stats,
+                                          MonotoneDnf* lineage_out) {
+  using Ops = NumericOps<Num>;
   const DiGraph& g = component.graph();
   if (!IsTwoWayPath(g)) {
     return Status::Invalid("SolveConnectedOn2wpComponent requires a 2WP");
@@ -22,17 +24,17 @@ Result<Rational> SolveConnectedOn2wpComponent(const DiGraph& query,
   }
   std::vector<VertexId> order = TwoWayPathOrder(g);
   size_t length = g.num_edges();
-  if (length == 0) return Rational::Zero();
+  if (length == 0) return Ops::Zero();
 
   // Path edges in order: edge k joins order[k] and order[k+1].
   std::vector<EdgeId> path_edges(length);
-  std::vector<Rational> edge_probs(length);
+  std::vector<Num> edge_probs(length, Ops::Zero());
   for (size_t k = 0; k < length; ++k) {
     std::optional<EdgeId> e = g.FindEdge(order[k], order[k + 1]);
     if (!e.has_value()) e = g.FindEdge(order[k + 1], order[k]);
     PHOM_CHECK(e.has_value());
     path_edges[k] = *e;
-    edge_probs[k] = component.prob(*e);
+    edge_probs[k] = Ops::From(component.prob(*e));
   }
 
   // Two-pointer sweep for the minimal homomorphic vertex windows
@@ -62,8 +64,13 @@ Result<Rational> SolveConnectedOn2wpComponent(const DiGraph& query,
       lineage_out->AddClause(std::move(clause));
     }
   }
-  if (intervals.empty()) return Rational::Zero();
-  return IntervalDnfProbability(edge_probs, std::move(intervals));
+  if (intervals.empty()) return Ops::Zero();
+  return IntervalDnfProbabilityT<Num>(edge_probs, std::move(intervals));
 }
+
+template Result<Rational> SolveConnectedOn2wpComponentT<Rational>(
+    const DiGraph&, const ProbGraph&, TwoWayPathStats*, MonotoneDnf*);
+template Result<double> SolveConnectedOn2wpComponentT<double>(
+    const DiGraph&, const ProbGraph&, TwoWayPathStats*, MonotoneDnf*);
 
 }  // namespace phom

@@ -2,6 +2,7 @@
 
 #include "src/graph/prob_graph.h"
 #include "src/lineage/dnf.h"
+#include "src/util/numeric.h"
 #include "src/util/rational.h"
 #include "src/util/result.h"
 
@@ -27,11 +28,26 @@ struct TwoWayPathStats {
 };
 
 /// Pr(query ⇝ component) for a connected query with >= 1 edge on a single
-/// 2WP component. `lineage_out`, if non-null, receives the interval DNF over
-/// the component's edge ids (for β-acyclicity checks and ablations).
-Result<Rational> SolveConnectedOn2wpComponent(const DiGraph& query,
-                                              const ProbGraph& component,
-                                              TwoWayPathStats* stats = nullptr,
-                                              MonotoneDnf* lineage_out = nullptr);
+/// 2WP component, in the numeric backend of `Num`. `lineage_out`, if
+/// non-null, receives the interval DNF over the component's edge ids (for
+/// β-acyclicity checks and ablations).
+template <class Num>
+Result<Num> SolveConnectedOn2wpComponentT(const DiGraph& query,
+                                          const ProbGraph& component,
+                                          TwoWayPathStats* stats,
+                                          MonotoneDnf* lineage_out);
+
+extern template Result<Rational> SolveConnectedOn2wpComponentT<Rational>(
+    const DiGraph&, const ProbGraph&, TwoWayPathStats*, MonotoneDnf*);
+extern template Result<double> SolveConnectedOn2wpComponentT<double>(
+    const DiGraph&, const ProbGraph&, TwoWayPathStats*, MonotoneDnf*);
+
+/// Exact-backend convenience (the historical entry point).
+inline Result<Rational> SolveConnectedOn2wpComponent(
+    const DiGraph& query, const ProbGraph& component,
+    TwoWayPathStats* stats = nullptr, MonotoneDnf* lineage_out = nullptr) {
+  return SolveConnectedOn2wpComponentT<Rational>(query, component, stats,
+                                                 lineage_out);
+}
 
 }  // namespace phom

@@ -71,9 +71,37 @@ std::string HardnessCitation(bool unlabeled, const Classification& query,
 
 }  // namespace
 
+const ProbGraph& PreparedProblem::instance() const {
+  static const ProbGraph kEmpty(0);
+  return context != nullptr ? context->instance : kEmpty;
+}
+
+std::shared_ptr<const InstanceContext> BuildInstanceContext(
+    const ProbGraph& instance, const std::vector<LabelId>& labels) {
+  auto ctx = std::make_shared<InstanceContext>();
+  ctx->instance = instance.RestrictToLabels(labels);
+  ctx->instance_class = Classify(ctx->instance.graph());
+  ctx->components = SplitComponents(ctx->instance);
+  ctx->component_classes.reserve(ctx->components.size());
+  for (const ComponentView& comp : ctx->components) {
+    ctx->component_classes.push_back(Classify(comp.graph.graph()));
+  }
+  return ctx;
+}
+
 PreparedProblem PrepareProblem(const DiGraph& query,
                                const ProbGraph& instance) {
-  PreparedProblem out{DiGraph(0), ProbGraph(0), std::nullopt, {}};
+  return PrepareProblemWithProvider(
+      query, instance.num_vertices(),
+      [&instance](const std::vector<LabelId>& labels) {
+        return BuildInstanceContext(instance, labels);
+      });
+}
+
+PreparedProblem PrepareProblemWithProvider(
+    const DiGraph& query, size_t instance_num_vertices,
+    const InstanceContextProvider& provider) {
+  PreparedProblem out{DiGraph(0), nullptr, std::nullopt, {}};
 
   // Trivial shells: empty vertex sets.
   if (query.num_vertices() == 0) {
@@ -83,7 +111,7 @@ PreparedProblem PrepareProblem(const DiGraph& query,
     out.immediate = Rational::One();
     return out;
   }
-  if (instance.num_vertices() == 0) {
+  if (instance_num_vertices == 0) {
     out.analysis.algorithm = Algorithm::kTrivial;
     out.analysis.tractable = true;
     out.analysis.proposition = "trivial (empty instance)";
@@ -101,14 +129,16 @@ PreparedProblem PrepareProblem(const DiGraph& query,
     return out;
   }
 
-  // 2. Restrict the instance to the query's labels.
+  // 2. Restrict the instance to the query's labels (delegated so sessions
+  // can reuse a cached context for the label set).
   std::vector<LabelId> labels = q.UsedLabels();
-  ProbGraph h = instance.RestrictToLabels(labels);
+  out.context = provider(labels);
+  PHOM_CHECK_MSG(out.context != nullptr, "context provider returned null");
   bool unlabeled = labels.size() <= 1;
   out.analysis.effective_unlabeled = unlabeled;
 
   Classification qc = Classify(q);
-  Classification ic = Classify(h.graph());
+  const Classification& ic = out.context->instance_class;
 
   // 3. Unlabeled collapses to a 1WP query.
   if (unlabeled) {
@@ -156,13 +186,13 @@ PreparedProblem PrepareProblem(const DiGraph& query,
     out.analysis.algorithm = Algorithm::kFallback;
     out.analysis.proposition = HardnessCitation(unlabeled, qc, ic);
   } else {
-    // Per-component solvability over the instance.
+    // Per-component solvability over the instance (classifications cached
+    // in the context).
     bool all_poly = true;
     bool any_dwt = false;
     bool any_pt_strict = false;
     bool all_2wp = true;
-    for (const ComponentView& comp : SplitComponents(h)) {
-      Classification cc = Classify(comp.graph.graph());
+    for (const Classification& cc : out.context->component_classes) {
       all_poly =
           all_poly && ComponentPolySolvable(cc, query_is_1wp, unlabeled);
       any_dwt = any_dwt || (cc.is_dwt && !cc.is_2wp);
@@ -195,7 +225,6 @@ PreparedProblem PrepareProblem(const DiGraph& query,
   }
 
   out.query = std::move(q);
-  out.instance = std::move(h);
   return out;
 }
 

@@ -1,7 +1,10 @@
 #pragma once
 
+#include <functional>
+#include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "src/graph/classify.h"
 #include "src/graph/graded.h"
@@ -21,6 +24,12 @@
 ///     equivalent one-way path →^height (Prop. 5.5), and any query on a ⊔DWT
 ///     instance is replaced by →^(difference of levels) via its level mapping
 ///     or answered 0 when not graded (Prop. 3.6).
+///
+/// Step 2 and everything derived from the restricted instance (component
+/// split, per-component classification) depend only on the instance and the
+/// query's LABEL SET, not on the query's shape. That work is factored into
+/// an immutable, shareable InstanceContext so an EvalSession can pay for it
+/// once per label set and amortize it across a batch of queries.
 
 namespace phom {
 
@@ -56,16 +65,50 @@ struct CaseAnalysis {
   std::string cell;
 };
 
+/// The query-independent half of problem preparation: the instance restricted
+/// to one label set, split into components, each component classified.
+/// Immutable once built; shared (and cached) via shared_ptr.
+struct InstanceContext {
+  ProbGraph instance;  ///< label-restricted instance
+  Classification instance_class;
+  std::vector<ComponentView> components;
+  std::vector<Classification> component_classes;  ///< aligned with components
+};
+
+/// Builds the context for `labels` (the query's used labels, sorted).
+std::shared_ptr<const InstanceContext> BuildInstanceContext(
+    const ProbGraph& instance, const std::vector<LabelId>& labels);
+
 struct PreparedProblem {
   DiGraph query;       ///< simplified (and possibly collapsed) query
-  ProbGraph instance;  ///< label-restricted instance
+  /// Query-independent preparation of the instance (restriction, component
+  /// split, classification); null only for the trivial shells where
+  /// `immediate` is set before the instance is touched.
+  std::shared_ptr<const InstanceContext> context;
   /// Set when preparation alone decides the answer (trivial cases and the
   /// non-graded-query-on-forest case of Prop. 3.6).
   std::optional<Rational> immediate;
   CaseAnalysis analysis;
+
+  /// The label-restricted instance (empty graph when context is null).
+  const ProbGraph& instance() const;
 };
 
 PreparedProblem PrepareProblem(const DiGraph& query, const ProbGraph& instance);
+
+/// Maps a label set to a (possibly cached) InstanceContext. Called at most
+/// once per preparation, and only after the trivial shells are ruled out.
+using InstanceContextProvider =
+    std::function<std::shared_ptr<const InstanceContext>(
+        const std::vector<LabelId>&)>;
+
+/// PrepareProblem with the instance-side work delegated to `provider` —
+/// the amortization hook used by EvalSession. `instance_num_vertices` is the
+/// vertex count of the (unrestricted) instance, needed for the trivial
+/// shells that short-circuit before any context is built.
+PreparedProblem PrepareProblemWithProvider(
+    const DiGraph& query, size_t instance_num_vertices,
+    const InstanceContextProvider& provider);
 
 /// Classification only (PrepareProblem's analysis).
 CaseAnalysis AnalyzeCase(const DiGraph& query, const ProbGraph& instance);

@@ -1,0 +1,50 @@
+#include "src/core/engine.h"
+
+namespace phom {
+
+EngineRegistry& EngineRegistry::Global() {
+  static EngineRegistry* registry = [] {
+    auto* r = new EngineRegistry();
+    RegisterDefaultEngines(r);
+    return r;
+  }();
+  return *registry;
+}
+
+void EngineRegistry::Register(std::unique_ptr<Engine> engine) {
+  PHOM_CHECK_MSG(engine != nullptr, "cannot register a null engine");
+  PHOM_CHECK_MSG(FindByName(engine->name()) == nullptr,
+                 "an engine named '" + std::string(engine->name()) +
+                     "' is already registered");
+  engines_.push_back(std::move(engine));
+}
+
+const Engine* EngineRegistry::FindByName(std::string_view name) const {
+  for (const auto& engine : engines_) {
+    if (engine->name() == name) return engine.get();
+  }
+  return nullptr;
+}
+
+const Engine* EngineRegistry::FindByAlgorithm(Algorithm algorithm) const {
+  for (const auto& engine : engines_) {
+    if (engine->algorithm() == algorithm) return engine.get();
+  }
+  return nullptr;
+}
+
+const Engine* EngineRegistry::SelectAuto(const CaseAnalysis& analysis) const {
+  for (const auto& engine : engines_) {
+    if (engine->exact() && engine->AutoMatch(analysis)) return engine.get();
+  }
+  return nullptr;
+}
+
+std::vector<const Engine*> EngineRegistry::engines() const {
+  std::vector<const Engine*> out;
+  out.reserve(engines_.size());
+  for (const auto& engine : engines_) out.push_back(engine.get());
+  return out;
+}
+
+}  // namespace phom

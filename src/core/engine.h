@@ -1,0 +1,98 @@
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "src/core/case.h"
+#include "src/core/solver.h"
+#include "src/util/numeric.h"
+#include "src/util/result.h"
+
+/// \file engine.h
+/// The engine layer: every solving strategy of the library (the paper's
+/// PTIME algorithms, the exact exponential fallbacks, and the Monte Carlo
+/// estimator) is an Engine registered in an EngineRegistry. Solver::Solve
+/// is pure dispatch: prepare the problem (case.h), pick an engine, run it in
+/// the requested numeric backend. Ablation benches and cross-checks select
+/// engines by name or by Algorithm instead of hard-coded branches, and new
+/// strategies plug in by registering — no solver changes.
+
+namespace phom {
+
+/// One engine run's answer in the backend it was computed in.
+struct EngineAnswer {
+  Rational exact;          ///< set iff backend == kExact
+  double approx = 0.0;     ///< set for both backends
+  NumericBackend backend = NumericBackend::kExact;
+};
+
+/// A solving strategy for prepared problems. Implementations must be
+/// stateless (a registry instance is shared; per-call state lives on the
+/// stack) and must answer in the backend requested by options.numeric.
+class Engine {
+ public:
+  virtual ~Engine() = default;
+
+  /// Registry name, e.g. "path-on-dwt" (stable; used by force_engine).
+  virtual std::string_view name() const = 0;
+  /// The dichotomy algorithm this engine realizes. Engines outside the
+  /// dichotomy's own cells (oracles, estimators) report kFallback.
+  virtual Algorithm algorithm() const = 0;
+  /// False for estimators (Monte Carlo): never eligible for auto dispatch,
+  /// and their "exact" answer is only an exactly-represented estimate.
+  virtual bool exact() const { return true; }
+
+  /// Whether this engine can answer the analyzed cell at all (used to
+  /// validate forced selection). Must be conservative: if this returns
+  /// true, Solve must not give a wrong answer (it may still error).
+  virtual bool Applies(const CaseAnalysis& analysis) const = 0;
+
+  /// Whether auto dispatch should pick this engine for the analyzed cell.
+  /// The default claims exactly the cells the dichotomy assigns to this
+  /// engine's algorithm; oracle/estimator engines override to false.
+  virtual bool AutoMatch(const CaseAnalysis& analysis) const {
+    return analysis.algorithm == algorithm() && Applies(analysis);
+  }
+
+  /// Solves the prepared problem (immediate answers are handled by the
+  /// caller; prepared.context is non-null here).
+  virtual Result<EngineAnswer> Solve(const PreparedProblem& prepared,
+                                     const SolveOptions& options,
+                                     SolveStats* stats) const = 0;
+};
+
+/// Ordered collection of engines. Auto dispatch scans registration order and
+/// picks the first exact engine whose AutoMatch claims the cell, so finer
+/// strategies must be registered before coarser ones.
+class EngineRegistry {
+ public:
+  /// The process-wide registry, populated with the default engines on first
+  /// use. Register additional engines on it at startup.
+  static EngineRegistry& Global();
+
+  void Register(std::unique_ptr<Engine> engine);
+
+  /// nullptr when absent. FindByAlgorithm returns the first registered
+  /// engine realizing the algorithm.
+  const Engine* FindByName(std::string_view name) const;
+  const Engine* FindByAlgorithm(Algorithm algorithm) const;
+
+  /// The engine auto dispatch runs for this analysis (never null once the
+  /// default engines are registered: the fallback engine accepts anything).
+  const Engine* SelectAuto(const CaseAnalysis& analysis) const;
+
+  std::vector<const Engine*> engines() const;
+
+ private:
+  std::vector<std::unique_ptr<Engine>> engines_;
+};
+
+/// Registers the built-in engines, in auto-dispatch priority order:
+///   connected-on-2wp, path-on-dwt, unlabeled-dwt-instance,
+///   unlabeled-polytree, per-component, fallback,
+///   dwt-lineage-shannon, match-lineage, monte-carlo
+/// (the last three never auto-match: they are oracles/ablation routes).
+void RegisterDefaultEngines(EngineRegistry* registry);
+
+}  // namespace phom

@@ -1,0 +1,359 @@
+#include <type_traits>
+
+#include "src/core/algo_dwt.h"
+#include "src/core/algo_polytree.h"
+#include "src/core/algo_two_way_path.h"
+#include "src/core/engine.h"
+#include "src/core/fallback.h"
+#include "src/core/monte_carlo.h"
+#include "src/graph/graded.h"
+
+/// \file engines.cc
+/// The built-in engines. Each engine is a thin adapter from the registry
+/// interface onto the templated kernels (algo_*.h, fallback.h); the numeric
+/// backend is threaded through with RunInBackend so every engine answers in
+/// exact rationals or doubles as requested.
+
+namespace phom {
+
+namespace {
+
+/// Runs `fn` — a generic callable invoked with a std::type_identity<Num>
+/// tag and returning Result<Num> — in the requested backend and packages
+/// the answer.
+template <class Fn>
+Result<EngineAnswer> RunInBackend(NumericBackend backend, Fn&& fn) {
+  EngineAnswer out;
+  out.backend = backend;
+  if (backend == NumericBackend::kExact) {
+    PHOM_ASSIGN_OR_RETURN(out.exact, fn(std::type_identity<Rational>{}));
+    out.approx = out.exact.ToDouble();
+  } else {
+    PHOM_ASSIGN_OR_RETURN(out.approx, fn(std::type_identity<double>{}));
+  }
+  return out;
+}
+
+/// Per-component dispatch for a connected query with >= 1 edge: the finest
+/// applicable algorithm per component class, exact exponential enumeration
+/// on #P-hard components.
+template <class Num>
+Result<Num> SolveComponentT(const DiGraph& query, bool query_is_1wp,
+                            bool unlabeled, const ProbGraph& component,
+                            const Classification& cc,
+                            const SolveOptions& options, SolveStats* stats) {
+  using Ops = NumericOps<Num>;
+  if (component.num_edges() == 0) return Ops::Zero();
+
+  if (cc.is_2wp) {
+    TwoWayPathStats s;
+    PHOM_ASSIGN_OR_RETURN(Num p, SolveConnectedOn2wpComponentT<Num>(
+                                     query, component, &s, nullptr));
+    stats->hom_tests += s.hom_tests;
+    stats->lineage_clauses += s.minimal_intervals;
+    return p;
+  }
+
+  if (cc.is_dwt) {
+    std::vector<LabelId> pattern;
+    if (query_is_1wp) {
+      pattern = OneWayPathLabels(query);
+    } else if (unlabeled) {
+      // Prop. 3.6 applied to this component.
+      GradedAnalysis graded = AnalyzeGraded(query);
+      if (!graded.is_graded) return Ops::Zero();
+      pattern.assign(static_cast<size_t>(graded.difference_of_levels),
+                     query.UsedLabels()[0]);
+    } else {
+      // Hard cell (Props. 4.4/4.5): exact fallback on this component.
+      ++stats->fallback_components;
+      FallbackStats fs;
+      PHOM_ASSIGN_OR_RETURN(
+          Num p, SolveByWorldEnumerationT<Num>(query, component,
+                                               options.fallback, &fs));
+      stats->worlds += fs.worlds;
+      return p;
+    }
+    DwtStats s;
+    Result<Num> result =
+        options.dwt_via_lineage
+            ? SolvePathOnDwtForestViaLineageT<Num>(pattern, component,
+                                                   nullptr, &s)
+            : SolvePathOnDwtForestT<Num>(pattern, component, &s);
+    if (result.ok()) stats->match_ends += s.match_ends;
+    return result;
+  }
+
+  if (cc.is_pt && unlabeled && query_is_1wp) {
+    PolytreeStats s;
+    PHOM_ASSIGN_OR_RETURN(
+        Num p, SolvePathProbabilityOnPolytreeT<Num>(
+                   static_cast<uint32_t>(query.num_edges()), component, &s));
+    stats->circuit_gates += s.circuit_gates;
+    return p;
+  }
+
+  // Hard cell (Props. 4.1 / 5.6 / 5.1): exact fallback on this component.
+  ++stats->fallback_components;
+  FallbackStats fs;
+  PHOM_ASSIGN_OR_RETURN(
+      Num p,
+      SolveByWorldEnumerationT<Num>(query, component, options.fallback, &fs));
+  stats->worlds += fs.worlds;
+  return p;
+}
+
+/// Lemma 3.7 over the cached component split.
+template <class Num>
+Result<Num> SolvePerComponentT(const PreparedProblem& prepared,
+                               const SolveOptions& options,
+                               SolveStats* stats) {
+  using Ops = NumericOps<Num>;
+  const InstanceContext& ctx = *prepared.context;
+  bool unlabeled = prepared.analysis.effective_unlabeled;
+  bool query_is_1wp = prepared.analysis.query_class.is_1wp;
+  Num none = Ops::One();
+  for (size_t i = 0; i < ctx.components.size(); ++i) {
+    ++stats->components;
+    PHOM_ASSIGN_OR_RETURN(
+        Num p, SolveComponentT<Num>(prepared.query, query_is_1wp, unlabeled,
+                                    ctx.components[i].graph,
+                                    ctx.component_classes[i], options, stats));
+    none *= Ops::Complement(p);
+  }
+  return Ops::Complement(none);
+}
+
+// ---------------------------------------------------------------------------
+// The dichotomy's PTIME engines.
+// ---------------------------------------------------------------------------
+
+class TwoWayPathEngine : public Engine {
+ public:
+  std::string_view name() const override { return "connected-on-2wp"; }
+  Algorithm algorithm() const override { return Algorithm::kConnectedOn2wp; }
+  bool Applies(const CaseAnalysis& a) const override {
+    return a.query_class.connected && a.instance_class.all_2wp;
+  }
+  Result<EngineAnswer> Solve(const PreparedProblem& prepared,
+                             const SolveOptions& options,
+                             SolveStats* stats) const override {
+    return RunInBackend(options.numeric, [&](auto tag) {
+      using Num = typename decltype(tag)::type;
+      return SolvePerComponentT<Num>(prepared, options, stats);
+    });
+  }
+};
+
+class DwtPathEngine : public Engine {
+ public:
+  std::string_view name() const override { return "path-on-dwt"; }
+  Algorithm algorithm() const override { return Algorithm::kPathOnDwt; }
+  bool Applies(const CaseAnalysis& a) const override {
+    return a.query_class.is_1wp && a.instance_class.all_dwt;
+  }
+  Result<EngineAnswer> Solve(const PreparedProblem& prepared,
+                             const SolveOptions& options,
+                             SolveStats* stats) const override {
+    return RunInBackend(options.numeric, [&](auto tag) {
+      using Num = typename decltype(tag)::type;
+      return SolvePerComponentT<Num>(prepared, options, stats);
+    });
+  }
+};
+
+class UnlabeledDwtInstanceEngine : public Engine {
+ public:
+  std::string_view name() const override { return "unlabeled-dwt-instance"; }
+  Algorithm algorithm() const override {
+    return Algorithm::kUnlabeledDwtInstance;
+  }
+  bool Applies(const CaseAnalysis& a) const override {
+    return a.effective_unlabeled && a.instance_class.all_dwt;
+  }
+  Result<EngineAnswer> Solve(const PreparedProblem& prepared,
+                             const SolveOptions& options,
+                             SolveStats* stats) const override {
+    return RunInBackend(options.numeric, [&](auto tag) -> Result<
+                                              typename decltype(tag)::type> {
+      using Num = typename decltype(tag)::type;
+      DwtStats s;
+      PHOM_ASSIGN_OR_RETURN(Num p, SolveUnlabeledOnDwtForestT<Num>(
+                                       prepared.query, prepared.instance(),
+                                       &s));
+      stats->match_ends += s.match_ends;
+      return p;
+    });
+  }
+};
+
+class PolytreeEngine : public Engine {
+ public:
+  std::string_view name() const override { return "unlabeled-polytree"; }
+  Algorithm algorithm() const override {
+    return Algorithm::kUnlabeledPolytree;
+  }
+  bool Applies(const CaseAnalysis& a) const override {
+    return a.effective_unlabeled && a.query_class.all_dwt &&
+           a.instance_class.all_pt;
+  }
+  Result<EngineAnswer> Solve(const PreparedProblem& prepared,
+                             const SolveOptions& options,
+                             SolveStats* stats) const override {
+    // Prop. 5.5 collapse + Prop. 5.4 per polytree component + Lemma 3.7,
+    // all inside the kernel (Applies guarantees its ⊔DWT precondition).
+    return RunInBackend(options.numeric, [&](auto tag) -> Result<
+                                              typename decltype(tag)::type> {
+      using Num = typename decltype(tag)::type;
+      PolytreeStats s;
+      PHOM_ASSIGN_OR_RETURN(
+          Num p, SolveDwtQueryOnPolytreeForestT<Num>(prepared.query,
+                                                     prepared.instance(), &s));
+      stats->circuit_gates += s.circuit_gates;
+      return p;
+    });
+  }
+};
+
+class PerComponentEngine : public Engine {
+ public:
+  std::string_view name() const override { return "per-component"; }
+  Algorithm algorithm() const override { return Algorithm::kPerComponent; }
+  bool Applies(const CaseAnalysis& a) const override {
+    return a.query_class.connected;
+  }
+  bool AutoMatch(const CaseAnalysis& a) const override {
+    // Claims its own cells AND connected-query hard cells: enumerating
+    // worlds per component is exponentially cheaper than on the whole
+    // instance, and the tractable components still use their fine engines.
+    return a.query_class.connected && (a.algorithm == Algorithm::kPerComponent ||
+                                       a.algorithm == Algorithm::kFallback);
+  }
+  Result<EngineAnswer> Solve(const PreparedProblem& prepared,
+                             const SolveOptions& options,
+                             SolveStats* stats) const override {
+    return RunInBackend(options.numeric, [&](auto tag) {
+      using Num = typename decltype(tag)::type;
+      return SolvePerComponentT<Num>(prepared, options, stats);
+    });
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Exponential oracles and the estimator.
+// ---------------------------------------------------------------------------
+
+class FallbackEngine : public Engine {
+ public:
+  std::string_view name() const override { return "fallback"; }
+  Algorithm algorithm() const override { return Algorithm::kFallback; }
+  bool Applies(const CaseAnalysis&) const override { return true; }
+  Result<EngineAnswer> Solve(const PreparedProblem& prepared,
+                             const SolveOptions& options,
+                             SolveStats* stats) const override {
+    return RunInBackend(options.numeric, [&](auto tag) -> Result<
+                                              typename decltype(tag)::type> {
+      using Num = typename decltype(tag)::type;
+      FallbackStats fs;
+      PHOM_ASSIGN_OR_RETURN(
+          Num p, SolveByWorldEnumerationT<Num>(prepared.query,
+                                               prepared.instance(),
+                                               options.fallback, &fs));
+      stats->worlds += fs.worlds;
+      return p;
+    });
+  }
+};
+
+class DwtLineageShannonEngine : public Engine {
+ public:
+  std::string_view name() const override { return "dwt-lineage-shannon"; }
+  Algorithm algorithm() const override { return Algorithm::kPathOnDwt; }
+  bool Applies(const CaseAnalysis& a) const override {
+    return a.query_class.is_1wp && a.instance_class.all_dwt;
+  }
+  bool AutoMatch(const CaseAnalysis&) const override { return false; }
+  Result<EngineAnswer> Solve(const PreparedProblem& prepared,
+                             const SolveOptions& options,
+                             SolveStats* stats) const override {
+    std::vector<LabelId> pattern = OneWayPathLabels(prepared.query);
+    return RunInBackend(options.numeric, [&](auto tag) -> Result<
+                                              typename decltype(tag)::type> {
+      using Num = typename decltype(tag)::type;
+      DwtStats s;
+      PHOM_ASSIGN_OR_RETURN(
+          Num p, SolvePathOnDwtForestViaLineageT<Num>(
+                     pattern, prepared.instance(), nullptr, &s));
+      stats->match_ends += s.match_ends;
+      return p;
+    });
+  }
+};
+
+class MatchLineageEngine : public Engine {
+ public:
+  std::string_view name() const override { return "match-lineage"; }
+  Algorithm algorithm() const override { return Algorithm::kFallback; }
+  bool Applies(const CaseAnalysis& a) const override {
+    return a.query_class.connected;
+  }
+  bool AutoMatch(const CaseAnalysis&) const override { return false; }
+  Result<EngineAnswer> Solve(const PreparedProblem& prepared,
+                             const SolveOptions& options,
+                             SolveStats* stats) const override {
+    return RunInBackend(options.numeric, [&](auto tag) -> Result<
+                                              typename decltype(tag)::type> {
+      using Num = typename decltype(tag)::type;
+      FallbackStats fs;
+      PHOM_ASSIGN_OR_RETURN(
+          Num p, SolveByMatchLineageT<Num>(prepared.query,
+                                           prepared.instance(),
+                                           options.fallback, &fs));
+      stats->lineage_clauses += fs.matches;
+      return p;
+    });
+  }
+};
+
+class MonteCarloEngine : public Engine {
+ public:
+  std::string_view name() const override { return "monte-carlo"; }
+  Algorithm algorithm() const override { return Algorithm::kFallback; }
+  bool exact() const override { return false; }
+  bool Applies(const CaseAnalysis&) const override { return true; }
+  bool AutoMatch(const CaseAnalysis&) const override { return false; }
+  Result<EngineAnswer> Solve(const PreparedProblem& prepared,
+                             const SolveOptions& options,
+                             SolveStats* stats) const override {
+    Result<MonteCarloEstimate> est = EstimateProbabilityMonteCarlo(
+        prepared.query, prepared.instance(), options.monte_carlo_seed,
+        options.monte_carlo);
+    if (!est.ok()) return est.status();
+    stats->worlds += est->samples;
+    EngineAnswer out;
+    out.backend = options.numeric;
+    out.approx = est->estimate;
+    if (options.numeric == NumericBackend::kExact) {
+      // hits/samples is exactly representable; still only an estimate.
+      out.exact = Rational(static_cast<int64_t>(est->hits),
+                           static_cast<int64_t>(est->samples));
+    }
+    return out;
+  }
+};
+
+}  // namespace
+
+void RegisterDefaultEngines(EngineRegistry* registry) {
+  registry->Register(std::make_unique<TwoWayPathEngine>());
+  registry->Register(std::make_unique<DwtPathEngine>());
+  registry->Register(std::make_unique<UnlabeledDwtInstanceEngine>());
+  registry->Register(std::make_unique<PolytreeEngine>());
+  registry->Register(std::make_unique<PerComponentEngine>());
+  registry->Register(std::make_unique<FallbackEngine>());
+  registry->Register(std::make_unique<DwtLineageShannonEngine>());
+  registry->Register(std::make_unique<MatchLineageEngine>());
+  registry->Register(std::make_unique<MonteCarloEngine>());
+}
+
+}  // namespace phom

@@ -1,0 +1,32 @@
+#include "src/core/eval_session.h"
+
+namespace phom {
+
+Result<SolveResult> EvalSession::Solve(const DiGraph& query) {
+  ++stats_.queries;
+  PreparedProblem prepared = PrepareProblemWithProvider(
+      query, instance_.num_vertices(),
+      [this](const std::vector<LabelId>& labels) {
+        auto it = contexts_.find(labels);
+        if (it != contexts_.end()) {
+          ++stats_.context_cache_hits;
+          return it->second;
+        }
+        ++stats_.instance_preparations;
+        std::shared_ptr<const InstanceContext> ctx =
+            BuildInstanceContext(instance_, labels);
+        contexts_.emplace(labels, ctx);
+        return ctx;
+      });
+  return SolvePrepared(prepared, options_);
+}
+
+std::vector<Result<SolveResult>> EvalSession::SolveBatch(
+    const std::vector<DiGraph>& queries) {
+  std::vector<Result<SolveResult>> out;
+  out.reserve(queries.size());
+  for (const DiGraph& query : queries) out.push_back(Solve(query));
+  return out;
+}
+
+}  // namespace phom

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/core/solver.h"
+
+/// \file eval_session.h
+/// Amortized evaluation sessions: a server holding one probabilistic
+/// instance and answering many queries against it. One-shot Solver::Solve
+/// re-derives the instance-side preparation (label marginalization,
+/// component split, per-component classification) on every call — work that
+/// dominates latency for small queries. EvalSession builds that preparation
+/// once per distinct query label set, caches it as an immutable
+/// InstanceContext, and shares it across the batch; the answers are
+/// bit-identical to one-shot solving because both run the same
+/// PrepareProblemWithProvider + SolvePrepared pipeline.
+
+namespace phom {
+
+struct SessionStats {
+  size_t queries = 0;
+  /// Distinct label-set preparations built (the amortized work).
+  size_t instance_preparations = 0;
+  /// Queries whose label set hit the context cache.
+  size_t context_cache_hits = 0;
+};
+
+class EvalSession {
+ public:
+  explicit EvalSession(ProbGraph instance, SolveOptions options = {})
+      : instance_(std::move(instance)), options_(std::move(options)) {}
+
+  /// Answers one query; equivalent to Solver(options).Solve(query, instance)
+  /// bit for bit.
+  Result<SolveResult> Solve(const DiGraph& query);
+
+  /// Answers a batch in order (per-query failures stay per-query).
+  std::vector<Result<SolveResult>> SolveBatch(
+      const std::vector<DiGraph>& queries);
+
+  const ProbGraph& instance() const { return instance_; }
+  const SolveOptions& options() const { return options_; }
+  const SessionStats& stats() const { return stats_; }
+
+ private:
+  ProbGraph instance_;
+  SolveOptions options_;
+  /// Label set (sorted) -> cached instance-side preparation.
+  std::map<std::vector<LabelId>, std::shared_ptr<const InstanceContext>>
+      contexts_;
+  SessionStats stats_;
+};
+
+}  // namespace phom

@@ -9,13 +9,15 @@
 
 namespace phom {
 
-Result<Rational> SolveByWorldEnumeration(const DiGraph& query,
-                                         const ProbGraph& instance,
-                                         const FallbackOptions& options,
-                                         FallbackStats* stats) {
+template <class Num>
+Result<Num> SolveByWorldEnumerationT(const DiGraph& query,
+                                     const ProbGraph& instance,
+                                     const FallbackOptions& options,
+                                     FallbackStats* stats) {
+  using Ops = NumericOps<Num>;
   const DiGraph& g = instance.graph();
-  if (query.num_vertices() == 0) return Rational::One();
-  if (g.num_vertices() == 0) return Rational::Zero();
+  if (query.num_vertices() == 0) return Ops::One();
+  if (g.num_vertices() == 0) return Ops::Zero();
 
   std::vector<EdgeId> uncertain;
   std::vector<EdgeId> certain;
@@ -54,17 +56,22 @@ Result<Rational> SolveByWorldEnumeration(const DiGraph& query,
     PHOM_ASSIGN_OR_RETURN(
         bool certain_hom,
         HasHomomorphism(query, build_world(0), options.backtrack));
-    if (certain_hom) return Rational::One();
+    if (certain_hom) return Ops::One();
     uint64_t full = uncertain.size() >= 64
                         ? ~uint64_t{0}
                         : (uint64_t{1} << uncertain.size()) - 1;
     PHOM_ASSIGN_OR_RETURN(
         bool any_hom,
         HasHomomorphism(query, build_world(full), options.backtrack));
-    if (!any_hom) return Rational::Zero();
+    if (!any_hom) return Ops::Zero();
   }
 
-  Rational total = Rational::Zero();
+  std::vector<Num> uncertain_probs;
+  uncertain_probs.reserve(uncertain.size());
+  for (EdgeId e : uncertain) {
+    uncertain_probs.push_back(Ops::From(instance.prob(e)));
+  }
+  Num total = Ops::Zero();
   uint64_t num_worlds = uint64_t{1} << uncertain.size();
   for (uint64_t mask = 0; mask < num_worlds; ++mask) {
     if (stats != nullptr) ++stats->worlds;
@@ -72,20 +79,21 @@ Result<Rational> SolveByWorldEnumeration(const DiGraph& query,
     PHOM_ASSIGN_OR_RETURN(bool hom,
                           HasHomomorphism(query, world, options.backtrack));
     if (!hom) continue;
-    Rational w = Rational::One();
+    Num w = Ops::One();
     for (size_t i = 0; i < uncertain.size(); ++i) {
-      const Rational& p = instance.prob(uncertain[i]);
-      w *= ((mask >> i) & 1) ? p : p.Complement();
+      const Num& p = uncertain_probs[i];
+      w *= ((mask >> i) & 1) ? p : Ops::Complement(p);
     }
     total += w;
   }
   return total;
 }
 
-Result<Rational> SolveByMatchLineage(const DiGraph& query,
-                                     const ProbGraph& instance,
-                                     const FallbackOptions& options,
-                                     FallbackStats* stats) {
+template <class Num>
+Result<Num> SolveByMatchLineageT(const DiGraph& query,
+                                 const ProbGraph& instance,
+                                 const FallbackOptions& options,
+                                 FallbackStats* stats) {
   if (!IsConnected(query) || query.num_edges() == 0) {
     return Status::Invalid(
         "match-lineage fallback requires a connected query with edges");
@@ -128,7 +136,17 @@ Result<Rational> SolveByMatchLineage(const DiGraph& query,
     lineage.AddClause(image);
   }
   lineage.RemoveSubsumed();
-  return DnfProbabilityShannon(lineage, instance.probs());
+  BackendProbs<Num> probs(instance.probs());
+  return DnfProbabilityShannonT<Num>(lineage, *probs, {}, nullptr);
 }
+
+template Result<Rational> SolveByWorldEnumerationT<Rational>(
+    const DiGraph&, const ProbGraph&, const FallbackOptions&, FallbackStats*);
+template Result<double> SolveByWorldEnumerationT<double>(
+    const DiGraph&, const ProbGraph&, const FallbackOptions&, FallbackStats*);
+template Result<Rational> SolveByMatchLineageT<Rational>(
+    const DiGraph&, const ProbGraph&, const FallbackOptions&, FallbackStats*);
+template Result<double> SolveByMatchLineageT<double>(
+    const DiGraph&, const ProbGraph&, const FallbackOptions&, FallbackStats*);
 
 }  // namespace phom

@@ -2,6 +2,7 @@
 
 #include "src/graph/prob_graph.h"
 #include "src/hom/backtrack.h"
+#include "src/util/numeric.h"
 #include "src/util/rational.h"
 #include "src/util/result.h"
 
@@ -14,6 +15,9 @@
 ///    builds the (generally non-β-acyclic) monotone DNF, and evaluates it
 ///    with the memoized Shannon engine. Often far faster than 2^edges when
 ///    there are few matches; exponential in the worst case.
+/// Both are templated on the numeric backend; "exact" refers to the
+/// enumeration being exhaustive — with the double backend the world weights
+/// are still combined in floating point.
 
 namespace phom {
 
@@ -31,15 +35,39 @@ struct FallbackStats {
   uint64_t matches = 0;
 };
 
-Result<Rational> SolveByWorldEnumeration(const DiGraph& query,
-                                         const ProbGraph& instance,
-                                         const FallbackOptions& options = {},
-                                         FallbackStats* stats = nullptr);
+template <class Num>
+Result<Num> SolveByWorldEnumerationT(const DiGraph& query,
+                                     const ProbGraph& instance,
+                                     const FallbackOptions& options,
+                                     FallbackStats* stats);
 
 /// Requires a connected query with >= 1 edge.
-Result<Rational> SolveByMatchLineage(const DiGraph& query,
-                                     const ProbGraph& instance,
-                                     const FallbackOptions& options = {},
-                                     FallbackStats* stats = nullptr);
+template <class Num>
+Result<Num> SolveByMatchLineageT(const DiGraph& query,
+                                 const ProbGraph& instance,
+                                 const FallbackOptions& options,
+                                 FallbackStats* stats);
+
+extern template Result<Rational> SolveByWorldEnumerationT<Rational>(
+    const DiGraph&, const ProbGraph&, const FallbackOptions&, FallbackStats*);
+extern template Result<double> SolveByWorldEnumerationT<double>(
+    const DiGraph&, const ProbGraph&, const FallbackOptions&, FallbackStats*);
+extern template Result<Rational> SolveByMatchLineageT<Rational>(
+    const DiGraph&, const ProbGraph&, const FallbackOptions&, FallbackStats*);
+extern template Result<double> SolveByMatchLineageT<double>(
+    const DiGraph&, const ProbGraph&, const FallbackOptions&, FallbackStats*);
+
+/// Exact-backend conveniences (the historical entry points).
+inline Result<Rational> SolveByWorldEnumeration(
+    const DiGraph& query, const ProbGraph& instance,
+    const FallbackOptions& options = {}, FallbackStats* stats = nullptr) {
+  return SolveByWorldEnumerationT<Rational>(query, instance, options, stats);
+}
+inline Result<Rational> SolveByMatchLineage(const DiGraph& query,
+                                            const ProbGraph& instance,
+                                            const FallbackOptions& options = {},
+                                            FallbackStats* stats = nullptr) {
+  return SolveByMatchLineageT<Rational>(query, instance, options, stats);
+}
 
 }  // namespace phom

@@ -10,7 +10,10 @@
 #include "src/core/algo_polytree.h"
 #include "src/core/algo_two_way_path.h"
 #include "src/core/case.h"
+#include "src/core/engine.h"
+#include "src/core/eval_session.h"
 #include "src/core/fallback.h"
+#include "src/core/monte_carlo.h"
 #include "src/core/solver.h"
 #include "src/graph/alphabet.h"
 #include "src/graph/builders.h"
@@ -22,5 +25,6 @@
 #include "src/graph/prob_graph.h"
 #include "src/hom/backtrack.h"
 #include "src/hom/equivalence.h"
+#include "src/util/numeric.h"
 #include "src/util/rational.h"
 #include "src/util/rng.h"

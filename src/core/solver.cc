@@ -1,167 +1,95 @@
 #include "src/core/solver.h"
 
-#include "src/core/algo_dwt.h"
-#include "src/core/algo_polytree.h"
-#include "src/core/algo_two_way_path.h"
-#include "src/graph/graded.h"
+#include "src/core/engine.h"
 
 namespace phom {
 
-namespace {
+Result<SolveResult> SolvePrepared(const PreparedProblem& prepared,
+                                  const SolveOptions& options) {
+  SolveResult out;
+  out.analysis = prepared.analysis;
+  out.numeric = options.numeric;
+  out.stats.primary = prepared.analysis.algorithm;
 
-/// Per-component dispatch for a connected query with >= 1 edge.
-Result<Rational> SolveComponent(const DiGraph& query, bool query_is_1wp,
-                                bool unlabeled, const ProbGraph& component,
-                                const SolveOptions& options,
-                                SolveStats* stats) {
-  if (component.num_edges() == 0) return Rational::Zero();
-  Classification cc = Classify(component.graph());
-
-  if (cc.is_2wp) {
-    TwoWayPathStats s;
-    PHOM_ASSIGN_OR_RETURN(
-        Rational p, SolveConnectedOn2wpComponent(query, component, &s));
-    stats->hom_tests += s.hom_tests;
-    stats->lineage_clauses += s.minimal_intervals;
-    return p;
-  }
-
-  if (cc.is_dwt) {
-    std::vector<LabelId> pattern;
-    if (query_is_1wp) {
-      pattern = OneWayPathLabels(query);
-    } else if (unlabeled) {
-      // Prop. 3.6 applied to this component.
-      GradedAnalysis graded = AnalyzeGraded(query);
-      if (!graded.is_graded) return Rational::Zero();
-      pattern.assign(static_cast<size_t>(graded.difference_of_levels),
-                     query.UsedLabels()[0]);
-    } else {
-      // Hard cell (Props. 4.4/4.5): exact fallback on this component.
-      ++stats->fallback_components;
-      FallbackStats fs;
-      PHOM_ASSIGN_OR_RETURN(
-          Rational p,
-          SolveByWorldEnumeration(query, component, options.fallback, &fs));
-      stats->worlds += fs.worlds;
-      return p;
+  const EngineRegistry& registry = EngineRegistry::Global();
+  const Engine* engine = nullptr;
+  bool forced = false;
+  if (!options.force_engine.empty()) {
+    // Name resolution errors even when the answer is immediate: a typo'd
+    // engine name must not be masked by a trivial first input.
+    engine = registry.FindByName(options.force_engine);
+    if (engine == nullptr) {
+      return Status::Invalid("no engine named '" + options.force_engine +
+                             "' is registered");
     }
-    DwtStats s;
-    Result<Rational> result =
-        options.dwt_via_lineage
-            ? SolvePathOnDwtForestViaLineage(pattern, component, nullptr, &s)
-            : SolvePathOnDwtForest(pattern, component, &s);
-    if (result.ok()) stats->match_ends += s.match_ends;
-    return result;
+    forced = true;
   }
 
-  if (cc.is_pt && unlabeled && query_is_1wp) {
-    PolytreeStats s;
-    PHOM_ASSIGN_OR_RETURN(
-        Rational p,
-        SolvePathProbabilityOnPolytree(
-            static_cast<uint32_t>(query.num_edges()), component, &s));
-    stats->circuit_gates += s.circuit_gates;
-    return p;
+  if (prepared.immediate.has_value()) {
+    if (options.numeric == NumericBackend::kExact) {
+      out.probability = *prepared.immediate;
+    }
+    out.probability_double = prepared.immediate->ToDouble();
+    return out;
   }
 
-  // Hard cell (Props. 4.1 / 5.6 / 5.1): exact fallback on this component.
-  ++stats->fallback_components;
-  FallbackStats fs;
-  PHOM_ASSIGN_OR_RETURN(
-      Rational p,
-      SolveByWorldEnumeration(query, component, options.fallback, &fs));
-  stats->worlds += fs.worlds;
-  return p;
+  if (!forced) {
+    if (options.force_algorithm.has_value()) {
+      engine = registry.FindByAlgorithm(*options.force_algorithm);
+      if (engine == nullptr) {
+        return Status::Invalid(
+            std::string("no engine registered for algorithm ") +
+            ToString(*options.force_algorithm));
+      }
+      forced = true;
+    } else {
+      engine = registry.SelectAuto(prepared.analysis);
+    }
+  }
+  PHOM_CHECK_MSG(engine != nullptr,
+                 "engine registry has no engine for " + prepared.analysis.cell);
+  if (forced) {
+    if (!engine->Applies(prepared.analysis)) {
+      return Status::NotSupported(std::string(engine->name()) +
+                                  " does not apply to " +
+                                  prepared.analysis.cell);
+    }
+    out.stats.primary = engine->algorithm();
+  }
+  out.stats.engine = std::string(engine->name());
+
+  PHOM_ASSIGN_OR_RETURN(EngineAnswer answer,
+                        engine->Solve(prepared, options, &out.stats));
+  out.probability = std::move(answer.exact);
+  out.probability_double = answer.approx;
+  out.numeric = answer.backend;  // what the engine actually computed in
+  return out;
 }
-
-}  // namespace
 
 Result<SolveResult> Solver::Solve(const DiGraph& query,
                                   const ProbGraph& instance) const {
-  PreparedProblem prepared = PrepareProblem(query, instance);
-  SolveResult out{Rational::Zero(), prepared.analysis, {}};
-  out.stats.primary = prepared.analysis.algorithm;
-
-  if (prepared.immediate.has_value()) {
-    out.probability = *prepared.immediate;
-    return out;
-  }
-
-  const DiGraph& q = prepared.query;
-  const ProbGraph& h = prepared.instance;
-  bool unlabeled = prepared.analysis.effective_unlabeled;
-
-  if (options_.force_algorithm.has_value()) {
-    switch (*options_.force_algorithm) {
-      case Algorithm::kFallback: {
-        FallbackStats fs;
-        PHOM_ASSIGN_OR_RETURN(
-            out.probability,
-            SolveByWorldEnumeration(q, h, options_.fallback, &fs));
-        out.stats.worlds = fs.worlds;
-        out.stats.primary = Algorithm::kFallback;
-        return out;
-      }
-      case Algorithm::kUnlabeledPolytree: {
-        if (!unlabeled) {
-          return Status::NotSupported(
-              "the automaton pipeline is for the unlabeled setting");
-        }
-        PolytreeStats s;
-        PHOM_ASSIGN_OR_RETURN(out.probability,
-                              SolveDwtQueryOnPolytreeForest(q, h, &s));
-        out.stats.circuit_gates = s.circuit_gates;
-        out.stats.primary = Algorithm::kUnlabeledPolytree;
-        return out;
-      }
-      case Algorithm::kUnlabeledDwtInstance: {
-        if (!unlabeled) {
-          return Status::NotSupported("instance/query is labeled");
-        }
-        DwtStats s;
-        PHOM_ASSIGN_OR_RETURN(out.probability,
-                              SolveUnlabeledOnDwtForest(q, h, &s));
-        out.stats.match_ends = s.match_ends;
-        out.stats.primary = Algorithm::kUnlabeledDwtInstance;
-        return out;
-      }
-      default:
-        break;  // the remaining algorithms are component-level; fall through
-    }
-  }
-
-  Classification qc = Classify(q);
-  if (!qc.connected) {
-    // Disconnected query outside the collapsible cases: #P-hard cell
-    // (Props. 3.3/3.4); solve exactly within limits.
-    FallbackStats fs;
-    PHOM_ASSIGN_OR_RETURN(
-        out.probability, SolveByWorldEnumeration(q, h, options_.fallback, &fs));
-    out.stats.worlds = fs.worlds;
-    return out;
-  }
-
-  // Connected query: per-component algorithms + Lemma 3.7.
-  Rational none = Rational::One();
-  bool query_is_1wp = qc.is_1wp;
-  for (const ComponentView& comp : SplitComponents(h)) {
-    ++out.stats.components;
-    PHOM_ASSIGN_OR_RETURN(
-        Rational p, SolveComponent(q, query_is_1wp, unlabeled, comp.graph,
-                                   options_, &out.stats));
-    none *= p.Complement();
-  }
-  out.probability = none.Complement();
-  return out;
+  return SolvePrepared(PrepareProblem(query, instance), options_);
 }
 
 Result<Rational> SolveProbability(const DiGraph& query,
                                   const ProbGraph& instance,
                                   const SolveOptions& options) {
-  Solver solver(options);
+  SolveOptions exact_options = options;
+  // The Rational return type promises an exact answer; ignore a stray
+  // double-backend setting rather than silently returning zero.
+  exact_options.numeric = NumericBackend::kExact;
+  Solver solver(std::move(exact_options));
   PHOM_ASSIGN_OR_RETURN(SolveResult result, solver.Solve(query, instance));
   return result.probability;
+}
+
+Result<double> SolveProbabilityDouble(const DiGraph& query,
+                                      const ProbGraph& instance,
+                                      SolveOptions options) {
+  options.numeric = NumericBackend::kDouble;
+  Solver solver(std::move(options));
+  PHOM_ASSIGN_OR_RETURN(SolveResult result, solver.Solve(query, instance));
+  return result.probability_double;
 }
 
 Result<BigInt> CountSatisfyingWorlds(const DiGraph& query,
@@ -169,6 +97,7 @@ Result<BigInt> CountSatisfyingWorlds(const DiGraph& query,
                                      const SolveOptions& options) {
   std::vector<Rational> halves(instance.num_edges(), Rational::Half());
   ProbGraph h(instance, std::move(halves));
+  // SolveProbability pins the exact backend, which counting requires.
   PHOM_ASSIGN_OR_RETURN(Rational prob, SolveProbability(query, h, options));
   Rational scaled = prob * Rational(BigInt::Pow2(instance.num_edges()),
                                     BigInt(1));

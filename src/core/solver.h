@@ -1,10 +1,13 @@
 #pragma once
 
 #include <optional>
+#include <string>
 
 #include "src/core/case.h"
 #include "src/core/fallback.h"
+#include "src/core/monte_carlo.h"
 #include "src/graph/prob_graph.h"
+#include "src/util/numeric.h"
 #include "src/util/rational.h"
 #include "src/util/result.h"
 
@@ -13,29 +16,45 @@
 /// instance (H, π). Dispatches per the dichotomy of Tables 1–3:
 ///
 ///   * trivial/collapse preparation (case.h);
-///   * connected queries are solved per instance component and combined by
-///     Lemma 3.7, each component with the finest applicable algorithm
-///     (Prop. 4.11 on 2WPs; Prop. 4.10 / 3.6 on DWTs; Props. 5.4/5.5 on
-///     polytrees) — this also covers instances mixing component classes;
+///   * the prepared problem is routed through the engine registry
+///     (engine.h): connected queries are solved per instance component and
+///     combined by Lemma 3.7, each component with the finest applicable
+///     algorithm (Prop. 4.11 on 2WPs; Prop. 4.10 / 3.6 on DWTs; Props.
+///     5.4/5.5 on polytrees) — this also covers instances mixing component
+///     classes;
 ///   * anything in a #P-hard cell falls back to the exact exponential
 ///     solver, subject to FallbackOptions limits.
+///
+/// Probability arithmetic runs in the numeric backend selected by
+/// SolveOptions::numeric (exact rationals by default; see util/numeric.h).
 
 namespace phom {
 
 struct SolveOptions {
   /// Force a specific algorithm (ablations / cross-checks). NotSupported if
-  /// the algorithm does not apply to the prepared problem.
+  /// the algorithm's engine does not apply to the prepared problem.
   std::optional<Algorithm> force_algorithm;
+  /// Force an engine by registry name (see engine.h); takes precedence over
+  /// force_algorithm. Invalid if no such engine is registered, NotSupported
+  /// if it does not apply to the prepared problem.
+  std::string force_engine;
   /// Use the lineage+Shannon engine instead of the direct DP on DWTs.
   bool dwt_via_lineage = false;
+  /// Numeric backend for probability arithmetic (exact by default).
+  NumericBackend numeric = NumericBackend::kExact;
   FallbackOptions fallback;
+  /// Budget/seed for the (non-exact) "monte-carlo" engine, which is only
+  /// reachable via force_engine.
+  MonteCarloOptions monte_carlo;
+  uint64_t monte_carlo_seed = 20170514;
 };
 
 struct SolveStats {
   Algorithm primary = Algorithm::kTrivial;
+  std::string engine;              ///< registry name of the engine that ran
   size_t components = 0;
   size_t fallback_components = 0;
-  uint64_t worlds = 0;             ///< worlds enumerated by fallbacks
+  uint64_t worlds = 0;             ///< worlds enumerated/sampled by fallbacks
   size_t hom_tests = 0;            ///< X-property AC calls (Prop. 4.11)
   size_t lineage_clauses = 0;      ///< interval/match clauses built
   size_t circuit_gates = 0;        ///< provenance circuit size (Prop. 5.4)
@@ -43,7 +62,14 @@ struct SolveStats {
 };
 
 struct SolveResult {
+  /// Exact answer; meaningful only with NumericBackend::kExact (it stays
+  /// zero under the double backend — use probability_double there).
   Rational probability;
+  /// The answer as a double under BOTH backends (for kExact it is the
+  /// rounded exact answer).
+  double probability_double = 0.0;
+  /// The backend the answer was computed in.
+  NumericBackend numeric = NumericBackend::kExact;
   CaseAnalysis analysis;
   SolveStats stats;
 };
@@ -59,10 +85,22 @@ class Solver {
   SolveOptions options_;
 };
 
-/// One-call convenience.
+/// Solves an already-prepared problem through the engine registry. This is
+/// the shared back half of Solver::Solve and EvalSession::Solve.
+Result<SolveResult> SolvePrepared(const PreparedProblem& prepared,
+                                  const SolveOptions& options);
+
+/// One-call convenience. Always exact: a stray options.numeric = kDouble is
+/// overridden to kExact (the Rational return type promises exactness).
 Result<Rational> SolveProbability(const DiGraph& query,
                                   const ProbGraph& instance,
                                   const SolveOptions& options = {});
+
+/// One-call convenience for the double backend (options.numeric is
+/// overridden to kDouble).
+Result<double> SolveProbabilityDouble(const DiGraph& query,
+                                      const ProbGraph& instance,
+                                      SolveOptions options = {});
 
 /// The unweighted counting view (the paper's future-work "counting CSP"
 /// variant where every probability is 1/2): the number of subgraphs of

@@ -68,19 +68,21 @@ using dnf_internal::ClausesKeyHash;
 using dnf_internal::MakeKey;
 using dnf_internal::SplitVariableComponents;
 
+template <class Num>
 class ShannonEvaluator {
+  using Ops = NumericOps<Num>;
+
  public:
-  ShannonEvaluator(const std::vector<Rational>& probs,
-                   std::vector<uint32_t> rank, uint64_t max_states,
-                   ShannonStats* stats)
+  ShannonEvaluator(const std::vector<Num>& probs, std::vector<uint32_t> rank,
+                   uint64_t max_states, ShannonStats* stats)
       : probs_(probs), rank_(std::move(rank)), max_states_(max_states),
         stats_(stats) {}
 
-  Rational Eval(Clauses clauses) {
-    if (exhausted_) return Rational::Zero();
+  Num Eval(Clauses clauses) {
+    if (exhausted_) return Ops::Zero();
     Canonicalize(&clauses);
-    if (clauses.empty()) return Rational::Zero();
-    if (clauses.front().empty()) return Rational::One();
+    if (clauses.empty()) return Ops::Zero();
+    if (clauses.front().empty()) return Ops::One();
 
     ClausesKey key = MakeKey(clauses);
     auto it = cache_.find(key);
@@ -91,10 +93,10 @@ class ShannonEvaluator {
     if (stats_ != nullptr) ++stats_->states;
     if (++states_ > max_states_) {
       exhausted_ = true;
-      return Rational::Zero();
+      return Ops::Zero();
     }
 
-    Rational result = EvalComponents(clauses);
+    Num result = EvalComponents(clauses);
     cache_.emplace(std::move(key), result);
     return result;
   }
@@ -102,18 +104,18 @@ class ShannonEvaluator {
   bool exhausted() const { return exhausted_; }
 
  private:
-  Rational EvalComponents(const Clauses& clauses) {
+  Num EvalComponents(const Clauses& clauses) {
     // Split clauses into variable-connected components: independent parts
     // combine as 1 - Π(1 - p_i).
     std::vector<Clauses> groups = SplitVariableComponents(clauses);
     if (groups.size() > 1) {
       if (stats_ != nullptr) ++stats_->component_splits;
-      Rational none = Rational::One();  // Pr(no component true)
+      Num none = Ops::One();  // Pr(no component true)
       for (Clauses& group : groups) {
-        none *= Eval(std::move(group)).Complement();
-        if (exhausted_) return Rational::Zero();
+        none *= Ops::Complement(Eval(std::move(group)));
+        if (exhausted_) return Ops::Zero();
       }
-      return none.Complement();
+      return Ops::Complement(none);
     }
 
     // Branch on the variable of minimal rank occurring in the formula.
@@ -144,29 +146,30 @@ class ShannonEvaluator {
         neg.push_back(c);
       }
     }
-    const Rational& p = probs_[branch];
-    Rational r1 = p.is_zero() ? Rational::Zero() : Eval(std::move(pos));
-    if (exhausted_) return Rational::Zero();
-    Rational r0 = p.is_one() ? Rational::Zero() : Eval(std::move(neg));
-    if (exhausted_) return Rational::Zero();
-    return p * r1 + p.Complement() * r0;
+    const Num& p = probs_[branch];
+    Num r1 = Ops::IsZero(p) ? Ops::Zero() : Eval(std::move(pos));
+    if (exhausted_) return Ops::Zero();
+    Num r0 = Ops::IsOne(p) ? Ops::Zero() : Eval(std::move(neg));
+    if (exhausted_) return Ops::Zero();
+    return p * r1 + Ops::Complement(p) * r0;
   }
 
-  const std::vector<Rational>& probs_;
+  const std::vector<Num>& probs_;
   std::vector<uint32_t> rank_;
   uint64_t max_states_;
   ShannonStats* stats_;
   uint64_t states_ = 0;
   bool exhausted_ = false;
-  std::unordered_map<ClausesKey, Rational, ClausesKeyHash> cache_;
+  std::unordered_map<ClausesKey, Num, ClausesKeyHash> cache_;
 };
 
 }  // namespace
 
-Result<Rational> DnfProbabilityShannon(const MonotoneDnf& dnf,
-                                       const std::vector<Rational>& probs,
-                                       const ShannonOptions& options,
-                                       ShannonStats* stats) {
+template <class Num>
+Result<Num> DnfProbabilityShannonT(const MonotoneDnf& dnf,
+                                   const std::vector<Num>& probs,
+                                   const ShannonOptions& options,
+                                   ShannonStats* stats) {
   PHOM_CHECK(probs.size() >= dnf.num_vars());
   std::vector<uint32_t> rank(dnf.num_vars());
   if (options.variable_order.empty()) {
@@ -183,14 +186,21 @@ Result<Rational> DnfProbabilityShannon(const MonotoneDnf& dnf,
                      "variable_order must cover all variables");
     }
   }
-  ShannonEvaluator evaluator(probs, std::move(rank), options.max_states,
-                             stats);
-  Rational result = evaluator.Eval(dnf.clauses());
+  ShannonEvaluator<Num> evaluator(probs, std::move(rank), options.max_states,
+                                  stats);
+  Num result = evaluator.Eval(dnf.clauses());
   if (evaluator.exhausted()) {
     return Status::ResourceExhausted("Shannon expansion exceeded max_states");
   }
   return result;
 }
+
+template Result<Rational> DnfProbabilityShannonT<Rational>(
+    const MonotoneDnf&, const std::vector<Rational>&, const ShannonOptions&,
+    ShannonStats*);
+template Result<double> DnfProbabilityShannonT<double>(
+    const MonotoneDnf&, const std::vector<double>&, const ShannonOptions&,
+    ShannonStats*);
 
 Result<Rational> DnfProbabilityBetaAcyclic(const MonotoneDnf& dnf,
                                            const std::vector<Rational>& probs,

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "src/lineage/dnf.h"
+#include "src/util/numeric.h"
 #include "src/util/rational.h"
 #include "src/util/result.h"
 
@@ -50,10 +51,29 @@ struct ShannonStats {
   uint64_t component_splits = 0;
 };
 
-Result<Rational> DnfProbabilityShannon(const MonotoneDnf& dnf,
-                                       const std::vector<Rational>& probs,
-                                       const ShannonOptions& options = {},
-                                       ShannonStats* stats = nullptr);
+/// The memoized Shannon engine in the numeric backend of `Num` (exact
+/// Rational or double; see util/numeric.h). The residual-formula state space
+/// is identical for both backends — only the arithmetic combining cached
+/// sub-results differs.
+template <class Num>
+Result<Num> DnfProbabilityShannonT(const MonotoneDnf& dnf,
+                                   const std::vector<Num>& probs,
+                                   const ShannonOptions& options = {},
+                                   ShannonStats* stats = nullptr);
+
+extern template Result<Rational> DnfProbabilityShannonT<Rational>(
+    const MonotoneDnf&, const std::vector<Rational>&, const ShannonOptions&,
+    ShannonStats*);
+extern template Result<double> DnfProbabilityShannonT<double>(
+    const MonotoneDnf&, const std::vector<double>&, const ShannonOptions&,
+    ShannonStats*);
+
+/// Exact-backend convenience (the historical entry point).
+inline Result<Rational> DnfProbabilityShannon(
+    const MonotoneDnf& dnf, const std::vector<Rational>& probs,
+    const ShannonOptions& options = {}, ShannonStats* stats = nullptr) {
+  return DnfProbabilityShannonT<Rational>(dnf, probs, options, stats);
+}
 
 /// Convenience: Shannon expansion along a β-elimination order of the clause
 /// hypergraph when one exists (identity order otherwise).

@@ -6,11 +6,13 @@
 
 namespace phom {
 
-Rational IntervalDnfProbability(const std::vector<Rational>& edge_probs,
-                                std::vector<EdgeInterval> intervals) {
+template <class Num>
+Num IntervalDnfProbabilityT(const std::vector<Num>& edge_probs,
+                            std::vector<EdgeInterval> intervals) {
+  using Ops = NumericOps<Num>;
   const uint32_t kNone = UINT32_MAX;
   size_t L = edge_probs.size();
-  if (intervals.empty()) return Rational::Zero();
+  if (intervals.empty()) return Ops::Zero();
   for (const EdgeInterval& iv : intervals) {
     PHOM_CHECK_MSG(iv.first <= iv.second && iv.second < L,
                    "interval out of range");
@@ -37,26 +39,31 @@ Rational IntervalDnfProbability(const std::vector<Rational>& edge_probs,
   // dist[s] = probability that the process survives (no clause fired) with
   // current run start s; s == k+1 encodes "edge k absent". Edges processed
   // left to right.
-  std::vector<Rational> dist(L + 2, Rational::Zero());
-  dist[0] = Rational::One();
+  std::vector<Num> dist(L + 2, Ops::Zero());
+  dist[0] = Ops::One();
   for (uint32_t k = 0; k < L; ++k) {
-    std::vector<Rational> next(L + 2, Rational::Zero());
-    const Rational& p = edge_probs[k];
-    Rational q = p.Complement();
+    std::vector<Num> next(L + 2, Ops::Zero());
+    const Num& p = edge_probs[k];
+    Num q = Ops::Complement(p);
     for (uint32_t s = 0; s <= k; ++s) {
-      if (dist[s].is_zero()) continue;
+      if (Ops::IsZero(dist[s])) continue;
       // Edge k present: run start stays s; clause [lo, k] fires iff s <= lo.
       bool fires = lo_ending_at[k] != kNone && s <= lo_ending_at[k];
-      if (!fires && !p.is_zero()) next[s] += dist[s] * p;
-      if (!q.is_zero()) next[k + 1] += dist[s] * q;
+      if (!fires && !Ops::IsZero(p)) next[s] += dist[s] * p;
+      if (!Ops::IsZero(q)) next[k + 1] += dist[s] * q;
     }
     // s == k means previous edge absent (run start would be k).
     // (Covered by the loop above since s ranges to k.)
     dist = std::move(next);
   }
-  Rational survive = Rational::Zero();
-  for (const Rational& r : dist) survive += r;
-  return survive.Complement();
+  Num survive = Ops::Zero();
+  for (const Num& r : dist) survive += r;
+  return Ops::Complement(survive);
 }
+
+template Rational IntervalDnfProbabilityT<Rational>(
+    const std::vector<Rational>&, std::vector<EdgeInterval>);
+template double IntervalDnfProbabilityT<double>(const std::vector<double>&,
+                                                std::vector<EdgeInterval>);
 
 }  // namespace phom

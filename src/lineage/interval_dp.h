@@ -4,6 +4,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/util/numeric.h"
 #include "src/util/rational.h"
 
 /// \file interval_dp.h
@@ -22,9 +23,22 @@ namespace phom {
 using EdgeInterval = std::pair<uint32_t, uint32_t>;
 
 /// Pr(at least one interval fully present) with independent edge
-/// probabilities. Intervals may overlap arbitrarily; dominated (superset)
-/// intervals are removed internally.
-Rational IntervalDnfProbability(const std::vector<Rational>& edge_probs,
-                                std::vector<EdgeInterval> intervals);
+/// probabilities, in the numeric backend of `Num` (Rational or double).
+/// Intervals may overlap arbitrarily; dominated (superset) intervals are
+/// removed internally.
+template <class Num>
+Num IntervalDnfProbabilityT(const std::vector<Num>& edge_probs,
+                            std::vector<EdgeInterval> intervals);
+
+extern template Rational IntervalDnfProbabilityT<Rational>(
+    const std::vector<Rational>&, std::vector<EdgeInterval>);
+extern template double IntervalDnfProbabilityT<double>(
+    const std::vector<double>&, std::vector<EdgeInterval>);
+
+/// Exact-backend convenience (the historical entry point).
+inline Rational IntervalDnfProbability(const std::vector<Rational>& edge_probs,
+                                       std::vector<EdgeInterval> intervals) {
+  return IntervalDnfProbabilityT<Rational>(edge_probs, std::move(intervals));
+}
 
 }  // namespace phom

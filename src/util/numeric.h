@@ -1,0 +1,105 @@
+#pragma once
+
+#include <type_traits>
+#include <vector>
+
+#include "src/util/rational.h"
+
+/// \file numeric.h
+/// Pluggable numeric policy for probability arithmetic. Every probability
+/// kernel in the library (interval DP, Shannon expansion, d-DNNF evaluation,
+/// the tree DPs, world enumeration) is templated on a number type `Num` and
+/// instantiated for two backends:
+///
+///   * Rational — exact BigInt rationals, the default; answers are bit-exact
+///     and the #P-hardness reductions can recover integer model counts.
+///   * double   — IEEE floating point, the practical regime for serving
+///     workloads (cf. Amarilli–van Bremen–Gaspard–Meel 2023); answers carry
+///     rounding error but every kernel stays within ~1e-12 relative error on
+///     the sizes the exact backend can verify.
+///
+/// Input probabilities always live on the instance as exact Rationals (the
+/// model is exact); a backend choice only changes the arithmetic used to
+/// COMBINE them. NumericOps<Num> is the small trait surface the kernels use.
+
+namespace phom {
+
+enum class NumericBackend {
+  kExact = 0,  ///< exact BigInt rationals (default)
+  kDouble,     ///< IEEE double: fast, approximate
+};
+
+inline const char* ToString(NumericBackend b) {
+  switch (b) {
+    case NumericBackend::kExact: return "exact";
+    case NumericBackend::kDouble: return "double";
+  }
+  return "?";
+}
+
+template <class Num>
+struct NumericOps;
+
+template <>
+struct NumericOps<Rational> {
+  static constexpr NumericBackend kBackend = NumericBackend::kExact;
+  static Rational Zero() { return Rational::Zero(); }
+  static Rational One() { return Rational::One(); }
+  static Rational From(const Rational& p) { return p; }
+  static Rational Complement(const Rational& x) { return x.Complement(); }
+  static bool IsZero(const Rational& x) { return x.is_zero(); }
+  static bool IsOne(const Rational& x) { return x.is_one(); }
+  static double ToDouble(const Rational& x) { return x.ToDouble(); }
+};
+
+template <>
+struct NumericOps<double> {
+  static constexpr NumericBackend kBackend = NumericBackend::kDouble;
+  static double Zero() { return 0.0; }
+  static double One() { return 1.0; }
+  static double From(const Rational& p) { return p.ToDouble(); }
+  static double Complement(double x) { return 1.0 - x; }
+  static bool IsZero(double x) { return x == 0.0; }
+  static bool IsOne(double x) { return x == 1.0; }
+  static double ToDouble(double x) { return x; }
+};
+
+/// The instance's exact edge probabilities converted into the backend type.
+template <class Num>
+std::vector<Num> ConvertProbs(const std::vector<Rational>& probs) {
+  std::vector<Num> out;
+  out.reserve(probs.size());
+  for (const Rational& p : probs) out.push_back(NumericOps<Num>::From(p));
+  return out;
+}
+
+/// Zero-copy view of exact probabilities in the backend type: the exact
+/// backend references the caller's vector (which must outlive the view);
+/// the double backend converts once. Keeps the hot exact paths free of
+/// BigInt copies.
+template <class Num>
+class BackendProbs {
+ public:
+  explicit BackendProbs(const std::vector<Rational>& probs) {
+    if constexpr (std::is_same_v<Num, Rational>) {
+      probs_ = &probs;
+    } else {
+      converted_ = ConvertProbs<Num>(probs);
+    }
+  }
+
+  const std::vector<Num>& operator*() const {
+    if constexpr (std::is_same_v<Num, Rational>) {
+      return *probs_;
+    } else {
+      return converted_;
+    }
+  }
+  const Num& operator[](size_t i) const { return (**this)[i]; }
+
+ private:
+  const std::vector<Rational>* probs_ = nullptr;
+  std::vector<Num> converted_;
+};
+
+}  // namespace phom

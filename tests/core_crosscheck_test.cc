@@ -17,95 +17,18 @@
 /// checked for EXACT agreement between the dispatcher, every applicable
 /// forced polynomial-time engine, the match-lineage solver, and brute-force
 /// world enumeration, plus a statistical agreement check against Monte
-/// Carlo. All seeds are fixed; every case is reproducible.
+/// Carlo. All seeds are fixed; every case is reproducible. The corpus
+/// generators live in tests/test_util.h and are shared with the numeric
+/// backend agreement suite.
 
 namespace phom {
 namespace {
 
-enum class CellClass { k2wp, kDwt, kPolytree, kHardCell };
+using test_util::CellClass;
+using test_util::kCrosscheckSeedBase;
+using test_util::MakeCrosscheckCase;
+using test_util::ToString;
 
-const char* ToString(CellClass c) {
-  switch (c) {
-    case CellClass::k2wp: return "2WP";
-    case CellClass::kDwt: return "DWT";
-    case CellClass::kPolytree: return "polytree";
-    case CellClass::kHardCell: return "hard-cell";
-  }
-  return "?";
-}
-
-struct CrosscheckCase {
-  DiGraph query;
-  ProbGraph instance;
-  /// The class guarantees tractability (or, for the hard cell, hardness by
-  /// construction), so the dispatcher's analysis is asserted per case.
-  bool expect_tractable = false;
-};
-
-/// Class-conditioned generators. Instances stay small enough (≤ 12 edges)
-/// that the 2^m world enumeration oracle is instant.
-CrosscheckCase MakeCase(CellClass cell, Rng* rng) {
-  CrosscheckCase out;
-  switch (cell) {
-    case CellClass::k2wp: {
-      // Any connected query on a 2WP instance is PTIME (Prop. 4.11).
-      size_t labels = static_cast<size_t>(rng->UniformInt(1, 2));
-      out.query = RandomTwoWayPath(rng, rng->UniformInt(1, 3), labels);
-      out.instance = AttachRandomProbabilities(
-          rng, RandomTwoWayPath(rng, rng->UniformInt(2, 10), labels), 3);
-      out.expect_tractable = true;
-      break;
-    }
-    case CellClass::kDwt: {
-      // Labeled 1WP queries on DWT instances are PTIME (Prop. 4.10).
-      std::vector<LabelId> pattern;
-      for (int i = 0, m = rng->UniformInt(1, 3); i < m; ++i) {
-        pattern.push_back(static_cast<LabelId>(rng->UniformInt(0, 1)));
-      }
-      out.query = MakeLabeledPath(pattern);
-      out.instance = AttachRandomProbabilities(
-          rng, RandomDownwardTree(rng, rng->UniformInt(3, 11), 2, 0.4), 3);
-      out.expect_tractable = true;
-      break;
-    }
-    case CellClass::kPolytree: {
-      // Unlabeled DWT queries collapse to a 1WP (Prop. 5.5) and are then
-      // PTIME on polytree instances via the tree-automaton route
-      // (Prop. 5.4); general polytree queries on polytree instances are
-      // #P-hard (Prop. 5.6), so the class conditions on DWT queries.
-      out.query = RandomDownwardTree(rng, rng->UniformInt(2, 5), 1, 0.5);
-      out.instance = AttachRandomProbabilities(
-          rng, RandomPolytree(rng, rng->UniformInt(3, 10), 1), 3);
-      out.expect_tractable = true;
-      break;
-    }
-    case CellClass::kHardCell: {
-      // Disconnected two-label query (an R-path ⊔ an S-path) on an instance
-      // containing both labels: the Prop. 3.3 #P-hard cell. No collapse
-      // applies (two labels, no homomorphism between the components), so the
-      // dispatcher must route through the exact exponential fallback.
-      std::vector<LabelId> r_part(rng->UniformInt(1, 2), 0);
-      std::vector<LabelId> s_part(rng->UniformInt(1, 2), 1);
-      out.query =
-          DisjointUnion({MakeLabeledPath(r_part), MakeLabeledPath(s_part)});
-      DiGraph shape = RandomTwoWayPath(rng, rng->UniformInt(3, 9), 2);
-      // Force both labels to appear so the answer is not trivially zero.
-      DiGraph relabeled(shape.num_vertices());
-      for (size_t e = 0; e < shape.num_edges(); ++e) {
-        Edge edge = shape.edge(static_cast<EdgeId>(e));
-        if (e == 0) edge.label = 0;
-        if (e + 1 == shape.num_edges()) edge.label = 1;
-        AddEdgeOrDie(&relabeled, edge.src, edge.dst, edge.label);
-      }
-      out.instance = AttachRandomProbabilities(rng, std::move(relabeled), 3);
-      out.expect_tractable = false;
-      break;
-    }
-  }
-  return out;
-}
-
-constexpr uint64_t kSeedBase = 20170514;  // PODS 2017, fixed forever
 constexpr int kCasesPerClass = 220;
 
 class CrosscheckTest : public ::testing::TestWithParam<CellClass> {};
@@ -114,10 +37,10 @@ class CrosscheckTest : public ::testing::TestWithParam<CellClass> {};
 /// forced polynomial-time engine that accepts the problem agrees bit-exactly.
 TEST_P(CrosscheckTest, SolverAgreesWithWorldEnumeration) {
   CellClass cell = GetParam();
-  Rng rng(kSeedBase + static_cast<uint64_t>(cell));
+  Rng rng(kCrosscheckSeedBase + static_cast<uint64_t>(cell));
   Solver solver;
   for (int trial = 0; trial < kCasesPerClass; ++trial) {
-    CrosscheckCase c = MakeCase(cell, &rng);
+    test_util::CrosscheckCase c = MakeCrosscheckCase(cell, &rng);
     Result<SolveResult> fast = solver.Solve(c.query, c.instance);
     ASSERT_TRUE(fast.ok())
         << ToString(cell) << " trial " << trial << ": "
@@ -149,6 +72,18 @@ TEST_P(CrosscheckTest, SolverAgreesWithWorldEnumeration) {
       }
     }
 
+    // Same through the registry's name-based selection: the lineage+Shannon
+    // DWT route is an independent engine now.
+    {
+      SolveOptions force;
+      force.force_engine = "dwt-lineage-shannon";
+      Result<Rational> forced = SolveProbability(c.query, c.instance, force);
+      if (forced.ok()) {
+        EXPECT_EQ(*forced, *oracle)
+            << ToString(cell) << " trial " << trial << " dwt-lineage-shannon";
+      }
+    }
+
     // The match-lineage exponential solver is an independent second oracle
     // for connected queries.
     if (Classify(c.query).num_components == 1 && c.query.num_edges() > 0) {
@@ -160,12 +95,13 @@ TEST_P(CrosscheckTest, SolverAgreesWithWorldEnumeration) {
 }
 
 /// Statistical agreement: Monte Carlo estimates land within a 5-sigma-ish
-/// band of the exact answer on a handful of cases per class.
+/// band of the exact answer on a handful of cases per class — both through
+/// the direct estimator API and through the registered "monte-carlo" engine.
 TEST_P(CrosscheckTest, MonteCarloAgreesStatistically) {
   CellClass cell = GetParam();
-  Rng rng(kSeedBase + 1000 + static_cast<uint64_t>(cell));
+  Rng rng(kCrosscheckSeedBase + 1000 + static_cast<uint64_t>(cell));
   for (int trial = 0; trial < 8; ++trial) {
-    CrosscheckCase c = MakeCase(cell, &rng);
+    test_util::CrosscheckCase c = MakeCrosscheckCase(cell, &rng);
     Result<Rational> exact_r = SolveProbability(c.query, c.instance);
     ASSERT_TRUE(exact_r.ok())
         << ToString(cell) << " trial " << trial << ": "
@@ -174,12 +110,30 @@ TEST_P(CrosscheckTest, MonteCarloAgreesStatistically) {
     MonteCarloOptions options;
     options.samples = 20'000;
     Result<MonteCarloEstimate> e = EstimateProbabilityMonteCarlo(
-        c.query, c.instance, kSeedBase + trial, options);
+        c.query, c.instance, kCrosscheckSeedBase + trial, options);
     ASSERT_TRUE(e.ok()) << ToString(cell) << " trial " << trial;
     // half_width_95 is ~2 sigma; 2.5x that plus an absolute floor for the
     // p≈0/p≈1 cases where the width estimate itself degenerates.
     EXPECT_NEAR(e->estimate, exact, 2.5 * e->half_width_95 + 5e-3)
         << ToString(cell) << " trial " << trial;
+
+    // The registered engine must reproduce the direct estimator bit for bit
+    // when given identical inputs: it samples the PREPARED problem (labels
+    // marginalized, query possibly collapsed), so compare on that.
+    SolveOptions mc;
+    mc.force_engine = "monte-carlo";
+    mc.monte_carlo = options;
+    mc.monte_carlo_seed = kCrosscheckSeedBase + trial;
+    Result<SolveResult> via_engine = Solver(mc).Solve(c.query, c.instance);
+    ASSERT_TRUE(via_engine.ok()) << ToString(cell) << " trial " << trial;
+    PreparedProblem prep = PrepareProblem(c.query, c.instance);
+    if (!prep.immediate.has_value()) {
+      Result<MonteCarloEstimate> prepared_est = EstimateProbabilityMonteCarlo(
+          prep.query, prep.instance(), kCrosscheckSeedBase + trial, options);
+      ASSERT_TRUE(prepared_est.ok()) << ToString(cell) << " trial " << trial;
+      EXPECT_EQ(via_engine->probability_double, prepared_est->estimate)
+          << ToString(cell) << " trial " << trial;
+    }
   }
 }
 

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "src/core/engine.h"
+#include "src/core/solver.h"
+#include "src/graph/builders.h"
+#include "src/graph/generators.h"
+#include "tests/test_util.h"
+
+/// Numeric-policy agreement across the seeded cross-check corpus (all four
+/// instance classes): the double backend must track the exact Rational
+/// backend within 1e-9 relative error, through auto dispatch and through
+/// every forced engine that accepts the problem. Engine selection itself
+/// must be backend-independent.
+
+namespace phom {
+namespace {
+
+using test_util::CellClass;
+using test_util::kCrosscheckSeedBase;
+using test_util::MakeCrosscheckCase;
+using test_util::ToString;
+
+/// |approx - exact| <= 1e-9 * max(|exact|, 1e-9): relative error with an
+/// absolute floor for answers at/near zero.
+void ExpectClose(double approx, const Rational& exact, const char* context) {
+  double e = exact.ToDouble();
+  double tol = 1e-9 * std::max(std::abs(e), 1e-9);
+  EXPECT_NEAR(approx, e, tol) << context;
+}
+
+class NumericBackendTest : public ::testing::TestWithParam<CellClass> {};
+
+TEST_P(NumericBackendTest, DoubleAgreesWithExactAcrossCorpus) {
+  CellClass cell = GetParam();
+  // Offset 2000: an independent stream from the crosscheck suites, same
+  // fixed seed base.
+  Rng rng(kCrosscheckSeedBase + 2000 + static_cast<uint64_t>(cell));
+  for (int trial = 0; trial < 60; ++trial) {
+    test_util::CrosscheckCase c = MakeCrosscheckCase(cell, &rng);
+
+    Result<SolveResult> exact = Solver().Solve(c.query, c.instance);
+    ASSERT_TRUE(exact.ok())
+        << ToString(cell) << " trial " << trial << ": "
+        << exact.status().ToString();
+    EXPECT_EQ(exact->numeric, NumericBackend::kExact);
+    // probability_double is the rounded exact answer under kExact.
+    EXPECT_EQ(exact->probability_double, exact->probability.ToDouble());
+
+    SolveOptions approx_options;
+    approx_options.numeric = NumericBackend::kDouble;
+    Result<SolveResult> approx =
+        Solver(approx_options).Solve(c.query, c.instance);
+    ASSERT_TRUE(approx.ok()) << ToString(cell) << " trial " << trial;
+    EXPECT_EQ(approx->numeric, NumericBackend::kDouble);
+    // Both backends go through the same preparation and engine selection.
+    EXPECT_EQ(approx->stats.engine, exact->stats.engine)
+        << ToString(cell) << " trial " << trial;
+    ExpectClose(approx->probability_double, exact->probability,
+                ToString(cell));
+
+    // The one-call double convenience agrees too.
+    Result<double> convenience = SolveProbabilityDouble(c.query, c.instance);
+    ASSERT_TRUE(convenience.ok());
+    EXPECT_EQ(*convenience, approx->probability_double);
+
+    // Forced engines: whenever an engine accepts the problem, its double
+    // answer must track its exact answer.
+    for (const Engine* engine : EngineRegistry::Global().engines()) {
+      if (!engine->exact()) continue;  // Monte Carlo is not a fixed target
+      SolveOptions force_exact;
+      force_exact.force_engine = std::string(engine->name());
+      Result<SolveResult> fe = Solver(force_exact).Solve(c.query, c.instance);
+      if (!fe.ok()) continue;
+      SolveOptions force_double = force_exact;
+      force_double.numeric = NumericBackend::kDouble;
+      Result<SolveResult> fd =
+          Solver(force_double).Solve(c.query, c.instance);
+      ASSERT_TRUE(fd.ok()) << ToString(cell) << " trial " << trial << " "
+                           << engine->name();
+      ExpectClose(fd->probability_double, fe->probability,
+                  std::string(engine->name()).c_str());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Classes, NumericBackendTest,
+                         ::testing::ValuesIn(test_util::AllCellClasses()),
+                         [](const ::testing::TestParamInfo<CellClass>& info) {
+                           switch (info.param) {
+                             case CellClass::k2wp: return "TwoWayPath";
+                             case CellClass::kDwt: return "DownwardTree";
+                             case CellClass::kPolytree: return "Polytree";
+                             case CellClass::kHardCell: return "HardCell";
+                           }
+                           return "Unknown";
+                         });
+
+}  // namespace
+}  // namespace phom

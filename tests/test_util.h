@@ -118,6 +118,105 @@ inline DiGraph MakeClassGraph(GraphClass kind, Rng* rng, size_t size,
   return DiGraph(1);
 }
 
+/// The four dichotomy cells the cross-check corpus conditions on: three
+/// PTIME cells (one per tractable algorithm family) and one #P-hard cell.
+enum class CellClass { k2wp, kDwt, kPolytree, kHardCell };
+
+inline const char* ToString(CellClass c) {
+  switch (c) {
+    case CellClass::k2wp: return "2WP";
+    case CellClass::kDwt: return "DWT";
+    case CellClass::kPolytree: return "polytree";
+    case CellClass::kHardCell: return "hard-cell";
+  }
+  return "?";
+}
+
+inline const std::vector<CellClass>& AllCellClasses() {
+  static const std::vector<CellClass> kAll = {
+      CellClass::k2wp, CellClass::kDwt, CellClass::kPolytree,
+      CellClass::kHardCell};
+  return kAll;
+}
+
+struct CrosscheckCase {
+  DiGraph query;
+  ProbGraph instance;
+  /// The class guarantees tractability (or, for the hard cell, hardness by
+  /// construction), so the dispatcher's analysis is asserted per case.
+  bool expect_tractable = false;
+
+  CrosscheckCase() : query(0), instance(0) {}
+};
+
+/// Seed base of the cross-check corpus (PODS 2017, fixed forever). Tests
+/// deriving per-class streams use kCrosscheckSeedBase + offsets.
+constexpr uint64_t kCrosscheckSeedBase = 20170514;
+
+/// Class-conditioned generators for the cross-check corpus. Instances stay
+/// small enough (≤ 12 edges) that the 2^m world enumeration oracle is
+/// instant.
+inline CrosscheckCase MakeCrosscheckCase(CellClass cell, Rng* rng) {
+  CrosscheckCase out;
+  switch (cell) {
+    case CellClass::k2wp: {
+      // Any connected query on a 2WP instance is PTIME (Prop. 4.11).
+      size_t labels = static_cast<size_t>(rng->UniformInt(1, 2));
+      out.query = RandomTwoWayPath(rng, rng->UniformInt(1, 3), labels);
+      out.instance = AttachRandomProbabilities(
+          rng, RandomTwoWayPath(rng, rng->UniformInt(2, 10), labels), 3);
+      out.expect_tractable = true;
+      break;
+    }
+    case CellClass::kDwt: {
+      // Labeled 1WP queries on DWT instances are PTIME (Prop. 4.10).
+      std::vector<LabelId> pattern;
+      for (int i = 0, m = rng->UniformInt(1, 3); i < m; ++i) {
+        pattern.push_back(static_cast<LabelId>(rng->UniformInt(0, 1)));
+      }
+      out.query = MakeLabeledPath(pattern);
+      out.instance = AttachRandomProbabilities(
+          rng, RandomDownwardTree(rng, rng->UniformInt(3, 11), 2, 0.4), 3);
+      out.expect_tractable = true;
+      break;
+    }
+    case CellClass::kPolytree: {
+      // Unlabeled DWT queries collapse to a 1WP (Prop. 5.5) and are then
+      // PTIME on polytree instances via the tree-automaton route
+      // (Prop. 5.4); general polytree queries on polytree instances are
+      // #P-hard (Prop. 5.6), so the class conditions on DWT queries.
+      out.query = RandomDownwardTree(rng, rng->UniformInt(2, 5), 1, 0.5);
+      out.instance = AttachRandomProbabilities(
+          rng, RandomPolytree(rng, rng->UniformInt(3, 10), 1), 3);
+      out.expect_tractable = true;
+      break;
+    }
+    case CellClass::kHardCell: {
+      // Disconnected two-label query (an R-path ⊔ an S-path) on an instance
+      // containing both labels: the Prop. 3.3 #P-hard cell. No collapse
+      // applies (two labels, no homomorphism between the components), so the
+      // dispatcher must route through the exact exponential fallback.
+      std::vector<LabelId> r_part(rng->UniformInt(1, 2), 0);
+      std::vector<LabelId> s_part(rng->UniformInt(1, 2), 1);
+      out.query =
+          DisjointUnion({MakeLabeledPath(r_part), MakeLabeledPath(s_part)});
+      DiGraph shape = RandomTwoWayPath(rng, rng->UniformInt(3, 9), 2);
+      // Force both labels to appear so the answer is not trivially zero.
+      DiGraph relabeled(shape.num_vertices());
+      for (size_t e = 0; e < shape.num_edges(); ++e) {
+        Edge edge = shape.edge(static_cast<EdgeId>(e));
+        if (e == 0) edge.label = 0;
+        if (e + 1 == shape.num_edges()) edge.label = 1;
+        AddEdgeOrDie(&relabeled, edge.src, edge.dst, edge.label);
+      }
+      out.instance = AttachRandomProbabilities(rng, std::move(relabeled), 3);
+      out.expect_tractable = false;
+      break;
+    }
+  }
+  return out;
+}
+
 /// Independent brute-force oracle: counts the subgraphs of `instance` that
 /// `query` maps into by enumerating all 2^edges edge subsets directly — no
 /// shared code with the solver's own fallback beyond the homomorphism test.
