@@ -1,0 +1,172 @@
+// Parallel batch serving: the thread-pool BatchExecutor and the sharded
+// multi-session server (src/serve/) against the serial EvalSession baseline.
+// Results are bit-identical by construction (tests/serve_executor_test.cc),
+// so this bench measures only the throughput axis: batch fan-out, component
+// fan-out, and the cross-instance context LRU. NOTE: the dev container is
+// single-core — locally these quantify overhead, not speedup; the thread
+// scaling is meaningful on multi-core CI/production hardware.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/core/eval_session.h"
+#include "src/serve/executor.h"
+#include "src/serve/shard.h"
+
+namespace phom {
+namespace {
+
+using bench::ProperShape;
+using bench::Shape;
+using serve::BatchExecutor;
+using serve::ExecutorOptions;
+using serve::ShardedServer;
+using serve::ShardedServerOptions;
+using serve::ShardRequest;
+
+/// A serving corpus: one instance with several components (the within-query
+/// parallel units) and a small-query batch over two labels.
+struct Corpus {
+  ProbGraph instance{0};
+  std::vector<DiGraph> queries;
+};
+
+Corpus MakeCorpus(size_t components, size_t component_size, size_t batch) {
+  Rng rng(20170514);
+  std::vector<DiGraph> parts;
+  for (size_t c = 0; c < components; ++c) {
+    parts.push_back(ProperShape(Shape::k2wp, component_size, 2, &rng));
+  }
+  Corpus corpus;
+  corpus.instance =
+      AttachRandomProbabilities(&rng, DisjointUnion(parts), 4);
+  for (size_t q = 0; q < batch; ++q) {
+    corpus.queries.push_back(
+        ProperShape(Shape::k2wp, 4 + q % 3, 2, &rng));
+  }
+  return corpus;
+}
+
+SolveOptions ServingOptions() {
+  SolveOptions options;
+  options.numeric = NumericBackend::kDouble;  // the serving regime
+  return options;
+}
+
+// ---------------------------------------------------------------------------
+// Serial baseline vs executor at varying thread counts.
+// ---------------------------------------------------------------------------
+
+void BM_ServeSerialBatch(benchmark::State& state) {
+  Corpus corpus = MakeCorpus(4, 24, 16);
+  EvalSession session(corpus.instance, ServingOptions());
+  session.SolveBatch(corpus.queries);  // warm the context cache
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(session.SolveBatch(corpus.queries));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(corpus.queries.size()));
+}
+BENCHMARK(BM_ServeSerialBatch)->Unit(benchmark::kMillisecond);
+
+void BM_ServeExecutorBatch(benchmark::State& state) {
+  Corpus corpus = MakeCorpus(4, 24, 16);
+  ExecutorOptions exec_options;
+  exec_options.threads = static_cast<size_t>(state.range(0));
+  BatchExecutor executor(exec_options);
+  EvalSession session(corpus.instance, ServingOptions());
+  executor.SolveBatch(session, corpus.queries);  // warm-up
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(executor.SolveBatch(session, corpus.queries));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(corpus.queries.size()));
+}
+BENCHMARK(BM_ServeExecutorBatch)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ServeExecutorNoComponentSplit(benchmark::State& state) {
+  // Isolates the within-query fan-out: same pool, whole-query tasks only.
+  Corpus corpus = MakeCorpus(4, 24, 16);
+  ExecutorOptions exec_options;
+  exec_options.threads = static_cast<size_t>(state.range(0));
+  exec_options.split_components = false;
+  BatchExecutor executor(exec_options);
+  EvalSession session(corpus.instance, ServingOptions());
+  executor.SolveBatch(session, corpus.queries);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(executor.SolveBatch(session, corpus.queries));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(corpus.queries.size()));
+}
+BENCHMARK(BM_ServeExecutorNoComponentSplit)
+    ->Arg(2)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// Sharded server: cross-shard request batches and the shared context LRU.
+// ---------------------------------------------------------------------------
+
+void BM_ServeShardedRequests(benchmark::State& state) {
+  const size_t shards = static_cast<size_t>(state.range(0));
+  Corpus corpus = MakeCorpus(2, 16, 12);
+  std::vector<ProbGraph> instances(shards, corpus.instance);
+
+  ShardedServerOptions options;
+  options.solve = ServingOptions();
+  options.executor.threads = 4;
+  ShardedServer server(std::move(instances), options);
+
+  std::vector<ShardRequest> requests;
+  for (size_t i = 0; i < corpus.queries.size(); ++i) {
+    requests.push_back({i % shards, &corpus.queries[i]});
+  }
+  server.SolveRequests(requests);  // warm the shared LRU
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(server.SolveRequests(requests));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(requests.size()));
+}
+BENCHMARK(BM_ServeShardedRequests)
+    ->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ServeLruColdVsShared(benchmark::State& state) {
+  // Cost of first-touch preparation through the shared LRU: identical
+  // shards mean one shard's miss is every other shard's hit. Measures a
+  // full cold start (fresh server per iteration) over `shards` identical
+  // instances — the LRU makes it O(1) builds instead of O(shards).
+  const size_t shards = static_cast<size_t>(state.range(0));
+  Corpus corpus = MakeCorpus(2, 16, 4);
+  for (auto _ : state) {
+    std::vector<ProbGraph> instances(shards, corpus.instance);
+    ShardedServerOptions options;
+    options.solve = ServingOptions();
+    options.executor.threads = 2;
+    ShardedServer server(std::move(instances), options);
+    std::vector<ShardRequest> requests;
+    for (size_t s = 0; s < shards; ++s) {
+      for (const DiGraph& q : corpus.queries) requests.push_back({s, &q});
+    }
+    benchmark::DoNotOptimize(server.SolveRequests(requests));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(shards));
+}
+BENCHMARK(BM_ServeLruColdVsShared)
+    ->Arg(1)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace phom
+
+int main(int argc, char** argv) {
+  phom::bench::RunBenchmarks(argc, argv);
+  return 0;
+}

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <memory>
+#include <shared_mutex>
 #include <string_view>
 #include <vector>
 
@@ -43,6 +44,13 @@ class Engine {
   /// and their "exact" answer is only an exactly-represented estimate.
   virtual bool exact() const { return true; }
 
+  /// True for engines that solve each instance component independently and
+  /// combine by Lemma 3.7. Such dispatches expose within-query parallelism:
+  /// the serve layer may solve components on different threads via
+  /// SolvePreparedComponent and merge with CombinePreparedComponents
+  /// (solver.h) — bit-identically to this engine's serial Solve.
+  virtual bool componentwise() const { return false; }
+
   /// Whether this engine can answer the analyzed cell at all (used to
   /// validate forced selection). Must be conservative: if this returns
   /// true, Solve must not give a wrong answer (it may still error).
@@ -65,10 +73,24 @@ class Engine {
 /// Ordered collection of engines. Auto dispatch scans registration order and
 /// picks the first exact engine whose AutoMatch claims the cell, so finer
 /// strategies must be registered before coarser ones.
+///
+/// Thread safety: all members lock an internal shared_mutex — lookups
+/// (FindByName/FindByAlgorithm/SelectAuto/engines) take a shared lock and
+/// may run concurrently from any number of serving threads; Register takes
+/// an exclusive lock. The intended invariant is REGISTER BEFORE SERVE:
+/// perform all registration at process startup (Global() populates the
+/// default engines exactly once, via thread-safe static initialization),
+/// before the first solving thread starts. Registration while serving is
+/// memory-safe under the lock, but whether in-flight queries observe the new
+/// engine is then a race the caller owns. Engine pointers returned by
+/// lookups stay valid for the registry's lifetime (engines are never
+/// removed).
 class EngineRegistry {
  public:
   /// The process-wide registry, populated with the default engines on first
-  /// use. Register additional engines on it at startup.
+  /// use (thread-safe: C++ static-local initialization guarantees exactly
+  /// one RegisterDefaultEngines run even under concurrent first calls).
+  /// Register additional engines on it at startup, before serving.
   static EngineRegistry& Global();
 
   void Register(std::unique_ptr<Engine> engine);
@@ -85,8 +107,21 @@ class EngineRegistry {
   std::vector<const Engine*> engines() const;
 
  private:
-  std::vector<std::unique_ptr<Engine>> engines_;
+  mutable std::shared_mutex mu_;
+  std::vector<std::unique_ptr<Engine>> engines_;  ///< guarded by mu_
 };
+
+/// Engine selection exactly as SolvePrepared performs it: a forced engine
+/// name resolves first (Invalid on a typo, even when the prepared answer is
+/// immediate), then immediate answers return a null engine (no engine runs),
+/// then a forced algorithm resolves (Invalid when unregistered), then auto
+/// dispatch. Forced selections that do not apply to the analyzed cell are
+/// NotSupported. `*forced` reports whether the selection was forced (the
+/// caller then reports the engine's own algorithm as primary).
+Result<const Engine*> SelectEngineForProblem(const EngineRegistry& registry,
+                                             const PreparedProblem& prepared,
+                                             const SolveOptions& options,
+                                             bool* forced);
 
 /// Registers the built-in engines, in auto-dispatch priority order:
 ///   connected-on-2wp, path-on-dwt, unlabeled-dwt-instance,

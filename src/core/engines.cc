@@ -132,6 +132,7 @@ class TwoWayPathEngine : public Engine {
  public:
   std::string_view name() const override { return "connected-on-2wp"; }
   Algorithm algorithm() const override { return Algorithm::kConnectedOn2wp; }
+  bool componentwise() const override { return true; }
   bool Applies(const CaseAnalysis& a) const override {
     return a.query_class.connected && a.instance_class.all_2wp;
   }
@@ -149,6 +150,7 @@ class DwtPathEngine : public Engine {
  public:
   std::string_view name() const override { return "path-on-dwt"; }
   Algorithm algorithm() const override { return Algorithm::kPathOnDwt; }
+  bool componentwise() const override { return true; }
   bool Applies(const CaseAnalysis& a) const override {
     return a.query_class.is_1wp && a.instance_class.all_dwt;
   }
@@ -219,6 +221,7 @@ class PerComponentEngine : public Engine {
  public:
   std::string_view name() const override { return "per-component"; }
   Algorithm algorithm() const override { return Algorithm::kPerComponent; }
+  bool componentwise() const override { return true; }
   bool Applies(const CaseAnalysis& a) const override {
     return a.query_class.connected;
   }
@@ -343,6 +346,111 @@ class MonteCarloEngine : public Engine {
 };
 
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// Within-query component parallelism (solver.h). Lives here because it reuses
+// the same SolveComponentT kernel adapters as the serial componentwise
+// engines — that sharing is what makes the parallel merge bit-identical.
+// ---------------------------------------------------------------------------
+
+size_t PreparedComponentParallelism(const PreparedProblem& prepared,
+                                    const SolveOptions& options) {
+  if (prepared.immediate.has_value() || prepared.context == nullptr) return 0;
+  const size_t n = prepared.context->components.size();
+  if (n < 2) return 0;  // one component: a single SolvePrepared task is best
+  bool forced = false;
+  Result<const Engine*> engine = SelectEngineForProblem(
+      EngineRegistry::Global(), prepared, options, &forced);
+  // Selection errors (typo'd names, inapplicable forced engines) must
+  // surface through the ordinary SolvePrepared path, identically.
+  if (!engine.ok() || *engine == nullptr) return 0;
+  return (*engine)->componentwise() ? n : 0;
+}
+
+Result<SolveResult> SolvePreparedComponent(const PreparedProblem& prepared,
+                                           size_t component_index,
+                                           const SolveOptions& options) {
+  bool forced = false;
+  PHOM_ASSIGN_OR_RETURN(
+      const Engine* engine,
+      SelectEngineForProblem(EngineRegistry::Global(), prepared, options,
+                             &forced));
+  PHOM_CHECK_MSG(engine != nullptr && engine->componentwise() &&
+                     prepared.context != nullptr &&
+                     component_index < prepared.context->components.size(),
+                 "SolvePreparedComponent outside a componentwise dispatch");
+  SolveResult out;
+  out.analysis = prepared.analysis;
+  out.numeric = options.numeric;
+  out.stats.primary = forced ? engine->algorithm() : prepared.analysis.algorithm;
+  out.stats.engine = std::string(engine->name());
+  const InstanceContext& ctx = *prepared.context;
+  const bool unlabeled = prepared.analysis.effective_unlabeled;
+  const bool query_is_1wp = prepared.analysis.query_class.is_1wp;
+  ++out.stats.components;
+  PHOM_ASSIGN_OR_RETURN(
+      EngineAnswer answer,
+      RunInBackend(options.numeric, [&](auto tag) {
+        using Num = typename decltype(tag)::type;
+        return SolveComponentT<Num>(prepared.query, query_is_1wp, unlabeled,
+                                    ctx.components[component_index].graph,
+                                    ctx.component_classes[component_index],
+                                    options, &out.stats);
+      }));
+  out.probability = std::move(answer.exact);
+  out.probability_double = answer.approx;
+  out.numeric = answer.backend;
+  return out;
+}
+
+Result<SolveResult> CombinePreparedComponents(
+    const PreparedProblem& prepared, const SolveOptions& options,
+    std::vector<Result<SolveResult>> components) {
+  bool forced = false;
+  PHOM_ASSIGN_OR_RETURN(
+      const Engine* engine,
+      SelectEngineForProblem(EngineRegistry::Global(), prepared, options,
+                             &forced));
+  PHOM_CHECK_MSG(engine != nullptr && prepared.context != nullptr &&
+                     components.size() == prepared.context->components.size(),
+                 "CombinePreparedComponents arity mismatch");
+  SolveResult out;
+  out.analysis = prepared.analysis;
+  out.numeric = options.numeric;
+  out.stats.primary = forced ? engine->algorithm() : prepared.analysis.algorithm;
+  out.stats.engine = std::string(engine->name());
+  for (size_t i = 0; i < components.size(); ++i) {
+    // Serial SolvePerComponentT stops at the first failing component in
+    // index order; reproduce exactly that error.
+    if (!components[i].ok()) return components[i].status();
+    const SolveStats& s = components[i]->stats;
+    out.stats.components += s.components;
+    out.stats.fallback_components += s.fallback_components;
+    out.stats.worlds += s.worlds;
+    out.stats.hom_tests += s.hom_tests;
+    out.stats.lineage_clauses += s.lineage_clauses;
+    out.stats.circuit_gates += s.circuit_gates;
+    out.stats.match_ends += s.match_ends;
+  }
+  // Lemma 3.7 in component-index order — the same operations, in the same
+  // order, as the serial combine in SolvePerComponentT, so the merged answer
+  // is bit-identical in both backends.
+  if (options.numeric == NumericBackend::kExact) {
+    Rational none = Rational::One();
+    for (const Result<SolveResult>& c : components) {
+      none *= c->probability.Complement();
+    }
+    out.probability = none.Complement();
+    out.probability_double = out.probability.ToDouble();
+  } else {
+    double none = 1.0;
+    for (const Result<SolveResult>& c : components) {
+      none *= 1.0 - c->probability_double;
+    }
+    out.probability_double = 1.0 - none;
+  }
+  return out;
+}
 
 void RegisterDefaultEngines(EngineRegistry* registry) {
   registry->Register(std::make_unique<TwoWayPathEngine>());

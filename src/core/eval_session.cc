@@ -1,24 +1,78 @@
 #include "src/core/eval_session.h"
 
+#include <algorithm>
+
 namespace phom {
 
-Result<SolveResult> EvalSession::Solve(const DiGraph& query) {
-  ++stats_.queries;
-  PreparedProblem prepared = PrepareProblemWithProvider(
+std::vector<LabelId> NormalizeLabelKey(std::vector<LabelId> labels) {
+  std::sort(labels.begin(), labels.end());
+  labels.erase(std::unique(labels.begin(), labels.end()), labels.end());
+  return labels;
+}
+
+EvalSession::EvalSession(ProbGraph instance, SolveOptions options,
+                         std::shared_ptr<InstanceContextCache> shared_cache)
+    : instance_(std::move(instance)),
+      options_(std::move(options)),
+      shared_cache_(std::move(shared_cache)) {
+  if (shared_cache_ != nullptr) fingerprint_ = instance_.Fingerprint();
+}
+
+std::shared_ptr<const InstanceContext> EvalSession::LookupContext(
+    const std::vector<LabelId>& labels) {
+  if (shared_cache_ != nullptr) {
+    // GetOrBuild's contract includes normalization — don't do it twice.
+    bool hit = false;
+    std::shared_ptr<const InstanceContext> ctx =
+        shared_cache_->GetOrBuild(instance_, fingerprint_, labels, &hit);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (hit) {
+      ++stats_.context_cache_hits;
+    } else {
+      ++stats_.instance_preparations;
+    }
+    return ctx;
+  }
+  // Normalize before any cache operation: hits and preparations are
+  // accounted against the canonical key, so equivalent label multisets
+  // share one entry (and one stats bucket) instead of missing the cache.
+  std::vector<LabelId> key = NormalizeLabelKey(labels);
+  std::shared_ptr<ContextSlot> slot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto [it, inserted] = contexts_.try_emplace(key);
+    if (inserted) {
+      it->second = std::make_shared<ContextSlot>();
+      ++stats_.instance_preparations;
+    } else {
+      ++stats_.context_cache_hits;
+    }
+    slot = it->second;
+  }
+  // Build (or wait for the builder) outside the session-wide lock: a cold
+  // build blocks only same-label-set queries — which reuse its result, so
+  // each label set is still prepared exactly once under concurrency.
+  std::lock_guard<std::mutex> slot_lock(slot->m);
+  if (slot->context == nullptr) {
+    slot->context = BuildInstanceContext(instance_, key);
+  }
+  return slot->context;
+}
+
+PreparedProblem EvalSession::Prepare(const DiGraph& query) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.queries;
+  }
+  return PrepareProblemWithProvider(
       query, instance_.num_vertices(),
       [this](const std::vector<LabelId>& labels) {
-        auto it = contexts_.find(labels);
-        if (it != contexts_.end()) {
-          ++stats_.context_cache_hits;
-          return it->second;
-        }
-        ++stats_.instance_preparations;
-        std::shared_ptr<const InstanceContext> ctx =
-            BuildInstanceContext(instance_, labels);
-        contexts_.emplace(labels, ctx);
-        return ctx;
+        return LookupContext(labels);
       });
-  return SolvePrepared(prepared, options_);
+}
+
+Result<SolveResult> EvalSession::Solve(const DiGraph& query) {
+  return SolvePrepared(Prepare(query), options_);
 }
 
 std::vector<Result<SolveResult>> EvalSession::SolveBatch(
@@ -27,6 +81,11 @@ std::vector<Result<SolveResult>> EvalSession::SolveBatch(
   out.reserve(queries.size());
   for (const DiGraph& query : queries) out.push_back(Solve(query));
   return out;
+}
+
+SessionStats EvalSession::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
 }
 
 }  // namespace phom

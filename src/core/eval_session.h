@@ -2,6 +2,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "src/core/solver.h"
@@ -16,6 +17,13 @@
 /// InstanceContext, and shares it across the batch; the answers are
 /// bit-identical to one-shot solving because both run the same
 /// PrepareProblemWithProvider + SolvePrepared pipeline.
+///
+/// Thread safety: EvalSession is safe to call from many threads at once.
+/// An internal mutex guards the context-cache index and the stats; both the
+/// solving AND the context construction (the expensive parts) run outside
+/// it — a cold build holds only its own entry's mutex, so it blocks
+/// same-label-set queries (which reuse the one build: exactly-once) and
+/// nothing else.
 
 namespace phom {
 
@@ -23,34 +31,83 @@ struct SessionStats {
   size_t queries = 0;
   /// Distinct label-set preparations built (the amortized work).
   size_t instance_preparations = 0;
-  /// Queries whose label set hit the context cache.
+  /// Queries whose label set hit the context cache (the session's own map
+  /// or the shared InstanceContextCache).
   size_t context_cache_hits = 0;
 };
+
+/// Pluggable cross-session cache of InstanceContexts, so several sessions
+/// (e.g. the shards of a serve::ShardedServer) can share preparations for
+/// identical (instance, label set) pairs. Implementations must be
+/// thread-safe and must build via BuildInstanceContext on a miss.
+/// `instance_fingerprint` is the caller's ProbGraph::Fingerprint(), passed
+/// in so sessions hash their instance once, not per query. `*hit` reports
+/// whether the context was already cached (by any session).
+class InstanceContextCache {
+ public:
+  virtual ~InstanceContextCache() = default;
+  virtual std::shared_ptr<const InstanceContext> GetOrBuild(
+      const ProbGraph& instance, uint64_t instance_fingerprint,
+      const std::vector<LabelId>& labels, bool* hit) = 0;
+};
+
+/// Canonical form of a query label set used as a context-cache key: sorted
+/// with duplicates removed. Label MULTISETS that denote the same set (e.g.
+/// {R, S, S} from a hand-built provider call vs {R, S}) restrict the
+/// instance identically, so they must map to the same cache entry — keying
+/// on the raw vector would miss the cache and double-build the context.
+std::vector<LabelId> NormalizeLabelKey(std::vector<LabelId> labels);
 
 class EvalSession {
  public:
   explicit EvalSession(ProbGraph instance, SolveOptions options = {})
-      : instance_(std::move(instance)), options_(std::move(options)) {}
+      : EvalSession(std::move(instance), std::move(options), nullptr) {}
+
+  /// A session whose context cache is shared with other sessions (see
+  /// InstanceContextCache; pass nullptr for a private per-session cache).
+  EvalSession(ProbGraph instance, SolveOptions options,
+              std::shared_ptr<InstanceContextCache> shared_cache);
 
   /// Answers one query; equivalent to Solver(options).Solve(query, instance)
-  /// bit for bit.
+  /// bit for bit. Thread-safe.
   Result<SolveResult> Solve(const DiGraph& query);
 
   /// Answers a batch in order (per-query failures stay per-query).
   std::vector<Result<SolveResult>> SolveBatch(
       const std::vector<DiGraph>& queries);
 
+  /// The preparation half of Solve, with this session's context caching:
+  /// Solve(q) == SolvePrepared(Prepare(q), options()). Exposed so the serve
+  /// layer can prepare once and fan the component subproblems out over a
+  /// thread pool (solver.h, serve/executor.h). Thread-safe.
+  PreparedProblem Prepare(const DiGraph& query);
+
   const ProbGraph& instance() const { return instance_; }
   const SolveOptions& options() const { return options_; }
-  const SessionStats& stats() const { return stats_; }
+  /// Snapshot of the counters (copied under the session lock, so it is safe
+  /// to call while other threads are solving).
+  SessionStats stats() const;
 
  private:
+  /// One context (or the right to build it): `m` serializes same-key
+  /// builders/waiters without holding the session-wide lock.
+  struct ContextSlot {
+    std::mutex m;
+    std::shared_ptr<const InstanceContext> context;  ///< guarded by m
+  };
+
+  std::shared_ptr<const InstanceContext> LookupContext(
+      const std::vector<LabelId>& labels);
+
   ProbGraph instance_;
   SolveOptions options_;
-  /// Label set (sorted) -> cached instance-side preparation.
-  std::map<std::vector<LabelId>, std::shared_ptr<const InstanceContext>>
-      contexts_;
-  SessionStats stats_;
+  std::shared_ptr<InstanceContextCache> shared_cache_;
+  uint64_t fingerprint_ = 0;  ///< instance_.Fingerprint(), set iff shared
+  mutable std::mutex mu_;
+  /// Normalized label key -> context slot (private cache, used only when no
+  /// shared cache was given). Guarded by mu_.
+  std::map<std::vector<LabelId>, std::shared_ptr<ContextSlot>> contexts_;
+  SessionStats stats_;  ///< guarded by mu_
 };
 
 }  // namespace phom

@@ -4,16 +4,12 @@
 
 namespace phom {
 
-Result<SolveResult> SolvePrepared(const PreparedProblem& prepared,
-                                  const SolveOptions& options) {
-  SolveResult out;
-  out.analysis = prepared.analysis;
-  out.numeric = options.numeric;
-  out.stats.primary = prepared.analysis.algorithm;
-
-  const EngineRegistry& registry = EngineRegistry::Global();
+Result<const Engine*> SelectEngineForProblem(const EngineRegistry& registry,
+                                             const PreparedProblem& prepared,
+                                             const SolveOptions& options,
+                                             bool* forced) {
+  *forced = false;
   const Engine* engine = nullptr;
-  bool forced = false;
   if (!options.force_engine.empty()) {
     // Name resolution errors even when the answer is immediate: a typo'd
     // engine name must not be masked by a trivial first input.
@@ -22,18 +18,14 @@ Result<SolveResult> SolvePrepared(const PreparedProblem& prepared,
       return Status::Invalid("no engine named '" + options.force_engine +
                              "' is registered");
     }
-    forced = true;
+    *forced = true;
   }
 
-  if (prepared.immediate.has_value()) {
-    if (options.numeric == NumericBackend::kExact) {
-      out.probability = *prepared.immediate;
-    }
-    out.probability_double = prepared.immediate->ToDouble();
-    return out;
-  }
+  // Immediate answers are decided during preparation; no engine runs (and a
+  // forced-but-inapplicable engine is not an error on them).
+  if (prepared.immediate.has_value()) return static_cast<const Engine*>(nullptr);
 
-  if (!forced) {
+  if (!*forced) {
     if (options.force_algorithm.has_value()) {
       engine = registry.FindByAlgorithm(*options.force_algorithm);
       if (engine == nullptr) {
@@ -41,21 +33,43 @@ Result<SolveResult> SolvePrepared(const PreparedProblem& prepared,
             std::string("no engine registered for algorithm ") +
             ToString(*options.force_algorithm));
       }
-      forced = true;
+      *forced = true;
     } else {
       engine = registry.SelectAuto(prepared.analysis);
     }
   }
   PHOM_CHECK_MSG(engine != nullptr,
                  "engine registry has no engine for " + prepared.analysis.cell);
-  if (forced) {
-    if (!engine->Applies(prepared.analysis)) {
-      return Status::NotSupported(std::string(engine->name()) +
-                                  " does not apply to " +
-                                  prepared.analysis.cell);
-    }
-    out.stats.primary = engine->algorithm();
+  if (*forced && !engine->Applies(prepared.analysis)) {
+    return Status::NotSupported(std::string(engine->name()) +
+                                " does not apply to " +
+                                prepared.analysis.cell);
   }
+  return engine;
+}
+
+Result<SolveResult> SolvePrepared(const PreparedProblem& prepared,
+                                  const SolveOptions& options) {
+  SolveResult out;
+  out.analysis = prepared.analysis;
+  out.numeric = options.numeric;
+  out.stats.primary = prepared.analysis.algorithm;
+
+  bool forced = false;
+  PHOM_ASSIGN_OR_RETURN(
+      const Engine* engine,
+      SelectEngineForProblem(EngineRegistry::Global(), prepared, options,
+                             &forced));
+
+  if (engine == nullptr) {  // immediate answer
+    if (options.numeric == NumericBackend::kExact) {
+      out.probability = *prepared.immediate;
+    }
+    out.probability_double = prepared.immediate->ToDouble();
+    return out;
+  }
+
+  if (forced) out.stats.primary = engine->algorithm();
   out.stats.engine = std::string(engine->name());
 
   PHOM_ASSIGN_OR_RETURN(EngineAnswer answer,

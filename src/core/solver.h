@@ -90,6 +90,40 @@ class Solver {
 Result<SolveResult> SolvePrepared(const PreparedProblem& prepared,
                                   const SolveOptions& options);
 
+// ---------------------------------------------------------------------------
+// Within-query component parallelism (used by the serve layer, serve/).
+//
+// When dispatch routes a prepared problem through a componentwise engine
+// (Engine::componentwise(): the Lemma 3.7 per-component combine), the
+// component subproblems are independent and may be solved on different
+// threads. SolvePreparedComponent solves one component; the index-ordered
+// CombinePreparedComponents merge then reproduces SolvePrepared's answer BIT
+// FOR BIT (same operations in the same order, in both numeric backends).
+// ---------------------------------------------------------------------------
+
+/// Number of independent component subproblems dispatch would solve for
+/// `prepared` under `options`, or 0 when the problem is not componentwise
+/// (immediate answers, whole-forest engines, engine-selection errors, fewer
+/// than two components) — callers solve such problems with one SolvePrepared
+/// call.
+size_t PreparedComponentParallelism(const PreparedProblem& prepared,
+                                    const SolveOptions& options);
+
+/// Solves component `component_index` only. Requires
+/// component_index < PreparedComponentParallelism(prepared, options).
+/// The result's probability is the component's own success probability
+/// (NOT yet combined) plus that component's stats.
+Result<SolveResult> SolvePreparedComponent(const PreparedProblem& prepared,
+                                           size_t component_index,
+                                           const SolveOptions& options);
+
+/// Merges per-component results (aligned with component indices) into the
+/// answer SolvePrepared would produce: first failing component's status in
+/// index order, else the Lemma 3.7 combine and summed stats.
+Result<SolveResult> CombinePreparedComponents(
+    const PreparedProblem& prepared, const SolveOptions& options,
+    std::vector<Result<SolveResult>> components);
+
 /// One-call convenience. Always exact: a stray options.numeric = kDouble is
 /// overridden to kExact (the Rational return type promises exactness).
 Result<Rational> SolveProbability(const DiGraph& query,

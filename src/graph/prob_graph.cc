@@ -60,6 +60,46 @@ ProbGraph ProbGraph::RestrictToLabels(
   return out;
 }
 
+namespace {
+
+/// FNV-1a over raw bytes.
+inline uint64_t HashBytes(uint64_t h, const void* data, size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+inline uint64_t HashU64(uint64_t h, uint64_t v) {
+  return HashBytes(h, &v, sizeof(v));
+}
+
+inline uint64_t HashString(uint64_t h, const std::string& s) {
+  h = HashU64(h, s.size());
+  return HashBytes(h, s.data(), s.size());
+}
+
+}  // namespace
+
+uint64_t ProbGraph::Fingerprint() const {
+  uint64_t h = 0xcbf29ce484222325ULL;  // FNV offset basis
+  h = HashU64(h, num_vertices());
+  h = HashU64(h, num_edges());
+  for (EdgeId e = 0; e < graph_.num_edges(); ++e) {
+    const Edge& edge = graph_.edge(e);
+    h = HashU64(h, edge.src);
+    h = HashU64(h, edge.dst);
+    h = HashU64(h, edge.label);
+    // Rationals are normalized (gcd-reduced, positive denominator), so the
+    // decimal num/den rendering is a canonical form of the exact value.
+    h = HashString(h, probs_[e].num().ToString());
+    h = HashString(h, probs_[e].den().ToString());
+  }
+  return h;
+}
+
 EdgeId AddEdgeOrDie(ProbGraph* g, VertexId src, VertexId dst, LabelId label,
                     const Rational& prob) {
   Result<EdgeId> result = g->AddEdge(src, dst, label, prob);

@@ -48,6 +48,14 @@ class ProbGraph {
   /// sum them out. Keeps all vertices.
   ProbGraph RestrictToLabels(const std::vector<LabelId>& labels) const;
 
+  /// Structural 64-bit hash over the vertex count, the edge list
+  /// (src, dst, label, in insertion order) and the exact probabilities.
+  /// Equal graphs hash equal; used (with the label set) as the key of the
+  /// cross-instance context cache (serve/lru.h). Not cryptographic —
+  /// collisions are possible in principle, so cache keys that must be
+  /// collision-free should pair it with an owner-assigned id.
+  uint64_t Fingerprint() const;
+
  private:
   DiGraph graph_;
   std::vector<Rational> probs_;

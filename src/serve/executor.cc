@@ -1,0 +1,212 @@
+#include "src/serve/executor.h"
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+
+namespace phom::serve {
+
+namespace {
+
+/// Placeholder status for result slots that have not been written yet; every
+/// slot is overwritten exactly once before the batch returns, so callers
+/// never observe it.
+Result<SolveResult> PendingResult() {
+  return Status::Invalid("serve: result slot not yet computed");
+}
+
+}  // namespace
+
+/// Per-query bookkeeping. `remaining` counts unfinished component tasks;
+/// the task that decrements it to zero performs the deterministic merge.
+struct QueryState {
+  EvalSession* session = nullptr;
+  PreparedProblem prepared{DiGraph(0), nullptr, std::nullopt, {}};
+  std::vector<Result<SolveResult>> parts;
+  std::atomic<size_t> remaining{0};
+};
+
+struct BatchExecutor::BatchState {
+  explicit BatchState(size_t n)
+      : queries(new QueryState[n]),
+        results(n, PendingResult()),
+        total(n) {}
+
+  std::unique_ptr<QueryState[]> queries;
+  std::vector<Result<SolveResult>> results;
+  const size_t total;
+
+  std::mutex mu;
+  std::condition_variable done_cv;
+  size_t queries_done = 0;  ///< guarded by mu
+
+  void FinishQuery() {
+    std::lock_guard<std::mutex> lock(mu);
+    if (++queries_done == total) done_cv.notify_all();
+  }
+  bool Done() {
+    std::lock_guard<std::mutex> lock(mu);
+    return queries_done == total;
+  }
+};
+
+BatchExecutor::BatchExecutor(ExecutorOptions options)
+    : options_(options),
+      queue_(options.queue_capacity == 0 ? 2 : options.queue_capacity) {
+  size_t n = options_.threads;
+  if (n == 0) {
+    n = std::thread::hardware_concurrency();
+    if (n == 0) n = 1;
+  }
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+BatchExecutor::~BatchExecutor() {
+  {
+    std::lock_guard<std::mutex> lock(work_mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void BatchExecutor::Submit(const Task& task) {
+  if (queue_.TryPush(task)) {
+    // Acquiring the lock after the push orders it before any worker's
+    // re-check-then-wait, so the wakeup cannot be missed.
+    { std::lock_guard<std::mutex> lock(work_mu_); }
+    work_cv_.notify_one();
+  } else {
+    // Full queue: run inline. Bounds memory without blocking, and the
+    // result is identical because tasks are location-independent.
+    RunTask(task);
+  }
+}
+
+void BatchExecutor::RunTask(const Task& task) {
+  BatchState& batch = *task.batch;
+  QueryState& q = batch.queries[task.query];
+  const SolveOptions& options = q.session->options();
+  // PHOM_CHECK failures are bugs and throw std::logic_error; on a worker
+  // thread that would terminate the process, so surface them as an errored
+  // result slot instead (serial solving would have thrown to the caller).
+  try {
+    if (task.component < 0) {
+      batch.results[task.query] = SolvePrepared(q.prepared, options);
+      batch.FinishQuery();
+      return;
+    }
+    q.parts[static_cast<size_t>(task.component)] =
+        SolvePreparedComponent(q.prepared,
+                               static_cast<size_t>(task.component), options);
+  } catch (const std::exception& e) {
+    Result<SolveResult> error =
+        Status::Invalid(std::string("serve: worker exception: ") + e.what());
+    if (task.component < 0) {
+      batch.results[task.query] = std::move(error);
+      batch.FinishQuery();
+      return;
+    }
+    q.parts[static_cast<size_t>(task.component)] = std::move(error);
+  }
+  // acq_rel: the last finisher must observe every other task's part write.
+  if (q.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    try {
+      batch.results[task.query] =
+          CombinePreparedComponents(q.prepared, options, std::move(q.parts));
+    } catch (const std::exception& e) {
+      batch.results[task.query] =
+          Status::Invalid(std::string("serve: merge exception: ") + e.what());
+    }
+    batch.FinishQuery();
+  }
+}
+
+void BatchExecutor::WorkerLoop() {
+  for (;;) {
+    Task task;
+    if (queue_.TryPop(&task)) {
+      RunTask(task);
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(work_mu_);
+    if (stop_) return;
+    if (queue_.TryPop(&task)) {  // re-check under the lock: no missed wakeup
+      lock.unlock();
+      RunTask(task);
+      continue;
+    }
+    work_cv_.wait(lock);
+  }
+}
+
+std::vector<Result<SolveResult>> BatchExecutor::SolveItems(
+    const std::vector<BatchItem>& items) {
+  BatchState batch(items.size());
+
+  for (size_t i = 0; i < items.size(); ++i) {
+    QueryState& q = batch.queries[i];
+    q.session = items[i].session;
+    // A submit-side throw (PHOM_CHECK in preparation, bad_alloc) must NOT
+    // unwind out of this loop: tasks already queued hold a pointer to the
+    // stack-local batch, so leaving early would be a use-after-free. Every
+    // query therefore finishes — with an errored slot when its setup threw.
+    try {
+      // Preparation runs on the submitting thread: it is the cheap, cached
+      // half of a solve, and doing it here fixes the context-cache
+      // population order so session stats match serial execution.
+      q.prepared = q.session->Prepare(*items[i].query);
+      const size_t parallelism =
+          options_.split_components
+              ? PreparedComponentParallelism(q.prepared, q.session->options())
+              : 0;
+      if (parallelism == 0) {
+        Submit(Task{&batch, static_cast<uint32_t>(i), -1});
+        continue;
+      }
+      q.parts.assign(parallelism, PendingResult());
+      q.remaining.store(parallelism, std::memory_order_relaxed);
+      for (size_t c = 0; c < parallelism; ++c) {
+        Submit(Task{&batch, static_cast<uint32_t>(i),
+                    static_cast<int32_t>(c)});
+      }
+    } catch (const std::exception& e) {
+      // Reachable only before this query's first Submit: enqueueing a Task
+      // never throws (POD payload) and RunTask catches its own exceptions,
+      // so a throw here means no task for query i exists yet.
+      batch.results[i] =
+          Status::Invalid(std::string("serve: submit exception: ") + e.what());
+      batch.FinishQuery();
+    }
+  }
+
+  // Help drain the queue (essential when threads are scarce or busy with
+  // other batches), then wait for the stragglers our workers still hold.
+  Task task;
+  while (!batch.Done()) {
+    if (queue_.TryPop(&task)) {
+      RunTask(task);
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(batch.mu);
+    // wait_for (not wait): belt and braces against future task-reordering
+    // changes — the predicate re-check costs a lock acquisition per 50ms.
+    batch.done_cv.wait_for(lock, std::chrono::milliseconds(50), [&batch] {
+      return batch.queries_done == batch.total;
+    });
+  }
+  return std::move(batch.results);
+}
+
+std::vector<Result<SolveResult>> BatchExecutor::SolveBatch(
+    EvalSession& session, const std::vector<DiGraph>& queries) {
+  std::vector<BatchItem> items;
+  items.reserve(queries.size());
+  for (const DiGraph& query : queries) items.push_back({&session, &query});
+  return SolveItems(items);
+}
+
+}  // namespace phom::serve

@@ -1,0 +1,103 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/core/eval_session.h"
+#include "src/serve/mpmc_queue.h"
+
+/// \file executor.h
+/// Parallel batch serving: a fixed-size thread pool that fans a batch of
+/// queries — and, within a query, the independent instance components of a
+/// componentwise dispatch (solver.h) — out over worker threads through a
+/// bounded MPMC task queue (mpmc_queue.h).
+///
+/// Determinism guarantee: for every thread count, SolveBatch(session, qs)
+/// is BIT-IDENTICAL to session.SolveBatch(qs) run serially — probabilities
+/// (both backends), stats, analyses and error statuses. This holds because
+///   * every result is written to a preassigned slot (no completion-order
+///     dependence),
+///   * per-query component answers are merged in component-index order with
+///     exactly the serial combine (CombinePreparedComponents),
+///   * the Monte Carlo engine derives a fresh Rng stream from the per-query
+///     seed inside each task (EstimateProbabilityMonteCarlo is a pure
+///     function of (query, instance, seed)), so no thread shares generator
+///     state with another.
+///
+/// The pool is shared infrastructure: several threads may call SolveBatch /
+/// SolveItems concurrently (each call owns its private batch state; tasks
+/// interleave in the queue). Destroying the executor while calls are in
+/// flight is undefined — join your serving threads first.
+
+namespace phom::serve {
+
+struct ExecutorOptions {
+  /// Worker threads. 0 = std::thread::hardware_concurrency() (at least 1).
+  /// The submitting thread also helps drain the queue, so `threads = 1`
+  /// still makes progress even if the lone worker is busy elsewhere.
+  size_t threads = 0;
+  /// Task-queue capacity (rounded up to a power of two). When the queue is
+  /// full, the submitter runs the task inline instead of blocking — the
+  /// queue bounds memory, not correctness.
+  size_t queue_capacity = 1024;
+  /// Fan the independent instance components of a componentwise dispatch
+  /// out as separate tasks (within-query parallelism). Off = one task per
+  /// query. Results are identical either way.
+  bool split_components = true;
+};
+
+/// One unit of a heterogeneous batch: a query against a session (sessions
+/// may differ per item — that is how ShardedServer fans one request batch
+/// across shards). Both pointers must outlive the SolveItems call.
+struct BatchItem {
+  EvalSession* session;
+  const DiGraph* query;
+};
+
+class BatchExecutor {
+ public:
+  explicit BatchExecutor(ExecutorOptions options = {});
+  ~BatchExecutor();
+
+  BatchExecutor(const BatchExecutor&) = delete;
+  BatchExecutor& operator=(const BatchExecutor&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+  const ExecutorOptions& options() const { return options_; }
+
+  /// Answers `queries` against `session` in order; result i is bit-identical
+  /// to serial session.SolveBatch(queries)[i] for every thread count.
+  std::vector<Result<SolveResult>> SolveBatch(
+      EvalSession& session, const std::vector<DiGraph>& queries);
+
+  /// Heterogeneous variant: items may target different sessions.
+  std::vector<Result<SolveResult>> SolveItems(
+      const std::vector<BatchItem>& items);
+
+ private:
+  struct BatchState;
+
+  /// One queue entry: component `component` of query `query` in `batch`,
+  /// or the whole query when component < 0.
+  struct Task {
+    BatchState* batch = nullptr;
+    uint32_t query = 0;
+    int32_t component = -1;
+  };
+
+  void Submit(const Task& task);
+  void RunTask(const Task& task);
+  void WorkerLoop();
+
+  ExecutorOptions options_;
+  MpmcQueue<Task> queue_;
+  std::mutex work_mu_;
+  std::condition_variable work_cv_;
+  bool stop_ = false;  ///< guarded by work_mu_
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace phom::serve

@@ -1,0 +1,66 @@
+#include "src/serve/lru.h"
+
+namespace phom::serve {
+
+std::shared_ptr<const InstanceContext> ContextLru::GetOrBuild(
+    const ProbGraph& instance, uint64_t instance_fingerprint,
+    const std::vector<LabelId>& labels, bool* hit) {
+  std::vector<LabelId> norm = NormalizeLabelKey(labels);
+
+  std::shared_ptr<Slot> slot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Key key(instance_fingerprint, norm);
+    auto it = index_.find(key);
+    if (it != index_.end() &&
+        it->second->num_vertices == instance.num_vertices() &&
+        it->second->num_edges == instance.num_edges()) {
+      ++stats_.hits;
+      if (hit != nullptr) *hit = true;
+      lru_.splice(lru_.begin(), lru_, it->second);  // move to front
+      slot = it->second->slot;
+    } else {
+      if (it != index_.end()) {
+        // Fingerprint collision (same key, different instance): replace the
+        // stale entry rather than serve another instance's context.
+        lru_.erase(it->second);
+        index_.erase(it);
+      }
+      ++stats_.misses;
+      if (hit != nullptr) *hit = false;
+      slot = std::make_shared<Slot>();
+      if (options_.capacity > 0) {  // capacity 0: uncached one-shot slot
+        lru_.push_front(Entry{key, instance.num_vertices(),
+                              instance.num_edges(), slot});
+        index_.emplace(std::move(key), lru_.begin());
+        while (lru_.size() > options_.capacity) {
+          index_.erase(lru_.back().key);
+          lru_.pop_back();
+          ++stats_.evictions;
+        }
+      }
+    }
+  }
+
+  // Build (or wait for the builder) outside the cache-wide lock: a cold
+  // build only blocks same-key lookups; other keys' traffic proceeds. The
+  // slot outlives eviction via shared_ptr, so a builder never touches a
+  // dangling entry.
+  std::lock_guard<std::mutex> slot_lock(slot->m);
+  if (slot->context == nullptr) {
+    slot->context = BuildInstanceContext(instance, norm);
+  }
+  return slot->context;
+}
+
+ContextLruStats ContextLru::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t ContextLru::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+}  // namespace phom::serve

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "src/core/eval_session.h"
+
+/// \file lru.h
+/// Cross-instance LRU of InstanceContexts (ROADMAP: "context caching across
+/// instances"). An EvalSession amortizes preparation per label set within
+/// ONE instance; a ContextLru extends that across instances: entries are
+/// keyed by (instance fingerprint, normalized label set), so any number of
+/// sessions — e.g. the shards of a ShardedServer, or rotating tenants of a
+/// multi-tenant server — share preparations whenever instance and label set
+/// coincide, with bounded memory under LRU eviction.
+///
+/// Correctness of sharing rests on the 64-bit ProbGraph::Fingerprint():
+/// entries additionally record the instance's vertex/edge counts and a
+/// mismatch forces a rebuild, but two DIFFERENT instances with equal
+/// fingerprints AND equal dimensions would still share a context. That is
+/// vanishingly unlikely by accident (~2^-64 per pair) yet constructible on
+/// purpose — do not share one ContextLru between mutually untrusted
+/// tenants; give each tenant its own cache instead.
+///
+/// Locking: the cache mutex guards only the index/LRU bookkeeping; the
+/// expensive BuildInstanceContext runs OUTSIDE it, under a per-entry mutex,
+/// so a cold build blocks only same-key lookups — concurrent traffic for
+/// other keys proceeds.
+
+namespace phom::serve {
+
+struct ContextLruOptions {
+  /// Maximum cached contexts; least-recently-used entries are evicted.
+  /// Capacity 0 disables caching (every lookup builds).
+  size_t capacity = 64;
+};
+
+struct ContextLruStats {
+  size_t hits = 0;
+  size_t misses = 0;  ///< lookups that had to build a context
+  size_t evictions = 0;
+};
+
+class ContextLru final : public InstanceContextCache {
+ public:
+  explicit ContextLru(ContextLruOptions options = {}) : options_(options) {}
+
+  /// Thread-safe. `labels` is normalized (sorted, deduped) before keying, so
+  /// equivalent label multisets share one entry. Concurrent misses on one
+  /// key build exactly once (the first claims the slot, the rest wait on
+  /// the slot's mutex and count as hits).
+  std::shared_ptr<const InstanceContext> GetOrBuild(
+      const ProbGraph& instance, uint64_t instance_fingerprint,
+      const std::vector<LabelId>& labels, bool* hit) override;
+
+  /// Snapshot of the counters (safe during concurrent serving).
+  ContextLruStats stats() const;
+  size_t size() const;
+
+ private:
+  using Key = std::pair<uint64_t, std::vector<LabelId>>;
+
+  /// The context (or the right to build it). `m` serializes same-key
+  /// builders/waiters without holding the cache-wide lock.
+  struct Slot {
+    std::mutex m;
+    std::shared_ptr<const InstanceContext> context;  ///< guarded by m
+  };
+
+  struct Entry {
+    Key key;
+    /// Fingerprint-collision guard: dimensions of the instance this entry
+    /// was built from (see file comment).
+    size_t num_vertices = 0;
+    size_t num_edges = 0;
+    std::shared_ptr<Slot> slot;
+  };
+
+  ContextLruOptions options_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  ///< front = most recently used; guarded by mu_
+  std::map<Key, std::list<Entry>::iterator> index_;  ///< guarded by mu_
+  ContextLruStats stats_;  ///< guarded by mu_
+};
+
+}  // namespace phom::serve

@@ -1,0 +1,71 @@
+#include "src/serve/shard.h"
+
+#include <string>
+
+namespace phom::serve {
+
+namespace {
+
+Status BadShard(size_t shard, size_t num_shards) {
+  return Status::Invalid("serve: shard " + std::to_string(shard) +
+                         " out of range (server has " +
+                         std::to_string(num_shards) + " shards)");
+}
+
+}  // namespace
+
+ShardedServer::ShardedServer(std::vector<ProbGraph> shards,
+                             ShardedServerOptions options)
+    : options_(std::move(options)),
+      cache_(std::make_shared<ContextLru>(options_.context_cache)),
+      executor_(options_.executor) {
+  sessions_.reserve(shards.size());
+  for (ProbGraph& shard : shards) {
+    sessions_.push_back(std::make_unique<EvalSession>(
+        std::move(shard), options_.solve, cache_));
+  }
+}
+
+Result<SolveResult> ShardedServer::Solve(size_t shard, const DiGraph& query) {
+  if (shard >= sessions_.size()) return BadShard(shard, sessions_.size());
+  return sessions_[shard]->Solve(query);
+}
+
+std::vector<Result<SolveResult>> ShardedServer::SolveBatch(
+    size_t shard, const std::vector<DiGraph>& queries) {
+  if (shard >= sessions_.size()) {
+    return std::vector<Result<SolveResult>>(
+        queries.size(), Result<SolveResult>(BadShard(shard, sessions_.size())));
+  }
+  return executor_.SolveBatch(*sessions_[shard], queries);
+}
+
+std::vector<Result<SolveResult>> ShardedServer::SolveRequests(
+    const std::vector<ShardRequest>& requests) {
+  // Out-of-range / null requests answer per-slot without disturbing the
+  // valid ones: build the executor batch over the valid subset only.
+  std::vector<BatchItem> items;
+  std::vector<size_t> item_slot;
+  items.reserve(requests.size());
+  item_slot.reserve(requests.size());
+  std::vector<Result<SolveResult>> out(
+      requests.size(),
+      Result<SolveResult>(Status::Invalid("serve: null query in request")));
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const ShardRequest& r = requests[i];
+    if (r.shard >= sessions_.size()) {
+      out[i] = BadShard(r.shard, sessions_.size());
+      continue;
+    }
+    if (r.query == nullptr) continue;  // placeholder status already set
+    items.push_back({sessions_[r.shard].get(), r.query});
+    item_slot.push_back(i);
+  }
+  std::vector<Result<SolveResult>> solved = executor_.SolveItems(items);
+  for (size_t j = 0; j < solved.size(); ++j) {
+    out[item_slot[j]] = std::move(solved[j]);
+  }
+  return out;
+}
+
+}  // namespace phom::serve

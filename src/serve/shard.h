@@ -1,0 +1,81 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/serve/executor.h"
+#include "src/serve/lru.h"
+
+/// \file shard.h
+/// Sharded multi-instance serving: a ShardedServer owns one EvalSession per
+/// instance shard, a shared BatchExecutor thread pool, and a cross-instance
+/// ContextLru so preparations are shared whenever shards (or tenants) carry
+/// identical instances and label sets. Requests address shards by index —
+/// routing keys to shards is the caller's partitioning policy.
+///
+/// Thread safety: every public method may be called from many threads at
+/// once (sessions, the LRU and the executor are individually thread-safe).
+/// Determinism: SolveBatch/SolveRequests answers are bit-identical to
+/// solving each request serially with Solve, for every thread count (see
+/// executor.h for why).
+
+namespace phom::serve {
+
+struct ShardedServerOptions {
+  /// Solve options applied by every shard's session (numeric backend,
+  /// forced engines, fallback limits, Monte Carlo budget/seed).
+  SolveOptions solve;
+  /// Capacity of the shared cross-instance context LRU.
+  ContextLruOptions context_cache;
+  ExecutorOptions executor;
+};
+
+/// One query addressed to one shard.
+struct ShardRequest {
+  size_t shard = 0;
+  const DiGraph* query = nullptr;
+};
+
+class ShardedServer {
+ public:
+  explicit ShardedServer(std::vector<ProbGraph> shards,
+                         ShardedServerOptions options = {});
+
+  size_t num_shards() const { return sessions_.size(); }
+  /// PHOM_CHECKs the index: these are operator introspection APIs — an
+  /// out-of-range shard here is a caller bug, unlike the request paths
+  /// below, which validate untrusted indices and answer Invalid.
+  const EvalSession& session(size_t shard) const {
+    PHOM_CHECK_MSG(shard < sessions_.size(), "shard index out of range");
+    return *sessions_[shard];
+  }
+  const ShardedServerOptions& options() const { return options_; }
+
+  /// One query against one shard, solved inline on the calling thread
+  /// (Invalid when the shard index is out of range).
+  Result<SolveResult> Solve(size_t shard, const DiGraph& query);
+
+  /// A batch against one shard, fanned over the thread pool.
+  std::vector<Result<SolveResult>> SolveBatch(
+      size_t shard, const std::vector<DiGraph>& queries);
+
+  /// A mixed batch across shards, fanned over the thread pool; results
+  /// align with `requests` (per-request failures stay per-request).
+  std::vector<Result<SolveResult>> SolveRequests(
+      const std::vector<ShardRequest>& requests);
+
+  /// Counters of the shared cross-instance context cache.
+  ContextLruStats context_cache_stats() const { return cache_->stats(); }
+  SessionStats session_stats(size_t shard) const {
+    return session(shard).stats();
+  }
+
+ private:
+  ShardedServerOptions options_;
+  std::shared_ptr<ContextLru> cache_;
+  /// unique_ptr so sessions (which hold a mutex) never move.
+  std::vector<std::unique_ptr<EvalSession>> sessions_;
+  BatchExecutor executor_;
+};
+
+}  // namespace phom::serve

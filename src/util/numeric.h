@@ -1,5 +1,7 @@
 #pragma once
 
+#include <cassert>
+#include <cmath>
 #include <type_traits>
 #include <vector>
 
@@ -52,6 +54,12 @@ struct NumericOps<Rational> {
   static double ToDouble(const Rational& x) { return x.ToDouble(); }
 };
 
+/// Contract: the double backend never sees NaN. Instance probabilities enter
+/// as exact Rationals in [0, 1] (finite after From), and every combining
+/// operation the kernels perform (+, *, 1-x on finite operands) preserves
+/// finiteness — so a NaN here means a bug upstream, not data. Debug builds
+/// assert at the IsZero/IsOne decision points, where a NaN would otherwise
+/// silently compare unequal to both 0 and 1 and corrupt short-circuit logic.
 template <>
 struct NumericOps<double> {
   static constexpr NumericBackend kBackend = NumericBackend::kDouble;
@@ -59,8 +67,19 @@ struct NumericOps<double> {
   static double One() { return 1.0; }
   static double From(const Rational& p) { return p.ToDouble(); }
   static double Complement(double x) { return 1.0 - x; }
-  static bool IsZero(double x) { return x == 0.0; }
-  static bool IsOne(double x) { return x == 1.0; }
+  static bool IsZero(double x) {
+    assert(!std::isnan(x) && "NaN probability in the double backend");
+    // Explicitly treat IEEE negative zero as zero: rounding can produce
+    // -0.0 (e.g. the complement of a probability that rounded to exactly
+    // 1.0), and it must short-circuit the same way +0.0 does. The
+    // comparison below does exactly that (-0.0 == 0.0 under IEEE 754);
+    // std::signbit is NOT consulted.
+    return x == 0.0;
+  }
+  static bool IsOne(double x) {
+    assert(!std::isnan(x) && "NaN probability in the double backend");
+    return x == 1.0;
+  }
   static double ToDouble(double x) { return x; }
 };
 
