@@ -114,6 +114,12 @@ Result<Num> SolvePerComponentT(const PreparedProblem& prepared,
   bool query_is_1wp = prepared.analysis.query_class.is_1wp;
   Num none = Ops::One();
   for (size_t i = 0; i < ctx.components.size(); ++i) {
+    // The cooperative-interruption yield point (CancelToken, solver.h):
+    // components are the natural work quanta of this dispatch, and checking
+    // before each one mirrors the serve layer's per-component-task gate.
+    if (options.cancel != nullptr) {
+      PHOM_RETURN_NOT_OK(options.cancel->Check());
+    }
     ++stats->components;
     PHOM_ASSIGN_OR_RETURN(
         Num p, SolveComponentT<Num>(prepared.query, query_is_1wp, unlabeled,
@@ -370,6 +376,11 @@ size_t PreparedComponentParallelism(const PreparedProblem& prepared,
 Result<SolveResult> SolvePreparedComponent(const PreparedProblem& prepared,
                                            size_t component_index,
                                            const SolveOptions& options) {
+  // Same yield point as the serial per-component loop, so an interrupted
+  // parallel dispatch fails exactly where its serial twin would.
+  if (options.cancel != nullptr) {
+    PHOM_RETURN_NOT_OK(options.cancel->Check());
+  }
   bool forced = false;
   PHOM_ASSIGN_OR_RETURN(
       const Engine* engine,

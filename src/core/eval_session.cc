@@ -75,6 +75,11 @@ Result<SolveResult> EvalSession::Solve(const DiGraph& query) {
   return SolvePrepared(Prepare(query), options_);
 }
 
+Result<SolveResult> EvalSession::Solve(const DiGraph& query,
+                                       const SolveOverrides& overrides) {
+  return SolvePrepared(Prepare(query), ApplyOverrides(options_, overrides));
+}
+
 std::vector<Result<SolveResult>> EvalSession::SolveBatch(
     const std::vector<DiGraph>& queries) {
   std::vector<Result<SolveResult>> out;

@@ -72,6 +72,14 @@ class EvalSession {
   /// bit for bit. Thread-safe.
   Result<SolveResult> Solve(const DiGraph& query);
 
+  /// Answers one query with per-request overrides applied on top of this
+  /// session's options (the serial twin of the serve layer's per-request
+  /// override path): equivalent to
+  /// Solver(ApplyOverrides(options(), overrides)).Solve(query, instance)
+  /// bit for bit, while still sharing this session's context cache.
+  Result<SolveResult> Solve(const DiGraph& query,
+                            const SolveOverrides& overrides);
+
   /// Answers a batch in order (per-query failures stay per-query).
   std::vector<Result<SolveResult>> SolveBatch(
       const std::vector<DiGraph>& queries);

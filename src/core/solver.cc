@@ -4,6 +4,27 @@
 
 namespace phom {
 
+Status CancelToken::Check() const {
+  if (cancelled()) {
+    return Status::Cancelled("solve cancelled by caller");
+  }
+  if (expired()) {
+    return Status::DeadlineExceeded("solve deadline exceeded");
+  }
+  return Status::OK();
+}
+
+SolveOptions ApplyOverrides(SolveOptions base, const SolveOverrides& overrides) {
+  if (overrides.numeric.has_value()) base.numeric = *overrides.numeric;
+  if (overrides.force_engine.has_value()) {
+    base.force_engine = *overrides.force_engine;
+  }
+  if (overrides.monte_carlo_seed.has_value()) {
+    base.monte_carlo_seed = *overrides.monte_carlo_seed;
+  }
+  return base;
+}
+
 Result<const Engine*> SelectEngineForProblem(const EngineRegistry& registry,
                                              const PreparedProblem& prepared,
                                              const SolveOptions& options,

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <optional>
 #include <string>
 
@@ -30,6 +32,46 @@
 
 namespace phom {
 
+/// Cooperative interruption for long solves (the serve layer's deadline and
+/// cancellation support). Dispatch consults the token at well-defined
+/// yield points — before each component subproblem of a componentwise
+/// engine (Lemma 3.7 loop) — and aborts with DeadlineExceeded / Cancelled
+/// when it fires. A token that never fires changes nothing: the answer is
+/// bit-identical to solving without one.
+///
+/// Thread safety: Cancel/cancelled/Check may race freely (the flag is
+/// atomic). SetDeadline is NOT synchronized — set it before sharing the
+/// token with solving threads.
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Requests cancellation. Cooperative: a solve already past its last
+  /// yield point still completes normally.
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// Absolute deadline; call before handing the token to solving threads.
+  void SetDeadline(Clock::time_point deadline) { deadline_ = deadline; }
+  bool has_deadline() const {
+    return deadline_ != Clock::time_point::max();
+  }
+  bool expired() const {
+    return has_deadline() && Clock::now() >= deadline_;
+  }
+
+  /// OK while the computation may continue; otherwise Cancelled (checked
+  /// first: an explicit cancel beats a deadline that lapsed in parallel)
+  /// or DeadlineExceeded.
+  Status Check() const;
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  Clock::time_point deadline_ = Clock::time_point::max();
+};
+
 struct SolveOptions {
   /// Force a specific algorithm (ablations / cross-checks). NotSupported if
   /// the algorithm's engine does not apply to the prepared problem.
@@ -47,7 +89,23 @@ struct SolveOptions {
   /// reachable via force_engine.
   MonteCarloOptions monte_carlo;
   uint64_t monte_carlo_seed = 20170514;
+  /// Cooperative interruption hook (non-owning; null = never interrupted).
+  /// Checked before each component subproblem of a componentwise dispatch;
+  /// see CancelToken. The pointee must outlive the solve.
+  const CancelToken* cancel = nullptr;
 };
+
+/// The per-request knobs a serving layer may override on top of a session's
+/// base SolveOptions (serve::SolveRequest carries one of these). Unset
+/// fields inherit the base; preparation/caching is unaffected because
+/// instance contexts depend only on the query's label set.
+struct SolveOverrides {
+  std::optional<NumericBackend> numeric;
+  std::optional<std::string> force_engine;
+  std::optional<uint64_t> monte_carlo_seed;
+};
+
+SolveOptions ApplyOverrides(SolveOptions base, const SolveOverrides& overrides);
 
 struct SolveStats {
   Algorithm primary = Algorithm::kTrivial;

@@ -1,0 +1,67 @@
+#include "src/serve/async.h"
+
+namespace phom::serve {
+
+bool SolveTicket::done() const {
+  PHOM_CHECK_MSG(valid(), "done() on an empty SolveTicket");
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->done;
+}
+
+void SolveTicket::Wait() const {
+  PHOM_CHECK_MSG(valid(), "Wait() on an empty SolveTicket");
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->cv.wait(lock, [this] { return state_->done; });
+}
+
+bool SolveTicket::WaitFor(std::chrono::nanoseconds timeout) const {
+  PHOM_CHECK_MSG(valid(), "WaitFor() on an empty SolveTicket");
+  std::unique_lock<std::mutex> lock(state_->mu);
+  return state_->cv.wait_for(lock, timeout, [this] { return state_->done; });
+}
+
+Result<SolveResult> SolveTicket::Get() const {
+  Wait();
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->result;
+}
+
+Result<SolveResult> SolveTicket::Take() {
+  Wait();
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return std::move(state_->result);
+}
+
+bool SolveTicket::Cancel() {
+  PHOM_CHECK_MSG(valid(), "Cancel() on an empty SolveTicket");
+  state_->cancel.Cancel();
+  return !done();
+}
+
+RequestStats SolveTicket::stats() const {
+  PHOM_CHECK_MSG(valid(), "stats() on an empty SolveTicket");
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->stats;
+}
+
+SolveTicket SolveTicket::Completed(Result<SolveResult> result,
+                                   const CompletionCallback& callback) {
+  auto state = std::make_shared<internal::RequestState>();
+  const RequestClock::time_point now = RequestClock::now();
+  state->stats.enqueued = now;
+  state->stats.started = now;
+  state->stats.finished = now;
+  state->started_recorded = true;
+  state->result = std::move(result);
+  state->done = true;
+  if (callback) {
+    // Same contract as executor completions: exceptions are swallowed.
+    try {
+      callback(state->result, state->stats);
+    } catch (...) {  // NOLINT(bugprone-empty-catch)
+    }
+  }
+  return SolveTicket(std::move(state));
+}
+
+}  // namespace phom::serve

@@ -1,54 +1,22 @@
 #include "src/serve/executor.h"
 
-#include <atomic>
 #include <chrono>
 #include <exception>
+#include <string>
+#include <utility>
 
 namespace phom::serve {
 
 namespace {
 
 /// Placeholder status for result slots that have not been written yet; every
-/// slot is overwritten exactly once before the batch returns, so callers
+/// slot is overwritten exactly once before its request completes, so callers
 /// never observe it.
 Result<SolveResult> PendingResult() {
   return Status::Invalid("serve: result slot not yet computed");
 }
 
 }  // namespace
-
-/// Per-query bookkeeping. `remaining` counts unfinished component tasks;
-/// the task that decrements it to zero performs the deterministic merge.
-struct QueryState {
-  EvalSession* session = nullptr;
-  PreparedProblem prepared{DiGraph(0), nullptr, std::nullopt, {}};
-  std::vector<Result<SolveResult>> parts;
-  std::atomic<size_t> remaining{0};
-};
-
-struct BatchExecutor::BatchState {
-  explicit BatchState(size_t n)
-      : queries(new QueryState[n]),
-        results(n, PendingResult()),
-        total(n) {}
-
-  std::unique_ptr<QueryState[]> queries;
-  std::vector<Result<SolveResult>> results;
-  const size_t total;
-
-  std::mutex mu;
-  std::condition_variable done_cv;
-  size_t queries_done = 0;  ///< guarded by mu
-
-  void FinishQuery() {
-    std::lock_guard<std::mutex> lock(mu);
-    if (++queries_done == total) done_cv.notify_all();
-  }
-  bool Done() {
-    std::lock_guard<std::mutex> lock(mu);
-    return queries_done == total;
-  }
-};
 
 BatchExecutor::BatchExecutor(ExecutorOptions options)
     : options_(options),
@@ -65,6 +33,21 @@ BatchExecutor::BatchExecutor(ExecutorOptions options)
 }
 
 BatchExecutor::~BatchExecutor() {
+  // Drain (checked replacement for the old "destruction with calls in
+  // flight is UB"): run queued tasks on this thread and wait out workers'
+  // in-flight ones, so every outstanding ticket completes — and no task can
+  // touch the dying pool — before the workers are stopped.
+  Task task;
+  while (!AllRequestsFinished()) {
+    if (queue_.TryPop(&task)) {
+      RunTask(task);
+      task.request.reset();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(finish_mu_);
+    finish_cv_.wait_for(lock, std::chrono::milliseconds(50),
+                        [this] { return outstanding_ == 0; });
+  }
   {
     std::lock_guard<std::mutex> lock(work_mu_);
     stop_ = true;
@@ -73,55 +56,126 @@ BatchExecutor::~BatchExecutor() {
   for (std::thread& w : workers_) w.join();
 }
 
-void BatchExecutor::Submit(const Task& task) {
+bool BatchExecutor::AllRequestsFinished() {
+  std::lock_guard<std::mutex> lock(finish_mu_);
+  return outstanding_ == 0;
+}
+
+void BatchExecutor::EnqueueTask(Task task) {
   if (queue_.TryPush(task)) {
     // Acquiring the lock after the push orders it before any worker's
     // re-check-then-wait, so the wakeup cannot be missed.
     { std::lock_guard<std::mutex> lock(work_mu_); }
     work_cv_.notify_one();
   } else {
-    // Full queue: run inline. Bounds memory without blocking, and the
-    // result is identical because tasks are location-independent.
+    // Full queue: run inline. Bounds memory without unbounded blocking, and
+    // the result is identical because tasks are location-independent.
     RunTask(task);
   }
 }
 
+void BatchExecutor::Finish(
+    const std::shared_ptr<internal::RequestState>& request,
+    Result<SolveResult> result) {
+  internal::RequestState& req = *request;
+  CompletionCallback callback;
+  {
+    std::lock_guard<std::mutex> lock(req.mu);
+    req.stats.finished = RequestClock::now();
+    if (!req.started_recorded) {
+      // The request never ran a task (rejected / expired / cancelled at or
+      // before dequeue): it spent its whole life in the queue.
+      req.started_recorded = true;
+      req.stats.started = req.stats.finished;
+    }
+    if (!result.ok() && !req.work_started.load(std::memory_order_relaxed)) {
+      if (result.status().code() == Status::Code::kDeadlineExceeded) {
+        req.stats.expired_before_start = true;
+      } else if (result.status().code() == Status::Code::kCancelled) {
+        req.stats.cancelled_before_start = true;
+      }
+    }
+    req.result = std::move(result);
+    callback = std::move(req.callback);
+    req.callback = nullptr;
+  }
+  if (callback) {
+    // Fires before waiters are released (async.h contract), so Take cannot
+    // race the callback's view of the result. Must not throw.
+    try {
+      callback(req.result, req.stats);
+    } catch (...) {  // NOLINT(bugprone-empty-catch)
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(req.mu);
+    req.done = true;
+  }
+  req.cv.notify_all();
+  {
+    std::lock_guard<std::mutex> lock(finish_mu_);
+    --outstanding_;
+  }
+  finish_cv_.notify_all();
+}
+
 void BatchExecutor::RunTask(const Task& task) {
-  BatchState& batch = *task.batch;
-  QueryState& q = batch.queries[task.query];
-  const SolveOptions& options = q.session->options();
+  internal::RequestState& req = *task.request;
+  {
+    std::lock_guard<std::mutex> lock(req.mu);
+    if (!req.started_recorded) {
+      req.started_recorded = true;
+      req.stats.started = RequestClock::now();
+    }
+  }
+  // Deadline / cancellation gate at dequeue: a request that expired (or was
+  // cancelled) while queued fails right here, without solving — later
+  // requests behind it in the queue are served normally.
+  const Status gate = req.cancel.Check();
   // PHOM_CHECK failures are bugs and throw std::logic_error; on a worker
   // thread that would terminate the process, so surface them as an errored
-  // result slot instead (serial solving would have thrown to the caller).
-  try {
-    if (task.component < 0) {
-      batch.results[task.query] = SolvePrepared(q.prepared, options);
-      batch.FinishQuery();
+  // result instead (serial solving would have thrown to the caller).
+  if (task.component < 0) {
+    if (!gate.ok()) {
+      Finish(task.request, gate);
       return;
     }
-    q.parts[static_cast<size_t>(task.component)] =
-        SolvePreparedComponent(q.prepared,
-                               static_cast<size_t>(task.component), options);
-  } catch (const std::exception& e) {
-    Result<SolveResult> error =
-        Status::Invalid(std::string("serve: worker exception: ") + e.what());
-    if (task.component < 0) {
-      batch.results[task.query] = std::move(error);
-      batch.FinishQuery();
-      return;
+    req.work_started.store(true, std::memory_order_relaxed);
+    Result<SolveResult> result = PendingResult();
+    try {
+      result = SolvePrepared(req.prepared, req.options);
+    } catch (const std::exception& e) {
+      result =
+          Status::Invalid(std::string("serve: worker exception: ") + e.what());
     }
-    q.parts[static_cast<size_t>(task.component)] = std::move(error);
+    Finish(task.request, std::move(result));
+    return;
+  }
+  const size_t c = static_cast<size_t>(task.component);
+  if (!gate.ok()) {
+    // The skipped component reports the interruption; the index-ordered
+    // merge below turns the first such slot into the request's status.
+    req.parts[c] = gate;
+  } else {
+    req.work_started.store(true, std::memory_order_relaxed);
+    try {
+      req.parts[c] = SolvePreparedComponent(req.prepared, c, req.options);
+    } catch (const std::exception& e) {
+      req.parts[c] =
+          Status::Invalid(std::string("serve: worker exception: ") + e.what());
+    }
   }
   // acq_rel: the last finisher must observe every other task's part write.
-  if (q.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+  if (req.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    Result<SolveResult> merged = PendingResult();
     try {
-      batch.results[task.query] =
-          CombinePreparedComponents(q.prepared, options, std::move(q.parts));
+      merged = CombinePreparedComponents(req.prepared, req.options,
+                                         std::move(req.parts));
     } catch (const std::exception& e) {
-      batch.results[task.query] =
+      merged =
           Status::Invalid(std::string("serve: merge exception: ") + e.what());
     }
-    batch.FinishQuery();
+    Finish(task.request, std::move(merged));
   }
 }
 
@@ -143,62 +197,125 @@ void BatchExecutor::WorkerLoop() {
   }
 }
 
-std::vector<Result<SolveResult>> BatchExecutor::SolveItems(
-    const std::vector<BatchItem>& items) {
-  BatchState batch(items.size());
+SolveTicket BatchExecutor::Submit(EvalSession& session, SolveRequest request,
+                                  CompletionCallback callback) {
+  auto state = std::make_shared<internal::RequestState>();
+  state->stats.enqueued = RequestClock::now();
+  state->query = std::move(request.query);
+  state->callback = std::move(callback);
+  if (request.deadline.has_value()) {
+    state->cancel.SetDeadline(*request.deadline);
+  }
+  state->options = ApplyOverrides(session.options(), request.overrides);
+  state->options.cancel = &state->cancel;  // state is heap-pinned
+  {
+    std::lock_guard<std::mutex> lock(finish_mu_);
+    ++outstanding_;
+  }
+  SolveTicket ticket(state);
+  if (state->query == nullptr) {
+    Finish(state, Status::Invalid("serve: null query in request"));
+    return ticket;
+  }
+  // Fail fast on an already-lapsed deadline: nothing is prepared and the
+  // session is never touched (its stats see no query).
+  const Status gate = state->cancel.Check();
+  if (!gate.ok()) {
+    Finish(state, gate);
+    return ticket;
+  }
+  try {
+    // Preparation runs on the submitting thread: it is the cheap, cached
+    // half of a solve, and doing it here fixes the context-cache population
+    // order so session stats match serial execution.
+    state->prepared = session.Prepare(*state->query);
+    const size_t parallelism =
+        options_.split_components
+            ? PreparedComponentParallelism(state->prepared, state->options)
+            : 0;
+    if (parallelism == 0) {
+      EnqueueTask(Task{state, -1});
+    } else {
+      state->parts.assign(parallelism, PendingResult());
+      state->remaining.store(parallelism, std::memory_order_relaxed);
+      for (size_t c = 0; c < parallelism; ++c) {
+        EnqueueTask(Task{state, static_cast<int32_t>(c)});
+      }
+    }
+  } catch (const std::exception& e) {
+    // Reachable only before this request's first EnqueueTask (enqueueing
+    // never throws — the payload is a shared_ptr — and RunTask catches its
+    // own exceptions), so no task exists yet and finishing here cannot
+    // double-complete the request.
+    Finish(state,
+           Status::Invalid(std::string("serve: submit exception: ") + e.what()));
+  }
+  return ticket;
+}
 
-  for (size_t i = 0; i < items.size(); ++i) {
-    QueryState& q = batch.queries[i];
-    q.session = items[i].session;
-    // A submit-side throw (PHOM_CHECK in preparation, bad_alloc) must NOT
-    // unwind out of this loop: tasks already queued hold a pointer to the
-    // stack-local batch, so leaving early would be a use-after-free. Every
-    // query therefore finishes — with an errored slot when its setup threw.
-    try {
-      // Preparation runs on the submitting thread: it is the cheap, cached
-      // half of a solve, and doing it here fixes the context-cache
-      // population order so session stats match serial execution.
-      q.prepared = q.session->Prepare(*items[i].query);
-      const size_t parallelism =
-          options_.split_components
-              ? PreparedComponentParallelism(q.prepared, q.session->options())
-              : 0;
-      if (parallelism == 0) {
-        Submit(Task{&batch, static_cast<uint32_t>(i), -1});
+std::vector<SolveTicket> BatchExecutor::SubmitBatch(
+    EvalSession& session, std::vector<SolveRequest> requests) {
+  std::vector<SolveTicket> tickets;
+  tickets.reserve(requests.size());
+  for (SolveRequest& request : requests) {
+    tickets.push_back(Submit(session, std::move(request)));
+  }
+  return tickets;
+}
+
+std::vector<Result<SolveResult>> BatchExecutor::Collect(
+    std::vector<SolveTicket>& tickets) {
+  std::vector<Result<SolveResult>> out;
+  out.reserve(tickets.size());
+  for (SolveTicket& ticket : tickets) {
+    out.push_back(ticket.valid()
+                      ? ticket.Take()
+                      : Result<SolveResult>(
+                            Status::Invalid("serve: empty ticket")));
+  }
+  return out;
+}
+
+std::vector<Result<SolveResult>> BatchExecutor::CollectHelping(
+    std::vector<SolveTicket>& tickets) {
+  // Help drain the queue while waiting (essential when threads are scarce
+  // or busy with other batches), then collect in order.
+  Task task;
+  for (SolveTicket& ticket : tickets) {
+    while (ticket.valid() && !ticket.done()) {
+      if (queue_.TryPop(&task)) {
+        RunTask(task);
+        task.request.reset();
         continue;
       }
-      q.parts.assign(parallelism, PendingResult());
-      q.remaining.store(parallelism, std::memory_order_relaxed);
-      for (size_t c = 0; c < parallelism; ++c) {
-        Submit(Task{&batch, static_cast<uint32_t>(i),
-                    static_cast<int32_t>(c)});
-      }
-    } catch (const std::exception& e) {
-      // Reachable only before this query's first Submit: enqueueing a Task
-      // never throws (POD payload) and RunTask catches its own exceptions,
-      // so a throw here means no task for query i exists yet.
-      batch.results[i] =
-          Status::Invalid(std::string("serve: submit exception: ") + e.what());
-      batch.FinishQuery();
+      // Bounded wait (not Wait): the ticket's last task may be held by a
+      // worker while new helpable tasks arrive behind our empty-queue read.
+      ticket.WaitFor(std::chrono::milliseconds(50));
     }
   }
+  return Collect(tickets);
+}
 
-  // Help drain the queue (essential when threads are scarce or busy with
-  // other batches), then wait for the stragglers our workers still hold.
-  Task task;
-  while (!batch.Done()) {
-    if (queue_.TryPop(&task)) {
-      RunTask(task);
+std::vector<Result<SolveResult>> BatchExecutor::SolveItems(
+    const std::vector<BatchItem>& items) {
+  std::vector<SolveTicket> tickets;
+  tickets.reserve(items.size());
+  for (const BatchItem& item : items) {
+    if (item.session == nullptr) {
+      tickets.push_back(SolveTicket::Completed(
+          Status::Invalid("serve: null session in batch item")));
       continue;
     }
-    std::unique_lock<std::mutex> lock(batch.mu);
-    // wait_for (not wait): belt and braces against future task-reordering
-    // changes — the predicate re-check costs a lock acquisition per 50ms.
-    batch.done_cv.wait_for(lock, std::chrono::milliseconds(50), [&batch] {
-      return batch.queries_done == batch.total;
-    });
+    if (item.query == nullptr) {
+      tickets.push_back(SolveTicket::Completed(
+          Status::Invalid("serve: null query in request")));
+      continue;
+    }
+    // Borrowed, not owned: this wrapper blocks until every ticket is done,
+    // so the caller's graphs outlive all tasks.
+    tickets.push_back(Submit(*item.session, SolveRequest::BorrowQuery(*item.query)));
   }
-  return std::move(batch.results);
+  return CollectHelping(tickets);
 }
 
 std::vector<Result<SolveResult>> BatchExecutor::SolveBatch(

@@ -7,51 +7,72 @@
 #include <vector>
 
 #include "src/core/eval_session.h"
+#include "src/serve/async.h"
 #include "src/serve/mpmc_queue.h"
+#include "src/serve/request.h"
 
 /// \file executor.h
-/// Parallel batch serving: a fixed-size thread pool that fans a batch of
-/// queries — and, within a query, the independent instance components of a
+/// Parallel batch serving: a fixed-size thread pool that fans requests —
+/// and, within a request, the independent instance components of a
 /// componentwise dispatch (solver.h) — out over worker threads through a
 /// bounded MPMC task queue (mpmc_queue.h).
 ///
-/// Determinism guarantee: for every thread count, SolveBatch(session, qs)
-/// is BIT-IDENTICAL to session.SolveBatch(qs) run serially — probabilities
-/// (both backends), stats, analyses and error statuses. This holds because
-///   * every result is written to a preassigned slot (no completion-order
-///     dependence),
-///   * per-query component answers are merged in component-index order with
-///     exactly the serial combine (CombinePreparedComponents),
-///   * the Monte Carlo engine derives a fresh Rng stream from the per-query
-///     seed inside each task (EstimateProbabilityMonteCarlo is a pure
-///     function of (query, instance, seed)), so no thread shares generator
-///     state with another.
+/// The front door is ASYNCHRONOUS: Submit accepts a SolveRequest
+/// (request.h) and returns a SolveTicket (async.h) immediately — the
+/// submitter does not help drain. Per-request deadlines are enforced at
+/// three points: at submit (already expired → fail fast, nothing is
+/// prepared), at dequeue (expired before start → DeadlineExceeded without
+/// solving) and between component subproblems (the CancelToken yield points
+/// in solver.h/engines.cc). Cooperative cancellation uses the same token,
+/// via SolveTicket::Cancel. An expired or cancelled request fails only
+/// itself: its neighbors' tasks and results are untouched.
 ///
-/// The pool is shared infrastructure: several threads may call SolveBatch /
-/// SolveItems concurrently (each call owns its private batch state; tasks
-/// interleave in the queue). Destroying the executor while calls are in
-/// flight is undefined — join your serving threads first.
+/// The synchronous API (SolveBatch/SolveItems) is a thin submit+wait
+/// wrapper over the same path; while waiting, the calling thread helps
+/// drain the queue — which is why `threads = 1` makes progress even when
+/// the lone worker is busy with another batch.
+///
+/// Determinism guarantee: for every thread count, every request that
+/// COMPLETES (is neither expired nor cancelled) answers BIT-IDENTICALLY to
+/// session.Solve run serially — probabilities (both backends), stats,
+/// analyses and error statuses. This holds because
+///   * every result is written to its own ticket (no completion-order
+///     dependence),
+///   * per-request component answers are merged in component-index order
+///     with exactly the serial combine (CombinePreparedComponents),
+///   * the Monte Carlo engine derives a fresh Rng stream from the
+///     per-request seed inside each task (EstimateProbabilityMonteCarlo is
+///     a pure function of (query, instance, seed)), so no thread shares
+///     generator state with another.
+///
+/// The pool is shared infrastructure: several threads may Submit / solve
+/// concurrently. Destroying the executor DRAINS it: the destructor runs
+/// queued tasks itself and waits for workers' in-flight tasks, so every
+/// outstanding ticket completes before the pool is torn down (this was
+/// previously documented UB). Sessions named by outstanding requests must
+/// outlive the destructor call, and no thread may Submit once destruction
+/// has begun — join your submitting threads first.
 
 namespace phom::serve {
 
 struct ExecutorOptions {
   /// Worker threads. 0 = std::thread::hardware_concurrency() (at least 1).
-  /// The submitting thread also helps drain the queue, so `threads = 1`
-  /// still makes progress even if the lone worker is busy elsewhere.
   size_t threads = 0;
   /// Task-queue capacity (rounded up to a power of two). When the queue is
   /// full, the submitter runs the task inline instead of blocking — the
-  /// queue bounds memory, not correctness.
+  /// queue bounds memory, not correctness (Submit may therefore block on a
+  /// saturated pool: natural backpressure).
   size_t queue_capacity = 1024;
   /// Fan the independent instance components of a componentwise dispatch
   /// out as separate tasks (within-query parallelism). Off = one task per
-  /// query. Results are identical either way.
+  /// request. Results are identical either way.
   bool split_components = true;
 };
 
-/// One unit of a heterogeneous batch: a query against a session (sessions
-/// may differ per item — that is how ShardedServer fans one request batch
-/// across shards). Both pointers must outlive the SolveItems call.
+/// One unit of a synchronous heterogeneous batch: a query against a session
+/// (sessions may differ per item — that is how ShardedServer fans one
+/// request batch across shards). Both pointers must outlive the SolveItems
+/// call; for asynchronous submission use SolveRequest, which owns its query.
 struct BatchItem {
   EvalSession* session;
   const DiGraph* query;
@@ -60,6 +81,8 @@ struct BatchItem {
 class BatchExecutor {
  public:
   explicit BatchExecutor(ExecutorOptions options = {});
+  /// Drains: blocks until every outstanding ticket has completed (helping
+  /// to run queued tasks), then joins the workers.
   ~BatchExecutor();
 
   BatchExecutor(const BatchExecutor&) = delete;
@@ -67,6 +90,39 @@ class BatchExecutor {
 
   size_t num_threads() const { return workers_.size(); }
   const ExecutorOptions& options() const { return options_; }
+
+  // -------------------------------------------------------------------------
+  // Asynchronous front door.
+  // -------------------------------------------------------------------------
+
+  /// Submits one request against `session` and returns its ticket
+  /// immediately. Preparation (the cheap, cached half of a solve) runs on
+  /// the calling thread — this fixes the context-cache population order, so
+  /// session stats match serial execution — unless the deadline has already
+  /// expired, in which case the request fails fast with DeadlineExceeded
+  /// and the session is never touched. `request.shard` is ignored here
+  /// (shard routing is ShardedServer's job). The session must stay alive
+  /// until the ticket completes.
+  SolveTicket Submit(EvalSession& session, SolveRequest request,
+                     CompletionCallback callback = nullptr);
+
+  /// Submits a batch in order; tickets align with `requests`.
+  std::vector<SolveTicket> SubmitBatch(EvalSession& session,
+                                       std::vector<SolveRequest> requests);
+
+  /// Waits for every ticket and moves the results out, in order (empty
+  /// tickets yield Invalid). Pure wait — works for tickets of any executor.
+  static std::vector<Result<SolveResult>> Collect(
+      std::vector<SolveTicket>& tickets);
+
+  /// Collect, but the calling thread helps drain THIS executor's queue
+  /// while it waits (the synchronous wrappers' behavior).
+  std::vector<Result<SolveResult>> CollectHelping(
+      std::vector<SolveTicket>& tickets);
+
+  // -------------------------------------------------------------------------
+  // Synchronous wrappers (submit + wait-helping over the async path).
+  // -------------------------------------------------------------------------
 
   /// Answers `queries` against `session` in order; result i is bit-identical
   /// to serial session.SolveBatch(queries)[i] for every thread count.
@@ -78,25 +134,29 @@ class BatchExecutor {
       const std::vector<BatchItem>& items);
 
  private:
-  struct BatchState;
-
-  /// One queue entry: component `component` of query `query` in `batch`,
-  /// or the whole query when component < 0.
+  /// One queue entry: component `component` of the request (or the whole
+  /// request when component < 0). Holds shared ownership of the request
+  /// state, so a queued task can never dangle.
   struct Task {
-    BatchState* batch = nullptr;
-    uint32_t query = 0;
+    std::shared_ptr<internal::RequestState> request;
     int32_t component = -1;
   };
 
-  void Submit(const Task& task);
+  void EnqueueTask(Task task);
   void RunTask(const Task& task);
+  void Finish(const std::shared_ptr<internal::RequestState>& request,
+              Result<SolveResult> result);
   void WorkerLoop();
+  bool AllRequestsFinished();
 
   ExecutorOptions options_;
   MpmcQueue<Task> queue_;
   std::mutex work_mu_;
   std::condition_variable work_cv_;
   bool stop_ = false;  ///< guarded by work_mu_
+  std::mutex finish_mu_;
+  std::condition_variable finish_cv_;
+  size_t outstanding_ = 0;  ///< submitted, not yet finished; guarded by finish_mu_
   std::vector<std::thread> workers_;
 };
 

@@ -1,0 +1,106 @@
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "src/core/solver.h"
+#include "src/graph/digraph.h"
+
+/// \file request.h
+/// The unit of the asynchronous serving API (async.h, executor.h, shard.h):
+/// one query addressed to one shard, with per-request overrides of the
+/// session's SolveOptions, an optional absolute deadline, and — unlike the
+/// raw pointers of the synchronous ShardRequest/BatchItem, which are only
+/// safe because those calls block until completion — OWNED query storage:
+/// a submitted SolveRequest keeps its query alive even after the caller's
+/// batch vector dies, so asynchronous submission cannot dangle.
+
+namespace phom::serve {
+
+/// The serving clock (monotonic; deadlines are absolute points on it).
+using RequestClock = CancelToken::Clock;
+
+/// One asynchronous solve request. Construct with an owned query (moved or
+/// shared); BorrowQuery exists only for synchronous submit+wait wrappers
+/// that outlive the solve by construction.
+struct SolveRequest {
+  /// Target shard (ShardedServer routing; ignored by direct
+  /// BatchExecutor::Submit, which takes the session explicitly).
+  size_t shard = 0;
+  /// The query graph, owned (shared) by the request and by every task
+  /// spawned for it.
+  std::shared_ptr<const DiGraph> query;
+  /// Absolute deadline. Checked at submit (expired → fail fast, nothing is
+  /// prepared), at dequeue (expired before start → DeadlineExceeded without
+  /// solving) and between component subproblems (CancelToken, solver.h).
+  std::optional<RequestClock::time_point> deadline;
+  /// Per-request overrides of the session's base SolveOptions: numeric
+  /// backend, forced engine, Monte Carlo seed (solver.h).
+  SolveOverrides overrides;
+
+  SolveRequest() = default;
+  explicit SolveRequest(DiGraph query_graph, size_t shard_index = 0)
+      : shard(shard_index),
+        query(std::make_shared<const DiGraph>(std::move(query_graph))) {}
+  explicit SolveRequest(std::shared_ptr<const DiGraph> query_graph,
+                        size_t shard_index = 0)
+      : shard(shard_index), query(std::move(query_graph)) {}
+
+  /// Fluent helpers (return *this so requests can be built inline).
+  SolveRequest& WithDeadline(RequestClock::time_point d) {
+    deadline = d;
+    return *this;
+  }
+  /// Deadline = now + budget.
+  SolveRequest& WithTimeout(std::chrono::nanoseconds budget) {
+    deadline = RequestClock::now() + budget;
+    return *this;
+  }
+  SolveRequest& WithNumeric(NumericBackend backend) {
+    overrides.numeric = backend;
+    return *this;
+  }
+  SolveRequest& WithEngine(std::string engine_name) {
+    overrides.force_engine = std::move(engine_name);
+    return *this;
+  }
+  SolveRequest& WithMonteCarloSeed(uint64_t seed) {
+    overrides.monte_carlo_seed = seed;
+    return *this;
+  }
+
+  /// A non-owning view of a caller-kept query. ONLY for synchronous
+  /// submit+wait paths: the caller must keep `query_graph` alive until the
+  /// request's ticket completes.
+  static SolveRequest BorrowQuery(const DiGraph& query_graph,
+                                  size_t shard_index = 0) {
+    return SolveRequest(
+        std::shared_ptr<const DiGraph>(std::shared_ptr<void>(), &query_graph),
+        shard_index);
+  }
+};
+
+/// Per-request serving timeline, for observability: when the request was
+/// accepted, when its first task started running, and when its result was
+/// published. Snapshot via SolveTicket::stats() (safe at any time; fields
+/// settle once the ticket is done).
+struct RequestStats {
+  RequestClock::time_point enqueued{};
+  /// First task dequeue (== finished for requests that never ran a task:
+  /// rejected, expired or cancelled before start).
+  RequestClock::time_point started{};
+  RequestClock::time_point finished{};
+  /// The request missed its deadline / was cancelled before any solving
+  /// work ran (it spent its whole life in the queue).
+  bool expired_before_start = false;
+  bool cancelled_before_start = false;
+
+  std::chrono::nanoseconds queue_delay() const { return started - enqueued; }
+  std::chrono::nanoseconds solve_time() const { return finished - started; }
+  std::chrono::nanoseconds total_time() const { return finished - enqueued; }
+};
+
+}  // namespace phom::serve

@@ -1,6 +1,7 @@
 #include "src/serve/shard.h"
 
 #include <string>
+#include <utility>
 
 namespace phom::serve {
 
@@ -26,46 +27,65 @@ ShardedServer::ShardedServer(std::vector<ProbGraph> shards,
   }
 }
 
+SolveTicket ShardedServer::Submit(SolveRequest request,
+                                  CompletionCallback callback) {
+  if (request.shard >= sessions_.size()) {
+    return SolveTicket::Completed(BadShard(request.shard, sessions_.size()),
+                                  callback);
+  }
+  if (request.query == nullptr) {
+    return SolveTicket::Completed(
+        Status::Invalid("serve: null query in request"), callback);
+  }
+  EvalSession& session = *sessions_[request.shard];
+  return executor_.Submit(session, std::move(request), std::move(callback));
+}
+
+std::vector<SolveTicket> ShardedServer::SubmitBatch(
+    std::vector<SolveRequest> requests) {
+  std::vector<SolveTicket> tickets;
+  tickets.reserve(requests.size());
+  for (SolveRequest& request : requests) {
+    tickets.push_back(Submit(std::move(request)));
+  }
+  return tickets;
+}
+
+std::vector<Result<SolveResult>> ShardedServer::Collect(
+    std::vector<SolveTicket>& tickets) {
+  return executor_.CollectHelping(tickets);
+}
+
 Result<SolveResult> ShardedServer::Solve(size_t shard, const DiGraph& query) {
-  if (shard >= sessions_.size()) return BadShard(shard, sessions_.size());
-  return sessions_[shard]->Solve(query);
+  std::vector<SolveTicket> tickets;
+  tickets.push_back(Submit(SolveRequest::BorrowQuery(query, shard)));
+  return std::move(Collect(tickets)[0]);
 }
 
 std::vector<Result<SolveResult>> ShardedServer::SolveBatch(
     size_t shard, const std::vector<DiGraph>& queries) {
-  if (shard >= sessions_.size()) {
-    return std::vector<Result<SolveResult>>(
-        queries.size(), Result<SolveResult>(BadShard(shard, sessions_.size())));
+  std::vector<SolveTicket> tickets;
+  tickets.reserve(queries.size());
+  for (const DiGraph& query : queries) {
+    tickets.push_back(Submit(SolveRequest::BorrowQuery(query, shard)));
   }
-  return executor_.SolveBatch(*sessions_[shard], queries);
+  return Collect(tickets);
 }
 
 std::vector<Result<SolveResult>> ShardedServer::SolveRequests(
     const std::vector<ShardRequest>& requests) {
-  // Out-of-range / null requests answer per-slot without disturbing the
-  // valid ones: build the executor batch over the valid subset only.
-  std::vector<BatchItem> items;
-  std::vector<size_t> item_slot;
-  items.reserve(requests.size());
-  item_slot.reserve(requests.size());
-  std::vector<Result<SolveResult>> out(
-      requests.size(),
-      Result<SolveResult>(Status::Invalid("serve: null query in request")));
-  for (size_t i = 0; i < requests.size(); ++i) {
-    const ShardRequest& r = requests[i];
-    if (r.shard >= sessions_.size()) {
-      out[i] = BadShard(r.shard, sessions_.size());
-      continue;
-    }
-    if (r.query == nullptr) continue;  // placeholder status already set
-    items.push_back({sessions_[r.shard].get(), r.query});
-    item_slot.push_back(i);
+  std::vector<SolveTicket> tickets;
+  tickets.reserve(requests.size());
+  for (const ShardRequest& request : requests) {
+    // Rejections become already-completed tickets inside Submit (shard
+    // validated before the query, as before), so per-request failures stay
+    // per-request without disturbing neighbors.
+    tickets.push_back(Submit(
+        request.query == nullptr
+            ? SolveRequest(std::shared_ptr<const DiGraph>(), request.shard)
+            : SolveRequest::BorrowQuery(*request.query, request.shard)));
   }
-  std::vector<Result<SolveResult>> solved = executor_.SolveItems(items);
-  for (size_t j = 0; j < solved.size(); ++j) {
-    out[item_slot[j]] = std::move(solved[j]);
-  }
-  return out;
+  return Collect(tickets);
 }
 
 }  // namespace phom::serve

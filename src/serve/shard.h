@@ -13,24 +13,36 @@
 /// identical instances and label sets. Requests address shards by index —
 /// routing keys to shards is the caller's partitioning policy.
 ///
+/// The front door is the asynchronous request/response API (request.h,
+/// async.h): Submit/SubmitBatch return SolveTickets immediately, with
+/// per-request deadlines, overrides and cooperative cancellation; Collect
+/// waits (helping to drain the pool's queue). The synchronous
+/// Solve/SolveBatch/SolveRequests are thin submit+wait wrappers over the
+/// same path, kept for callers that want blocking semantics.
+///
 /// Thread safety: every public method may be called from many threads at
 /// once (sessions, the LRU and the executor are individually thread-safe).
-/// Determinism: SolveBatch/SolveRequests answers are bit-identical to
-/// solving each request serially with Solve, for every thread count (see
-/// executor.h for why).
+/// Determinism: every request that completes answers bit-identically to
+/// solving it serially with EvalSession::Solve, for every thread count (see
+/// executor.h for why). Destruction drains: outstanding tickets complete
+/// before the sessions die (the executor is destroyed first).
 
 namespace phom::serve {
 
 struct ShardedServerOptions {
   /// Solve options applied by every shard's session (numeric backend,
-  /// forced engines, fallback limits, Monte Carlo budget/seed).
+  /// forced engines, fallback limits, Monte Carlo budget/seed); SolveRequest
+  /// overrides are applied per request on top.
   SolveOptions solve;
   /// Capacity of the shared cross-instance context LRU.
   ContextLruOptions context_cache;
   ExecutorOptions executor;
 };
 
-/// One query addressed to one shard.
+/// One query addressed to one shard — the SYNCHRONOUS batch unit. The raw
+/// pointer is safe only because SolveRequests blocks until every result is
+/// in; asynchronous submission uses SolveRequest (request.h), which owns
+/// its query.
 struct ShardRequest {
   size_t shard = 0;
   const DiGraph* query = nullptr;
@@ -51,8 +63,29 @@ class ShardedServer {
   }
   const ShardedServerOptions& options() const { return options_; }
 
-  /// One query against one shard, solved inline on the calling thread
-  /// (Invalid when the shard index is out of range).
+  // -------------------------------------------------------------------------
+  // Asynchronous front door.
+  // -------------------------------------------------------------------------
+
+  /// Submits one request, routed by request.shard, and returns its ticket
+  /// immediately. Rejections (out-of-range shard, null query) come back as
+  /// already-completed tickets with Invalid — per request, the batch around
+  /// them is undisturbed. Deadline/cancellation semantics: executor.h.
+  SolveTicket Submit(SolveRequest request, CompletionCallback callback = nullptr);
+
+  /// Submits a batch in order; tickets align with `requests`.
+  std::vector<SolveTicket> SubmitBatch(std::vector<SolveRequest> requests);
+
+  /// Waits for the tickets and moves their results out, in order; the
+  /// calling thread helps drain the pool's queue while it waits.
+  std::vector<Result<SolveResult>> Collect(std::vector<SolveTicket>& tickets);
+
+  // -------------------------------------------------------------------------
+  // Synchronous wrappers (submit + wait over the async path).
+  // -------------------------------------------------------------------------
+
+  /// One query against one shard (Invalid when the shard index is out of
+  /// range). Equivalent to Submit + Collect on a borrowed query.
   Result<SolveResult> Solve(size_t shard, const DiGraph& query);
 
   /// A batch against one shard, fanned over the thread pool.
@@ -75,6 +108,8 @@ class ShardedServer {
   std::shared_ptr<ContextLru> cache_;
   /// unique_ptr so sessions (which hold a mutex) never move.
   std::vector<std::unique_ptr<EvalSession>> sessions_;
+  /// Last member: destroyed first, draining outstanding tickets while the
+  /// sessions above are still alive.
   BatchExecutor executor_;
 };
 

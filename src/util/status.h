@@ -19,8 +19,10 @@ class Status {
   enum class Code {
     kOk = 0,
     kInvalidArgument,
-    kNotSupported,     ///< e.g. requesting a PTIME algorithm outside its cell
-    kResourceExhausted ///< fallback solver exceeded its configured limits
+    kNotSupported,      ///< e.g. requesting a PTIME algorithm outside its cell
+    kResourceExhausted, ///< fallback solver exceeded its configured limits
+    kDeadlineExceeded,  ///< per-request deadline passed before completion
+    kCancelled          ///< caller cancelled the request via its ticket
   };
 
   Status() : code_(Code::kOk) {}
@@ -35,6 +37,12 @@ class Status {
   static Status ResourceExhausted(std::string msg) {
     return Status(Code::kResourceExhausted, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(Code::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(Code::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   Code code() const { return code_; }
@@ -48,6 +56,8 @@ class Status {
       case Code::kInvalidArgument: name = "Invalid"; break;
       case Code::kNotSupported: name = "NotSupported"; break;
       case Code::kResourceExhausted: name = "ResourceExhausted"; break;
+      case Code::kDeadlineExceeded: name = "DeadlineExceeded"; break;
+      case Code::kCancelled: name = "Cancelled"; break;
     }
     return name + ": " + message_;
   }

@@ -25,6 +25,8 @@ namespace {
 using serve::BatchExecutor;
 using serve::ExecutorOptions;
 using serve::MpmcQueue;
+using test_util::MixedServeInstance;
+using test_util::MixedServeQueries;
 using test_util::PaperFigure1;
 
 // ---------------------------------------------------------------------------
@@ -96,34 +98,9 @@ TEST(MpmcQueue, ConcurrentProducersConsumersConserveElements) {
 // Componentwise solve API (solver.h)
 // ---------------------------------------------------------------------------
 
-/// A three-component instance mixing classes: a 2WP, a DWT and a dense
-/// connected component (#P-hard cell → per-component exact fallback).
-ProbGraph MixedInstance(Rng* rng) {
-  // Kept small (~10 edges total): the hard disconnected query in
-  // MixedQueries routes through whole-instance world enumeration, which is
-  // 2^edges — this corpus must stay tier-1 fast.
-  DiGraph shape = DisjointUnion({
-      RandomTwoWayPath(rng, 4, 2),
-      RandomDownwardTree(rng, 4, 2, 0.4),
-      RandomConnected(rng, 4, 1, 2),
-  });
-  return AttachRandomProbabilities(rng, std::move(shape), 3);
-}
-
-/// A batch touching every dispatch shape: componentwise connected queries,
-/// whole-forest kernels, immediate answers, and a hard disconnected query.
-std::vector<DiGraph> MixedQueries(Rng* rng) {
-  std::vector<DiGraph> queries;
-  queries.push_back(MakeLabeledPath({0}));
-  queries.push_back(MakeLabeledPath({1, 0}));
-  queries.push_back(MakeLabeledPath({0, 1, 0}));
-  queries.push_back(RandomTwoWayPath(rng, 2, 2));
-  queries.push_back(DiGraph(3));  // edgeless: immediate answer
-  queries.push_back(
-      DisjointUnion({MakeLabeledPath({0}), MakeLabeledPath({1})}));  // hard
-  queries.push_back(MakeOneWayPath(2));  // single label: unlabeled collapse
-  return queries;
-}
+/// Serving corpus shared with serve_async_test.cc (test_util.h).
+ProbGraph MixedInstance(Rng* rng) { return MixedServeInstance(rng); }
+std::vector<DiGraph> MixedQueries(Rng* rng) { return MixedServeQueries(rng); }
 
 TEST(ComponentwiseSolve, MatchesSolvePreparedBitForBit) {
   Rng rng(20260729);

@@ -55,6 +55,37 @@ struct PaperFigure1 {
   }
 };
 
+/// A three-component serving instance mixing classes: a 2WP, a DWT and a
+/// dense connected component (#P-hard cell → per-component exact fallback).
+/// Shared by the serve-layer suites (executor, async) so their corpora and
+/// determinism baselines agree.
+inline ProbGraph MixedServeInstance(Rng* rng) {
+  // Kept small (~10 edges total): the hard disconnected query in
+  // MixedServeQueries routes through whole-instance world enumeration,
+  // which is 2^edges — this corpus must stay tier-1 fast.
+  DiGraph shape = DisjointUnion({
+      RandomTwoWayPath(rng, 4, 2),
+      RandomDownwardTree(rng, 4, 2, 0.4),
+      RandomConnected(rng, 4, 1, 2),
+  });
+  return AttachRandomProbabilities(rng, std::move(shape), 3);
+}
+
+/// A batch touching every dispatch shape: componentwise connected queries,
+/// whole-forest kernels, immediate answers, and a hard disconnected query.
+inline std::vector<DiGraph> MixedServeQueries(Rng* rng) {
+  std::vector<DiGraph> queries;
+  queries.push_back(MakeLabeledPath({0}));
+  queries.push_back(MakeLabeledPath({1, 0}));
+  queries.push_back(MakeLabeledPath({0, 1, 0}));
+  queries.push_back(RandomTwoWayPath(rng, 2, 2));
+  queries.push_back(DiGraph(3));  // edgeless: immediate answer
+  queries.push_back(
+      DisjointUnion({MakeLabeledPath({0}), MakeLabeledPath({1})}));  // hard
+  queries.push_back(MakeOneWayPath(2));  // single label: unlabeled collapse
+  return queries;
+}
+
 /// Figure 7/8's PP2DNF formula X1Y2 ∨ X1Y1 ∨ X2Y2 (0-based pairs); it has
 /// exactly 8 satisfying assignments over its 4 variables.
 inline Pp2Dnf MakePaperPp2Dnf() {

@@ -17,6 +17,12 @@ TEST(Status, Basics) {
   EXPECT_EQ(Status::NotSupported("x").code(), Status::Code::kNotSupported);
   EXPECT_EQ(Status::ResourceExhausted("y").code(),
             Status::Code::kResourceExhausted);
+  EXPECT_EQ(Status::DeadlineExceeded("late").code(),
+            Status::Code::kDeadlineExceeded);
+  EXPECT_EQ(Status::DeadlineExceeded("late").ToString(),
+            "DeadlineExceeded: late");
+  EXPECT_EQ(Status::Cancelled("stop").code(), Status::Code::kCancelled);
+  EXPECT_EQ(Status::Cancelled("stop").ToString(), "Cancelled: stop");
 }
 
 TEST(Result, HoldsValue) {
