@@ -26,6 +26,10 @@ struct EngineAnswer {
   Rational exact;          ///< set iff backend == kExact
   double approx = 0.0;     ///< set for both backends
   NumericBackend backend = NumericBackend::kExact;
+  /// Filled by the Monte Carlo engine when a lapsed deadline truncated its
+  /// sampling (solver.h): the caller must be able to tell a floor-sized
+  /// estimate from the full-budget run it asked for. All-default otherwise.
+  DegradeInfo degrade;
 };
 
 /// A solving strategy for prepared problems. Implementations must be
@@ -46,8 +50,9 @@ class Engine {
 
   /// True for engines that solve each instance component independently and
   /// combine by Lemma 3.7. Such dispatches expose within-query parallelism:
-  /// the serve layer may solve components on different threads via
-  /// SolvePreparedComponent and merge with CombinePreparedComponents
+  /// the serve layer resolves the engine once per query with
+  /// PlanComponentDispatch, solves components on different threads via
+  /// SolvePreparedComponent and merges with CombinePreparedComponents
   /// (solver.h) — bit-identically to this engine's serial Solve.
   virtual bool componentwise() const { return false; }
 

@@ -34,6 +34,15 @@ Result<EngineAnswer> RunInBackend(NumericBackend backend, Fn&& fn) {
   return out;
 }
 
+/// FallbackOptions with SolveOptions::cancel threaded in, so the exact
+/// exponential loops yield INSIDE a single hard component (fallback.h) —
+/// not just between components.
+FallbackOptions FallbackWithCancel(const SolveOptions& options) {
+  FallbackOptions fb = options.fallback;
+  if (options.cancel != nullptr) fb.cancel = options.cancel;
+  return fb;
+}
+
 /// Per-component dispatch for a connected query with >= 1 edge: the finest
 /// applicable algorithm per component class, exact exponential enumeration
 /// on #P-hard components.
@@ -70,7 +79,8 @@ Result<Num> SolveComponentT(const DiGraph& query, bool query_is_1wp,
       FallbackStats fs;
       PHOM_ASSIGN_OR_RETURN(
           Num p, SolveByWorldEnumerationT<Num>(query, component,
-                                               options.fallback, &fs));
+                                               FallbackWithCancel(options),
+                                               &fs));
       stats->worlds += fs.worlds;
       return p;
     }
@@ -97,8 +107,8 @@ Result<Num> SolveComponentT(const DiGraph& query, bool query_is_1wp,
   ++stats->fallback_components;
   FallbackStats fs;
   PHOM_ASSIGN_OR_RETURN(
-      Num p,
-      SolveByWorldEnumerationT<Num>(query, component, options.fallback, &fs));
+      Num p, SolveByWorldEnumerationT<Num>(query, component,
+                                           FallbackWithCancel(options), &fs));
   stats->worlds += fs.worlds;
   return p;
 }
@@ -267,7 +277,8 @@ class FallbackEngine : public Engine {
       PHOM_ASSIGN_OR_RETURN(
           Num p, SolveByWorldEnumerationT<Num>(prepared.query,
                                                prepared.instance(),
-                                               options.fallback, &fs));
+                                               FallbackWithCancel(options),
+                                               &fs));
       stats->worlds += fs.worlds;
       return p;
     });
@@ -317,7 +328,7 @@ class MatchLineageEngine : public Engine {
       PHOM_ASSIGN_OR_RETURN(
           Num p, SolveByMatchLineageT<Num>(prepared.query,
                                            prepared.instance(),
-                                           options.fallback, &fs));
+                                           FallbackWithCancel(options), &fs));
       stats->lineage_clauses += fs.matches;
       return p;
     });
@@ -334,9 +345,14 @@ class MonteCarloEngine : public Engine {
   Result<EngineAnswer> Solve(const PreparedProblem& prepared,
                              const SolveOptions& options,
                              SolveStats* stats) const override {
+    // Thread the dispatch-level token into the per-sample yield points
+    // (monte_carlo.h); with the default min_samples = 0 an expired deadline
+    // aborts sampling like any other kernel.
+    const CancelToken::Clock::time_point start = CancelToken::Clock::now();
+    MonteCarloOptions mc = options.monte_carlo;
+    if (options.cancel != nullptr) mc.cancel = options.cancel;
     Result<MonteCarloEstimate> est = EstimateProbabilityMonteCarlo(
-        prepared.query, prepared.instance(), options.monte_carlo_seed,
-        options.monte_carlo);
+        prepared.query, prepared.instance(), options.monte_carlo_seed, mc);
     if (!est.ok()) return est.status();
     stats->worlds += est->samples;
     EngineAnswer out;
@@ -346,6 +362,16 @@ class MonteCarloEngine : public Engine {
       // hits/samples is exactly representable; still only an estimate.
       out.exact = Rational(static_cast<int64_t>(est->hits),
                            static_cast<int64_t>(est->samples));
+    }
+    if (est->deadline_truncated) {
+      // The caller got fewer samples than it budgeted for — surface the
+      // same provenance the DegradePolicy path reports, so a floor-sized
+      // estimate is never mistaken for the requested precision.
+      out.degrade.degraded = true;
+      out.degrade.estimate = est->estimate;
+      out.degrade.half_width_95 = est->half_width_95;
+      out.degrade.samples_used = est->samples;
+      out.degrade.budget_spent = CancelToken::Clock::now() - start;
     }
     return out;
   }
@@ -359,21 +385,37 @@ class MonteCarloEngine : public Engine {
 // engines — that sharing is what makes the parallel merge bit-identical.
 // ---------------------------------------------------------------------------
 
-size_t PreparedComponentParallelism(const PreparedProblem& prepared,
-                                    const SolveOptions& options) {
-  if (prepared.immediate.has_value() || prepared.context == nullptr) return 0;
+ComponentDispatch PlanComponentDispatch(const PreparedProblem& prepared,
+                                        const SolveOptions& options) {
+  ComponentDispatch plan;
+  if (prepared.immediate.has_value() || prepared.context == nullptr) {
+    return plan;
+  }
   const size_t n = prepared.context->components.size();
-  if (n < 2) return 0;  // one component: a single SolvePrepared task is best
+  if (n < 2) return plan;  // one component: a single SolvePrepared task is best
+  // The ONE registry scan of a componentwise query (shared_mutex inside):
+  // every component task reuses this plan instead of re-resolving.
   bool forced = false;
   Result<const Engine*> engine = SelectEngineForProblem(
       EngineRegistry::Global(), prepared, options, &forced);
   // Selection errors (typo'd names, inapplicable forced engines) must
   // surface through the ordinary SolvePrepared path, identically.
-  if (!engine.ok() || *engine == nullptr) return 0;
-  return (*engine)->componentwise() ? n : 0;
+  if (!engine.ok() || *engine == nullptr || !(*engine)->componentwise()) {
+    return plan;
+  }
+  plan.engine = *engine;
+  plan.forced = forced;
+  plan.components = n;
+  return plan;
+}
+
+size_t PreparedComponentParallelism(const PreparedProblem& prepared,
+                                    const SolveOptions& options) {
+  return PlanComponentDispatch(prepared, options).components;
 }
 
 Result<SolveResult> SolvePreparedComponent(const PreparedProblem& prepared,
+                                           const ComponentDispatch& dispatch,
                                            size_t component_index,
                                            const SolveOptions& options) {
   // Same yield point as the serial per-component loop, so an interrupted
@@ -381,19 +423,18 @@ Result<SolveResult> SolvePreparedComponent(const PreparedProblem& prepared,
   if (options.cancel != nullptr) {
     PHOM_RETURN_NOT_OK(options.cancel->Check());
   }
-  bool forced = false;
-  PHOM_ASSIGN_OR_RETURN(
-      const Engine* engine,
-      SelectEngineForProblem(EngineRegistry::Global(), prepared, options,
-                             &forced));
+  const Engine* engine = dispatch.engine;
   PHOM_CHECK_MSG(engine != nullptr && engine->componentwise() &&
                      prepared.context != nullptr &&
-                     component_index < prepared.context->components.size(),
+                     dispatch.components ==
+                         prepared.context->components.size() &&
+                     component_index < dispatch.components,
                  "SolvePreparedComponent outside a componentwise dispatch");
   SolveResult out;
   out.analysis = prepared.analysis;
   out.numeric = options.numeric;
-  out.stats.primary = forced ? engine->algorithm() : prepared.analysis.algorithm;
+  out.stats.primary =
+      dispatch.forced ? engine->algorithm() : prepared.analysis.algorithm;
   out.stats.engine = std::string(engine->name());
   const InstanceContext& ctx = *prepared.context;
   const bool unlabeled = prepared.analysis.effective_unlabeled;
@@ -415,20 +456,18 @@ Result<SolveResult> SolvePreparedComponent(const PreparedProblem& prepared,
 }
 
 Result<SolveResult> CombinePreparedComponents(
-    const PreparedProblem& prepared, const SolveOptions& options,
+    const PreparedProblem& prepared, const ComponentDispatch& dispatch,
+    const SolveOptions& options,
     std::vector<Result<SolveResult>> components) {
-  bool forced = false;
-  PHOM_ASSIGN_OR_RETURN(
-      const Engine* engine,
-      SelectEngineForProblem(EngineRegistry::Global(), prepared, options,
-                             &forced));
+  const Engine* engine = dispatch.engine;
   PHOM_CHECK_MSG(engine != nullptr && prepared.context != nullptr &&
                      components.size() == prepared.context->components.size(),
                  "CombinePreparedComponents arity mismatch");
   SolveResult out;
   out.analysis = prepared.analysis;
   out.numeric = options.numeric;
-  out.stats.primary = forced ? engine->algorithm() : prepared.analysis.algorithm;
+  out.stats.primary =
+      dispatch.forced ? engine->algorithm() : prepared.analysis.algorithm;
   out.stats.engine = std::string(engine->name());
   for (size_t i = 0; i < components.size(); ++i) {
     // Serial SolvePerComponentT stops at the first failing component in

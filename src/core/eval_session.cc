@@ -71,13 +71,28 @@ PreparedProblem EvalSession::Prepare(const DiGraph& query) {
       });
 }
 
+Result<SolveResult> EvalSession::SolveWithOptions(const DiGraph& query,
+                                                  const SolveOptions& options) {
+  PreparedProblem prepared = Prepare(query);
+  Result<SolveResult> result = SolvePrepared(prepared, options);
+  // The serial twin of the serve layer's degradation re-dispatch: a solve
+  // that hit its deadline (options.cancel) converts to a budgeted Monte
+  // Carlo estimate instead of an error, when the policy allows. Explicit
+  // cancellation and every other error pass through untouched, and with
+  // the policy off (the default) this is exactly the old behavior.
+  if (!result.ok() && ShouldDegradeStatus(result.status(), options.degrade)) {
+    return SolveDegradedMonteCarlo(prepared, options);
+  }
+  return result;
+}
+
 Result<SolveResult> EvalSession::Solve(const DiGraph& query) {
-  return SolvePrepared(Prepare(query), options_);
+  return SolveWithOptions(query, options_);
 }
 
 Result<SolveResult> EvalSession::Solve(const DiGraph& query,
                                        const SolveOverrides& overrides) {
-  return SolvePrepared(Prepare(query), ApplyOverrides(options_, overrides));
+  return SolveWithOptions(query, ApplyOverrides(options_, overrides));
 }
 
 std::vector<Result<SolveResult>> EvalSession::SolveBatch(

@@ -69,7 +69,11 @@ class EvalSession {
               std::shared_ptr<InstanceContextCache> shared_cache);
 
   /// Answers one query; equivalent to Solver(options).Solve(query, instance)
-  /// bit for bit. Thread-safe.
+  /// bit for bit. Thread-safe. When the session options carry a CancelToken
+  /// AND a DegradePolicy with mode kOnDeadlineRisk, a DeadlineExceeded solve
+  /// is re-dispatched to the budgeted Monte Carlo estimator
+  /// (SolveDegradedMonteCarlo, solver.h) — the serial twin of the serve
+  /// layer's degradation path.
   Result<SolveResult> Solve(const DiGraph& query);
 
   /// Answers one query with per-request overrides applied on top of this
@@ -103,6 +107,11 @@ class EvalSession {
     std::mutex m;
     std::shared_ptr<const InstanceContext> context;  ///< guarded by m
   };
+
+  /// Prepare + SolvePrepared + the DegradePolicy re-dispatch (shared by
+  /// both Solve overloads).
+  Result<SolveResult> SolveWithOptions(const DiGraph& query,
+                                       const SolveOptions& options);
 
   std::shared_ptr<const InstanceContext> LookupContext(
       const std::vector<LabelId>& labels);

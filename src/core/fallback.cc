@@ -73,7 +73,14 @@ Result<Num> SolveByWorldEnumerationT(const DiGraph& query,
   }
   Num total = Ops::Zero();
   uint64_t num_worlds = uint64_t{1} << uncertain.size();
+  const uint64_t check_step =
+      options.cancel_check_interval == 0 ? 1 : options.cancel_check_interval;
   for (uint64_t mask = 0; mask < num_worlds; ++mask) {
+    // The in-component yield point: a single hard cell may enumerate 2^26
+    // worlds, far too long to only notice deadlines between components.
+    if (options.cancel != nullptr && mask % check_step == 0) {
+      PHOM_RETURN_NOT_OK(options.cancel->Check());
+    }
     if (stats != nullptr) ++stats->worlds;
     DiGraph world = build_world(mask);
     PHOM_ASSIGN_OR_RETURN(bool hom,
@@ -103,7 +110,18 @@ Result<Num> SolveByMatchLineageT(const DiGraph& query,
   std::set<std::vector<uint32_t>> images;
   uint64_t matches = 0;
   bool exhausted = false;
+  const uint64_t check_step =
+      options.cancel_check_interval == 0 ? 1 : options.cancel_check_interval;
+  Status interrupted = Status::OK();
+  uint64_t visited = 0;  // every enumerated assignment, unlike `matches`,
+                         // which skips impossible (zero-probability) images
   auto collect = [&](const std::vector<VertexId>& assignment) {
+    // Same in-component yield point as world enumeration: match
+    // enumeration is exponential in the worst case too.
+    if (options.cancel != nullptr && visited++ % check_step == 0) {
+      interrupted = options.cancel->Check();
+      if (!interrupted.ok()) return false;
+    }
     std::vector<uint32_t> image;
     image.reserve(query.num_edges());
     for (const Edge& qe : query.edges()) {
@@ -126,6 +144,7 @@ Result<Num> SolveByMatchLineageT(const DiGraph& query,
       uint64_t total,
       ForEachHomomorphism(query, g, collect, options.backtrack));
   (void)total;
+  if (!interrupted.ok()) return interrupted;
   if (exhausted) {
     return Status::ResourceExhausted("match-lineage exceeded max_matches");
   }

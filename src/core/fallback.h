@@ -28,6 +28,17 @@ struct FallbackOptions {
   BacktrackOptions backtrack;
   /// Cap on enumerated homomorphisms for the match-lineage solver.
   uint64_t max_matches = 200'000;
+  /// Cooperative interruption INSIDE a single hard component (non-owning;
+  /// null = never interrupted). The world-enumeration and match-enumeration
+  /// loops consult the token every cancel_check_interval iterations and
+  /// abort with its Check() status — so a 2^m enumeration no longer runs to
+  /// completion after its request's deadline has lapsed. Dispatch threads
+  /// SolveOptions::cancel in here automatically (engines.cc).
+  const CancelToken* cancel = nullptr;
+  /// Worlds/matches between token checks (0 behaves as 1). The default
+  /// keeps the check overhead well under 1% of a world's hom test while
+  /// bounding the post-deadline overrun to ~a millisecond of work.
+  uint64_t cancel_check_interval = 1024;
 };
 
 struct FallbackStats {

@@ -1,15 +1,30 @@
 #include "src/core/monte_carlo.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace phom {
+
+namespace {
+
+double HalfWidth95(uint64_t hits, uint64_t samples) {
+  double p = static_cast<double>(hits) / static_cast<double>(samples);
+  return 1.96 * std::sqrt(p * (1.0 - p) / static_cast<double>(samples));
+}
+
+}  // namespace
 
 Result<MonteCarloEstimate> EstimateProbabilityMonteCarlo(
     const DiGraph& query, const ProbGraph& instance, uint64_t seed,
     const MonteCarloOptions& options) {
   MonteCarloEstimate out;
-  out.samples = options.samples;
   if (options.samples == 0) return Status::Invalid("samples must be > 0");
+  const uint64_t min_samples = std::min(options.min_samples, options.samples);
+  const uint64_t check_step =
+      options.check_interval == 0 ? 1 : options.check_interval;
+  // The floor after which the target-ε rule may stop (never at 0 samples:
+  // an empty estimate has a degenerate half-width of 0).
+  const uint64_t target_floor = std::max<uint64_t>(min_samples, 1);
 
   const DiGraph& g = instance.graph();
   // Pre-convert probabilities once; sampling uses double precision, which is
@@ -22,7 +37,36 @@ Result<MonteCarloEstimate> EstimateProbabilityMonteCarlo(
 
   Rng rng(seed);
   uint64_t hits = 0;
-  for (uint64_t s = 0; s < options.samples; ++s) {
+  uint64_t s = 0;
+  for (; s < options.samples; ++s) {
+    if (s % check_step == 0) {
+      // Chunk boundary: the budget gates. Checking on the sample COUNT (not
+      // wall time) keeps the stopping point — and with it the estimate —
+      // deterministic for a fixed stop cause.
+      if (options.cancel != nullptr) {
+        Status gate = options.cancel->Check();
+        if (!gate.ok()) {
+          // An explicit cancel always aborts; a lapsed deadline aborts only
+          // below the degraded-mode floor, and truncates above it.
+          if (gate.code() == Status::Code::kCancelled || min_samples == 0) {
+            return gate;
+          }
+          if (s >= min_samples) {
+            out.deadline_truncated = true;
+            break;
+          }
+        }
+      }
+      // The target rule requires an INTERIOR estimate: at hits == 0 or
+      // hits == s the normal-approximation half-width degenerates to 0 and
+      // would declare convergence no matter how few samples are in.
+      if (options.target_half_width > 0.0 && s >= target_floor &&
+          hits > 0 && hits < s &&
+          HalfWidth95(hits, s) <= options.target_half_width) {
+        out.converged = true;
+        break;
+      }
+    }
     DiGraph world(g.num_vertices());
     for (EdgeId e = 0; e < g.num_edges(); ++e) {
       if (rng.Bernoulli(probs[e])) {
@@ -34,11 +78,10 @@ Result<MonteCarloEstimate> EstimateProbabilityMonteCarlo(
                           HasHomomorphism(query, world, options.backtrack));
     if (hom) ++hits;
   }
+  out.samples = s;  // >= 1: every stop rule requires at least one sample
   out.hits = hits;
-  out.estimate = static_cast<double>(hits) / options.samples;
-  double p = out.estimate;
-  out.half_width_95 =
-      1.96 * std::sqrt(p * (1.0 - p) / static_cast<double>(options.samples));
+  out.estimate = static_cast<double>(hits) / static_cast<double>(s);
+  out.half_width_95 = HalfWidth95(hits, s);
   return out;
 }
 

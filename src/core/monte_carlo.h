@@ -6,15 +6,44 @@
 
 /// \file monte_carlo.h
 /// Monte Carlo estimation of Pr(G ⇝ H): the standard practical fallback for
-/// #P-hard cells in probabilistic database systems. Samples possible worlds
-/// independently and returns the match frequency with a normal-approximation
-/// confidence half-width. Used as a cross-check and as a baseline in the
-/// ablation benchmarks; NOT exact, unlike everything else in this library.
+/// #P-hard cells in probabilistic database systems (and the FPRAS route of
+/// Amarilli–van Bremen–Gaspard–Meel 2023 for exactly these workloads).
+/// Samples possible worlds independently and returns the match frequency
+/// with a normal-approximation confidence half-width. Used as a cross-check,
+/// as a baseline in the ablation benchmarks, and — via the serve layer's
+/// DegradePolicy (solver.h) — as the budgeted estimator a deadline-
+/// threatened request degrades to. NOT exact, unlike everything else in
+/// this library.
+///
+/// Budgeting: sampling proceeds in chunks of check_interval samples; at each
+/// chunk boundary the estimator consults `cancel` (when given) and the
+/// target-ε stop rule. Given the same (query, instance, seed) and the same
+/// stopping sample count, the estimate is bit-deterministic — the sample
+/// stream is a pure function of the seed, consumed in order.
 
 namespace phom {
 
 struct MonteCarloOptions {
+  /// Hard cap on samples (the whole budget when nothing stops earlier).
   uint64_t samples = 100'000;
+  /// Degraded-mode floor: when > 0, an expired DEADLINE is ignored until
+  /// this many samples are in (bounded overrun — the price of an estimate
+  /// instead of an error), after which it truncates sampling and the
+  /// partial estimate is returned with deadline_truncated set. When 0, an
+  /// expired deadline aborts with DeadlineExceeded like any other kernel.
+  /// An explicit Cancel() always aborts with Cancelled, regardless.
+  uint64_t min_samples = 0;
+  /// Target ε: stop once the 95% confidence half-width is <= this (checked
+  /// at chunk boundaries after max(min_samples, 1) samples; 0 = disabled).
+  /// Only fires on an INTERIOR hit count (0 < hits < samples): at the
+  /// boundaries the normal approximation degenerates to half-width 0, so an
+  /// all-miss/all-hit prefix keeps sampling instead of claiming a met ε.
+  double target_half_width = 0.0;
+  /// Samples between cancel/target checks (0 behaves as 1).
+  uint64_t check_interval = 256;
+  /// Cooperative interruption (non-owning; null = never interrupted).
+  /// Dispatch threads SolveOptions::cancel in here automatically.
+  const CancelToken* cancel = nullptr;
   BacktrackOptions backtrack;
 };
 
@@ -22,8 +51,13 @@ struct MonteCarloEstimate {
   double estimate = 0.0;
   /// 95% confidence half-width (1.96 · sqrt(p(1-p)/n)).
   double half_width_95 = 0.0;
+  /// Samples actually drawn (== options.samples unless a stop rule fired).
   uint64_t samples = 0;
   uint64_t hits = 0;
+  /// Sampling was truncated by an expired deadline after min_samples.
+  bool deadline_truncated = false;
+  /// Sampling stopped early because target_half_width was reached.
+  bool converged = false;
 };
 
 /// Samples worlds of `instance` with the given seed and tests query ⇝ world.

@@ -1,18 +1,10 @@
 #include "src/core/solver.h"
 
+#include <algorithm>
+
 #include "src/core/engine.h"
 
 namespace phom {
-
-Status CancelToken::Check() const {
-  if (cancelled()) {
-    return Status::Cancelled("solve cancelled by caller");
-  }
-  if (expired()) {
-    return Status::DeadlineExceeded("solve deadline exceeded");
-  }
-  return Status::OK();
-}
 
 SolveOptions ApplyOverrides(SolveOptions base, const SolveOverrides& overrides) {
   if (overrides.numeric.has_value()) base.numeric = *overrides.numeric;
@@ -22,6 +14,7 @@ SolveOptions ApplyOverrides(SolveOptions base, const SolveOverrides& overrides) 
   if (overrides.monte_carlo_seed.has_value()) {
     base.monte_carlo_seed = *overrides.monte_carlo_seed;
   }
+  if (overrides.degrade.has_value()) base.degrade = *overrides.degrade;
   return base;
 }
 
@@ -98,6 +91,53 @@ Result<SolveResult> SolvePrepared(const PreparedProblem& prepared,
   out.probability = std::move(answer.exact);
   out.probability_double = answer.approx;
   out.numeric = answer.backend;  // what the engine actually computed in
+  out.degrade = answer.degrade;  // truncation provenance (Monte Carlo)
+  return out;
+}
+
+Result<SolveResult> SolveDegradedMonteCarlo(const PreparedProblem& prepared,
+                                            const SolveOptions& options) {
+  const CancelToken::Clock::time_point start = CancelToken::Clock::now();
+  SolveResult out;
+  out.analysis = prepared.analysis;
+  out.numeric = options.numeric;
+  out.stats.primary = prepared.analysis.algorithm;
+  if (prepared.immediate.has_value()) {
+    // Preparation already decided the answer; "degrading" it would only
+    // replace a free exact answer by an estimate of itself.
+    if (options.numeric == NumericBackend::kExact) {
+      out.probability = *prepared.immediate;
+    }
+    out.probability_double = prepared.immediate->ToDouble();
+    return out;
+  }
+
+  const DegradePolicy& policy = options.degrade;
+  MonteCarloOptions mc = options.monte_carlo;
+  // min_samples >= 1 keeps the estimator from answering DeadlineExceeded:
+  // the whole point of this path is an estimate instead of that error.
+  mc.min_samples = policy.min_samples == 0 ? 1 : policy.min_samples;
+  mc.samples = std::max(policy.max_samples, mc.min_samples);
+  mc.target_half_width = policy.target_half_width;
+  if (options.cancel != nullptr) mc.cancel = options.cancel;
+  PHOM_ASSIGN_OR_RETURN(
+      MonteCarloEstimate est,
+      EstimateProbabilityMonteCarlo(prepared.query, prepared.instance(),
+                                    options.monte_carlo_seed, mc));
+  out.stats.primary = Algorithm::kFallback;
+  out.stats.engine = "monte-carlo";
+  out.stats.worlds = est.samples;
+  out.probability_double = est.estimate;
+  if (options.numeric == NumericBackend::kExact) {
+    // hits/samples is exactly representable; still only an estimate.
+    out.probability = Rational(static_cast<int64_t>(est.hits),
+                               static_cast<int64_t>(est.samples));
+  }
+  out.degrade.degraded = true;
+  out.degrade.estimate = est.estimate;
+  out.degrade.half_width_95 = est.half_width_95;
+  out.degrade.samples_used = est.samples;
+  out.degrade.budget_spent = CancelToken::Clock::now() - start;
   return out;
 }
 

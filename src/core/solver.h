@@ -1,9 +1,10 @@
 #pragma once
 
-#include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "src/core/case.h"
 #include "src/core/fallback.h"
@@ -12,6 +13,7 @@
 #include "src/util/numeric.h"
 #include "src/util/rational.h"
 #include "src/util/result.h"
+#include "src/util/status.h"
 
 /// \file solver.h
 /// The PHom solver: Pr(G ⇝ H) for a query graph G and probabilistic
@@ -32,44 +34,70 @@
 
 namespace phom {
 
-/// Cooperative interruption for long solves (the serve layer's deadline and
-/// cancellation support). Dispatch consults the token at well-defined
-/// yield points — before each component subproblem of a componentwise
-/// engine (Lemma 3.7 loop) — and aborts with DeadlineExceeded / Cancelled
-/// when it fires. A token that never fires changes nothing: the answer is
-/// bit-identical to solving without one.
-///
-/// Thread safety: Cancel/cancelled/Check may race freely (the flag is
-/// atomic). SetDeadline is NOT synchronized — set it before sharing the
-/// token with solving threads.
-class CancelToken {
- public:
-  using Clock = std::chrono::steady_clock;
+class Engine;
 
-  /// Requests cancellation. Cooperative: a solve already past its last
-  /// yield point still completes normally.
-  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
-  bool cancelled() const {
-    return cancelled_.load(std::memory_order_relaxed);
-  }
+// CancelToken (cooperative interruption) lives in src/util/status.h so the
+// leaf kernels can hold one; dispatch consults it before each component
+// subproblem of a componentwise engine (Lemma 3.7 loop), and the kernels
+// consult it INSIDE their world-enumeration / match-enumeration / sampling
+// loops (FallbackOptions / MonteCarloOptions).
 
-  /// Absolute deadline; call before handing the token to solving threads.
-  void SetDeadline(Clock::time_point deadline) { deadline_ = deadline; }
-  bool has_deadline() const {
-    return deadline_ != Clock::time_point::max();
-  }
-  bool expired() const {
-    return has_deadline() && Clock::now() >= deadline_;
-  }
+/// When a serving layer may convert a deadline-threatened exact solve into
+/// a budgeted Monte Carlo estimate (à la Amarilli–van Bremen–Gaspard–Meel
+/// 2023: an FPRAS exists for exactly the #P-hard cells that miss
+/// deadlines).
+enum class DegradeMode : uint8_t {
+  kOff = 0,          ///< deadline misses fail with DeadlineExceeded (default)
+  kOnDeadlineRisk,   ///< re-dispatch to the Monte Carlo estimator instead
+};
 
-  /// OK while the computation may continue; otherwise Cancelled (checked
-  /// first: an explicit cancel beats a deadline that lapsed in parallel)
-  /// or DeadlineExceeded.
-  Status Check() const;
+/// Per-request (or session-default) graceful-degradation policy. With mode
+/// kOnDeadlineRisk, a request whose exact solve hits DeadlineExceeded — at
+/// dequeue, between components, or inside a hard cell via the in-component
+/// yield points — is re-solved by budgeted Monte Carlo sampling with the
+/// remaining time budget, and the result carries DegradeInfo provenance.
+/// Explicit cancellation (CancelToken::Cancel) is never degraded: the
+/// caller asked for the request to stop, not for an estimate.
+struct DegradePolicy {
+  DegradeMode mode = DegradeMode::kOff;
+  /// A degraded estimate is backed by at least this many samples even when
+  /// the deadline has already lapsed (bounded overrun: ~min_samples hom
+  /// tests is the price of an answer instead of an error). Clamped to >= 1.
+  uint64_t min_samples = 512;
+  /// Stop sampling early once the 95% confidence half-width reaches this
+  /// target ε (0 = sample until the deadline or max_samples).
+  double target_half_width = 0.0;
+  /// Hard cap on degraded sampling.
+  uint64_t max_samples = 1'000'000;
+};
 
- private:
-  std::atomic<bool> cancelled_{false};
-  Clock::time_point deadline_ = Clock::time_point::max();
+/// THE degrade trigger, shared by every conversion site (EvalSession's
+/// serial path and the serve executor's gates/merges must never drift):
+/// only a deadline miss converts — explicit cancellation and every other
+/// error pass through — and only under mode kOnDeadlineRisk.
+inline bool ShouldDegradeStatus(const Status& status,
+                                const DegradePolicy& policy) {
+  return status.code() == Status::Code::kDeadlineExceeded &&
+         policy.mode == DegradeMode::kOnDeadlineRisk;
+}
+
+/// Degradation provenance, set on results produced by the Monte Carlo
+/// degradation path (SolveDegradedMonteCarlo / the serve layer's
+/// DegradePolicy re-dispatch), and on forced "monte-carlo" engine runs
+/// whose sampling was truncated by a lapsed deadline. All-default on exact
+/// results.
+struct DegradeInfo {
+  /// The result is a Monte Carlo ESTIMATE, not the exact probability.
+  bool degraded = false;
+  /// The estimate (== probability_double; duplicated so provenance survives
+  /// callers that only forward the numeric fields).
+  double estimate = 0.0;
+  /// 95% confidence half-width of the estimate.
+  double half_width_95 = 0.0;
+  /// Samples backing the estimate.
+  uint64_t samples_used = 0;
+  /// Wall time the degraded sampling run consumed.
+  std::chrono::nanoseconds budget_spent{0};
 };
 
 struct SolveOptions {
@@ -86,12 +114,19 @@ struct SolveOptions {
   NumericBackend numeric = NumericBackend::kExact;
   FallbackOptions fallback;
   /// Budget/seed for the (non-exact) "monte-carlo" engine, which is only
-  /// reachable via force_engine.
+  /// reachable via force_engine or the degradation path.
   MonteCarloOptions monte_carlo;
   uint64_t monte_carlo_seed = 20170514;
+  /// Graceful degradation under deadline pressure (serve layer /
+  /// EvalSession::Solve): see DegradePolicy. Off by default.
+  DegradePolicy degrade;
   /// Cooperative interruption hook (non-owning; null = never interrupted).
-  /// Checked before each component subproblem of a componentwise dispatch;
-  /// see CancelToken. The pointee must outlive the solve.
+  /// Checked before each component subproblem of a componentwise dispatch
+  /// AND inside the fallback/Monte Carlo loops (dispatch copies this
+  /// pointer into FallbackOptions/MonteCarloOptions, overriding any token
+  /// set there when non-null; a token set directly on those options is
+  /// honored otherwise); see CancelToken (util/status.h). The pointee must
+  /// outlive the solve.
   const CancelToken* cancel = nullptr;
 };
 
@@ -103,6 +138,7 @@ struct SolveOverrides {
   std::optional<NumericBackend> numeric;
   std::optional<std::string> force_engine;
   std::optional<uint64_t> monte_carlo_seed;
+  std::optional<DegradePolicy> degrade;
 };
 
 SolveOptions ApplyOverrides(SolveOptions base, const SolveOverrides& overrides);
@@ -130,6 +166,11 @@ struct SolveResult {
   NumericBackend numeric = NumericBackend::kExact;
   CaseAnalysis analysis;
   SolveStats stats;
+  /// Degradation provenance: degrade.degraded is true iff this result is a
+  /// budgeted Monte Carlo estimate produced under deadline pressure (then
+  /// probability_double == degrade.estimate, and `probability` is the
+  /// exactly-represented hits/samples under the exact backend).
+  DegradeInfo degrade;
 };
 
 class Solver {
@@ -148,30 +189,63 @@ class Solver {
 Result<SolveResult> SolvePrepared(const PreparedProblem& prepared,
                                   const SolveOptions& options);
 
+/// Budgeted Monte Carlo degradation of a deadline-threatened request: the
+/// back half of DegradePolicy. Re-solves `prepared` with the Monte Carlo
+/// estimator under options.degrade's budget (min_samples floor, optional
+/// target ε, max_samples cap), honoring options.cancel — an expired
+/// deadline truncates sampling once min_samples are in; an explicit cancel
+/// aborts with Cancelled. The result carries full DegradeInfo provenance
+/// (estimate, half-width, samples_used, budget_spent). Problems whose
+/// prepared answer is immediate return that EXACT answer un-degraded (it is
+/// free). Deterministic per (prepared, seed, stop cause).
+Result<SolveResult> SolveDegradedMonteCarlo(const PreparedProblem& prepared,
+                                            const SolveOptions& options);
+
 // ---------------------------------------------------------------------------
 // Within-query component parallelism (used by the serve layer, serve/).
 //
 // When dispatch routes a prepared problem through a componentwise engine
 // (Engine::componentwise(): the Lemma 3.7 per-component combine), the
 // component subproblems are independent and may be solved on different
-// threads. SolvePreparedComponent solves one component; the index-ordered
-// CombinePreparedComponents merge then reproduces SolvePrepared's answer BIT
-// FOR BIT (same operations in the same order, in both numeric backends).
+// threads. PlanComponentDispatch resolves the engine ONCE per query (the
+// registry scan takes a shared_mutex — re-resolving per component task made
+// the lock a hot spot under fan-out); SolvePreparedComponent solves one
+// component against the plan; the index-ordered CombinePreparedComponents
+// merge then reproduces SolvePrepared's answer BIT FOR BIT (same operations
+// in the same order, in both numeric backends).
 // ---------------------------------------------------------------------------
 
-/// Number of independent component subproblems dispatch would solve for
-/// `prepared` under `options`, or 0 when the problem is not componentwise
-/// (immediate answers, whole-forest engines, engine-selection errors, fewer
-/// than two components) — callers solve such problems with one SolvePrepared
-/// call.
+/// A componentwise dispatch plan: the engine resolved once per query, shared
+/// by every component task. Valid for the registry's lifetime (engines are
+/// never removed).
+struct ComponentDispatch {
+  /// Non-null iff the problem should be fanned out (then componentwise).
+  const Engine* engine = nullptr;
+  /// The selection was forced (the caller reports the engine's own
+  /// algorithm as primary, exactly like SolvePrepared).
+  bool forced = false;
+  /// Independent component subproblems, 0 when the problem is not
+  /// componentwise (immediate answers, whole-forest engines, engine-
+  /// selection errors — which must surface through the ordinary
+  /// SolvePrepared path, identically — or fewer than two components);
+  /// callers solve such problems with one SolvePrepared call.
+  size_t components = 0;
+};
+
+ComponentDispatch PlanComponentDispatch(const PreparedProblem& prepared,
+                                        const SolveOptions& options);
+
+/// Convenience: PlanComponentDispatch(prepared, options).components.
 size_t PreparedComponentParallelism(const PreparedProblem& prepared,
                                     const SolveOptions& options);
 
-/// Solves component `component_index` only. Requires
-/// component_index < PreparedComponentParallelism(prepared, options).
-/// The result's probability is the component's own success probability
-/// (NOT yet combined) plus that component's stats.
+/// Solves component `component_index` only, against a plan from
+/// PlanComponentDispatch (requires dispatch.engine != nullptr and
+/// component_index < dispatch.components — no registry access happens
+/// here). The result's probability is the component's own success
+/// probability (NOT yet combined) plus that component's stats.
 Result<SolveResult> SolvePreparedComponent(const PreparedProblem& prepared,
+                                           const ComponentDispatch& dispatch,
                                            size_t component_index,
                                            const SolveOptions& options);
 
@@ -179,8 +253,8 @@ Result<SolveResult> SolvePreparedComponent(const PreparedProblem& prepared,
 /// answer SolvePrepared would produce: first failing component's status in
 /// index order, else the Lemma 3.7 combine and summed stats.
 Result<SolveResult> CombinePreparedComponents(
-    const PreparedProblem& prepared, const SolveOptions& options,
-    std::vector<Result<SolveResult>> components);
+    const PreparedProblem& prepared, const ComponentDispatch& dispatch,
+    const SolveOptions& options, std::vector<Result<SolveResult>> components);
 
 /// One-call convenience. Always exact: a stray options.numeric = kDouble is
 /// overridden to kExact (the Rational return type promises exactness).

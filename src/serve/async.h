@@ -52,6 +52,10 @@ struct RequestState {
   SolveOptions options;
   CancelToken cancel;
   PreparedProblem prepared{DiGraph(0), nullptr, std::nullopt, {}};
+  /// Engine resolved ONCE at submit (PlanComponentDispatch, solver.h);
+  /// component tasks reuse it instead of re-scanning the registry under its
+  /// shared_mutex. Empty (components == 0) for whole-request tasks.
+  ComponentDispatch dispatch;
 
   // --- Component fan-out (same discipline as PR 3's BatchState: each part
   // slot is written by exactly one task; the last finisher's acq_rel
@@ -99,10 +103,13 @@ class SolveTicket {
   /// observes the moved-from remains.
   Result<SolveResult> Take();
 
-  /// Requests cooperative cancellation (CancelToken, solver.h): the request
-  /// aborts with Cancelled at its next yield point — at dequeue, or between
-  /// component subproblems. Returns true when the request had not yet
-  /// completed (delivery in time is still a race the solve may win).
+  /// Requests cooperative cancellation (CancelToken, util/status.h): the
+  /// request aborts with Cancelled at its next yield point — at dequeue,
+  /// between component subproblems, or (fine granularity) inside a hard
+  /// cell's enumeration / sampling loop. Returns true when the request had
+  /// not yet completed (delivery in time is still a race the solve may
+  /// win). Cancellation is never converted by a DegradePolicy: a cancelled
+  /// request answers Cancelled, not an estimate.
   bool Cancel();
 
   /// Snapshot of the request's timeline (request.h). Safe to call at any

@@ -82,6 +82,7 @@ void BatchExecutor::Finish(
   {
     std::lock_guard<std::mutex> lock(req.mu);
     req.stats.finished = RequestClock::now();
+    req.stats.degraded = result.ok() && result->degrade.degraded;
     if (!req.started_recorded) {
       // The request never ran a task (rejected / expired / cancelled at or
       // before dequeue): it spent its whole life in the queue.
@@ -119,6 +120,26 @@ void BatchExecutor::Finish(
   finish_cv_.notify_all();
 }
 
+void BatchExecutor::FinishOrDegrade(
+    const std::shared_ptr<internal::RequestState>& request,
+    Result<SolveResult> result) {
+  internal::RequestState& req = *request;
+  if (!result.ok() && ShouldDegradeStatus(result.status(), req.options.degrade)) {
+    // Deadline miss → budgeted Monte Carlo estimate, right here on the
+    // thread that detected the miss (submission order and neighbors are
+    // unaffected; the sampling floor bounds the overrun). Cancellation is
+    // NOT converted — only DeadlineExceeded reaches this branch.
+    req.work_started.store(true, std::memory_order_relaxed);
+    try {
+      result = SolveDegradedMonteCarlo(req.prepared, req.options);
+    } catch (const std::exception& e) {
+      result =
+          Status::Invalid(std::string("serve: degrade exception: ") + e.what());
+    }
+  }
+  Finish(request, std::move(result));
+}
+
 void BatchExecutor::RunTask(const Task& task) {
   internal::RequestState& req = *task.request;
   {
@@ -137,7 +158,7 @@ void BatchExecutor::RunTask(const Task& task) {
   // result instead (serial solving would have thrown to the caller).
   if (task.component < 0) {
     if (!gate.ok()) {
-      Finish(task.request, gate);
+      FinishOrDegrade(task.request, gate);
       return;
     }
     req.work_started.store(true, std::memory_order_relaxed);
@@ -148,7 +169,7 @@ void BatchExecutor::RunTask(const Task& task) {
       result =
           Status::Invalid(std::string("serve: worker exception: ") + e.what());
     }
-    Finish(task.request, std::move(result));
+    FinishOrDegrade(task.request, std::move(result));
     return;
   }
   const size_t c = static_cast<size_t>(task.component);
@@ -159,7 +180,8 @@ void BatchExecutor::RunTask(const Task& task) {
   } else {
     req.work_started.store(true, std::memory_order_relaxed);
     try {
-      req.parts[c] = SolvePreparedComponent(req.prepared, c, req.options);
+      req.parts[c] =
+          SolvePreparedComponent(req.prepared, req.dispatch, c, req.options);
     } catch (const std::exception& e) {
       req.parts[c] =
           Status::Invalid(std::string("serve: worker exception: ") + e.what());
@@ -169,13 +191,13 @@ void BatchExecutor::RunTask(const Task& task) {
   if (req.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
     Result<SolveResult> merged = PendingResult();
     try {
-      merged = CombinePreparedComponents(req.prepared, req.options,
-                                         std::move(req.parts));
+      merged = CombinePreparedComponents(req.prepared, req.dispatch,
+                                         req.options, std::move(req.parts));
     } catch (const std::exception& e) {
       merged =
           Status::Invalid(std::string("serve: merge exception: ") + e.what());
     }
-    Finish(task.request, std::move(merged));
+    FinishOrDegrade(task.request, std::move(merged));
   }
 }
 
@@ -218,9 +240,12 @@ SolveTicket BatchExecutor::Submit(EvalSession& session, SolveRequest request,
     return ticket;
   }
   // Fail fast on an already-lapsed deadline: nothing is prepared and the
-  // session is never touched (its stats see no query).
+  // session is never touched (its stats see no query). Exception: with the
+  // degrade policy on, an expired deadline is exactly what the policy
+  // converts — prepare and enqueue normally so a worker (whose dequeue gate
+  // will fail) produces the budgeted estimate instead of the error.
   const Status gate = state->cancel.Check();
-  if (!gate.ok()) {
+  if (!gate.ok() && !ShouldDegradeStatus(gate, state->options.degrade)) {
     Finish(state, gate);
     return ticket;
   }
@@ -229,10 +254,11 @@ SolveTicket BatchExecutor::Submit(EvalSession& session, SolveRequest request,
     // half of a solve, and doing it here fixes the context-cache population
     // order so session stats match serial execution.
     state->prepared = session.Prepare(*state->query);
-    const size_t parallelism =
-        options_.split_components
-            ? PreparedComponentParallelism(state->prepared, state->options)
-            : 0;
+    if (options_.split_components) {
+      // One registry scan per query; every component task reuses the plan.
+      state->dispatch = PlanComponentDispatch(state->prepared, state->options);
+    }
+    const size_t parallelism = state->dispatch.components;
     if (parallelism == 0) {
       EnqueueTask(Task{state, -1});
     } else {

@@ -20,12 +20,28 @@
 /// The front door is ASYNCHRONOUS: Submit accepts a SolveRequest
 /// (request.h) and returns a SolveTicket (async.h) immediately — the
 /// submitter does not help drain. Per-request deadlines are enforced at
-/// three points: at submit (already expired → fail fast, nothing is
+/// four points: at submit (already expired → fail fast, nothing is
 /// prepared), at dequeue (expired before start → DeadlineExceeded without
-/// solving) and between component subproblems (the CancelToken yield points
-/// in solver.h/engines.cc). Cooperative cancellation uses the same token,
-/// via SolveTicket::Cancel. An expired or cancelled request fails only
-/// itself: its neighbors' tasks and results are untouched.
+/// solving), between component subproblems, and INSIDE a single hard
+/// component's world-enumeration / sampling loop (the CancelToken yield
+/// points in solver.h/engines.cc/fallback.cc/monte_carlo.cc). Cooperative
+/// cancellation uses the same token, via SolveTicket::Cancel. An expired or
+/// cancelled request fails only itself: its neighbors' tasks and results
+/// are untouched.
+///
+/// GRACEFUL DEGRADATION (DegradePolicy, solver.h): with mode
+/// kOnDeadlineRisk — set on the session's base options or per request via
+/// SolveRequest overrides — a request whose exact solve would answer
+/// DeadlineExceeded is instead re-dispatched, on the thread that detected
+/// the miss, to the budgeted Monte Carlo estimator with whatever time
+/// budget remains (floor: policy.min_samples samples). The converted
+/// result is OK, carries SolveResult::degrade provenance (estimate,
+/// half-width, samples_used, budget_spent) and marks RequestStats::degraded.
+/// At submit, an already-expired deadline then no longer fails fast: the
+/// request is prepared and enqueued so a worker produces the estimate.
+/// Explicit cancellation always answers Cancelled — with the policy on, a
+/// ticket therefore resolves to exactly one of {exact result, degraded
+/// estimate, Cancelled}.
 ///
 /// The synchronous API (SolveBatch/SolveItems) is a thin submit+wait
 /// wrapper over the same path; while waiting, the calling thread helps
@@ -146,6 +162,11 @@ class BatchExecutor {
   void RunTask(const Task& task);
   void Finish(const std::shared_ptr<internal::RequestState>& request,
               Result<SolveResult> result);
+  /// Finish, but a DeadlineExceeded result is first converted into a
+  /// budgeted Monte Carlo estimate when the request's DegradePolicy allows
+  /// (the degraded solve runs on the calling thread).
+  void FinishOrDegrade(const std::shared_ptr<internal::RequestState>& request,
+                       Result<SolveResult> result);
   void WorkerLoop();
   bool AllRequestsFinished();
 

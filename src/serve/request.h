@@ -34,11 +34,24 @@ struct SolveRequest {
   /// spawned for it.
   std::shared_ptr<const DiGraph> query;
   /// Absolute deadline. Checked at submit (expired → fail fast, nothing is
-  /// prepared), at dequeue (expired before start → DeadlineExceeded without
-  /// solving) and between component subproblems (CancelToken, solver.h).
+  /// prepared — unless the degrade policy is on, see below), at dequeue
+  /// (expired before start → DeadlineExceeded without solving), between
+  /// component subproblems, and — since the in-component yield points —
+  /// every few thousand iterations INSIDE a hard cell's world enumeration
+  /// and the Monte Carlo sampling loop (CancelToken, util/status.h).
+  ///
+  /// With DegradePolicy mode kOnDeadlineRisk (session default or the
+  /// per-request override below), a deadline miss anywhere past submit is
+  /// converted into a budgeted Monte Carlo ESTIMATE instead of a
+  /// DeadlineExceeded error: the request is re-dispatched to the
+  /// "monte-carlo" engine with whatever budget remains (at minimum
+  /// policy.min_samples samples), and the result carries DegradeInfo
+  /// provenance (SolveResult::degrade). An already-expired deadline at
+  /// submit then prepares and enqueues normally so a worker can produce the
+  /// estimate. Explicit Cancel() is never degraded.
   std::optional<RequestClock::time_point> deadline;
   /// Per-request overrides of the session's base SolveOptions: numeric
-  /// backend, forced engine, Monte Carlo seed (solver.h).
+  /// backend, forced engine, Monte Carlo seed, degrade policy (solver.h).
   SolveOverrides overrides;
 
   SolveRequest() = default;
@@ -71,6 +84,17 @@ struct SolveRequest {
     overrides.monte_carlo_seed = seed;
     return *this;
   }
+  SolveRequest& WithDegrade(DegradePolicy policy) {
+    overrides.degrade = policy;
+    return *this;
+  }
+  /// Degrade on deadline risk with the policy's default budget knobs.
+  SolveRequest& WithDegradeOnDeadlineRisk() {
+    DegradePolicy policy;
+    policy.mode = DegradeMode::kOnDeadlineRisk;
+    overrides.degrade = policy;
+    return *this;
+  }
 
   /// A non-owning view of a caller-kept query. ONLY for synchronous
   /// submit+wait paths: the caller must keep `query_graph` alive until the
@@ -97,6 +121,10 @@ struct RequestStats {
   /// work ran (it spent its whole life in the queue).
   bool expired_before_start = false;
   bool cancelled_before_start = false;
+  /// The request's exact solve hit its deadline and was converted into a
+  /// budgeted Monte Carlo estimate (DegradePolicy); the result is OK and
+  /// carries SolveResult::degrade provenance.
+  bool degraded = false;
 
   std::chrono::nanoseconds queue_delay() const { return started - enqueued; }
   std::chrono::nanoseconds solve_time() const { return finished - started; }

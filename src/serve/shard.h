@@ -20,6 +20,12 @@
 /// Solve/SolveBatch/SolveRequests are thin submit+wait wrappers over the
 /// same path, kept for callers that want blocking semantics.
 ///
+/// Graceful degradation: set ShardedServerOptions::solve.degrade (server-
+/// wide default) or the per-request SolveRequest override to
+/// DegradeMode::kOnDeadlineRisk and deadline-threatened requests answer a
+/// budgeted Monte Carlo estimate with DegradeInfo provenance instead of
+/// DeadlineExceeded — see executor.h for the full semantics.
+///
 /// Thread safety: every public method may be called from many threads at
 /// once (sessions, the LRU and the executor are individually thread-safe).
 /// Determinism: every request that completes answers bit-identically to

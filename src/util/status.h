@@ -1,5 +1,7 @@
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -9,7 +11,10 @@
 /// Arrow/RocksDB-style error model: fallible operations return a Status (or a
 /// Result<T>, see result.h) instead of throwing. Internal invariant violations
 /// use PHOM_CHECK, which throws std::logic_error (they indicate bugs, not
-/// recoverable conditions).
+/// recoverable conditions). Also home of CancelToken, the cooperative
+/// interruption primitive whose Check() speaks this error model — it lives
+/// here (not in solver.h) so the leaf kernels (fallback.h, monte_carlo.h)
+/// can hold a token without depending on the dispatch layer.
 
 namespace phom {
 
@@ -67,6 +72,56 @@ class Status {
 
   Code code_;
   std::string message_;
+};
+
+/// Cooperative interruption for long solves (the serve layer's deadline and
+/// cancellation support). Computations consult the token at well-defined
+/// yield points — before each component subproblem of a componentwise
+/// dispatch (solver.h), and every cancel_check_interval iterations INSIDE
+/// the world-enumeration / match-enumeration / Monte Carlo sampling loops
+/// (fallback.h, monte_carlo.h) — and abort with DeadlineExceeded / Cancelled
+/// when it fires. A token that never fires changes nothing: the answer is
+/// bit-identical to solving without one.
+///
+/// Thread safety: Cancel/cancelled/Check may race freely (the flag is
+/// atomic). SetDeadline is NOT synchronized — set it before sharing the
+/// token with solving threads.
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Requests cancellation. Cooperative: a solve already past its last
+  /// yield point still completes normally.
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// Absolute deadline; call before handing the token to solving threads.
+  void SetDeadline(Clock::time_point deadline) { deadline_ = deadline; }
+  bool has_deadline() const {
+    return deadline_ != Clock::time_point::max();
+  }
+  bool expired() const {
+    return has_deadline() && Clock::now() >= deadline_;
+  }
+
+  /// OK while the computation may continue; otherwise Cancelled (checked
+  /// first: an explicit cancel beats a deadline that lapsed in parallel)
+  /// or DeadlineExceeded.
+  Status Check() const {
+    if (cancelled()) {
+      return Status::Cancelled("solve cancelled by caller");
+    }
+    if (expired()) {
+      return Status::DeadlineExceeded("solve deadline exceeded");
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  Clock::time_point deadline_ = Clock::time_point::max();
 };
 
 namespace internal {

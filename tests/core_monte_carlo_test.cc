@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <cmath>
+
 #include "src/core/solver.h"
 #include "src/graph/builders.h"
 #include "src/graph/generators.h"
@@ -73,6 +76,132 @@ TEST(MonteCarlo, RejectsZeroSamples) {
   options.samples = 0;
   EXPECT_FALSE(
       EstimateProbabilityMonteCarlo(MakeOneWayPath(1), h, 1, options).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Budgeted sampling: the fine-grained cancellation and stop rules the serve
+// layer's degradation path relies on (all deterministic: the token states
+// are fixed before the call).
+// ---------------------------------------------------------------------------
+
+ProbGraph HalfEdgePath(size_t edges) {
+  ProbGraph h(edges + 1);
+  for (size_t v = 0; v < edges; ++v) {
+    AddEdgeOrDie(&h, v, v + 1, 0, Rational::Half());
+  }
+  return h;
+}
+
+TEST(MonteCarloBudget, CancelledTokenAbortsRegardlessOfMinSamples) {
+  ProbGraph h = HalfEdgePath(3);
+  CancelToken token;
+  token.Cancel();
+  MonteCarloOptions options;
+  options.samples = 10'000;
+  options.min_samples = 100;  // a floor never outranks an explicit cancel
+  options.cancel = &token;
+  Result<MonteCarloEstimate> e =
+      EstimateProbabilityMonteCarlo(MakeOneWayPath(1), h, 3, options);
+  ASSERT_FALSE(e.ok());
+  EXPECT_EQ(e.status().code(), Status::Code::kCancelled);
+}
+
+TEST(MonteCarloBudget, ExpiredDeadlineWithoutFloorIsDeadlineExceeded) {
+  ProbGraph h = HalfEdgePath(3);
+  CancelToken token;
+  token.SetDeadline(CancelToken::Clock::now() - std::chrono::seconds(1));
+  MonteCarloOptions options;
+  options.samples = 10'000;  // min_samples = 0: behave like any exact kernel
+  options.cancel = &token;
+  Result<MonteCarloEstimate> e =
+      EstimateProbabilityMonteCarlo(MakeOneWayPath(1), h, 3, options);
+  ASSERT_FALSE(e.ok());
+  EXPECT_EQ(e.status().code(), Status::Code::kDeadlineExceeded);
+}
+
+TEST(MonteCarloBudget, ExpiredDeadlineTruncatesAtTheFloorDeterministically) {
+  ProbGraph h = HalfEdgePath(3);
+  CancelToken token;
+  token.SetDeadline(CancelToken::Clock::now() - std::chrono::seconds(1));
+  MonteCarloOptions options;
+  options.samples = 1'000'000;
+  options.min_samples = 512;
+  options.check_interval = 128;  // divides the floor: stop exactly there
+  options.cancel = &token;
+  Result<MonteCarloEstimate> e =
+      EstimateProbabilityMonteCarlo(MakeOneWayPath(2), h, 5, options);
+  ASSERT_TRUE(e.ok());
+  EXPECT_TRUE(e->deadline_truncated);
+  EXPECT_FALSE(e->converged);
+  EXPECT_EQ(e->samples, 512u);
+  EXPECT_DOUBLE_EQ(e->estimate,
+                   static_cast<double>(e->hits) / static_cast<double>(512));
+
+  // Same seed, same floor → bit-identical truncated estimate.
+  Result<MonteCarloEstimate> again =
+      EstimateProbabilityMonteCarlo(MakeOneWayPath(2), h, 5, options);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->hits, e->hits);
+  EXPECT_EQ(again->samples, e->samples);
+}
+
+TEST(MonteCarloBudget, TargetHalfWidthStopsEarlyWithConsistentEstimate) {
+  ProbGraph h = HalfEdgePath(2);
+  MonteCarloOptions options;
+  options.samples = 1'000'000;
+  options.target_half_width = 0.05;
+  options.check_interval = 64;
+  Result<MonteCarloEstimate> e =
+      EstimateProbabilityMonteCarlo(MakeOneWayPath(1), h, 11, options);
+  ASSERT_TRUE(e.ok());
+  EXPECT_TRUE(e->converged);
+  EXPECT_FALSE(e->deadline_truncated);
+  EXPECT_LT(e->samples, 1'000'000u) << "must stop well before the cap";
+  EXPECT_LE(e->half_width_95, 0.05);
+  double p = e->estimate;
+  EXPECT_DOUBLE_EQ(
+      e->half_width_95,
+      1.96 * std::sqrt(p * (1.0 - p) / static_cast<double>(e->samples)));
+}
+
+TEST(MonteCarloBudget, TargetRuleIgnoresDegenerateBoundaryEstimates) {
+  // True p = 0: every chunk boundary sees hits == 0, where the normal
+  // approximation degenerates to half-width 0. The target rule must NOT
+  // declare convergence on that — the run goes to the sample cap.
+  ProbGraph zero(3);
+  AddEdgeOrDie(&zero, 0, 1, 0, Rational::Zero());
+  AddEdgeOrDie(&zero, 1, 2, 0, Rational::Zero());
+  MonteCarloOptions options;
+  options.samples = 1'000;
+  options.target_half_width = 0.1;
+  options.check_interval = 64;
+  Result<MonteCarloEstimate> e =
+      EstimateProbabilityMonteCarlo(MakeOneWayPath(2), zero, 23, options);
+  ASSERT_TRUE(e.ok());
+  EXPECT_FALSE(e->converged)
+      << "an all-miss prefix must not claim a met confidence target";
+  EXPECT_EQ(e->samples, 1'000u);
+  EXPECT_EQ(e->hits, 0u);
+}
+
+TEST(MonteCarloBudget, IdleTokenChangesNothing) {
+  ProbGraph h = HalfEdgePath(4);
+  MonteCarloOptions plain;
+  plain.samples = 2'000;
+  MonteCarloEstimate baseline =
+      *EstimateProbabilityMonteCarlo(MakeOneWayPath(2), h, 17, plain);
+
+  CancelToken idle;
+  idle.SetDeadline(CancelToken::Clock::now() + std::chrono::hours(1));
+  MonteCarloOptions gated = plain;
+  gated.cancel = &idle;
+  gated.min_samples = 100;
+  MonteCarloEstimate e =
+      *EstimateProbabilityMonteCarlo(MakeOneWayPath(2), h, 17, gated);
+  EXPECT_EQ(e.hits, baseline.hits);
+  EXPECT_EQ(e.samples, baseline.samples);
+  EXPECT_FALSE(e.deadline_truncated);
+  EXPECT_FALSE(e.converged);
 }
 
 }  // namespace

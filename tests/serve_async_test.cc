@@ -47,80 +47,16 @@ using test_util::MixedServeInstance;
 using test_util::MixedServeQueries;
 
 // ---------------------------------------------------------------------------
-// A deterministic "slow" engine: Solve blocks on a process-wide gate until
-// the test opens it. Forced per request via overrides.force_engine, so the
-// test controls exactly when a worker is busy (register-before-serve: the
-// registration happens on first use, before any pool touches the registry).
+// The deterministic "slow" engine harness (Gate/GateEngine/GateOpener)
+// lives in tests/test_util.h, shared with serve_degrade_test.cc.
 // ---------------------------------------------------------------------------
 
-struct Gate {
-  std::mutex mu;
-  std::condition_variable cv;
-  int entered = 0;  ///< guarded by mu
-  bool open = false;  ///< guarded by mu
-
-  void Enter() {
-    std::unique_lock<std::mutex> lock(mu);
-    ++entered;
-    cv.notify_all();
-    cv.wait(lock, [this] { return open; });
-  }
-  void AwaitEntered(int n) {
-    std::unique_lock<std::mutex> lock(mu);
-    cv.wait(lock, [this, n] { return entered >= n; });
-  }
-  void Open() {
-    {
-      std::lock_guard<std::mutex> lock(mu);
-      open = true;
-    }
-    cv.notify_all();
-  }
-  void Reset() {
-    std::lock_guard<std::mutex> lock(mu);
-    open = false;
-    entered = 0;
-  }
-};
-
-Gate* TestGate() {
-  static Gate* gate = new Gate();
-  return gate;
-}
-
-class GateEngine : public Engine {
- public:
-  std::string_view name() const override { return "async-test-gate"; }
-  Algorithm algorithm() const override { return Algorithm::kFallback; }
-  bool exact() const override { return false; }
-  bool Applies(const CaseAnalysis&) const override { return true; }
-  bool AutoMatch(const CaseAnalysis&) const override { return false; }
-  Result<EngineAnswer> Solve(const PreparedProblem&,
-                             const SolveOptions& options,
-                             SolveStats*) const override {
-    TestGate()->Enter();
-    EngineAnswer out;
-    out.backend = options.numeric;
-    out.approx = 0.5;
-    if (options.numeric == NumericBackend::kExact) out.exact = Rational(1, 2);
-    return out;
-  }
-};
+using test_util::GateOpener;
+using test_util::TestGate;
 
 void EnsureGateEngineRegistered() {
-  static bool registered = [] {
-    EngineRegistry::Global().Register(std::make_unique<GateEngine>());
-    return true;
-  }();
-  (void)registered;
+  test_util::EnsureGateEngineRegistered("async-test-gate");
 }
-
-/// Opens the gate on scope exit so a failing ASSERT cannot leave a worker
-/// parked forever (declare AFTER the executor: destroyed first, the
-/// executor's draining destructor then finds the gate open).
-struct GateOpener {
-  ~GateOpener() { TestGate()->Open(); }
-};
 
 // ---------------------------------------------------------------------------
 // Shared corpus + bitwise comparison helper.

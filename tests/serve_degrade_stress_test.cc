@@ -1,0 +1,306 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/core/eval_session.h"
+#include "src/core/solver.h"
+#include "src/graph/builders.h"
+#include "src/graph/generators.h"
+#include "src/serve/async.h"
+#include "src/serve/executor.h"
+#include "src/serve/request.h"
+#include "src/serve/shard.h"
+#include "tests/test_util.h"
+
+/// Slow-tier proof obligations of the degradation pipeline (run under ASan
+/// and TSan in CI):
+///
+///  * STATISTICAL soundness — seeded degraded-MC estimates on the paper's
+///    #P-hard cell corpus agree with the exact answers within a Hoeffding
+///    bound at a fixed sample count, with consistent samples_used /
+///    half-width / budget_spent provenance. The corpus and seeds are fixed,
+///    so the suite is deterministic; the bound's nominal failure mass is
+///    ~1e-9 per case, so a failure means a bug, not bad luck.
+///
+///  * CANCELLATION soundness at every yield point — a fuzz loop fires
+///    Cancel() at randomized instants (and randomized deadlines) across a
+///    mixed corpus served under the degrade policy, asserting every ticket
+///    resolves to exactly ONE of {exact result, degraded estimate,
+///    Cancelled}: no DeadlineExceeded leaks through the policy, no torn
+///    provenance, no leaks (ASan) and no races (TSan).
+
+namespace phom {
+namespace {
+
+using serve::BatchExecutor;
+using serve::ExecutorOptions;
+using serve::RequestClock;
+using serve::ShardedServer;
+using serve::ShardedServerOptions;
+using serve::SolveRequest;
+using serve::SolveTicket;
+using test_util::CellClass;
+using test_util::CrosscheckCase;
+using test_util::MakeCrosscheckCase;
+using test_util::MixedServeInstance;
+using test_util::MixedServeQueries;
+
+// ---------------------------------------------------------------------------
+// Statistical agreement on the hard-cell corpus.
+// ---------------------------------------------------------------------------
+
+/// Two-sided Hoeffding deviation for n samples at failure mass delta:
+/// P(|p̂ - p| >= eps) <= 2 exp(-2 n eps²)  ⇒  eps = sqrt(ln(2/δ) / (2n)).
+double HoeffdingEpsilon(uint64_t n, double delta) {
+  return std::sqrt(std::log(2.0 / delta) / (2.0 * static_cast<double>(n)));
+}
+
+TEST(ServeDegradeStatistical, HardCellEstimatesWithinHoeffdingBound) {
+  constexpr uint64_t kSamples = 4096;
+  constexpr int kCases = 12;
+  // ~1e-9 failure mass per case: across 2 backends x 12 cases the suite
+  // flakes (absent bugs) with probability < 1e-7 — and the seeds are fixed
+  // anyway, so a pass today is a pass forever.
+  const double eps = HoeffdingEpsilon(kSamples, 1e-9);
+
+  Rng rng(test_util::kCrosscheckSeedBase + 77);
+  for (int i = 0; i < kCases; ++i) {
+    CrosscheckCase hard = MakeCrosscheckCase(CellClass::kHardCell, &rng);
+    SCOPED_TRACE("hard-cell case " + std::to_string(i));
+    double exact = SolveProbability(hard.query, hard.instance)->ToDouble();
+
+    for (NumericBackend backend :
+         {NumericBackend::kExact, NumericBackend::kDouble}) {
+      SCOPED_TRACE(std::string("backend=") + ToString(backend));
+      SolveOptions options;
+      options.numeric = backend;
+      EvalSession session(hard.instance, options);
+      BatchExecutor executor(ExecutorOptions{.threads = 2});
+
+      DegradePolicy policy;
+      policy.mode = DegradeMode::kOnDeadlineRisk;
+      policy.min_samples = kSamples;  // expired deadline → exactly kSamples
+      SolveRequest request(hard.query);
+      request.WithDeadline(RequestClock::now() - std::chrono::milliseconds(1))
+          .WithDegrade(policy)
+          .WithMonteCarloSeed(9000 + static_cast<uint64_t>(i));
+      SolveTicket ticket = executor.Submit(session, std::move(request));
+      Result<SolveResult> result = ticket.Get();
+
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      ASSERT_TRUE(result->degrade.degraded);
+      EXPECT_EQ(result->degrade.samples_used, kSamples)
+          << "fixed sample count: the lapsed deadline truncates at the floor";
+      EXPECT_NEAR(result->degrade.estimate, exact, eps)
+          << "Hoeffding bound violated at n=" << kSamples;
+      // Provenance consistency.
+      EXPECT_EQ(result->degrade.estimate, result->probability_double);
+      double p = result->degrade.estimate;
+      EXPECT_DOUBLE_EQ(
+          result->degrade.half_width_95,
+          1.96 * std::sqrt(p * (1.0 - p) / static_cast<double>(kSamples)));
+      EXPECT_GT(result->degrade.budget_spent.count(), 0);
+      EXPECT_LE(result->degrade.budget_spent,
+                ticket.stats().total_time())
+          << "the degraded run is part of the request's lifetime";
+      EXPECT_EQ(result->stats.worlds, kSamples);
+      if (backend == NumericBackend::kExact) {
+        EXPECT_EQ(result->probability.ToDouble(), result->degrade.estimate)
+            << "exact backend carries hits/samples exactly";
+      }
+    }
+  }
+}
+
+TEST(ServeDegradeStatistical, TargetHalfWidthPolicyStopsEarlyAndIsSound) {
+  // With a target ε, degraded sampling stops as soon as the confidence
+  // half-width reaches it — well before the cap — and still agrees with
+  // the exact answer (3x half-width ≈ 6 sigma).
+  Rng rng(test_util::kCrosscheckSeedBase + 177);
+  for (int i = 0; i < 4; ++i) {
+    CrosscheckCase hard = MakeCrosscheckCase(CellClass::kHardCell, &rng);
+    SCOPED_TRACE("hard-cell case " + std::to_string(i));
+    double exact = SolveProbability(hard.query, hard.instance)->ToDouble();
+
+    EvalSession session(hard.instance);
+    BatchExecutor executor(ExecutorOptions{.threads = 1});
+    DegradePolicy policy;
+    policy.mode = DegradeMode::kOnDeadlineRisk;
+    policy.min_samples = 256;
+    policy.target_half_width = 0.04;
+    policy.max_samples = 1'000'000;
+    // An already-lapsed deadline + a target ε exercises the "whichever
+    // stop rule fires first" contract deterministically: sampling runs to
+    // the floor regardless, then stops at the first chunk boundary where
+    // either rule holds — the lapsed deadline guarantees that is at or
+    // shortly past the floor, target met or not.
+    SolveRequest request(hard.query);
+    request.WithDeadline(RequestClock::now() - std::chrono::milliseconds(1))
+        .WithDegrade(policy)
+        .WithMonteCarloSeed(31 + static_cast<uint64_t>(i));
+    SolveTicket ticket = executor.Submit(session, std::move(request));
+    Result<SolveResult> result = ticket.Get();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ASSERT_TRUE(result->degrade.degraded);
+    EXPECT_GE(result->degrade.samples_used, 256u);
+    EXPECT_LE(result->degrade.samples_used, 1'000'000u);
+    EXPECT_NEAR(result->degrade.estimate, exact,
+                3.0 * result->degrade.half_width_95 + 0.05);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cancellation fuzz: Cancel() at randomized points, randomized deadlines.
+// ---------------------------------------------------------------------------
+
+TEST(ServeDegradeFuzz, CancelAtRandomizedPointsResolvesToExactlyOneOutcome) {
+  Rng rng(20260729);
+  ProbGraph instance_a = MixedServeInstance(&rng);
+  ProbGraph instance_b = MixedServeInstance(&rng);
+  std::vector<DiGraph> queries = MixedServeQueries(&rng);
+
+  // Serial exact baselines per (shard, query) for verifying undisturbed
+  // results bit for bit.
+  EvalSession baseline_a(instance_a);
+  EvalSession baseline_b(instance_b);
+  std::vector<std::vector<Result<SolveResult>>> expected;
+  expected.push_back(baseline_a.SolveBatch(queries));
+  expected.push_back(baseline_b.SolveBatch(queries));
+
+  ShardedServerOptions options;
+  options.executor.threads = 4;
+  options.solve.degrade.mode = DegradeMode::kOnDeadlineRisk;
+  options.solve.degrade.min_samples = 64;  // keep degraded runs cheap
+  ShardedServer server({instance_a, instance_b}, options);
+
+  constexpr int kRounds = 25;
+  int outcome_exact = 0;
+  int outcome_degraded = 0;
+  int outcome_cancelled = 0;
+  for (int round = 0; round < kRounds; ++round) {
+    SCOPED_TRACE("round " + std::to_string(round));
+    struct Submitted {
+      SolveTicket ticket;
+      size_t shard;
+      size_t query;
+      bool cancel_planned;
+      int64_t cancel_delay_us;
+    };
+    std::vector<Submitted> submitted;
+    for (size_t q = 0; q < queries.size(); ++q) {
+      Submitted s;
+      s.shard = static_cast<size_t>(rng.UniformInt(0, 1));
+      s.query = q;
+      s.cancel_planned = rng.Bernoulli(0.5);
+      s.cancel_delay_us = rng.UniformInt(0, 3000);
+      SolveRequest request(queries[q], s.shard);
+      // Deadlines from "already lapsed" to "comfortable": every gate and
+      // yield point gets exercised, and the policy must convert every miss.
+      int64_t deadline_us = rng.UniformInt(-500, 20'000);
+      request.WithDeadline(RequestClock::now() +
+                           std::chrono::microseconds(deadline_us));
+      s.ticket = server.Submit(std::move(request));
+      submitted.push_back(std::move(s));
+    }
+    // Fire cancellations from a separate thread at randomized instants.
+    std::thread canceller([&submitted] {
+      for (Submitted& s : submitted) {
+        if (!s.cancel_planned) continue;
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(s.cancel_delay_us));
+        s.ticket.Cancel();
+      }
+    });
+    for (Submitted& s : submitted) {
+      Result<SolveResult> result = s.ticket.Get();
+      SCOPED_TRACE("shard " + std::to_string(s.shard) + " query " +
+                   std::to_string(s.query));
+      if (!result.ok()) {
+        // The ONLY permitted error: explicit cancellation. In particular a
+        // deadline miss must never leak through the policy as
+        // DeadlineExceeded.
+        EXPECT_EQ(result.status().code(), Status::Code::kCancelled);
+        EXPECT_TRUE(s.cancel_planned)
+            << "Cancelled without a Cancel() call: " +
+                   result.status().ToString();
+        EXPECT_FALSE(s.ticket.stats().degraded);
+        ++outcome_cancelled;
+        continue;
+      }
+      if (result->degrade.degraded) {
+        // Degraded estimate: provenance must be internally consistent (no
+        // torn state even when Cancel raced the degraded sampling).
+        EXPECT_GE(result->degrade.samples_used, 1u);
+        EXPECT_EQ(result->degrade.estimate, result->probability_double);
+        EXPECT_GE(result->degrade.estimate, 0.0);
+        EXPECT_LE(result->degrade.estimate, 1.0);
+        EXPECT_GT(result->degrade.budget_spent.count(), 0);
+        EXPECT_TRUE(s.ticket.stats().degraded);
+        ++outcome_degraded;
+        continue;
+      }
+      // Exact result: must match the serial baseline bit for bit.
+      const Result<SolveResult>& want = expected[s.shard][s.query];
+      ASSERT_TRUE(want.ok());
+      EXPECT_EQ(want->probability, result->probability);
+      EXPECT_EQ(want->probability_double, result->probability_double);
+      EXPECT_EQ(want->stats.engine, result->stats.engine);
+      EXPECT_FALSE(s.ticket.stats().degraded);
+      ++outcome_exact;
+    }
+    canceller.join();
+  }
+  // The fuzz only proves something if it actually visited the outcomes.
+  EXPECT_GT(outcome_exact + outcome_degraded, 0);
+  EXPECT_GT(outcome_cancelled, 0) << "no cancellation ever landed in time";
+  SUCCEED() << "outcomes: exact=" << outcome_exact
+            << " degraded=" << outcome_degraded
+            << " cancelled=" << outcome_cancelled;
+}
+
+TEST(ServeDegradeFuzz, DestructionMidPressureDrainsCleanly) {
+  // Tear the executor down while degrade-eligible requests are in flight:
+  // the drain guarantee must hold for degraded completions too.
+  Rng rng(424242);
+  ProbGraph instance = MixedServeInstance(&rng);
+  std::vector<DiGraph> queries = MixedServeQueries(&rng);
+  EvalSession session(instance);
+
+  DegradePolicy policy;
+  policy.mode = DegradeMode::kOnDeadlineRisk;
+  policy.min_samples = 64;
+
+  std::vector<SolveTicket> tickets;
+  {
+    BatchExecutor executor(ExecutorOptions{.threads = 2});
+    for (int round = 0; round < 4; ++round) {
+      for (const DiGraph& q : queries) {
+        SolveRequest request(q);
+        request
+            .WithDeadline(RequestClock::now() +
+                          std::chrono::microseconds(rng.UniformInt(-200, 500)))
+            .WithDegrade(policy);
+        tickets.push_back(executor.Submit(session, std::move(request)));
+      }
+    }
+  }  // destructor drains with conversions likely mid-flight
+  for (SolveTicket& ticket : tickets) {
+    ASSERT_TRUE(ticket.done());
+    Result<SolveResult> result = ticket.Take();
+    if (!result.ok()) {
+      ADD_FAILURE() << "only {exact, degraded} possible without Cancel: "
+                    << result.status().ToString();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace phom

@@ -1,0 +1,481 @@
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/core/engine.h"
+#include "src/core/eval_session.h"
+#include "src/core/solver.h"
+#include "src/graph/builders.h"
+#include "src/graph/generators.h"
+#include "src/serve/async.h"
+#include "src/serve/executor.h"
+#include "src/serve/request.h"
+#include "src/serve/shard.h"
+#include "tests/test_util.h"
+
+/// Tier-1 coverage of graceful degradation under deadline pressure
+/// (DegradePolicy, solver.h; re-dispatch in serve/executor.cc): every
+/// degradation edge — at submit, mid-flight between component tasks, inside
+/// a hard cell via the in-component yield points — plus the non-degrading
+/// edges (policy off, explicit cancel, immediate answers) and the headline
+/// guarantee that WITHOUT deadline pressure the policy changes nothing, bit
+/// for bit, across thread counts and numeric backends. Timing-sensitive
+/// scenarios reuse the registry "gate" engine trick of serve_async_test.cc.
+
+namespace phom {
+namespace {
+
+using serve::BatchExecutor;
+using serve::ExecutorOptions;
+using serve::RequestClock;
+using serve::RequestStats;
+using serve::ShardedServer;
+using serve::ShardedServerOptions;
+using serve::SolveRequest;
+using serve::SolveTicket;
+using test_util::MixedServeInstance;
+using test_util::MixedServeQueries;
+
+// ---------------------------------------------------------------------------
+// The deterministic "slow" engine harness (Gate/GateEngine/GateOpener)
+// lives in tests/test_util.h, shared with serve_async_test.cc.
+// ---------------------------------------------------------------------------
+
+using test_util::GateOpener;
+using test_util::TestGate;
+
+void EnsureGateEngineRegistered() {
+  test_util::EnsureGateEngineRegistered("degrade-test-gate");
+}
+
+// ---------------------------------------------------------------------------
+// Shared policy + comparison helpers.
+// ---------------------------------------------------------------------------
+
+/// The deterministic test policy: the floor is a multiple of the Monte
+/// Carlo check interval, so a degraded run whose deadline has already
+/// lapsed truncates at EXACTLY min_samples samples.
+DegradePolicy TestPolicy() {
+  DegradePolicy policy;
+  policy.mode = DegradeMode::kOnDeadlineRisk;
+  policy.min_samples = 512;
+  return policy;
+}
+
+void ExpectDegradedProvenance(const Result<SolveResult>& result,
+                              const std::string& label) {
+  SCOPED_TRACE(label);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->degrade.degraded);
+  EXPECT_EQ(result->stats.engine, "monte-carlo");
+  EXPECT_EQ(result->degrade.samples_used, TestPolicy().min_samples)
+      << "an already-lapsed deadline truncates exactly at the floor";
+  EXPECT_EQ(result->degrade.estimate, result->probability_double);
+  EXPECT_GE(result->degrade.estimate, 0.0);
+  EXPECT_LE(result->degrade.estimate, 1.0);
+  EXPECT_GT(result->degrade.budget_spent.count(), 0);
+  double p = result->degrade.estimate;
+  EXPECT_DOUBLE_EQ(result->degrade.half_width_95,
+                   1.96 * std::sqrt(p * (1.0 - p) /
+                                    static_cast<double>(
+                                        result->degrade.samples_used)));
+}
+
+void ExpectResultsBitIdentical(const Result<SolveResult>& serial,
+                               const Result<SolveResult>& async,
+                               const std::string& label) {
+  SCOPED_TRACE(label);
+  ASSERT_EQ(serial.ok(), async.ok());
+  if (!serial.ok()) {
+    EXPECT_EQ(serial.status().code(), async.status().code());
+    EXPECT_EQ(serial.status().message(), async.status().message());
+    return;
+  }
+  EXPECT_EQ(serial->probability, async->probability);
+  EXPECT_EQ(std::bit_cast<uint64_t>(serial->probability_double),
+            std::bit_cast<uint64_t>(async->probability_double))
+      << "double answers must match bit for bit";
+  EXPECT_EQ(serial->numeric, async->numeric);
+  EXPECT_EQ(serial->stats.engine, async->stats.engine);
+  EXPECT_EQ(serial->stats.components, async->stats.components);
+  EXPECT_EQ(serial->stats.worlds, async->stats.worlds);
+  EXPECT_EQ(serial->degrade.degraded, async->degrade.degraded);
+  EXPECT_EQ(serial->degrade.samples_used, async->degrade.samples_used);
+}
+
+// ---------------------------------------------------------------------------
+// Degrade at submit: an already-expired deadline converts instead of
+// fail-fasting (and the serial EvalSession twin agrees bit for bit).
+// ---------------------------------------------------------------------------
+
+TEST(ServeDegradeSubmit, ExpiredDeadlineConvertsToDegradedEstimate) {
+  Rng rng(101);
+  ProbGraph instance = MixedServeInstance(&rng);
+  DiGraph query = MakeLabeledPath({0, 1});
+  EvalSession session(instance);
+  BatchExecutor executor(ExecutorOptions{.threads = 1});
+
+  SolveRequest request(query);
+  request.WithDeadline(RequestClock::now() - std::chrono::milliseconds(1))
+      .WithDegrade(TestPolicy());
+  SolveTicket ticket = executor.Submit(session, std::move(request));
+  Result<SolveResult> result = ticket.Get();
+  ExpectDegradedProvenance(result, "degrade at submit");
+  EXPECT_TRUE(ticket.stats().degraded);
+  EXPECT_FALSE(ticket.stats().expired_before_start)
+      << "the request produced a result, not a before-start error";
+  EXPECT_EQ(session.stats().queries, 1u)
+      << "unlike policy-off fail-fast, the request was prepared";
+
+  // The serial twin: an EvalSession whose options carry an expired token
+  // and the same policy degrades identically (same seed, same floor).
+  CancelToken expired;
+  expired.SetDeadline(CancelToken::Clock::now() - std::chrono::seconds(1));
+  SolveOptions serial_options;
+  serial_options.cancel = &expired;
+  serial_options.degrade = TestPolicy();
+  EvalSession serial_session(instance, serial_options);
+  Result<SolveResult> serial = serial_session.Solve(query);
+  ExpectDegradedProvenance(serial, "serial twin");
+  EXPECT_EQ(std::bit_cast<uint64_t>(serial->probability_double),
+            std::bit_cast<uint64_t>(result->probability_double))
+      << "same seed, same floor: the degraded estimates agree bit for bit";
+  EXPECT_EQ(serial->probability, result->probability);
+}
+
+TEST(ServeDegradeSubmit, PolicyOffStillFailsFastWithoutPreparing) {
+  Rng rng(103);
+  ProbGraph instance = MixedServeInstance(&rng);
+  EvalSession session(instance);
+  BatchExecutor executor(ExecutorOptions{.threads = 1});
+
+  SolveRequest request(MakeLabeledPath({0, 1}));
+  request.WithDeadline(RequestClock::now() - std::chrono::milliseconds(1));
+  SolveTicket ticket = executor.Submit(session, std::move(request));
+  ASSERT_TRUE(ticket.done());
+  EXPECT_EQ(ticket.Get().status().code(), Status::Code::kDeadlineExceeded);
+  EXPECT_TRUE(ticket.stats().expired_before_start);
+  EXPECT_FALSE(ticket.stats().degraded);
+  EXPECT_EQ(session.stats().queries, 0u)
+      << "policy off: nothing is prepared, exactly as before";
+}
+
+TEST(ServeDegradeSubmit, ImmediateAnswersStayExactUnderPressure) {
+  Rng rng(107);
+  ProbGraph instance = MixedServeInstance(&rng);
+  EvalSession session(instance);
+  EvalSession baseline_session(instance);
+  BatchExecutor executor(ExecutorOptions{.threads = 1});
+
+  DiGraph edgeless(3);  // immediate answer during preparation
+  Result<SolveResult> baseline = baseline_session.Solve(edgeless);
+
+  SolveRequest request(edgeless);
+  request.WithDeadline(RequestClock::now() - std::chrono::milliseconds(1))
+      .WithDegrade(TestPolicy());
+  SolveTicket ticket = executor.Submit(session, std::move(request));
+  Result<SolveResult> result = ticket.Get();
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->degrade.degraded)
+      << "an immediate answer is free and exact: no estimate is substituted";
+  EXPECT_FALSE(ticket.stats().degraded);
+  ExpectResultsBitIdentical(baseline, result, "immediate under pressure");
+}
+
+// ---------------------------------------------------------------------------
+// Degrade mid-flight: expiry between component tasks of one request.
+// ---------------------------------------------------------------------------
+
+TEST(ServeDegradeMidFlight, ExpiryBetweenComponentTasksConverts) {
+  EnsureGateEngineRegistered();
+  TestGate()->Reset();
+  Rng rng(109);
+  ProbGraph instance = MixedServeInstance(&rng);
+  EvalSession session(instance);
+  // One worker + a 2-slot queue (the serve_async_test trick): with the
+  // worker parked, a 3-component request's first two tasks fill the queue
+  // and the third runs INLINE during Submit — work provably starts before
+  // the deadline, and the remaining components expire at dequeue, so the
+  // merge hits DeadlineExceeded mid-flight and converts.
+  ExecutorOptions exec_options;
+  exec_options.threads = 1;
+  exec_options.queue_capacity = 2;
+  BatchExecutor executor(exec_options);
+  GateOpener opener;
+
+  SolveRequest blocker(MakeLabeledPath({0}));
+  blocker.WithEngine("degrade-test-gate");
+  SolveTicket blocked = executor.Submit(session, std::move(blocker));
+  TestGate()->AwaitEntered(1);
+
+  SolveRequest doomed(MakeLabeledPath({0, 1}));  // 3 instance components
+  const RequestClock::time_point deadline =
+      RequestClock::now() + std::chrono::milliseconds(250);
+  doomed.WithDeadline(deadline).WithDegrade(TestPolicy());
+  SolveTicket late = executor.Submit(session, std::move(doomed));
+
+  std::this_thread::sleep_until(deadline + std::chrono::milliseconds(5));
+  TestGate()->Open();
+
+  Result<SolveResult> result = late.Get();
+  ExpectDegradedProvenance(result, "mid-flight conversion");
+  EXPECT_TRUE(late.stats().degraded);
+  EXPECT_FALSE(late.stats().expired_before_start)
+      << "a component already ran inline: the expiry was mid-flight";
+  ASSERT_TRUE(blocked.Get().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Degrade inside a hard cell: the new in-component yield points abort a
+// single 2^m world enumeration mid-loop, and the policy converts the abort.
+// ---------------------------------------------------------------------------
+
+using test_util::HardCellEnumerationCase;
+
+TEST(ServeDegradeHardCell, InComponentYieldPointConvertsMidEnumeration) {
+  Rng rng(113);
+  HardCellEnumerationCase hard(&rng);
+  EvalSession session(hard.instance);
+  BatchExecutor executor(ExecutorOptions{.threads = 1});
+
+  // Timing-based (the enumeration must outlive the deadline), so retry on
+  // the rare scheduling hiccup where the worker only dequeues after the
+  // deadline — the conversion still happens then, just at the dequeue gate
+  // instead of inside the enumeration loop.
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    const RequestClock::time_point deadline =
+        RequestClock::now() + std::chrono::milliseconds(150);
+    SolveRequest request(hard.query);
+    request.WithDeadline(deadline).WithDegrade(TestPolicy());
+    SolveTicket ticket = executor.Submit(session, std::move(request));
+    Result<SolveResult> result = ticket.Get();
+    ExpectDegradedProvenance(result, "hard-cell conversion");
+    EXPECT_TRUE(ticket.stats().degraded);
+    if (ticket.stats().started < deadline) {
+      // The solve began before the deadline, so the abort happened at a
+      // yield point INSIDE the world-enumeration loop (pre-PR, this
+      // request would have enumerated all 2^20 worlds to completion).
+      SUCCEED();
+      return;
+    }
+  }
+  FAIL() << "worker never started before the deadline in 5 attempts";
+}
+
+TEST(ServeDegradeHardCell, CoreYieldPointsInterruptFallbackLoops) {
+  // The core-layer half, fully deterministic: the world-enumeration and
+  // match-lineage loops consult an already-fired token and abort, where
+  // they previously ran to completion. A small instance keeps the
+  // idle-token full enumerations tier-1 fast.
+  Rng rng(127);
+  HardCellEnumerationCase hard(&rng, /*edges=*/10);
+
+  CancelToken cancelled;
+  cancelled.Cancel();
+  FallbackOptions fb;
+  fb.cancel = &cancelled;
+  EXPECT_EQ(SolveByWorldEnumeration(hard.query, hard.instance, fb)
+                .status()
+                .code(),
+            Status::Code::kCancelled);
+
+  CancelToken expired;
+  expired.SetDeadline(CancelToken::Clock::now() - std::chrono::seconds(1));
+  fb.cancel = &expired;
+  EXPECT_EQ(SolveByWorldEnumeration(hard.query, hard.instance, fb)
+                .status()
+                .code(),
+            Status::Code::kDeadlineExceeded);
+
+  DiGraph connected = MakeLabeledPath({0});
+  EXPECT_EQ(SolveByMatchLineage(connected, hard.instance, fb)
+                .status()
+                .code(),
+            Status::Code::kDeadlineExceeded);
+
+  // An idle token changes nothing, bit for bit.
+  CancelToken idle;
+  idle.SetDeadline(CancelToken::Clock::now() + std::chrono::hours(1));
+  FallbackOptions gated;
+  gated.cancel = &idle;
+  Rational with_token =
+      *SolveByWorldEnumeration(hard.query, hard.instance, gated);
+  Rational without = *SolveByWorldEnumeration(hard.query, hard.instance);
+  EXPECT_EQ(with_token, without);
+}
+
+TEST(ServeDegradeEngine, ForcedMonteCarloTruncationCarriesProvenance) {
+  // A forced "monte-carlo" solve whose sampling is truncated by a lapsed
+  // deadline must say so: without provenance, a floor-sized estimate would
+  // be indistinguishable from the full budget the caller asked for.
+  Rng rng(139);
+  ProbGraph instance = MixedServeInstance(&rng);
+  DiGraph query = MakeLabeledPath({0, 1});
+  CancelToken expired;
+  expired.SetDeadline(CancelToken::Clock::now() - std::chrono::seconds(1));
+
+  SolveOptions options;
+  options.force_engine = "monte-carlo";
+  options.cancel = &expired;
+  options.monte_carlo.samples = 100'000;
+  options.monte_carlo.min_samples = 512;
+  Result<SolveResult> result = Solver(options).Solve(query, instance);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->degrade.degraded);
+  EXPECT_EQ(result->degrade.samples_used, 512u);
+  EXPECT_EQ(result->degrade.estimate, result->probability_double);
+  EXPECT_GT(result->degrade.budget_spent.count(), 0);
+
+  // Without a floor the same solve is a plain deadline miss...
+  SolveOptions strict = options;
+  strict.monte_carlo.min_samples = 0;
+  EXPECT_EQ(Solver(strict).Solve(query, instance).status().code(),
+            Status::Code::kDeadlineExceeded);
+
+  // ...and an untruncated run carries no provenance.
+  SolveOptions plain;
+  plain.force_engine = "monte-carlo";
+  plain.monte_carlo.samples = 512;
+  Result<SolveResult> full = Solver(plain).Solve(query, instance);
+  ASSERT_TRUE(full.ok());
+  EXPECT_FALSE(full->degrade.degraded);
+}
+
+// ---------------------------------------------------------------------------
+// Explicit cancellation is never degraded.
+// ---------------------------------------------------------------------------
+
+TEST(ServeDegradeCancel, ExplicitCancelBeatsDegradation) {
+  EnsureGateEngineRegistered();
+  TestGate()->Reset();
+  Rng rng(131);
+  ProbGraph instance = MixedServeInstance(&rng);
+  EvalSession session(instance);
+  BatchExecutor executor(ExecutorOptions{.threads = 1});
+  GateOpener opener;
+
+  SolveRequest blocker(MakeLabeledPath({0}));
+  blocker.WithEngine("degrade-test-gate");
+  SolveTicket blocked = executor.Submit(session, std::move(blocker));
+  TestGate()->AwaitEntered(1);
+
+  SolveRequest request(MakeLabeledPath({0, 1}));
+  request.WithDegrade(TestPolicy());
+  SolveTicket cancelled = executor.Submit(session, std::move(request));
+  EXPECT_TRUE(cancelled.Cancel());
+  TestGate()->Open();
+
+  EXPECT_EQ(cancelled.Get().status().code(), Status::Code::kCancelled)
+      << "the caller asked for the request to stop, not for an estimate";
+  EXPECT_FALSE(cancelled.stats().degraded);
+  ASSERT_TRUE(blocked.Get().ok());
+}
+
+// ---------------------------------------------------------------------------
+// ShardedServer front door: server-wide policy default + per-request knob.
+// ---------------------------------------------------------------------------
+
+TEST(ServeDegradeSharded, ServerWideDefaultPolicyConverts) {
+  Rng rng(137);
+  ProbGraph instance = MixedServeInstance(&rng);
+  DiGraph query = MakeLabeledPath({0, 1});
+
+  ShardedServerOptions options;
+  options.executor.threads = 2;
+  options.solve.degrade = TestPolicy();  // server-wide default
+  ShardedServer server({instance}, options);
+
+  SolveRequest doomed(query, 0);
+  doomed.WithDeadline(RequestClock::now() - std::chrono::milliseconds(1));
+  SolveTicket ticket = server.Submit(std::move(doomed));
+  ExpectDegradedProvenance(ticket.Get(), "server-wide policy");
+
+  // A healthy neighbor on the same server still answers exactly.
+  EvalSession serial(instance);
+  Result<SolveResult> expected = serial.Solve(query);
+  SolveTicket healthy = server.Submit(SolveRequest(query, 0));
+  ExpectResultsBitIdentical(expected, healthy.Get(), "healthy neighbor");
+
+  // A per-request override can switch the policy back OFF.
+  DegradePolicy off;  // mode = kOff
+  SolveRequest strict(query, 0);
+  strict.WithDeadline(RequestClock::now() - std::chrono::milliseconds(1))
+      .WithDegrade(off);
+  SolveTicket failed = server.Submit(std::move(strict));
+  EXPECT_EQ(failed.Get().status().code(), Status::Code::kDeadlineExceeded);
+}
+
+// ---------------------------------------------------------------------------
+// The headline no-pressure guarantee: policy ON + generous deadlines is
+// bit-identical to the serial policy-off session, across thread counts and
+// numeric backends.
+// ---------------------------------------------------------------------------
+
+class DegradeIdentityTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(DegradeIdentityTest, NoPressureResultsBitIdenticalToSerial) {
+  const size_t threads = GetParam();
+  for (NumericBackend backend :
+       {NumericBackend::kExact, NumericBackend::kDouble}) {
+    Rng rng(20170514);
+    ProbGraph instance = MixedServeInstance(&rng);
+    std::vector<DiGraph> queries = MixedServeQueries(&rng);
+    std::vector<DiGraph> batch = queries;
+    batch.insert(batch.end(), queries.begin(), queries.end());
+
+    SolveOptions options;
+    options.numeric = backend;
+
+    EvalSession serial_session(instance, options);
+    std::vector<Result<SolveResult>> serial = serial_session.SolveBatch(batch);
+
+    ExecutorOptions exec_options;
+    exec_options.threads = threads;
+    BatchExecutor executor(exec_options);
+    EvalSession async_session(instance, options);
+    std::vector<SolveRequest> requests;
+    requests.reserve(batch.size());
+    for (const DiGraph& q : batch) {
+      SolveRequest request(q);
+      request.WithDeadline(RequestClock::now() + std::chrono::hours(1))
+          .WithDegrade(TestPolicy());
+      requests.push_back(std::move(request));
+    }
+    std::vector<SolveTicket> tickets =
+        executor.SubmitBatch(async_session, std::move(requests));
+    std::vector<Result<SolveResult>> async = BatchExecutor::Collect(tickets);
+
+    std::string label = std::string("backend=") + ToString(backend) +
+                        " threads=" + std::to_string(threads);
+    ASSERT_EQ(serial.size(), async.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+      ExpectResultsBitIdentical(serial[i], async[i],
+                                label + " query " + std::to_string(i));
+      if (async[i].ok()) {
+        EXPECT_FALSE((*async[i]).degrade.degraded) << label << " query " << i;
+      }
+    }
+    for (SolveTicket& t : tickets) {
+      EXPECT_FALSE(t.stats().degraded);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, DegradeIdentityTest,
+                         ::testing::Values(1, 2, 8),
+                         [](const ::testing::TestParamInfo<size_t>& info) {
+                           return "Threads" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace phom

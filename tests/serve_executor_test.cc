@@ -109,15 +109,21 @@ TEST(ComponentwiseSolve, MatchesSolvePreparedBitForBit) {
   SolveOptions options;
 
   PreparedProblem prepared = PrepareProblem(query, instance);
-  size_t parallelism = PreparedComponentParallelism(prepared, options);
-  ASSERT_EQ(parallelism, 3u) << "three components must fan out";
+  // The engine is resolved ONCE per query (PlanComponentDispatch); the
+  // component solves and the merge reuse the plan with no registry access.
+  ComponentDispatch dispatch = PlanComponentDispatch(prepared, options);
+  ASSERT_EQ(dispatch.components, 3u) << "three components must fan out";
+  ASSERT_NE(dispatch.engine, nullptr);
+  EXPECT_FALSE(dispatch.forced);
+  EXPECT_EQ(PreparedComponentParallelism(prepared, options),
+            dispatch.components);
 
   std::vector<Result<SolveResult>> parts;
-  for (size_t c = 0; c < parallelism; ++c) {
-    parts.push_back(SolvePreparedComponent(prepared, c, options));
+  for (size_t c = 0; c < dispatch.components; ++c) {
+    parts.push_back(SolvePreparedComponent(prepared, dispatch, c, options));
   }
-  Result<SolveResult> merged =
-      CombinePreparedComponents(prepared, options, std::move(parts));
+  Result<SolveResult> merged = CombinePreparedComponents(
+      prepared, dispatch, options, std::move(parts));
   Result<SolveResult> serial = SolvePrepared(prepared, options);
   ASSERT_TRUE(merged.ok());
   ASSERT_TRUE(serial.ok());

@@ -1,9 +1,16 @@
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
+#include "src/core/engine.h"
 #include "src/core/fallback.h"
 #include "src/graph/builders.h"
 #include "src/graph/digraph.h"
@@ -19,7 +26,9 @@
 /// Shared fixtures and generators for the test suites: the paper's running
 /// example (Figure 1 / Examples 2.1-2.2), the Figure 7/8 PP2DNF formula,
 /// class-conditioned random graph generators spanning Tables 1-3, rational
-/// helpers, and an independent brute-force world counter.
+/// helpers, an independent brute-force world counter, and the serve-layer
+/// timing harness (a registry "gate" engine that parks workers on a latch
+/// the test opens) shared by the async/degrade suites.
 
 namespace phom::test_util {
 
@@ -247,6 +256,121 @@ inline CrosscheckCase MakeCrosscheckCase(CellClass cell, Rng* rng) {
   }
   return out;
 }
+
+/// A Prop. 3.3 hard cell whose exact solve enumerates 2^edges worlds while
+/// a Monte Carlo estimate needs only its sample budget: a disconnected
+/// R ⊔ S query over a connected 2-label instance whose `edges` edges are
+/// all uncertain. The first/last edges are forced to labels 0/1 so the
+/// full world has a match while the empty world has none — neither of the
+/// world-enumeration short-circuits fires, and the loop really runs.
+/// Shared by the degradation test suites and bench_serve_degrade (the
+/// bench must measure exactly the workload the tests pin down).
+struct HardCellEnumerationCase {
+  DiGraph query;
+  ProbGraph instance;
+
+  explicit HardCellEnumerationCase(Rng* rng, size_t edges = 20)
+      : query(DisjointUnion({MakeLabeledPath({0}), MakeLabeledPath({1})})),
+        instance(0) {
+    size_t vertices = edges / 2 + 2;
+    DiGraph shape = RandomConnected(rng, vertices, edges - (vertices - 1), 2);
+    DiGraph relabeled(shape.num_vertices());
+    for (EdgeId e = 0; e < shape.num_edges(); ++e) {
+      Edge edge = shape.edge(e);
+      if (e == 0) edge.label = 0;
+      if (e + 1 == shape.num_edges()) edge.label = 1;
+      AddEdgeOrDie(&relabeled, edge.src, edge.dst, edge.label);
+    }
+    std::vector<Rational> probs(relabeled.num_edges(), Rational(1, 3));
+    instance = ProbGraph(relabeled, std::move(probs));
+  }
+};
+
+// ---------------------------------------------------------------------------
+// The serve-layer timing harness: a deterministic "slow" engine whose Solve
+// blocks on a process-wide gate until the test opens it. Forced per request
+// via overrides.force_engine, so a test controls exactly when a worker is
+// busy (register-before-serve: registration happens on first use, before
+// any pool touches the registry).
+// ---------------------------------------------------------------------------
+
+struct Gate {
+  std::mutex mu;
+  std::condition_variable cv;
+  int entered = 0;    ///< guarded by mu
+  bool open = false;  ///< guarded by mu
+
+  void Enter() {
+    std::unique_lock<std::mutex> lock(mu);
+    ++entered;
+    cv.notify_all();
+    cv.wait(lock, [this] { return open; });
+  }
+  void AwaitEntered(int n) {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [this, n] { return entered >= n; });
+  }
+  void Open() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      open = true;
+    }
+    cv.notify_all();
+  }
+  void Reset() {
+    std::lock_guard<std::mutex> lock(mu);
+    open = false;
+    entered = 0;
+  }
+};
+
+/// The per-binary gate instance (leaked intentionally: engines registered
+/// in the global registry may outlive static teardown order).
+inline Gate* TestGate() {
+  static Gate* gate = new Gate();
+  return gate;
+}
+
+/// Parks on TestGate(), then answers 1/2 in the requested backend.
+class GateEngine : public Engine {
+ public:
+  explicit GateEngine(std::string name) : name_(std::move(name)) {}
+  std::string_view name() const override { return name_; }
+  Algorithm algorithm() const override { return Algorithm::kFallback; }
+  bool exact() const override { return false; }
+  bool Applies(const CaseAnalysis&) const override { return true; }
+  bool AutoMatch(const CaseAnalysis&) const override { return false; }
+  Result<EngineAnswer> Solve(const PreparedProblem&,
+                             const SolveOptions& options,
+                             SolveStats*) const override {
+    TestGate()->Enter();
+    EngineAnswer out;
+    out.backend = options.numeric;
+    out.approx = 0.5;
+    if (options.numeric == NumericBackend::kExact) out.exact = Rational(1, 2);
+    return out;
+  }
+
+ private:
+  std::string name_;
+};
+
+/// Registers a GateEngine under `name`, at most once per name.
+inline void EnsureGateEngineRegistered(const std::string& name) {
+  static std::mutex* mu = new std::mutex();
+  static std::set<std::string>* registered = new std::set<std::string>();
+  std::lock_guard<std::mutex> lock(*mu);
+  if (registered->insert(name).second) {
+    EngineRegistry::Global().Register(std::make_unique<GateEngine>(name));
+  }
+}
+
+/// Opens the gate on scope exit so a failing ASSERT cannot leave a worker
+/// parked forever (declare AFTER the executor: destroyed first, the
+/// executor's draining destructor then finds the gate open).
+struct GateOpener {
+  ~GateOpener() { TestGate()->Open(); }
+};
 
 /// Independent brute-force oracle: counts the subgraphs of `instance` that
 /// `query` maps into by enumerating all 2^edges edge subsets directly — no
