@@ -440,6 +440,8 @@ Result<SolveResult> SolvePreparedComponent(const PreparedProblem& prepared,
   const bool unlabeled = prepared.analysis.effective_unlabeled;
   const bool query_is_1wp = prepared.analysis.query_class.is_1wp;
   ++out.stats.components;
+  const CancelToken::Clock::time_point kernel_start =
+      CancelToken::Clock::now();
   PHOM_ASSIGN_OR_RETURN(
       EngineAnswer answer,
       RunInBackend(options.numeric, [&](auto tag) {
@@ -449,6 +451,7 @@ Result<SolveResult> SolvePreparedComponent(const PreparedProblem& prepared,
                                     ctx.component_classes[component_index],
                                     options, &out.stats);
       }));
+  out.stats.duration = CancelToken::Clock::now() - kernel_start;
   out.probability = std::move(answer.exact);
   out.probability_double = answer.approx;
   out.numeric = answer.backend;
@@ -481,6 +484,7 @@ Result<SolveResult> CombinePreparedComponents(
     out.stats.lineage_clauses += s.lineage_clauses;
     out.stats.circuit_gates += s.circuit_gates;
     out.stats.match_ends += s.match_ends;
+    out.stats.duration += s.duration;
   }
   // Lemma 3.7 in component-index order — the same operations, in the same
   // order, as the serial combine in SolvePerComponentT, so the merged answer

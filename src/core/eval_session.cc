@@ -81,6 +81,10 @@ Result<SolveResult> EvalSession::SolveWithOptions(const DiGraph& query,
   // cancellation and every other error pass through untouched, and with
   // the policy off (the default) this is exactly the old behavior.
   if (!result.ok() && ShouldDegradeStatus(result.status(), options.degrade)) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.degraded_solves;
+    }
     return SolveDegradedMonteCarlo(prepared, options);
   }
   return result;

@@ -34,6 +34,10 @@ struct SessionStats {
   /// Queries whose label set hit the context cache (the session's own map
   /// or the shared InstanceContextCache).
   size_t context_cache_hits = 0;
+  /// Serial-path solves converted to a budgeted Monte Carlo estimate by the
+  /// session's DegradePolicy (EvalSession::Solve only; the serve executor
+  /// counts its own conversions in serve::ExecutorStats).
+  size_t degraded_solves = 0;
 };
 
 /// Pluggable cross-session cache of InstanceContexts, so several sessions

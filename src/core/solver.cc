@@ -86,8 +86,11 @@ Result<SolveResult> SolvePrepared(const PreparedProblem& prepared,
   if (forced) out.stats.primary = engine->algorithm();
   out.stats.engine = std::string(engine->name());
 
+  const CancelToken::Clock::time_point engine_start =
+      CancelToken::Clock::now();
   PHOM_ASSIGN_OR_RETURN(EngineAnswer answer,
                         engine->Solve(prepared, options, &out.stats));
+  out.stats.duration = CancelToken::Clock::now() - engine_start;
   out.probability = std::move(answer.exact);
   out.probability_double = answer.approx;
   out.numeric = answer.backend;  // what the engine actually computed in
@@ -138,6 +141,7 @@ Result<SolveResult> SolveDegradedMonteCarlo(const PreparedProblem& prepared,
   out.degrade.half_width_95 = est.half_width_95;
   out.degrade.samples_used = est.samples;
   out.degrade.budget_spent = CancelToken::Clock::now() - start;
+  out.stats.duration = out.degrade.budget_spent;
   return out;
 }
 

@@ -89,6 +89,12 @@ inline bool ShouldDegradeStatus(const Status& status,
 struct DegradeInfo {
   /// The result is a Monte Carlo ESTIMATE, not the exact probability.
   bool degraded = false;
+  /// The degradation was decided PROACTIVELY at admission: the serve layer's
+  /// cost model predicted the exact solve could not fit the remaining budget,
+  /// so the exact attempt was skipped entirely (serve/cost_model.h). False
+  /// for reactive conversions, which fire only after a deadline actually
+  /// lapsed mid-solve or in the queue.
+  bool proactive = false;
   /// The estimate (== probability_double; duplicated so provenance survives
   /// callers that only forward the numeric fields).
   double estimate = 0.0;
@@ -153,6 +159,12 @@ struct SolveStats {
   size_t lineage_clauses = 0;      ///< interval/match clauses built
   size_t circuit_gates = 0;        ///< provenance circuit size (Prop. 5.4)
   size_t match_ends = 0;           ///< DWT match ends (Prop. 4.10)
+  /// Wall time of the engine run that produced this result (summed over
+  /// component results by CombinePreparedComponents; zero for immediate
+  /// answers, the sampling time for degraded estimates). Observability only
+  /// — it feeds the serve layer's latency cost model (serve/cost_model.h)
+  /// and never influences the answer.
+  std::chrono::nanoseconds duration{0};
 };
 
 struct SolveResult {

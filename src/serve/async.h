@@ -57,6 +57,27 @@ struct RequestState {
   /// shared_mutex. Empty (components == 0) for whole-request tasks.
   ComponentDispatch dispatch;
 
+  // --- Admission & scheduling (written once at submit, before any task is
+  // enqueued; published to workers by the task handoff like the fields
+  // above). ---
+  /// Admission skipped the exact attempt: the request's single task runs
+  /// the budgeted Monte Carlo estimator directly and the result carries
+  /// DegradeInfo::proactive provenance (cost_model.h).
+  bool proactive = false;
+  /// The request dispatches through the slack-ordered lane under
+  /// `effective_deadline` = deadline − predicted cost (just the deadline
+  /// when no cost model is installed). False for deadline-less requests,
+  /// which keep FIFO order among themselves.
+  bool has_effective_deadline = false;
+  RequestClock::time_point effective_deadline{};
+  /// Admission-control bookkeeping, guarded by the executor's admission
+  /// mutex: the predicted nanoseconds charged to the pool's backlog and the
+  /// deadline registered in its pending set. Both are released exactly once,
+  /// when the request finishes.
+  int64_t charged_backlog_ns = 0;
+  bool deadline_registered = false;
+  RequestClock::time_point registered_deadline{};
+
   // --- Component fan-out (same discipline as PR 3's BatchState: each part
   // slot is written by exactly one task; the last finisher's acq_rel
   // fetch_sub orders every part write before the merge). ---
@@ -65,6 +86,11 @@ struct RequestState {
   /// Set (relaxed) just before the first real solving work; distinguishes
   /// "expired/cancelled before start" from a mid-flight interruption.
   std::atomic<bool> work_started{false};
+  /// Set (relaxed exchange) when the request's first EXACT solving work
+  /// begins; feeds ExecutorStats::exact_solves_started. Proactively degraded
+  /// and gate-rejected requests never set it — the acceptance criterion for
+  /// "the exact solve was skipped".
+  std::atomic<bool> exact_started{false};
 
   // --- Completion (guarded by mu). ---
   std::mutex mu;

@@ -39,7 +39,7 @@ BatchExecutor::~BatchExecutor() {
   // touch the dying pool — before the workers are stopped.
   Task task;
   while (!AllRequestsFinished()) {
-    if (queue_.TryPop(&task)) {
+    if (TryPopTask(&task)) {
       RunTask(task);
       task.request.reset();
       continue;
@@ -62,6 +62,28 @@ bool BatchExecutor::AllRequestsFinished() {
 }
 
 void BatchExecutor::EnqueueTask(Task task) {
+  if (task.request->has_effective_deadline) {
+    // Slack-ordered lane: workers pop the earliest effective deadline
+    // first. Bounded by the FIFO queue's capacity with the same overflow
+    // policy, so the capacity-2 inline-run tests (and the memory bound)
+    // hold for deadline-carrying requests too.
+    bool queued = false;
+    {
+      std::lock_guard<std::mutex> lock(deadline_mu_);
+      if (deadline_heap_.size() < queue_.capacity()) {
+        deadline_heap_.push(DeadlineEntry{task.request->effective_deadline,
+                                          deadline_seq_++, std::move(task)});
+        queued = true;
+      }
+    }
+    if (queued) {
+      { std::lock_guard<std::mutex> lock(work_mu_); }
+      work_cv_.notify_one();
+      return;
+    }
+    RunTask(task);
+    return;
+  }
   if (queue_.TryPush(task)) {
     // Acquiring the lock after the push orders it before any worker's
     // re-check-then-wait, so the wakeup cannot be missed.
@@ -74,10 +96,37 @@ void BatchExecutor::EnqueueTask(Task task) {
   }
 }
 
+bool BatchExecutor::TryPopTask(Task* out) {
+  {
+    std::lock_guard<std::mutex> lock(deadline_mu_);
+    if (!deadline_heap_.empty()) {
+      // priority_queue::top is const; moving the task out is safe because
+      // the entry is popped before the lock is released.
+      *out = std::move(const_cast<DeadlineEntry&>(deadline_heap_.top()).task);
+      deadline_heap_.pop();
+      return true;
+    }
+  }
+  return queue_.TryPop(out);
+}
+
 void BatchExecutor::Finish(
     const std::shared_ptr<internal::RequestState>& request,
     Result<SolveResult> result) {
   internal::RequestState& req = *request;
+  // Release the admission bookkeeping exactly once: refund the predicted
+  // backlog charge and withdraw this request's deadline from the pending
+  // set (Finish runs once per request, so no double release).
+  if (req.charged_backlog_ns != 0 || req.deadline_registered) {
+    std::lock_guard<std::mutex> lock(admission_mu_);
+    backlog_ns_ -= req.charged_backlog_ns;
+    req.charged_backlog_ns = 0;
+    if (req.deadline_registered) {
+      auto it = pending_deadlines_.find(req.registered_deadline);
+      if (it != pending_deadlines_.end()) pending_deadlines_.erase(it);
+      req.deadline_registered = false;
+    }
+  }
   CompletionCallback callback;
   {
     std::lock_guard<std::mutex> lock(req.mu);
@@ -129,6 +178,18 @@ void BatchExecutor::FinishOrDegrade(
     // thread that detected the miss (submission order and neighbors are
     // unaffected; the sampling floor bounds the overrun). Cancellation is
     // NOT converted — only DeadlineExceeded reaches this branch.
+    {
+      // The degraded sampling IS this request's first (and only) work when
+      // the conversion fires at the dequeue gate of a future call site:
+      // record `started` before it runs so solve_time() covers the sampling
+      // instead of reading zero (RequestStats monotonicity, request.h).
+      std::lock_guard<std::mutex> lock(req.mu);
+      if (!req.started_recorded) {
+        req.started_recorded = true;
+        req.stats.started = RequestClock::now();
+      }
+    }
+    degraded_reactive_.fetch_add(1, std::memory_order_relaxed);
     req.work_started.store(true, std::memory_order_relaxed);
     try {
       result = SolveDegradedMonteCarlo(req.prepared, req.options);
@@ -149,6 +210,30 @@ void BatchExecutor::RunTask(const Task& task) {
       req.stats.started = RequestClock::now();
     }
   }
+  // Proactive degradation: admission already decided the exact attempt
+  // cannot fit, so this task runs the budgeted estimator directly. Only an
+  // EXPLICIT cancel aborts it — an expired deadline is exactly what the
+  // estimate is for (the sampling floor bounds the overrun), so the dequeue
+  // gate's DeadlineExceeded must not kill it.
+  if (task.component < 0 && req.proactive) {
+    if (req.cancel.cancelled()) {
+      Finish(task.request, Status::Cancelled("solve cancelled by caller"));
+      return;
+    }
+    req.work_started.store(true, std::memory_order_relaxed);
+    Result<SolveResult> result = PendingResult();
+    try {
+      result = SolveDegradedMonteCarlo(req.prepared, req.options);
+      if (result.ok() && result->degrade.degraded) {
+        result.ValueOrDie().degrade.proactive = true;
+      }
+    } catch (const std::exception& e) {
+      result =
+          Status::Invalid(std::string("serve: degrade exception: ") + e.what());
+    }
+    Finish(task.request, std::move(result));
+    return;
+  }
   // Deadline / cancellation gate at dequeue: a request that expired (or was
   // cancelled) while queued fails right here, without solving — later
   // requests behind it in the queue are served normally.
@@ -162,12 +247,16 @@ void BatchExecutor::RunTask(const Task& task) {
       return;
     }
     req.work_started.store(true, std::memory_order_relaxed);
+    MarkExactStarted(req);
     Result<SolveResult> result = PendingResult();
     try {
       result = SolvePrepared(req.prepared, req.options);
     } catch (const std::exception& e) {
       result =
           Status::Invalid(std::string("serve: worker exception: ") + e.what());
+    }
+    if (options_.cost_model != nullptr && result.ok()) {
+      options_.cost_model->RecordSolve(req.prepared, *result);
     }
     FinishOrDegrade(task.request, std::move(result));
     return;
@@ -179,12 +268,17 @@ void BatchExecutor::RunTask(const Task& task) {
     req.parts[c] = gate;
   } else {
     req.work_started.store(true, std::memory_order_relaxed);
+    MarkExactStarted(req);
     try {
       req.parts[c] =
           SolvePreparedComponent(req.prepared, req.dispatch, c, req.options);
     } catch (const std::exception& e) {
       req.parts[c] =
           Status::Invalid(std::string("serve: worker exception: ") + e.what());
+    }
+    if (options_.cost_model != nullptr && req.parts[c].ok()) {
+      options_.cost_model->RecordComponentSolve(req.prepared, req.dispatch, c,
+                                                *req.parts[c]);
     }
   }
   // acq_rel: the last finisher must observe every other task's part write.
@@ -204,13 +298,13 @@ void BatchExecutor::RunTask(const Task& task) {
 void BatchExecutor::WorkerLoop() {
   for (;;) {
     Task task;
-    if (queue_.TryPop(&task)) {
+    if (TryPopTask(&task)) {
       RunTask(task);
       continue;
     }
     std::unique_lock<std::mutex> lock(work_mu_);
     if (stop_) return;
-    if (queue_.TryPop(&task)) {  // re-check under the lock: no missed wakeup
+    if (TryPopTask(&task)) {  // re-check under the lock: no missed wakeup
       lock.unlock();
       RunTask(task);
       continue;
@@ -219,12 +313,68 @@ void BatchExecutor::WorkerLoop() {
   }
 }
 
+void BatchExecutor::MarkExactStarted(internal::RequestState& req) {
+  if (!req.exact_started.exchange(true, std::memory_order_relaxed)) {
+    exact_started_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void BatchExecutor::ChargeAdmission(
+    internal::RequestState& req, std::chrono::nanoseconds predicted,
+    const std::optional<RequestClock::time_point>& deadline) {
+  std::lock_guard<std::mutex> lock(admission_mu_);
+  req.charged_backlog_ns = predicted.count();
+  backlog_ns_ += req.charged_backlog_ns;
+  if (deadline.has_value()) {
+    req.deadline_registered = true;
+    req.registered_deadline = *deadline;
+    pending_deadlines_.insert(*deadline);
+  }
+}
+
+bool BatchExecutor::PredictedBacklogHopeless(RequestClock::time_point deadline,
+                                             RequestClock::time_point now) {
+  const int64_t threads =
+      static_cast<int64_t>(workers_.empty() ? 1 : workers_.size());
+  std::lock_guard<std::mutex> lock(admission_mu_);
+  // Optimistic drain estimate: the charged backlog split evenly across the
+  // workers. Optimism is deliberate — shedding must only fire when the
+  // request is hopeless under the BEST case.
+  const std::chrono::nanoseconds wait(backlog_ns_ / threads);
+  const RequestClock::time_point clears = now + wait;
+  if (clears <= deadline) return false;
+  // Hopeless only when the backlog also outlives the LATEST pending
+  // deadline (thus every pending deadline).
+  return pending_deadlines_.empty() || clears > *pending_deadlines_.rbegin();
+}
+
+ExecutorStats BatchExecutor::stats() const {
+  ExecutorStats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.exact_solves_started = exact_started_.load(std::memory_order_relaxed);
+  s.degraded_proactive = degraded_proactive_.load(std::memory_order_relaxed);
+  s.degraded_reactive = degraded_reactive_.load(std::memory_order_relaxed);
+  s.shed = shed_.load(std::memory_order_relaxed);
+  return s;
+}
+
 SolveTicket BatchExecutor::Submit(EvalSession& session, SolveRequest request,
                                   CompletionCallback callback) {
   auto state = std::make_shared<internal::RequestState>();
   state->stats.enqueued = RequestClock::now();
   state->query = std::move(request.query);
   state->callback = std::move(callback);
+  // A relative budget resolves against the SUBMIT time, here — not against
+  // the time the request object was built (request.h): batch-building time
+  // between WithBudget and Submit no longer eats the budget. An explicit
+  // absolute deadline combines by taking the earlier effective deadline.
+  if (request.budget.has_value()) {
+    const RequestClock::time_point from_budget =
+        state->stats.enqueued + *request.budget;
+    if (!request.deadline.has_value() || from_budget < *request.deadline) {
+      request.deadline = from_budget;
+    }
+  }
   if (request.deadline.has_value()) {
     state->cancel.SetDeadline(*request.deadline);
   }
@@ -234,6 +384,7 @@ SolveTicket BatchExecutor::Submit(EvalSession& session, SolveRequest request,
     std::lock_guard<std::mutex> lock(finish_mu_);
     ++outstanding_;
   }
+  submitted_.fetch_add(1, std::memory_order_relaxed);
   SolveTicket ticket(state);
   if (state->query == nullptr) {
     Finish(state, Status::Invalid("serve: null query in request"));
@@ -249,6 +400,26 @@ SolveTicket BatchExecutor::Submit(EvalSession& session, SolveRequest request,
     Finish(state, gate);
     return ticket;
   }
+  // Shedding gate (before any preparation — a shed request never touches
+  // the session): a deadline-carrying request that cannot degrade is
+  // rejected when the predicted backlog is hopeless against every pending
+  // deadline, its own included. Degradable requests fall through to the
+  // proactive path below instead — an estimate beats an error.
+  if (options_.enable_shedding && options_.cost_model != nullptr &&
+      request.deadline.has_value() &&
+      state->options.degrade.mode == DegradeMode::kOff &&
+      PredictedBacklogHopeless(*request.deadline, state->stats.enqueued)) {
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      state->stats.shed = true;
+    }
+    Finish(state,
+           Status::ResourceExhausted(
+               "serve: request shed at admission (predicted backlog exceeds "
+               "every pending deadline)"));
+    return ticket;
+  }
   try {
     // Preparation runs on the submitting thread: it is the cheap, cached
     // half of a solve, and doing it here fixes the context-cache population
@@ -257,6 +428,42 @@ SolveTicket BatchExecutor::Submit(EvalSession& session, SolveRequest request,
     if (options_.split_components) {
       // One registry scan per query; every component task reuses the plan.
       state->dispatch = PlanComponentDispatch(state->prepared, state->options);
+    }
+    if (options_.cost_model != nullptr) {
+      // Predictive admission against an immutable snapshot taken NOW
+      // (snapshot-at-submit: the decision is a pure function of the
+      // snapshot, deterministic at every thread count — cost_model.h).
+      const std::shared_ptr<const CostModelSnapshot> snapshot =
+          options_.cost_model->Snapshot();
+      std::optional<std::chrono::nanoseconds> remaining;
+      if (request.deadline.has_value()) {
+        remaining = *request.deadline - state->stats.enqueued;
+      }
+      const AdmissionDecision decision =
+          DecideAdmission(*snapshot, state->prepared, state->dispatch,
+                          state->options, remaining);
+      {
+        std::lock_guard<std::mutex> lock(state->mu);
+        state->stats.predicted_cost = decision.predicted.expected;
+      }
+      ChargeAdmission(*state, decision.predicted.expected, request.deadline);
+      if (request.deadline.has_value()) {
+        state->has_effective_deadline = true;
+        state->effective_deadline =
+            *request.deadline - decision.predicted.expected;
+      }
+      if (decision.action == AdmissionAction::kDegradeProactively) {
+        // Skip the doomed exact attempt entirely: one task, which runs the
+        // budgeted estimator directly (provenance DegradeInfo::proactive).
+        state->proactive = true;
+        degraded_proactive_.fetch_add(1, std::memory_order_relaxed);
+        EnqueueTask(Task{state, -1});
+        return ticket;
+      }
+    } else if (request.deadline.has_value()) {
+      // No model: the effective deadline is the deadline itself (plain EDF).
+      state->has_effective_deadline = true;
+      state->effective_deadline = *request.deadline;
     }
     const size_t parallelism = state->dispatch.components;
     if (parallelism == 0) {
@@ -309,7 +516,7 @@ std::vector<Result<SolveResult>> BatchExecutor::CollectHelping(
   Task task;
   for (SolveTicket& ticket : tickets) {
     while (ticket.valid() && !ticket.done()) {
-      if (queue_.TryPop(&task)) {
+      if (TryPopTask(&task)) {
         RunTask(task);
         task.request.reset();
         continue;

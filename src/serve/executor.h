@@ -1,13 +1,19 @@
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <memory>
 #include <mutex>
+#include <optional>
+#include <queue>
+#include <set>
 #include <thread>
 #include <vector>
 
 #include "src/core/eval_session.h"
 #include "src/serve/async.h"
+#include "src/serve/cost_model.h"
 #include "src/serve/mpmc_queue.h"
 #include "src/serve/request.h"
 
@@ -42,6 +48,28 @@
 /// Explicit cancellation always answers Cancelled — with the policy on, a
 /// ticket therefore resolves to exactly one of {exact result, degraded
 /// estimate, Cancelled}.
+///
+/// PREDICTIVE ADMISSION & SLACK ORDERING (cost_model.h): install a
+/// CostModel on ExecutorOptions::cost_model and Submit consults an
+/// immutable model snapshot per request (snapshot-at-submit: decisions are
+/// deterministic for a fixed snapshot):
+///   * a deadline-carrying request whose predicted exact cost cannot fit
+///     the remaining budget — even optimistically — is degraded
+///     PROACTIVELY when its DegradePolicy allows: the exact attempt is
+///     skipped entirely and the estimate carries DegradeInfo::proactive;
+///   * with enable_shedding, a deadline-carrying request that cannot
+///     degrade is REJECTED with kResourceExhausted at submit (before any
+///     preparation) when the predicted backlog exceeds the remaining slack
+///     of every pending deadline, its own included;
+///   * deadline-carrying tasks dispatch EARLIEST-EFFECTIVE-DEADLINE-FIRST
+///     (effective deadline = deadline − predicted cost) through a bounded
+///     priority lane ahead of the FIFO queue; deadline-less requests keep
+///     FIFO order among themselves, and with no deadlines set the lane is
+///     empty and dispatch is exactly the historical FIFO (bit-identical
+///     results at every thread count). Both lanes share one capacity bound
+///     and the same full-queue policy: run inline on the submitter.
+/// Every completed exact solve is recorded back into the model, so
+/// predictions sharpen as the pool serves.
 ///
 /// The synchronous API (SolveBatch/SolveItems) is a thin submit+wait
 /// wrapper over the same path; while waiting, the calling thread helps
@@ -83,6 +111,32 @@ struct ExecutorOptions {
   /// out as separate tasks (within-query parallelism). Off = one task per
   /// request. Results are identical either way.
   bool split_components = true;
+  /// Learned latency model (cost_model.h) consulted once per Submit via an
+  /// immutable snapshot: predictions set the slack-ordering effective
+  /// deadline, drive PROACTIVE degradation, and feed the shedding check
+  /// below; completed exact solves are recorded back. Null (the default)
+  /// disables prediction entirely — admission and provenance are then
+  /// unchanged from the pre-cost-model executor.
+  std::shared_ptr<CostModel> cost_model;
+  /// With a cost model installed: reject a deadline-carrying request at
+  /// submit (kResourceExhausted, nothing prepared, the session untouched)
+  /// when the predicted backlog exceeds the remaining slack of EVERY
+  /// pending deadline including the incoming request's own — the request is
+  /// predicted hopeless no matter how the queue is ordered. Requests whose
+  /// DegradePolicy allows degradation are degraded proactively instead of
+  /// shed (an estimate beats an error); deadline-less requests are never
+  /// shed.
+  bool enable_shedding = false;
+};
+
+/// Monotonic counters of admission/scheduling outcomes (updated with
+/// relaxed atomics; a stats() snapshot is exact once the pool has drained).
+struct ExecutorStats {
+  uint64_t submitted = 0;            ///< requests accepted by Submit
+  uint64_t exact_solves_started = 0; ///< requests whose exact solve began
+  uint64_t degraded_proactive = 0;   ///< exact attempt skipped at admission
+  uint64_t degraded_reactive = 0;    ///< converted after a real deadline miss
+  uint64_t shed = 0;                 ///< rejected kResourceExhausted at submit
 };
 
 /// One unit of a synchronous heterogeneous batch: a query against a session
@@ -106,6 +160,8 @@ class BatchExecutor {
 
   size_t num_threads() const { return workers_.size(); }
   const ExecutorOptions& options() const { return options_; }
+  /// Snapshot of the admission/scheduling counters.
+  ExecutorStats stats() const;
 
   // -------------------------------------------------------------------------
   // Asynchronous front door.
@@ -158,7 +214,24 @@ class BatchExecutor {
     int32_t component = -1;
   };
 
+  /// One entry of the slack-ordered lane: min-heap on (effective deadline,
+  /// submission sequence) — the tiebreak keeps equal-deadline tasks FIFO.
+  struct DeadlineEntry {
+    RequestClock::time_point effective;
+    uint64_t seq = 0;
+    Task task;
+  };
+  struct LaterDeadline {
+    bool operator()(const DeadlineEntry& a, const DeadlineEntry& b) const {
+      if (a.effective != b.effective) return a.effective > b.effective;
+      return a.seq > b.seq;
+    }
+  };
+
   void EnqueueTask(Task task);
+  /// Pops the next task to run: the slack lane's earliest effective
+  /// deadline first, then the FIFO queue. False when both are empty.
+  bool TryPopTask(Task* out);
   void RunTask(const Task& task);
   void Finish(const std::shared_ptr<internal::RequestState>& request,
               Result<SolveResult> result);
@@ -169,6 +242,18 @@ class BatchExecutor {
                        Result<SolveResult> result);
   void WorkerLoop();
   bool AllRequestsFinished();
+  /// Marks the request's first exact solving work (counter bump, once).
+  void MarkExactStarted(internal::RequestState& req);
+  /// Charges the request's predicted cost to the backlog and registers its
+  /// deadline in the pending set (admission bookkeeping; refunded in
+  /// Finish).
+  void ChargeAdmission(internal::RequestState& req,
+                       std::chrono::nanoseconds predicted,
+                       const std::optional<RequestClock::time_point>& deadline);
+  /// The shedding predicate: predicted backlog drain time exceeds the
+  /// remaining slack of every pending deadline AND of `deadline` itself.
+  bool PredictedBacklogHopeless(RequestClock::time_point deadline,
+                                RequestClock::time_point now);
 
   ExecutorOptions options_;
   MpmcQueue<Task> queue_;
@@ -178,6 +263,25 @@ class BatchExecutor {
   std::mutex finish_mu_;
   std::condition_variable finish_cv_;
   size_t outstanding_ = 0;  ///< submitted, not yet finished; guarded by finish_mu_
+  /// The slack-ordered lane for deadline-carrying tasks. Bounded by the
+  /// SAME capacity as the FIFO queue, with the same overflow policy (run
+  /// inline on the submitter), so queue_capacity keeps bounding the pool's
+  /// total queued work regardless of lane.
+  std::mutex deadline_mu_;
+  std::priority_queue<DeadlineEntry, std::vector<DeadlineEntry>, LaterDeadline>
+      deadline_heap_;         ///< guarded by deadline_mu_
+  uint64_t deadline_seq_ = 0; ///< guarded by deadline_mu_
+  /// Admission-control state: predicted-but-unfinished work charged to the
+  /// pool and the deadlines of in-flight requests.
+  std::mutex admission_mu_;
+  int64_t backlog_ns_ = 0;  ///< guarded by admission_mu_
+  std::multiset<RequestClock::time_point>
+      pending_deadlines_;   ///< guarded by admission_mu_
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> exact_started_{0};
+  std::atomic<uint64_t> degraded_proactive_{0};
+  std::atomic<uint64_t> degraded_reactive_{0};
+  std::atomic<uint64_t> shed_{0};
   std::vector<std::thread> workers_;
 };
 

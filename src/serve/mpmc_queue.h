@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <memory>
 
+#include "src/util/status.h"
+
 /// \file mpmc_queue.h
 /// Bounded multi-producer/multi-consumer FIFO in the style of Vyukov's
 /// array-based queue: one atomic sequence number per cell arbitrates both
@@ -32,9 +34,17 @@ inline constexpr size_t kCacheLine = 64;
 template <class T>
 class MpmcQueue {
  public:
-  /// Capacity is rounded up to a power of two (minimum 2) so the cell index
-  /// is a mask instead of a modulo.
+  /// Capacity is rounded up to a power of two so the cell index is a mask
+  /// instead of a modulo. The minimum is 2: min_capacity values of 0 and 1
+  /// both yield a 2-cell queue, and capacity() always reports the ROUNDED
+  /// capacity (what TryPush can actually hold), never the requested one.
+  /// Requests above 2^31 cells are rejected with a PHOM_CHECK: the doubling
+  /// loop would overflow past the top power of two (cap << 1 wraps to 0 and
+  /// the loop never terminates), and an allocation that large could not
+  /// succeed anyway.
   explicit MpmcQueue(size_t min_capacity) {
+    PHOM_CHECK_MSG(min_capacity <= (size_t{1} << 31),
+                   "MpmcQueue capacity request too large: " << min_capacity);
     size_t cap = 2;
     while (cap < min_capacity) cap <<= 1;
     mask_ = cap - 1;

@@ -50,6 +50,13 @@ struct SolveRequest {
   /// submit then prepares and enqueues normally so a worker can produce the
   /// estimate. Explicit Cancel() is never degraded.
   std::optional<RequestClock::time_point> deadline;
+  /// RELATIVE time budget, resolved against the SUBMIT time (not the time
+  /// this request object was built): Submit materializes it as
+  /// deadline = submit_time + budget, so batch-building time between
+  /// WithTimeout/WithBudget and Submit no longer silently eats the budget.
+  /// When both a budget and an absolute deadline are set, the earlier of
+  /// the two effective deadlines wins.
+  std::optional<std::chrono::nanoseconds> budget;
   /// Per-request overrides of the session's base SolveOptions: numeric
   /// backend, forced engine, Monte Carlo seed, degrade policy (solver.h).
   SolveOverrides overrides;
@@ -67,10 +74,15 @@ struct SolveRequest {
     deadline = d;
     return *this;
   }
-  /// Deadline = now + budget.
-  SolveRequest& WithTimeout(std::chrono::nanoseconds budget) {
-    deadline = RequestClock::now() + budget;
+  /// Deadline = submit time + budget (materialized in Submit, NOT here —
+  /// see `budget` above).
+  SolveRequest& WithBudget(std::chrono::nanoseconds b) {
+    budget = b;
     return *this;
+  }
+  /// Alias of WithBudget, kept for callers that read better as "timeout".
+  SolveRequest& WithTimeout(std::chrono::nanoseconds b) {
+    return WithBudget(b);
   }
   SolveRequest& WithNumeric(NumericBackend backend) {
     overrides.numeric = backend;
@@ -123,8 +135,17 @@ struct RequestStats {
   bool cancelled_before_start = false;
   /// The request's exact solve hit its deadline and was converted into a
   /// budgeted Monte Carlo estimate (DegradePolicy); the result is OK and
-  /// carries SolveResult::degrade provenance.
+  /// carries SolveResult::degrade provenance (degrade.proactive
+  /// distinguishes an admission-time skip from a reactive conversion).
   bool degraded = false;
+  /// Rejected at submit by admission control (ExecutorOptions::
+  /// enable_shedding): the predicted backlog exceeded every pending
+  /// deadline, the status is kResourceExhausted, and nothing was prepared.
+  bool shed = false;
+  /// The cost model's expected exact-solve latency, snapshotted at submit
+  /// (zero without a cost model). The admission decision — admit, degrade
+  /// proactively, or shed — was made against this prediction.
+  std::chrono::nanoseconds predicted_cost{0};
 
   std::chrono::nanoseconds queue_delay() const { return started - enqueued; }
   std::chrono::nanoseconds solve_time() const { return finished - started; }

@@ -26,6 +26,15 @@
 /// budgeted Monte Carlo estimate with DegradeInfo provenance instead of
 /// DeadlineExceeded — see executor.h for the full semantics.
 ///
+/// Predictive admission & slack ordering: install a CostModel on
+/// ShardedServerOptions::executor.cost_model (optionally with
+/// executor.enable_shedding) and the shared pool predicts each request's
+/// exact-solve cost at submit — degrading doomed requests proactively,
+/// shedding hopeless non-degradable ones with kResourceExhausted, and
+/// dispatching deadline-carrying requests earliest-effective-deadline-first
+/// across ALL shards (the pool is shared, so slack ordering is global).
+/// Counters: executor_stats(). Full semantics: executor.h, cost_model.h.
+///
 /// Thread safety: every public method may be called from many threads at
 /// once (sessions, the LRU and the executor are individually thread-safe).
 /// Determinism: every request that completes answers bit-identically to
@@ -108,6 +117,9 @@ class ShardedServer {
   SessionStats session_stats(size_t shard) const {
     return session(shard).stats();
   }
+  /// Admission/scheduling counters of the shared executor (submitted, exact
+  /// solves started, proactive/reactive degradations, shed requests).
+  ExecutorStats executor_stats() const { return executor_.stats(); }
 
  private:
   ShardedServerOptions options_;

@@ -223,6 +223,13 @@ TEST(ServeDegradeFuzz, CancelAtRandomizedPointsResolvesToExactlyOneOutcome) {
       Result<SolveResult> result = s.ticket.Get();
       SCOPED_TRACE("shard " + std::to_string(s.shard) + " query " +
                    std::to_string(s.query));
+      {
+        // Timeline monotonicity holds for EVERY outcome — exact, degraded,
+        // expired and cancelled requests alike (request.h).
+        serve::RequestStats stats = s.ticket.stats();
+        EXPECT_LE(stats.enqueued, stats.started);
+        EXPECT_LE(stats.started, stats.finished);
+      }
       if (!result.ok()) {
         // The ONLY permitted error: explicit cancellation. In particular a
         // deadline miss must never leak through the policy as
@@ -294,6 +301,9 @@ TEST(ServeDegradeFuzz, DestructionMidPressureDrainsCleanly) {
   }  // destructor drains with conversions likely mid-flight
   for (SolveTicket& ticket : tickets) {
     ASSERT_TRUE(ticket.done());
+    serve::RequestStats stats = ticket.stats();
+    EXPECT_LE(stats.enqueued, stats.started);
+    EXPECT_LE(stats.started, stats.finished);
     Result<SolveResult> result = ticket.Take();
     if (!result.ok()) {
       ADD_FAILURE() << "only {exact, degraded} possible without Cancel: "

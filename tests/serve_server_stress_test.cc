@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <bit>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -167,6 +168,42 @@ TEST(ShardedServerStress, OutOfRangeAndNullRequests) {
   EXPECT_TRUE(results[0].ok());
   EXPECT_EQ(results[1].status().code(), Status::Code::kInvalidArgument);
   EXPECT_EQ(results[2].status().code(), Status::Code::kInvalidArgument);
+}
+
+TEST(ShardedServerStress, RequestTimelinesMonotonicUnderMixedLoad) {
+  // Timeline audit (request.h): enqueued <= started <= finished must hold
+  // for every ticket — fast solves, deadline-carrying requests routed
+  // through the slack-ordered lane, and admission-priced requests alike.
+  std::vector<ProbGraph> shards = {StressInstance(7), StressInstance(8)};
+  ShardedServerOptions options;
+  options.executor.threads = 4;
+  options.executor.cost_model = std::make_shared<serve::CostModel>();
+  ShardedServer server(std::move(shards), options);
+  std::vector<DiGraph> queries = StressQueries();
+
+  std::vector<serve::SolveTicket> tickets;
+  for (int round = 0; round < 8; ++round) {
+    for (size_t q = 0; q < queries.size(); ++q) {
+      serve::SolveRequest request(queries[q], (round + q) % 2);
+      if ((round + q) % 3 == 0) {
+        request.WithDeadline(serve::RequestClock::now() +
+                             std::chrono::seconds(30));
+      }
+      tickets.push_back(server.Submit(std::move(request)));
+    }
+  }
+  std::vector<Result<SolveResult>> results = server.Collect(tickets);
+  for (size_t i = 0; i < tickets.size(); ++i) {
+    SCOPED_TRACE("ticket " + std::to_string(i));
+    EXPECT_TRUE(results[i].ok()) << results[i].status().ToString();
+    serve::RequestStats stats = tickets[i].stats();
+    EXPECT_LE(stats.enqueued, stats.started);
+    EXPECT_LE(stats.started, stats.finished);
+    EXPECT_GE(stats.total_time().count(), 0);
+  }
+  serve::ExecutorStats exec = server.executor_stats();
+  EXPECT_EQ(exec.submitted, tickets.size());
+  EXPECT_EQ(exec.shed, 0u);
 }
 
 // ---------------------------------------------------------------------------
