@@ -8,6 +8,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -15,7 +16,10 @@
 #include "bench/bench_util.h"
 #include "src/core/eval_session.h"
 #include "src/serve/executor.h"
+#include "src/serve/mpmc_queue.h"
+#include "src/serve/relaxed_queue.h"
 #include "src/serve/shard.h"
+#include "src/serve/work_steal_deque.h"
 
 namespace phom {
 namespace {
@@ -107,6 +111,114 @@ void BM_ServeExecutorNoComponentSplit(benchmark::State& state) {
 }
 BENCHMARK(BM_ServeExecutorNoComponentSplit)
     ->Arg(2)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// Scheduling-core contenders. Two layers: raw per-op costs of the three
+// task stores (global Vyukov MPMC, Chase–Lev deque, relaxed block queue),
+// then the executor measured end to end under each dispatch shape — the
+// pre-rebuild single global FIFO vs per-worker deques + stealing vs the
+// relaxed multi-block injection queue — on a dispatch-heavy corpus (many
+// small componentwise queries) where per-dispatch overhead dominates.
+// ---------------------------------------------------------------------------
+
+void BM_QueueOpGlobalMpmc(benchmark::State& state) {
+  serve::MpmcQueue<uint64_t> queue(1024);
+  uint64_t v = 0;
+  uint64_t out = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) queue.TryPush(v++);
+    for (int i = 0; i < 64; ++i) queue.TryPop(&out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_QueueOpGlobalMpmc);
+
+void BM_QueueOpDequeOwner(benchmark::State& state) {
+  // Owner-side push/pop round trip. Nodes are recycled through a pool so
+  // the numbers measure the deque, not the allocator.
+  serve::WorkStealDeque<uint64_t> deque(1024);
+  std::vector<std::unique_ptr<uint64_t>> pool;
+  for (uint64_t i = 0; i < 64; ++i) pool.push_back(std::make_unique<uint64_t>(i));
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) deque.PushBottom(pool[i]);
+    for (int i = 0; i < 64; ++i) deque.PopBottom(&pool[i]);
+    benchmark::DoNotOptimize(pool.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_QueueOpDequeOwner);
+
+void BM_QueueOpDequeSteal(benchmark::State& state) {
+  // Thief-side path (uncontended): push at the bottom, steal from the top.
+  serve::WorkStealDeque<uint64_t> deque(1024);
+  std::vector<std::unique_ptr<uint64_t>> pool;
+  for (uint64_t i = 0; i < 64; ++i) pool.push_back(std::make_unique<uint64_t>(i));
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) deque.PushBottom(pool[i]);
+    for (int i = 0; i < 64; ++i) deque.TrySteal(&pool[i]);
+    benchmark::DoNotOptimize(pool.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_QueueOpDequeSteal);
+
+void BM_QueueOpRelaxedBlocks(benchmark::State& state) {
+  serve::RelaxedBlockQueue<uint64_t> queue(1024,
+                                           static_cast<size_t>(state.range(0)));
+  uint64_t v = 0;
+  uint64_t out = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) queue.TryPush(v++);
+    for (int i = 0; i < 64; ++i) queue.TryPop(&out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_QueueOpRelaxedBlocks)->Arg(1)->Arg(8)->ArgName("blocks");
+
+/// Executor dispatch shapes for the contender run.
+///   0 = the pre-rebuild core: one global strict-FIFO queue, no stealing
+///   1 = per-worker deques + randomized stealing (strict-FIFO injection)
+///   2 = relaxed multi-block injection only, no stealing
+void BM_ServeDispatchContender(benchmark::State& state) {
+  const size_t threads = static_cast<size_t>(state.range(0));
+  const int64_t shape = state.range(1);
+  // Dispatch-heavy: 4 instance components per query and a wide batch of
+  // small queries, so scheduling overhead is a visible fraction.
+  Corpus corpus = MakeCorpus(4, 8, 32);
+  ExecutorOptions exec_options;
+  exec_options.threads = threads;
+  switch (shape) {
+    case 0:
+      exec_options.enable_stealing = false;
+      exec_options.injection_blocks = 1;
+      state.SetLabel("global-mpmc");
+      break;
+    case 1:
+      exec_options.enable_stealing = true;
+      exec_options.injection_blocks = 1;
+      state.SetLabel("deques+stealing");
+      break;
+    default:
+      exec_options.enable_stealing = false;
+      exec_options.injection_blocks = 8;
+      state.SetLabel("relaxed-injection");
+      break;
+  }
+  BatchExecutor executor(exec_options);
+  EvalSession session(corpus.instance, ServingOptions());
+  executor.SolveBatch(session, corpus.queries);  // warm-up
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(executor.SolveBatch(session, corpus.queries));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(corpus.queries.size()));
+}
+BENCHMARK(BM_ServeDispatchContender)
+    ->ArgNames({"threads", "shape"})
+    ->ArgsProduct({{1, 2, 8}, {0, 1, 2}})
     ->Unit(benchmark::kMillisecond);
 
 // ---------------------------------------------------------------------------

@@ -10,7 +10,8 @@ template <class Num>
 Result<Num> SolveConnectedOn2wpComponentT(const DiGraph& query,
                                           const ProbGraph& component,
                                           TwoWayPathStats* stats,
-                                          MonotoneDnf* lineage_out) {
+                                          MonotoneDnf* lineage_out,
+                                          MonotonicArena* scratch_arena) {
   using Ops = NumericOps<Num>;
   const DiGraph& g = component.graph();
   if (!IsTwoWayPath(g)) {
@@ -38,11 +39,18 @@ Result<Num> SolveConnectedOn2wpComponentT(const DiGraph& query,
   }
 
   // Two-pointer sweep for the minimal homomorphic vertex windows
-  // [a .. b] (b > a); r(a) is non-decreasing in a.
+  // [a .. b] (b > a); r(a) is non-decreasing in a. The sweep performs O(L)
+  // homomorphism tests against the SAME instance: one shared XPropScratch
+  // (backed by the caller's per-task arena when provided) serves them all,
+  // and the window domain is a span of `order` — no per-test allocations.
+  MonotonicArena local_arena;
+  XPropScratch scratch(scratch_arena != nullptr ? scratch_arena
+                                                : &local_arena);
   auto window_has_hom = [&](size_t a, size_t b) {
     if (stats != nullptr) ++stats->hom_tests;
-    std::vector<VertexId> domain(order.begin() + a, order.begin() + b + 1);
-    return XPropertyHomomorphism(query, g, order, domain).has_hom;
+    return XPropertyHomomorphism(query, g, order, order.data() + a, b - a + 1,
+                                 &scratch)
+        .has_hom;
   };
 
   std::vector<EdgeInterval> intervals;
@@ -69,8 +77,10 @@ Result<Num> SolveConnectedOn2wpComponentT(const DiGraph& query,
 }
 
 template Result<Rational> SolveConnectedOn2wpComponentT<Rational>(
-    const DiGraph&, const ProbGraph&, TwoWayPathStats*, MonotoneDnf*);
+    const DiGraph&, const ProbGraph&, TwoWayPathStats*, MonotoneDnf*,
+    MonotonicArena*);
 template Result<double> SolveConnectedOn2wpComponentT<double>(
-    const DiGraph&, const ProbGraph&, TwoWayPathStats*, MonotoneDnf*);
+    const DiGraph&, const ProbGraph&, TwoWayPathStats*, MonotoneDnf*,
+    MonotonicArena*);
 
 }  // namespace phom

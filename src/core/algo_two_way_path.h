@@ -2,6 +2,7 @@
 
 #include "src/graph/prob_graph.h"
 #include "src/lineage/dnf.h"
+#include "src/util/arena.h"
 #include "src/util/numeric.h"
 #include "src/util/rational.h"
 #include "src/util/result.h"
@@ -30,17 +31,24 @@ struct TwoWayPathStats {
 /// Pr(query ⇝ component) for a connected query with >= 1 edge on a single
 /// 2WP component, in the numeric backend of `Num`. `lineage_out`, if
 /// non-null, receives the interval DNF over the component's edge ids (for
-/// β-acyclicity checks and ablations).
+/// β-acyclicity checks and ablations). `scratch_arena`, if non-null, backs
+/// the sweep's homomorphism-test scratch (util/arena.h; the serve executor
+/// threads its per-task arena here via SolveOptions::scratch) — null falls
+/// back to a kernel-local arena, identical results either way.
 template <class Num>
 Result<Num> SolveConnectedOn2wpComponentT(const DiGraph& query,
                                           const ProbGraph& component,
                                           TwoWayPathStats* stats,
-                                          MonotoneDnf* lineage_out);
+                                          MonotoneDnf* lineage_out,
+                                          MonotonicArena* scratch_arena =
+                                              nullptr);
 
 extern template Result<Rational> SolveConnectedOn2wpComponentT<Rational>(
-    const DiGraph&, const ProbGraph&, TwoWayPathStats*, MonotoneDnf*);
+    const DiGraph&, const ProbGraph&, TwoWayPathStats*, MonotoneDnf*,
+    MonotonicArena*);
 extern template Result<double> SolveConnectedOn2wpComponentT<double>(
-    const DiGraph&, const ProbGraph&, TwoWayPathStats*, MonotoneDnf*);
+    const DiGraph&, const ProbGraph&, TwoWayPathStats*, MonotoneDnf*,
+    MonotonicArena*);
 
 /// Exact-backend convenience (the historical entry point).
 inline Result<Rational> SolveConnectedOn2wpComponent(

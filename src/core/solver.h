@@ -10,6 +10,7 @@
 #include "src/core/fallback.h"
 #include "src/core/monte_carlo.h"
 #include "src/graph/prob_graph.h"
+#include "src/util/arena.h"
 #include "src/util/numeric.h"
 #include "src/util/rational.h"
 #include "src/util/result.h"
@@ -134,6 +135,14 @@ struct SolveOptions {
   /// honored otherwise); see CancelToken (util/status.h). The pointee must
   /// outlive the solve.
   const CancelToken* cancel = nullptr;
+  /// Per-task scratch arena (util/arena.h) threaded down to allocation-hot
+  /// kernels (currently the 2WP minimal-window sweep and its
+  /// XPropertyHomomorphism scratch). Non-owning; null = kernels fall back
+  /// to a solve-local arena, with identical results. NOT thread-safe: the
+  /// pointee must be used by one solve at a time (the serve executor gives
+  /// each worker its own arena and resets it between tasks). Never affects
+  /// answers — scratch memory only.
+  MonotonicArena* scratch = nullptr;
 };
 
 /// The per-request knobs a serving layer may override on top of a session's

@@ -1,7 +1,6 @@
 #include "src/hom/arc_consistency.h"
 
 #include <algorithm>
-#include <deque>
 
 #include "src/util/status.h"
 
@@ -9,12 +8,18 @@ namespace phom {
 
 namespace {
 
-/// Position of each instance vertex in the X-property order.
-std::vector<uint32_t> PositionOf(const DiGraph& instance,
-                                 const std::vector<VertexId>& order) {
-  std::vector<uint32_t> pos(instance.num_vertices(), UINT32_MAX);
-  for (uint32_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
-  return pos;
+/// Grows (re-carves) an arena-backed POD buffer to at least `needed`
+/// elements. Monotonic arenas never free, so the discarded buffer is
+/// reclaimed at the owner's next Reset — sizes are stable within a task, so
+/// this fires once per size class, not per call.
+template <class T>
+void EnsureCapacity(MonotonicArena* arena, T** buf, size_t* cap,
+                    size_t needed) {
+  if (*cap >= needed) return;
+  size_t grown = *cap == 0 ? 64 : *cap;
+  while (grown < needed) grown *= 2;
+  *buf = arena->AllocateArray<T>(grown);
+  *cap = grown;
 }
 
 }  // namespace
@@ -23,6 +28,16 @@ XPropertyHomResult XPropertyHomomorphism(
     const DiGraph& query, const DiGraph& instance,
     const std::vector<VertexId>& order,
     const std::vector<VertexId>& initial_domain) {
+  MonotonicArena arena;
+  XPropScratch scratch(&arena);
+  return XPropertyHomomorphism(query, instance, order, initial_domain.data(),
+                               initial_domain.size(), &scratch);
+}
+
+XPropertyHomResult XPropertyHomomorphism(
+    const DiGraph& query, const DiGraph& instance,
+    const std::vector<VertexId>& order, const VertexId* initial_domain,
+    size_t initial_domain_size, XPropScratch* scratch) {
   XPropertyHomResult out;
   size_t nq = query.num_vertices();
   size_t ni = instance.num_vertices();
@@ -32,43 +47,80 @@ XPropertyHomResult XPropertyHomomorphism(
   }
   if (ni == 0) return out;
 
-  // Domains as membership bitmaps.
-  std::vector<std::vector<bool>> domain(
-      nq, std::vector<bool>(ni, initial_domain.empty()));
-  if (!initial_domain.empty()) {
-    for (auto& d : domain) {
-      for (VertexId v : initial_domain) d[v] = true;
+  // Domains as a flat nq × ni membership bitmap in the scratch.
+  EnsureCapacity(scratch->arena, &scratch->domain, &scratch->domain_cap,
+                 nq * ni);
+  uint8_t* domain = scratch->domain;
+  std::fill(domain, domain + nq * ni,
+            static_cast<uint8_t>(initial_domain_size == 0 ? 1 : 0));
+  if (initial_domain_size != 0) {
+    for (size_t u = 0; u < nq; ++u) {
+      uint8_t* row = domain + u * ni;
+      for (size_t i = 0; i < initial_domain_size; ++i) {
+        row[initial_domain[i]] = 1;
+      }
     }
   }
 
   // AC-3 over the directed constraints given by query edges. For a query
   // edge u -R-> v we must revise both endpoints: a ∈ D(u) needs some
   // b ∈ D(v) with a -R-> b, and b ∈ D(v) needs some a ∈ D(u) with a -R-> b.
-  std::deque<std::pair<EdgeId, bool>> work;  // (edge, revise_source?)
+  // The worklist is a FIFO of (edge << 1) | revise_source? entries in a
+  // scratch buffer; on overflow the live region compacts into a doubled
+  // carve (same order, so the revision sequence is unchanged).
+  size_t work_head = 0;
+  size_t work_tail = 0;
+  EnsureCapacity(scratch->arena, &scratch->work, &scratch->work_cap,
+                 2 * static_cast<size_t>(query.num_edges()) + 16);
+  auto push_work = [&](EdgeId e, bool revise_source) {
+    if (work_tail == scratch->work_cap) {
+      const size_t live = work_tail - work_head;
+      if (live * 2 <= scratch->work_cap) {
+        // Plenty of consumed space at the front: slide instead of growing.
+        std::copy(scratch->work + work_head, scratch->work + work_tail,
+                  scratch->work);
+      } else {
+        uint32_t* old = scratch->work;
+        size_t old_head = work_head;
+        scratch->work = nullptr;
+        scratch->work_cap = 0;
+        EnsureCapacity(scratch->arena, &scratch->work, &scratch->work_cap,
+                       live * 2);
+        std::copy(old + old_head, old + old_head + live, scratch->work);
+      }
+      work_head = 0;
+      work_tail = live;
+    }
+    scratch->work[work_tail++] =
+        (static_cast<uint32_t>(e) << 1) | (revise_source ? 1u : 0u);
+  };
   for (EdgeId e = 0; e < query.num_edges(); ++e) {
-    work.emplace_back(e, true);
-    work.emplace_back(e, false);
+    push_work(e, true);
+    push_work(e, false);
   }
 
   auto enqueue_neighbors = [&](VertexId u) {
-    for (EdgeId e : query.OutEdges(u)) work.emplace_back(e, false);
-    for (EdgeId e : query.InEdges(u)) work.emplace_back(e, true);
+    for (EdgeId e : query.OutEdges(u)) push_work(e, false);
+    for (EdgeId e : query.InEdges(u)) push_work(e, true);
   };
 
-  while (!work.empty()) {
-    auto [e, revise_source] = work.front();
-    work.pop_front();
+  while (work_head != work_tail) {
+    const uint32_t item = scratch->work[work_head++];
+    const EdgeId e = static_cast<EdgeId>(item >> 1);
+    const bool revise_source = (item & 1u) != 0;
     const Edge& qe = query.edge(e);
     VertexId revised = revise_source ? qe.src : qe.dst;
     VertexId other = revise_source ? qe.dst : qe.src;
+    uint8_t* revised_row = domain + static_cast<size_t>(revised) * ni;
+    const uint8_t* other_row = domain + static_cast<size_t>(other) * ni;
     bool changed = false;
     for (VertexId a = 0; a < ni; ++a) {
-      if (!domain[revised][a]) continue;
+      if (!revised_row[a]) continue;
       bool supported = false;
       if (revise_source) {
         for (EdgeId ie : instance.OutEdges(a)) {
           const Edge& h = instance.edge(ie);
-          if (h.label == qe.label && domain[other][h.dst]) {
+          if (h.label == qe.label && other_row[h.dst]) {
             supported = true;
             break;
           }
@@ -76,20 +128,20 @@ XPropertyHomResult XPropertyHomomorphism(
       } else {
         for (EdgeId ie : instance.InEdges(a)) {
           const Edge& h = instance.edge(ie);
-          if (h.label == qe.label && domain[other][h.src]) {
+          if (h.label == qe.label && other_row[h.src]) {
             supported = true;
             break;
           }
         }
       }
       if (!supported) {
-        domain[revised][a] = false;
+        revised_row[a] = 0;
         changed = true;
       }
     }
     if (changed) {
       bool empty = true;
-      for (VertexId a = 0; a < ni && empty; ++a) empty = !domain[revised][a];
+      for (VertexId a = 0; a < ni && empty; ++a) empty = !revised_row[a];
       if (empty) return out;  // no homomorphism
       enqueue_neighbors(revised);
     }
@@ -97,14 +149,18 @@ XPropertyHomResult XPropertyHomomorphism(
 
   // Min-closed constraints: the per-vertex minima (w.r.t. the X-property
   // order) of arc-consistent domains form a homomorphism.
-  std::vector<uint32_t> pos = PositionOf(instance, order);
+  EnsureCapacity(scratch->arena, &scratch->pos, &scratch->pos_cap, ni);
+  uint32_t* pos = scratch->pos;
+  std::fill(pos, pos + ni, UINT32_MAX);
+  for (uint32_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
   out.witness.assign(nq, 0);
   for (VertexId u = 0; u < nq; ++u) {
+    const uint8_t* row = domain + static_cast<size_t>(u) * ni;
     uint32_t best_pos = UINT32_MAX;
     VertexId best = 0;
     bool any = false;
     for (VertexId a = 0; a < ni; ++a) {
-      if (!domain[u][a]) continue;
+      if (!row[a]) continue;
       PHOM_CHECK_MSG(pos[a] != UINT32_MAX,
                      "domain vertex missing from X-property order");
       if (!any || pos[a] < best_pos) {

@@ -1,8 +1,10 @@
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "src/graph/digraph.h"
+#include "src/util/arena.h"
 #include "src/util/result.h"
 
 /// \file arc_consistency.h
@@ -32,6 +34,31 @@ struct XPropertyHomResult {
   std::vector<VertexId> witness;
 };
 
+/// Reusable scratch for XPropertyHomomorphism. One AC-3 run needs a
+/// query×instance domain bitmap, a position table and a worklist; a caller
+/// running MANY tests against the same instance (the 2WP minimal-window
+/// sweep performs O(|path|) of them back to back) hands the same scratch to
+/// every call and pays for the buffers once instead of per test. All buffers
+/// are POD and carved from the backing MonotonicArena (util/arena.h), so a
+/// serve worker that resets its per-task arena between requests reuses the
+/// same memory with zero allocations after warm-up.
+///
+/// The struct only caches CAPACITY, never content: every call refills what
+/// it reads, so a scratch can be reused across unrelated query/instance
+/// pairs (growing sizes re-carve from the arena).
+struct XPropScratch {
+  /// `arena` must outlive the scratch and every call using it (non-owning).
+  explicit XPropScratch(MonotonicArena* arena) : arena(arena) {}
+
+  MonotonicArena* arena;
+  uint8_t* domain = nullptr;   ///< nq × ni membership bitmap
+  uint32_t* pos = nullptr;     ///< instance vertex -> X-order position
+  uint32_t* work = nullptr;    ///< AC-3 worklist ring: (edge << 1) | src-flag
+  size_t domain_cap = 0;
+  size_t pos_cap = 0;
+  size_t work_cap = 0;
+};
+
 /// Decides query ⇝ instance, where `order` lists instance vertices in a total
 /// order w.r.t. which the instance has the X-property (caller's obligation;
 /// see HasXProperty). `initial_domain` optionally restricts the instance
@@ -41,6 +68,15 @@ XPropertyHomResult XPropertyHomomorphism(
     const DiGraph& query, const DiGraph& instance,
     const std::vector<VertexId>& order,
     const std::vector<VertexId>& initial_domain = {});
+
+/// Allocation-lean variant: `initial_domain` is a raw span (the 2WP sweep
+/// passes a window of `order` directly, no staging vector) and every
+/// temporary lives in `scratch`. Pass (nullptr, 0) for an unrestricted
+/// domain. Semantics and result are identical to the vector overload.
+XPropertyHomResult XPropertyHomomorphism(
+    const DiGraph& query, const DiGraph& instance,
+    const std::vector<VertexId>& order, const VertexId* initial_domain,
+    size_t initial_domain_size, XPropScratch* scratch);
 
 /// Checks Definition 4.12 directly in O(|E|² · labels) — test helper.
 bool HasXProperty(const DiGraph& instance, const std::vector<VertexId>& order);

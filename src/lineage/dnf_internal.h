@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 /// \file dnf_internal.h
@@ -64,6 +65,47 @@ inline void Canonicalize(Clauses* clauses) {
   }
   *clauses = std::move(kept);
 }
+
+/// FNV-1a-style hash of one clause (its variable list), length-mixed so a
+/// prefix and its extension do not collide trivially.
+struct ClauseVecHash {
+  size_t operator()(const std::vector<uint32_t>& v) const {
+    size_t h = 0xcbf29ce484222325ull;
+    for (uint32_t x : v) {
+      h ^= x;
+      h *= 0x100000001b3ull;
+    }
+    h ^= v.size();
+    h *= 0x100000001b3ull;
+    return h;
+  }
+};
+
+/// Interns canonical clauses to dense uint32 ids. Shannon expansion revisits
+/// the same residual clauses constantly (each branch only removes one
+/// variable), so a memo key over CLAUSE IDS — instead of the old
+/// serialize-every-variable ClausesKey — is both shorter to hash and, for
+/// small states, packable into a single uint64 (see ShannonEvaluator in
+/// dnf_prob.cc). Interning is exact (id equality ⇔ clause equality), so the
+/// memoization behavior is bit-identical to content keying; lookups of
+/// already-seen clauses allocate nothing (find by const reference).
+class ClauseInterner {
+ public:
+  /// Returns the stable id of `clause`, assigning the next dense id on
+  /// first sight (the only allocation: one stored copy per DISTINCT clause).
+  uint32_t Intern(const std::vector<uint32_t>& clause) {
+    auto it = ids_.find(clause);
+    if (it != ids_.end()) return it->second;
+    uint32_t id = static_cast<uint32_t>(ids_.size());
+    ids_.emplace(clause, id);
+    return id;
+  }
+
+  size_t size() const { return ids_.size(); }
+
+ private:
+  std::unordered_map<std::vector<uint32_t>, uint32_t, ClauseVecHash> ids_;
+};
 
 /// Splits clauses into variable-connected components; returns one group per
 /// component (singleton result when already connected).

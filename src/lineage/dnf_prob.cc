@@ -62,10 +62,9 @@ Rational DnfProbabilityInclusionExclusion(const MonotoneDnf& dnf,
 namespace {
 
 using dnf_internal::Canonicalize;
+using dnf_internal::ClauseInterner;
 using dnf_internal::Clauses;
-using dnf_internal::ClausesKey;
-using dnf_internal::ClausesKeyHash;
-using dnf_internal::MakeKey;
+using dnf_internal::ClauseVecHash;
 using dnf_internal::SplitVariableComponents;
 
 template <class Num>
@@ -84,11 +83,39 @@ class ShannonEvaluator {
     if (clauses.empty()) return Ops::Zero();
     if (clauses.front().empty()) return Ops::One();
 
-    ClausesKey key = MakeKey(clauses);
-    auto it = cache_.find(key);
-    if (it != cache_.end()) {
-      if (stats_ != nullptr) ++stats_->cache_hits;
-      return it->second;
+    // Memo key = the sequence of interned clause ids (canonical clause set
+    // ⇔ canonical id sequence, so hit/miss behavior is identical to the old
+    // serialize-every-variable key). Small states — at most kPackWidth
+    // clauses, every id below kPackBase — pack the whole sequence into one
+    // uint64 and hit an integer-keyed map: no allocation, one-word hashing.
+    // Wider states fall back to the id-vector map, whose key is still a
+    // fraction of the old full serialization. `ids_buf_` is reused across
+    // calls; only a wide-map INSERT copies it.
+    ids_buf_.clear();
+    for (const auto& c : clauses) ids_buf_.push_back(interner_.Intern(c));
+    uint64_t packed = 0;
+    bool packable = ids_buf_.size() <= kPackWidth;
+    if (packable) {
+      for (uint32_t id : ids_buf_) {
+        if (id + 1 >= kPackBase) {
+          packable = false;
+          break;
+        }
+        packed = (packed << 8) | (id + 1);  // +1: zero byte means "unused"
+      }
+    }
+    if (packable) {
+      auto it = packed_cache_.find(packed);
+      if (it != packed_cache_.end()) {
+        if (stats_ != nullptr) ++stats_->cache_hits;
+        return it->second;
+      }
+    } else {
+      auto it = wide_cache_.find(ids_buf_);
+      if (it != wide_cache_.end()) {
+        if (stats_ != nullptr) ++stats_->cache_hits;
+        return it->second;
+      }
     }
     if (stats_ != nullptr) ++stats_->states;
     if (++states_ > max_states_) {
@@ -96,8 +123,16 @@ class ShannonEvaluator {
       return Ops::Zero();
     }
 
+    // EvalComponents recurses into Eval, which reuses ids_buf_ — recompute
+    // nothing from it afterwards (packed / the map key copy are taken now).
+    std::vector<uint32_t> wide_key;
+    if (!packable) wide_key = ids_buf_;
     Num result = EvalComponents(clauses);
-    cache_.emplace(std::move(key), result);
+    if (packable) {
+      packed_cache_.emplace(packed, result);
+    } else {
+      wide_cache_.emplace(std::move(wide_key), result);
+    }
     return result;
   }
 
@@ -154,13 +189,21 @@ class ShannonEvaluator {
     return p * r1 + Ops::Complement(p) * r0;
   }
 
+  /// Packed-key geometry: up to 8 ids of one byte each (byte value id+1,
+  /// so 0 marks an unused slot and length needs no separate tag).
+  static constexpr size_t kPackWidth = 8;
+  static constexpr uint32_t kPackBase = 256;
+
   const std::vector<Num>& probs_;
   std::vector<uint32_t> rank_;
   uint64_t max_states_;
   ShannonStats* stats_;
   uint64_t states_ = 0;
   bool exhausted_ = false;
-  std::unordered_map<ClausesKey, Num, ClausesKeyHash> cache_;
+  ClauseInterner interner_;
+  std::vector<uint32_t> ids_buf_;
+  std::unordered_map<uint64_t, Num> packed_cache_;
+  std::unordered_map<std::vector<uint32_t>, Num, ClauseVecHash> wide_cache_;
 };
 
 }  // namespace

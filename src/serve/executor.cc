@@ -1,5 +1,6 @@
 #include "src/serve/executor.h"
 
+#include <algorithm>
 #include <chrono>
 #include <exception>
 #include <string>
@@ -16,19 +17,46 @@ Result<SolveResult> PendingResult() {
   return Status::Invalid("serve: result slot not yet computed");
 }
 
-}  // namespace
-
-BatchExecutor::BatchExecutor(ExecutorOptions options)
-    : options_(options),
-      queue_(options.queue_capacity == 0 ? 2 : options.queue_capacity) {
-  size_t n = options_.threads;
+size_t ResolveThreads(const ExecutorOptions& options) {
+  size_t n = options.threads;
   if (n == 0) {
     n = std::thread::hardware_concurrency();
     if (n == 0) n = 1;
   }
+  return n;
+}
+
+size_t ResolveInjectionBlocks(const ExecutorOptions& options) {
+  if (options.injection_blocks != 0) return options.injection_blocks;
+  // Auto: one block per worker up to 8 — enough cursor spread to take the
+  // queue off the contention path, few enough that the all-blocks probe on
+  // pop stays cheap. RelaxedBlockQueue clamps further so no block drops
+  // below 2 cells (a capacity-2 queue is always one strict-FIFO block).
+  return std::min<size_t>(ResolveThreads(options), 8);
+}
+
+}  // namespace
+
+BatchExecutor::BatchExecutor(ExecutorOptions options)
+    : options_(std::move(options)),
+      injection_(options_.queue_capacity == 0 ? 2 : options_.queue_capacity,
+                 ResolveInjectionBlocks(options_)) {
+  const size_t n = ResolveThreads(options_);
+  // Per-worker EDF heap bound: the historical GLOBAL bound (the queue
+  // capacity) split across workers, so total queued deadline work keeps the
+  // same memory bound — and with one worker the heap is exactly the old
+  // global heap (same capacity, same displace threshold).
+  const size_t heap_capacity =
+      std::max<size_t>(1, injection_.capacity() / n);
+  worker_state_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    worker_state_.push_back(std::make_unique<Worker>(
+        options_.steal_deque_capacity, heap_capacity,
+        options_.steal_seed ^ static_cast<uint64_t>(i)));
+  }
   workers_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -36,10 +64,12 @@ BatchExecutor::~BatchExecutor() {
   // Drain (checked replacement for the old "destruction with calls in
   // flight is UB"): run queued tasks on this thread and wait out workers'
   // in-flight ones, so every outstanding ticket completes — and no task can
-  // touch the dying pool — before the workers are stopped.
+  // touch the dying pool — before the workers are stopped. The shared pop
+  // sweeps every worker's heap and deque, so a parked worker cannot strand
+  // its queued tasks.
   Task task;
   while (!AllRequestsFinished()) {
-    if (TryPopTask(&task)) {
+    if (TryPopTaskShared(&task)) {
       RunTask(task);
       task.request.reset();
       continue;
@@ -61,53 +91,141 @@ bool BatchExecutor::AllRequestsFinished() {
   return outstanding_ == 0;
 }
 
-void BatchExecutor::EnqueueTask(Task task) {
-  if (task.request->has_effective_deadline) {
-    // Slack-ordered lane: workers pop the earliest effective deadline
-    // first. Bounded by the FIFO queue's capacity with the same overflow
-    // policy, so the capacity-2 inline-run tests (and the memory bound)
-    // hold for deadline-carrying requests too.
-    bool queued = false;
-    {
-      std::lock_guard<std::mutex> lock(deadline_mu_);
-      if (deadline_heap_.size() < queue_.capacity()) {
-        deadline_heap_.push(DeadlineEntry{task.request->effective_deadline,
-                                          deadline_seq_++, std::move(task)});
-        queued = true;
-      }
-    }
-    if (queued) {
-      { std::lock_guard<std::mutex> lock(work_mu_); }
-      work_cv_.notify_one();
-      return;
-    }
-    RunTask(task);
-    return;
-  }
-  if (queue_.TryPush(task)) {
-    // Acquiring the lock after the push orders it before any worker's
-    // re-check-then-wait, so the wakeup cannot be missed.
-    { std::lock_guard<std::mutex> lock(work_mu_); }
-    work_cv_.notify_one();
-  } else {
-    // Full queue: run inline. Bounds memory without unbounded blocking, and
-    // the result is identical because tasks are location-independent.
-    RunTask(task);
-  }
+void BatchExecutor::NotifyOne() {
+  // Acquiring the lock first orders the preceding push before any worker's
+  // re-check-then-wait, so the wakeup cannot be missed.
+  { std::lock_guard<std::mutex> lock(work_mu_); }
+  work_cv_.notify_one();
 }
 
-bool BatchExecutor::TryPopTask(Task* out) {
-  {
-    std::lock_guard<std::mutex> lock(deadline_mu_);
-    if (!deadline_heap_.empty()) {
-      // priority_queue::top is const; moving the task out is safe because
-      // the entry is popped before the lock is released.
-      *out = std::move(const_cast<DeadlineEntry&>(deadline_heap_.top()).task);
-      deadline_heap_.pop();
+void BatchExecutor::NotifyAll() {
+  { std::lock_guard<std::mutex> lock(work_mu_); }
+  work_cv_.notify_all();
+}
+
+void BatchExecutor::EnqueueTask(Task task) {
+  if (task.request->has_effective_deadline) {
+    // Slack-ordered lane: route to the least-loaded worker's EDF heap
+    // (ties break to the lowest index, so one worker degenerates to the
+    // historical single global heap).
+    size_t best = 0;
+    size_t best_load = static_cast<size_t>(-1);
+    for (size_t i = 0; i < worker_state_.size(); ++i) {
+      const Worker& w = *worker_state_[i];
+      const size_t load =
+          w.edf_size.load(std::memory_order_relaxed) + w.deque.SizeApprox();
+      if (load < best_load) {
+        best_load = load;
+        best = i;
+      }
+    }
+    Worker& w = *worker_state_[best];
+    std::optional<Task> displaced;
+    {
+      std::lock_guard<std::mutex> lock(w.edf_mu);
+      w.edf_heap.push(DeadlineEntry{task.request->effective_deadline,
+                                    w.edf_seq++, std::move(task)});
+      if (w.edf_heap.size() > w.heap_capacity) {
+        // Overflow: displace and run the EARLIEST entry inline — which may
+        // or may not be the incoming task. (Running the INCOMING task
+        // inline, as the pre-rebuild code did, silently bypassed slack
+        // ordering whenever the newcomer's deadline was not the earliest.)
+        displaced =
+            std::move(const_cast<DeadlineEntry&>(w.edf_heap.top()).task);
+        w.edf_heap.pop();
+      }
+      w.edf_size.store(w.edf_heap.size(), std::memory_order_relaxed);
+    }
+    // notify_all, not notify_one: with stealing off only the owning worker
+    // (or a helper) can pop this heap, and a notify_one may land on a
+    // different worker that finds nothing and sleeps again.
+    NotifyAll();
+    if (displaced.has_value()) {
+      edf_displaced_.fetch_add(1, std::memory_order_relaxed);
+      RunTask(*displaced);
+    }
+    return;
+  }
+  if (injection_.TryPush(task)) {
+    NotifyOne();
+    return;
+  }
+  // Full queue: run inline. Bounds memory without unbounded blocking, and
+  // the result is identical because tasks are location-independent.
+  inline_runs_.fetch_add(1, std::memory_order_relaxed);
+  RunTask(task);
+}
+
+bool BatchExecutor::PopEdf(Worker& w, Task* out) {
+  // Lock-free emptiness probe first: the steal sweep touches every victim's
+  // heap, and an uncontended-mutex round trip per victim would put the lock
+  // back on the idle path the deques just took it off of.
+  if (w.edf_size.load(std::memory_order_relaxed) == 0) return false;
+  std::lock_guard<std::mutex> lock(w.edf_mu);
+  if (w.edf_heap.empty()) return false;
+  // priority_queue::top is const; moving the task out is safe because the
+  // entry is popped before the lock is released.
+  *out = std::move(const_cast<DeadlineEntry&>(w.edf_heap.top()).task);
+  w.edf_heap.pop();
+  w.edf_size.store(w.edf_heap.size(), std::memory_order_relaxed);
+  return true;
+}
+
+bool BatchExecutor::TryPopTaskWorker(size_t self, Task* out) {
+  Worker& me = *worker_state_[self];
+  std::unique_ptr<Task> node;
+  // Own deque first: finish the request you fanned out before taking new
+  // roots — a later-arriving deadline root must not interleave into an
+  // already-running request's component order.
+  if (me.deque.PopBottom(&node)) {
+    *out = std::move(*node);
+    return true;
+  }
+  if (PopEdf(me, out)) return true;
+  if (injection_.TryPop(out)) return true;
+  const size_t n = worker_state_.size();
+  if (!options_.enable_stealing || n <= 1) return false;
+  // Steal from a randomized victim: deque top (the victim's OLDEST task)
+  // first, then the victim's EDF heap. The random start decorrelates
+  // thieves; the full rotation guarantees any available task is found.
+  const size_t start = static_cast<size_t>(me.rng());
+  for (size_t k = 0; k < n; ++k) {
+    const size_t v = (start + k) % n;
+    if (v == self) continue;
+    Worker& victim = *worker_state_[v];
+    if (victim.deque.TrySteal(&node)) {
+      tasks_stolen_.fetch_add(1, std::memory_order_relaxed);
+      *out = std::move(*node);
+      return true;
+    }
+    if (PopEdf(victim, out)) {
+      tasks_stolen_.fetch_add(1, std::memory_order_relaxed);
       return true;
     }
   }
-  return queue_.TryPop(out);
+  return false;
+}
+
+bool BatchExecutor::TryPopTaskShared(Task* out) {
+  // Helper order (collect-helping, destructor): deadline work first (the
+  // historical helper order: heap, then FIFO), then the shared queue, then
+  // a sweep of the worker deques so a parked worker cannot strand tasks.
+  // The rotating start spreads concurrent helpers across workers.
+  const size_t n = worker_state_.size();
+  const size_t start = static_cast<size_t>(
+      shared_sweep_.fetch_add(1, std::memory_order_relaxed));
+  for (size_t k = 0; k < n; ++k) {
+    if (PopEdf(*worker_state_[(start + k) % n], out)) return true;
+  }
+  if (injection_.TryPop(out)) return true;
+  std::unique_ptr<Task> node;
+  for (size_t k = 0; k < n; ++k) {
+    if (worker_state_[(start + k) % n]->deque.TrySteal(&node)) {
+      *out = std::move(*node);
+      return true;
+    }
+  }
+  return false;
 }
 
 void BatchExecutor::Finish(
@@ -201,7 +319,68 @@ void BatchExecutor::FinishOrDegrade(
   Finish(request, std::move(result));
 }
 
-void BatchExecutor::RunTask(const Task& task) {
+MonotonicArena* BatchExecutor::TaskArena(size_t self) {
+  MonotonicArena* arena;
+  if (self != kNoWorker) {
+    // A worker's RunTask only ever runs on the owning worker thread
+    // (WorkerLoop and FanOut recursion), so its arena is single-threaded.
+    arena = &worker_state_[self]->arena;
+  } else {
+    // Helpers (Submit-inline, collect-helping, the destructor) get one
+    // arena per thread with the same reuse discipline.
+    static thread_local MonotonicArena helper_arena;
+    arena = &helper_arena;
+  }
+  arena->Reset();
+  return arena;
+}
+
+void BatchExecutor::FanOut(const Task& root, size_t self) {
+  internal::RequestState& req = *root.request;
+  const size_t n = req.dispatch.components;
+  if (self != kNoWorker && options_.enable_stealing) {
+    Worker& me = *worker_state_[self];
+    bool queued = false;
+    // Push components n-1 .. 1: the owner's LIFO pop then runs them in
+    // INDEX order after component 0 (run directly below) — exactly the
+    // historical FIFO order at one thread, so cost-model observation order
+    // is unchanged. Thieves take the deque top, i.e. the HIGHEST index.
+    for (size_t c = n; c-- > 1;) {
+      auto node = std::make_unique<Task>(
+          Task{root.request, static_cast<int32_t>(c)});
+      if (me.deque.PushBottom(node)) {
+        queued = true;
+        continue;
+      }
+      Task overflow = std::move(*node);
+      if (injection_.TryPush(overflow)) {
+        queued = true;
+        continue;
+      }
+      inline_runs_.fetch_add(1, std::memory_order_relaxed);
+      RunTask(overflow, self);
+    }
+    if (queued) NotifyAll();  // idle workers wake to steal
+    // Run component 0 immediately: saves a push/pop pair, and the request's
+    // work provably starts at fan-out even if every pushed task is stolen.
+    RunTask(Task{root.request, 0}, self);
+    if (options_.test_after_fanout) options_.test_after_fanout(self);
+    return;
+  }
+  // Helper thread, or stealing disabled: the shared injection lane in index
+  // order (the historical dispatch shape).
+  for (size_t c = 0; c < n; ++c) {
+    Task task{root.request, static_cast<int32_t>(c)};
+    if (injection_.TryPush(task)) {
+      NotifyOne();
+      continue;
+    }
+    inline_runs_.fetch_add(1, std::memory_order_relaxed);
+    RunTask(task, self);
+  }
+}
+
+void BatchExecutor::RunTask(const Task& task, size_t self) {
   internal::RequestState& req = *task.request;
   {
     std::lock_guard<std::mutex> lock(req.mu);
@@ -242,6 +421,17 @@ void BatchExecutor::RunTask(const Task& task) {
   // thread that would terminate the process, so surface them as an errored
   // result instead (serial solving would have thrown to the caller).
   if (task.component < 0) {
+    if (req.dispatch.components > 0) {
+      // Fan-out root of a componentwise request: spawn the component tasks
+      // at this thread (deque locality — see FanOut). A root that expired
+      // or was cancelled in the queue fails here without spawning anything.
+      if (!gate.ok()) {
+        FinishOrDegrade(task.request, gate);
+        return;
+      }
+      FanOut(task, self);
+      return;
+    }
     if (!gate.ok()) {
       FinishOrDegrade(task.request, gate);
       return;
@@ -250,7 +440,11 @@ void BatchExecutor::RunTask(const Task& task) {
     MarkExactStarted(req);
     Result<SolveResult> result = PendingResult();
     try {
-      result = SolvePrepared(req.prepared, req.options);
+      // Thread the per-task arena through SolveOptions::scratch: kernels
+      // reuse it for AC-3 buffers instead of mallocing (answers unchanged).
+      SolveOptions opts = req.options;
+      opts.scratch = TaskArena(self);
+      result = SolvePrepared(req.prepared, opts);
     } catch (const std::exception& e) {
       result =
           Status::Invalid(std::string("serve: worker exception: ") + e.what());
@@ -270,8 +464,10 @@ void BatchExecutor::RunTask(const Task& task) {
     req.work_started.store(true, std::memory_order_relaxed);
     MarkExactStarted(req);
     try {
+      SolveOptions opts = req.options;
+      opts.scratch = TaskArena(self);
       req.parts[c] =
-          SolvePreparedComponent(req.prepared, req.dispatch, c, req.options);
+          SolvePreparedComponent(req.prepared, req.dispatch, c, opts);
     } catch (const std::exception& e) {
       req.parts[c] =
           Status::Invalid(std::string("serve: worker exception: ") + e.what());
@@ -295,18 +491,21 @@ void BatchExecutor::RunTask(const Task& task) {
   }
 }
 
-void BatchExecutor::WorkerLoop() {
+void BatchExecutor::WorkerLoop(size_t index) {
   for (;;) {
     Task task;
-    if (TryPopTask(&task)) {
-      RunTask(task);
+    if (TryPopTaskWorker(index, &task)) {
+      RunTask(task, index);
+      task.request.reset();
       continue;
     }
     std::unique_lock<std::mutex> lock(work_mu_);
     if (stop_) return;
-    if (TryPopTask(&task)) {  // re-check under the lock: no missed wakeup
+    // re-check under the lock: no missed wakeup
+    if (TryPopTaskWorker(index, &task)) {
       lock.unlock();
-      RunTask(task);
+      RunTask(task, index);
+      task.request.reset();
       continue;
     }
     work_cv_.wait(lock);
@@ -355,6 +554,9 @@ ExecutorStats BatchExecutor::stats() const {
   s.degraded_proactive = degraded_proactive_.load(std::memory_order_relaxed);
   s.degraded_reactive = degraded_reactive_.load(std::memory_order_relaxed);
   s.shed = shed_.load(std::memory_order_relaxed);
+  s.tasks_stolen = tasks_stolen_.load(std::memory_order_relaxed);
+  s.inline_runs = inline_runs_.load(std::memory_order_relaxed);
+  s.edf_displaced_runs = edf_displaced_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -465,16 +667,18 @@ SolveTicket BatchExecutor::Submit(EvalSession& session, SolveRequest request,
       state->has_effective_deadline = true;
       state->effective_deadline = *request.deadline;
     }
+    // One task regardless of the dispatch shape: a componentwise request
+    // enqueues its FAN-OUT ROOT (component = -1 with dispatch.components
+    // set), and whichever thread dequeues the root spawns the component
+    // tasks right there (FanOut) — a worker onto its own deque. The result
+    // slots and the completion count are preassigned HERE so the merge
+    // logic never depends on where the fan-out happened.
     const size_t parallelism = state->dispatch.components;
-    if (parallelism == 0) {
-      EnqueueTask(Task{state, -1});
-    } else {
+    if (parallelism > 0) {
       state->parts.assign(parallelism, PendingResult());
       state->remaining.store(parallelism, std::memory_order_relaxed);
-      for (size_t c = 0; c < parallelism; ++c) {
-        EnqueueTask(Task{state, static_cast<int32_t>(c)});
-      }
     }
+    EnqueueTask(Task{state, -1});
   } catch (const std::exception& e) {
     // Reachable only before this request's first EnqueueTask (enqueueing
     // never throws — the payload is a shared_ptr — and RunTask catches its
@@ -511,12 +715,12 @@ std::vector<Result<SolveResult>> BatchExecutor::Collect(
 
 std::vector<Result<SolveResult>> BatchExecutor::CollectHelping(
     std::vector<SolveTicket>& tickets) {
-  // Help drain the queue while waiting (essential when threads are scarce
+  // Help drain the pool while waiting (essential when threads are scarce
   // or busy with other batches), then collect in order.
   Task task;
   for (SolveTicket& ticket : tickets) {
     while (ticket.valid() && !ticket.done()) {
-      if (TryPopTask(&task)) {
+      if (TryPopTaskShared(&task)) {
         RunTask(task);
         task.request.reset();
         continue;

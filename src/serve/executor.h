@@ -3,10 +3,12 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <queue>
+#include <random>
 #include <set>
 #include <thread>
 #include <vector>
@@ -14,14 +16,49 @@
 #include "src/core/eval_session.h"
 #include "src/serve/async.h"
 #include "src/serve/cost_model.h"
-#include "src/serve/mpmc_queue.h"
+#include "src/serve/relaxed_queue.h"
 #include "src/serve/request.h"
+#include "src/serve/work_steal_deque.h"
+#include "src/util/arena.h"
 
 /// \file executor.h
 /// Parallel batch serving: a fixed-size thread pool that fans requests —
 /// and, within a request, the independent instance components of a
-/// componentwise dispatch (solver.h) — out over worker threads through a
-/// bounded MPMC task queue (mpmc_queue.h).
+/// componentwise dispatch (solver.h) — out over worker threads.
+///
+/// SCHEDULING CORE (this is the work-stealing rebuild of the original
+/// single-global-queue dispatch; see README "Scheduling internals"):
+///   * Every worker owns a bounded Chase–Lev deque (work_steal_deque.h).
+///     When a worker dequeues a componentwise request it fans components
+///     1..n-1 out to its OWN deque, runs component 0 directly (one push/pop
+///     pair saved; the request's work starts at fan-out even if every
+///     queued task is stolen), and pops the rest LIFO — so at one thread
+///     the execution order is exactly the historical 0,1,…,n-1. Idle
+///     workers steal the OLDEST task from a randomized victim, so fan-out
+///     parallelism costs no shared-queue contention.
+///   * Deadline-less requests enter through a relaxed block-based injection
+///     queue (relaxed_queue.h): FIFO within a block, relaxed across blocks.
+///     With injection_blocks = 1 (or one worker thread, the auto default)
+///     dispatch of deadline-less requests is exactly the historical global
+///     FIFO.
+///   * Deadline-carrying requests route to the LEAST-LOADED worker's
+///     bounded EDF heap (earliest effective deadline = deadline − predicted
+///     cost, PR 6 semantics). With one worker every deadline task shares one
+///     heap, i.e. exact global EDF; with several workers EDF is per-worker
+///     and stealing keeps it work-conserving.
+///   * Worker pop order: own deque (finish the request you started — this
+///     keeps a fanned-out request's completion ahead of later-arriving
+///     deadline roots), own EDF heap, injection queue, then steal (victim
+///     deque top first, then victim EDF heap). Non-worker helpers (the
+///     collect-helping path and the draining destructor) pop injection
+///     first, then sweep every worker's heap and deque, so progress never
+///     depends on a parked worker.
+///   * EDF heap overflow runs the EARLIEST entry inline on the submitter
+///     after inserting the incoming task (the pre-rebuild code ran the
+///     INCOMING task inline, silently bypassing slack ordering — that bug is
+///     fixed; ExecutorStats::edf_displaced_runs counts the event). The
+///     injection queue keeps the historical policy: full ⇒ the submitted
+///     task itself runs inline.
 ///
 /// The front door is ASYNCHRONOUS: Submit accepts a SolveRequest
 /// (request.h) and returns a SolveTicket (async.h) immediately — the
@@ -61,51 +98,63 @@
 ///     degrade is REJECTED with kResourceExhausted at submit (before any
 ///     preparation) when the predicted backlog exceeds the remaining slack
 ///     of every pending deadline, its own included;
-///   * deadline-carrying tasks dispatch EARLIEST-EFFECTIVE-DEADLINE-FIRST
-///     (effective deadline = deadline − predicted cost) through a bounded
-///     priority lane ahead of the FIFO queue; deadline-less requests keep
-///     FIFO order among themselves, and with no deadlines set the lane is
-///     empty and dispatch is exactly the historical FIFO (bit-identical
-///     results at every thread count). Both lanes share one capacity bound
-///     and the same full-queue policy: run inline on the submitter.
+///   * deadline-carrying tasks dispatch earliest-effective-deadline-first
+///     through the per-worker EDF heaps described above; with no deadlines
+///     set the heaps stay empty and dispatch is the deque/injection path
+///     (bit-identical results at every thread count).
 /// Every completed exact solve is recorded back into the model, so
 /// predictions sharpen as the pool serves.
 ///
+/// HOT-PATH SCRATCH: each worker owns a MonotonicArena (util/arena.h),
+/// reset between tasks and threaded through SolveOptions::scratch into the
+/// solving kernels, so steady-state component solves perform no scratch
+/// mallocs. Helpers running tasks inline use a thread-local arena with the
+/// same discipline. Scratch never influences answers.
+///
 /// The synchronous API (SolveBatch/SolveItems) is a thin submit+wait
 /// wrapper over the same path; while waiting, the calling thread helps
-/// drain the queue — which is why `threads = 1` makes progress even when
+/// drain the pool — which is why `threads = 1` makes progress even when
 /// the lone worker is busy with another batch.
 ///
-/// Determinism guarantee: for every thread count, every request that
-/// COMPLETES (is neither expired nor cancelled) answers BIT-IDENTICALLY to
-/// session.Solve run serially — probabilities (both backends), stats,
-/// analyses and error statuses. This holds because
+/// Determinism guarantee: for every thread count, with stealing on or off,
+/// every request that COMPLETES (is neither expired nor cancelled) answers
+/// BIT-IDENTICALLY to session.Solve run serially — probabilities (both
+/// backends), stats, analyses and error statuses. This holds because
 ///   * every result is written to its own ticket (no completion-order
 ///     dependence),
-///   * per-request component answers are merged in component-index order
-///     with exactly the serial combine (CombinePreparedComponents),
+///   * per-request component answers land in PREASSIGNED slots (parts[i]),
+///     and are merged in component-index order with exactly the serial
+///     combine (CombinePreparedComponents) by whichever task finishes last
+///     — so WHERE a task ran (owner pop, steal, injection, inline) can
+///     never reach the arithmetic,
 ///   * the Monte Carlo engine derives a fresh Rng stream from the
 ///     per-request seed inside each task (EstimateProbabilityMonteCarlo is
 ///     a pure function of (query, instance, seed)), so no thread shares
 ///     generator state with another.
+/// Scheduling (steal order, block choice) affects only WHEN tasks run,
+/// which is observable in completion ORDER alone — and deadline-less
+/// completion order was never part of the contract.
 ///
 /// The pool is shared infrastructure: several threads may Submit / solve
 /// concurrently. Destroying the executor DRAINS it: the destructor runs
-/// queued tasks itself and waits for workers' in-flight tasks, so every
-/// outstanding ticket completes before the pool is torn down (this was
-/// previously documented UB). Sessions named by outstanding requests must
-/// outlive the destructor call, and no thread may Submit once destruction
-/// has begun — join your submitting threads first.
+/// queued tasks itself (sweeping every worker's deque and heap) and waits
+/// for workers' in-flight tasks, so every outstanding ticket completes
+/// before the pool is torn down. Sessions named by outstanding requests
+/// must outlive the destructor call, and no thread may Submit once
+/// destruction has begun — join your submitting threads first.
 
 namespace phom::serve {
 
 struct ExecutorOptions {
   /// Worker threads. 0 = std::thread::hardware_concurrency() (at least 1).
   size_t threads = 0;
-  /// Task-queue capacity (rounded up to a power of two). When the queue is
-  /// full, the submitter runs the task inline instead of blocking — the
-  /// queue bounds memory, not correctness (Submit may therefore block on a
-  /// saturated pool: natural backpressure).
+  /// Injection-queue capacity (rounded up to a power of two, split across
+  /// its blocks). When the queue is full, the submitter runs the task
+  /// inline instead of blocking — the queue bounds memory, not correctness
+  /// (Submit may therefore block on a saturated pool: natural
+  /// backpressure). Also sizes the per-worker EDF heaps: each holds up to
+  /// queue_capacity / threads entries before the displace-inline overflow
+  /// policy fires.
   size_t queue_capacity = 1024;
   /// Fan the independent instance components of a componentwise dispatch
   /// out as separate tasks (within-query parallelism). Off = one task per
@@ -127,6 +176,34 @@ struct ExecutorOptions {
   /// shed (an estimate beats an error); deadline-less requests are never
   /// shed.
   bool enable_shedding = false;
+  /// Work stealing (default ON): workers fan component tasks out to their
+  /// own deque and steal from randomized victims when idle. OFF routes
+  /// fan-out through the shared injection queue instead (the pre-rebuild
+  /// dispatch shape) — results are bit-identical either way; the knob
+  /// exists for the contender benchmarks and for pinning down scheduling
+  /// regressions.
+  bool enable_stealing = true;
+  /// Per-worker deque capacity (rounded up to a power of two, minimum 2).
+  /// A full deque overflows into the injection queue, then inline.
+  size_t steal_deque_capacity = 256;
+  /// Number of injection-queue blocks. 0 = auto: min(threads, 8), clamped
+  /// so no block drops below 2 cells (a capacity-2 queue is therefore
+  /// always ONE block — the strict-FIFO configuration — and tiny-queue
+  /// inline-run behavior is unchanged). 1 = strict global FIFO. Larger
+  /// values relax cross-block ordering for throughput (relaxed_queue.h).
+  size_t injection_blocks = 0;
+  /// Seed for the per-worker victim-selection RNGs (worker i is seeded with
+  /// steal_seed ^ i). The steal-interleaving fuzz suite varies this to
+  /// drive victim order through many schedules; results never depend on it.
+  uint64_t steal_seed = 0x9e3779b97f4a7c15ull;
+  /// TEST ONLY. When set, a WORKER thread invokes this with its index right
+  /// after fanning a request out: components 1..n-1 are pushed to its deque
+  /// (other workers woken) and component 0 has just run inline. The steal
+  /// suites park the fanning worker here so every REMAINING component task
+  /// must be stolen (a deterministic forced-steal gate), and the mid-flight
+  /// expiry/cancel suites use the same parking spot to land a deadline or
+  /// cancel between component tasks. Leave unset in production.
+  std::function<void(size_t worker_index)> test_after_fanout;
 };
 
 /// Monotonic counters of admission/scheduling outcomes (updated with
@@ -137,6 +214,12 @@ struct ExecutorStats {
   uint64_t degraded_proactive = 0;   ///< exact attempt skipped at admission
   uint64_t degraded_reactive = 0;    ///< converted after a real deadline miss
   uint64_t shed = 0;                 ///< rejected kResourceExhausted at submit
+  uint64_t tasks_stolen = 0;         ///< tasks taken from another worker's
+                                     ///< deque or EDF heap
+  uint64_t inline_runs = 0;          ///< tasks run on a non-worker thread
+                                     ///< because a queue/deque was full
+  uint64_t edf_displaced_runs = 0;   ///< EDF overflow: earliest entry run
+                                     ///< inline to admit the incoming task
 };
 
 /// One unit of a synchronous heterogeneous batch: a query against a session
@@ -187,7 +270,7 @@ class BatchExecutor {
   static std::vector<Result<SolveResult>> Collect(
       std::vector<SolveTicket>& tickets);
 
-  /// Collect, but the calling thread helps drain THIS executor's queue
+  /// Collect, but the calling thread helps drain THIS executor's queues
   /// while it waits (the synchronous wrappers' behavior).
   std::vector<Result<SolveResult>> CollectHelping(
       std::vector<SolveTicket>& tickets);
@@ -206,16 +289,18 @@ class BatchExecutor {
       const std::vector<BatchItem>& items);
 
  private:
-  /// One queue entry: component `component` of the request (or the whole
-  /// request when component < 0). Holds shared ownership of the request
-  /// state, so a queued task can never dangle.
+  /// One schedulable unit: component `component` of the request, the whole
+  /// request, or — when component < 0 and the request has a componentwise
+  /// dispatch — the FAN-OUT ROOT, which spawns the component tasks at the
+  /// thread that dequeues it. Holds shared ownership of the request state,
+  /// so a queued task can never dangle.
   struct Task {
     std::shared_ptr<internal::RequestState> request;
     int32_t component = -1;
   };
 
-  /// One entry of the slack-ordered lane: min-heap on (effective deadline,
-  /// submission sequence) — the tiebreak keeps equal-deadline tasks FIFO.
+  /// One entry of a worker's EDF heap: min-heap on (effective deadline,
+  /// arrival sequence) — the tiebreak keeps equal-deadline tasks FIFO.
   struct DeadlineEntry {
     RequestClock::time_point effective;
     uint64_t seq = 0;
@@ -228,11 +313,43 @@ class BatchExecutor {
     }
   };
 
+  /// Per-worker scheduling state. Heap-pinned (unique_ptr in the vector):
+  /// the deque and mutex must not move while threads hold references.
+  struct Worker {
+    Worker(size_t deque_capacity, size_t heap_capacity, uint64_t seed)
+        : deque(deque_capacity), heap_capacity(heap_capacity), rng(seed) {}
+    WorkStealDeque<Task> deque;
+    const size_t heap_capacity;
+    std::mutex edf_mu;
+    std::priority_queue<DeadlineEntry, std::vector<DeadlineEntry>,
+                        LaterDeadline>
+        edf_heap;          ///< guarded by edf_mu
+    uint64_t edf_seq = 0;  ///< guarded by edf_mu
+    /// Lock-free mirrors of the heap size / a load probe for least-loaded
+    /// routing and cheap emptiness checks (never used for correctness).
+    std::atomic<size_t> edf_size{0};
+    /// Victim-selection RNG; touched ONLY by the owning worker thread.
+    std::mt19937_64 rng;
+    /// Per-task scratch (SolveOptions::scratch), reset between tasks;
+    /// touched only by whichever thread runs this worker's RunTask — which
+    /// is only the owning worker thread.
+    MonotonicArena arena;
+  };
+
+  static constexpr size_t kNoWorker = static_cast<size_t>(-1);
+
   void EnqueueTask(Task task);
-  /// Pops the next task to run: the slack lane's earliest effective
-  /// deadline first, then the FIFO queue. False when both are empty.
-  bool TryPopTask(Task* out);
-  void RunTask(const Task& task);
+  /// Worker pop: own deque → own EDF heap → injection → steal.
+  bool TryPopTaskWorker(size_t self, Task* out);
+  /// Helper pop (collect-helping, destructor): injection → every worker's
+  /// heap and deque.
+  bool TryPopTaskShared(Task* out);
+  bool PopEdf(Worker& w, Task* out);
+  void RunTask(const Task& task, size_t self = kNoWorker);
+  /// Spawns the component tasks of a fan-out root at the dequeuing thread:
+  /// workers push to their own deque (overflow → injection → inline),
+  /// everyone else pushes to the injection queue (overflow → inline).
+  void FanOut(const Task& root, size_t self);
   void Finish(const std::shared_ptr<internal::RequestState>& request,
               Result<SolveResult> result);
   /// Finish, but a DeadlineExceeded result is first converted into a
@@ -240,8 +357,13 @@ class BatchExecutor {
   /// (the degraded solve runs on the calling thread).
   void FinishOrDegrade(const std::shared_ptr<internal::RequestState>& request,
                        Result<SolveResult> result);
-  void WorkerLoop();
+  void WorkerLoop(size_t index);
   bool AllRequestsFinished();
+  void NotifyOne();
+  void NotifyAll();
+  /// The arena backing SolveOptions::scratch for a task run by `self` (a
+  /// worker's own arena, or a thread-local one for helpers), reset for use.
+  MonotonicArena* TaskArena(size_t self);
   /// Marks the request's first exact solving work (counter bump, once).
   void MarkExactStarted(internal::RequestState& req);
   /// Charges the request's predicted cost to the backlog and registers its
@@ -256,21 +378,16 @@ class BatchExecutor {
                                 RequestClock::time_point now);
 
   ExecutorOptions options_;
-  MpmcQueue<Task> queue_;
+  /// Deadline-less lane: relaxed block-based MPMC (relaxed_queue.h). Also
+  /// the overflow target for full worker deques and the fan-out lane when
+  /// stealing is disabled.
+  RelaxedBlockQueue<Task> injection_;
   std::mutex work_mu_;
   std::condition_variable work_cv_;
   bool stop_ = false;  ///< guarded by work_mu_
   std::mutex finish_mu_;
   std::condition_variable finish_cv_;
   size_t outstanding_ = 0;  ///< submitted, not yet finished; guarded by finish_mu_
-  /// The slack-ordered lane for deadline-carrying tasks. Bounded by the
-  /// SAME capacity as the FIFO queue, with the same overflow policy (run
-  /// inline on the submitter), so queue_capacity keeps bounding the pool's
-  /// total queued work regardless of lane.
-  std::mutex deadline_mu_;
-  std::priority_queue<DeadlineEntry, std::vector<DeadlineEntry>, LaterDeadline>
-      deadline_heap_;         ///< guarded by deadline_mu_
-  uint64_t deadline_seq_ = 0; ///< guarded by deadline_mu_
   /// Admission-control state: predicted-but-unfinished work charged to the
   /// pool and the deadlines of in-flight requests.
   std::mutex admission_mu_;
@@ -282,6 +399,12 @@ class BatchExecutor {
   std::atomic<uint64_t> degraded_proactive_{0};
   std::atomic<uint64_t> degraded_reactive_{0};
   std::atomic<uint64_t> shed_{0};
+  std::atomic<uint64_t> tasks_stolen_{0};
+  std::atomic<uint64_t> inline_runs_{0};
+  std::atomic<uint64_t> edf_displaced_{0};
+  /// Rotation cursor for the shared (non-worker) sweep over worker state.
+  std::atomic<uint64_t> shared_sweep_{0};
+  std::vector<std::unique_ptr<Worker>> worker_state_;
   std::vector<std::thread> workers_;
 };
 

@@ -1,0 +1,98 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/serve/mpmc_queue.h"
+#include "src/util/status.h"
+
+/// \file relaxed_queue.h
+/// RelaxedBlockQueue: a bounded MPMC queue relaxed for throughput, in the
+/// spirit of the block-based relaxed FIFOs studied by the
+/// Saalvage/block_based_queue work (and the d-balanced / 2D relaxation
+/// framework it benchmarks against). The queue is an array of independent
+/// Vyukov sub-rings ("blocks", mpmc_queue.h); producers and consumers pick a
+/// starting block by bumping a RELAXED shared cursor and probe the blocks
+/// round-robin from there. All contention-prone coordination is therefore
+/// either a relaxed fetch_add (the cursors — no ordering, no retry loops) or
+/// confined to one block (1/B of the producers and consumers on average),
+/// which is what removes the single-queue head as the scaling bottleneck.
+///
+/// Ordering contract — the "relaxed" in the name:
+///  * WITHIN one block, elements come out in FIFO order (Vyukov per-cell
+///    sequencing).
+///  * ACROSS blocks there is no order: an element can overtake at most
+///    (blocks − 1) · block_capacity predecessors.
+///  * With blocks() == 1 the queue IS the plain Vyukov MPMC FIFO — the
+///    executor uses that configuration when strict arrival order matters
+///    and the multi-block configuration for order-free component tasks.
+///
+/// Emptiness/fullness are exact, not probabilistic: TryPush/TryPop fail only
+/// after probing EVERY block, so a false return means the whole structure
+/// was observed full/empty (same caller contract as MpmcQueue, which is what
+/// lets the executor keep its run-inline overflow policy unchanged).
+/// Linearizability per element is inherited from the blocks; the relaxation
+/// is only about cross-element order, which the serve layer never relies on
+/// (results land in preassigned slots and merge in index order).
+
+namespace phom::serve {
+
+template <class T>
+class RelaxedBlockQueue {
+ public:
+  /// `min_capacity` is the TOTAL capacity target, split evenly across
+  /// `blocks` sub-rings (each rounds up to a power of two, minimum 2).
+  /// `blocks` itself rounds down to a power of two so total capacity stays a
+  /// power of two, and is clamped so no block would fall below 2 cells —
+  /// a min_capacity-2 queue therefore always degenerates to ONE block of 2,
+  /// preserving the exact capacity the full-queue inline-run tests pin.
+  RelaxedBlockQueue(size_t min_capacity, size_t blocks) {
+    size_t cap = 2;
+    while (cap < min_capacity) cap <<= 1;
+    size_t b = 1;
+    while ((b << 1) <= blocks && (b << 1) <= cap / 2) b <<= 1;
+    block_mask_ = b - 1;
+    blocks_.reserve(b);
+    for (size_t i = 0; i < b; ++i) {
+      blocks_.push_back(std::make_unique<MpmcQueue<T>>(cap / b));
+    }
+  }
+
+  RelaxedBlockQueue(const RelaxedBlockQueue&) = delete;
+  RelaxedBlockQueue& operator=(const RelaxedBlockQueue&) = delete;
+
+  size_t blocks() const { return block_mask_ + 1; }
+  size_t capacity() const { return blocks() * blocks_[0]->capacity(); }
+
+  /// False only when every block was observed full.
+  bool TryPush(T value) {
+    const uint64_t start =
+        push_cursor_.fetch_add(1, std::memory_order_relaxed);
+    for (size_t i = 0; i <= block_mask_; ++i) {
+      // TryPushMove consumes `value` only on success, so probing the next
+      // block after a full one retries with the payload intact.
+      if (blocks_[(start + i) & block_mask_]->TryPushMove(value)) return true;
+    }
+    return false;
+  }
+
+  /// False only when every block was observed empty.
+  bool TryPop(T* out) {
+    const uint64_t start = pop_cursor_.fetch_add(1, std::memory_order_relaxed);
+    for (size_t i = 0; i <= block_mask_; ++i) {
+      if (blocks_[(start + i) & block_mask_]->TryPop(out)) return true;
+    }
+    return false;
+  }
+
+ private:
+  std::vector<std::unique_ptr<MpmcQueue<T>>> blocks_;
+  size_t block_mask_ = 0;
+  alignas(kCacheLine) std::atomic<uint64_t> push_cursor_{0};
+  alignas(kCacheLine) std::atomic<uint64_t> pop_cursor_{0};
+};
+
+}  // namespace phom::serve

@@ -1,0 +1,119 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+#include "src/util/status.h"
+
+/// \file arena.h
+/// MonotonicArena: a chunked bump allocator for per-task scratch memory.
+///
+/// The serve layer's hot kernels (the 2WP minimal-window sweep in
+/// algo_two_way_path.cc and its XPropertyHomomorphism calls) used to perform
+/// thousands of small heap allocations per component solve. A worker instead
+/// owns one arena, threads it through SolveOptions::scratch, and calls
+/// Reset() between tasks: after the first task has warmed the chunk, every
+/// later task's scratch is a pointer bump — no malloc on the solving hot
+/// path.
+///
+/// Rules of use:
+///  * Allocation never fails for reasonable sizes (chunks grow
+///    geometrically); there is no per-object deallocation.
+///  * Only trivially-destructible payloads may live in the arena — Reset()
+///    reclaims memory without running destructors (enforced for the typed
+///    helpers with a static_assert).
+///  * NOT thread-safe: one arena belongs to one thread at a time. The serve
+///    executor gives each worker its own arena, which is exactly that
+///    discipline.
+/// Reset() keeps the largest chunk, so a long-lived worker converges to a
+/// single allocation-free buffer sized for its largest task.
+
+namespace phom {
+
+class MonotonicArena {
+ public:
+  /// `first_chunk_bytes` sizes the initial chunk (allocated lazily on first
+  /// use); later chunks double until kMaxChunkBytes.
+  explicit MonotonicArena(size_t first_chunk_bytes = 4096)
+      : next_chunk_bytes_(first_chunk_bytes < kMinChunkBytes
+                              ? kMinChunkBytes
+                              : first_chunk_bytes) {}
+
+  MonotonicArena(const MonotonicArena&) = delete;
+  MonotonicArena& operator=(const MonotonicArena&) = delete;
+
+  /// Bump-allocates `bytes` aligned to `align` (a power of two). The memory
+  /// is uninitialized and lives until Reset() or destruction.
+  void* Allocate(size_t bytes, size_t align = alignof(std::max_align_t)) {
+    PHOM_CHECK((align & (align - 1)) == 0);
+    if (bytes == 0) bytes = 1;
+    uintptr_t p = (cursor_ + (align - 1)) & ~uintptr_t(align - 1);
+    if (p + bytes > limit_) {
+      AddChunk(bytes + align);
+      p = (cursor_ + (align - 1)) & ~uintptr_t(align - 1);
+    }
+    cursor_ = p + bytes;
+    return reinterpret_cast<void*>(p);
+  }
+
+  /// Typed array of `n` default-initialized elements (POD scratch buffers).
+  template <class T>
+  T* AllocateArray(size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena memory is reclaimed without running destructors");
+    return static_cast<T*>(Allocate(n * sizeof(T), alignof(T)));
+  }
+
+  /// Reclaims everything allocated since the last Reset. Keeps the single
+  /// largest chunk (so steady-state reuse is allocation-free) and drops the
+  /// rest.
+  void Reset() {
+    if (chunks_.empty()) return;
+    size_t largest = 0;
+    for (size_t i = 1; i < chunks_.size(); ++i) {
+      if (chunks_[i].size > chunks_[largest].size) largest = i;
+    }
+    Chunk keep = std::move(chunks_[largest]);
+    chunks_.clear();
+    cursor_ = reinterpret_cast<uintptr_t>(keep.data.get());
+    limit_ = cursor_ + keep.size;
+    chunks_.push_back(std::move(keep));
+  }
+
+  /// Bytes currently reserved across all chunks (observability/tests).
+  size_t bytes_reserved() const {
+    size_t total = 0;
+    for (const Chunk& c : chunks_) total += c.size;
+    return total;
+  }
+
+ private:
+  static constexpr size_t kMinChunkBytes = 256;
+  static constexpr size_t kMaxChunkBytes = size_t{1} << 22;  // 4 MiB
+
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    size_t size = 0;
+  };
+
+  void AddChunk(size_t at_least) {
+    size_t size = next_chunk_bytes_;
+    while (size < at_least) size *= 2;
+    if (next_chunk_bytes_ < kMaxChunkBytes) next_chunk_bytes_ *= 2;
+    Chunk chunk{std::make_unique<std::byte[]>(size), size};
+    cursor_ = reinterpret_cast<uintptr_t>(chunk.data.get());
+    limit_ = cursor_ + size;
+    chunks_.push_back(std::move(chunk));
+  }
+
+  std::vector<Chunk> chunks_;
+  uintptr_t cursor_ = 0;
+  uintptr_t limit_ = 0;
+  size_t next_chunk_bytes_;
+};
+
+}  // namespace phom

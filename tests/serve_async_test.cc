@@ -333,40 +333,47 @@ TEST(AsyncDeadline, ExpiryInQueueLaterRequestsStillServed) {
 }
 
 TEST(AsyncDeadline, ExpiryMidFlightBetweenComponentTasks) {
-  EnsureGateEngineRegistered();
-  TestGate()->Reset();
   Rng rng(19);
   ProbGraph instance = MixedServeInstance(&rng);
   EvalSession session(instance);
-  // One worker + a 2-slot queue: with the worker parked, a componentwise
-  // request's first two component tasks fill the queue and the third runs
-  // INLINE during Submit — so work provably starts before the deadline
-  // passes, and the remaining components expire at dequeue.
+  // One worker, parked by the test_after_fanout hook right after it fanned
+  // the componentwise request out and ran the FIRST component — so work
+  // provably starts before the deadline passes, and the remaining
+  // components expire at dequeue once the worker resumes.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool fanned = false;
+  bool resume = false;
   ExecutorOptions exec_options;
   exec_options.threads = 1;
-  exec_options.queue_capacity = 2;
+  exec_options.test_after_fanout = [&](size_t) {
+    std::unique_lock<std::mutex> lock(mu);
+    fanned = true;
+    cv.notify_all();
+    cv.wait(lock, [&] { return resume; });
+  };
   BatchExecutor executor(exec_options);
-  GateOpener opener;
-
-  SolveRequest blocker(MakeLabeledPath({0}));
-  blocker.WithEngine("async-test-gate");
-  SolveTicket blocked = executor.Submit(session, std::move(blocker));
-  TestGate()->AwaitEntered(1);
 
   SolveRequest doomed(MakeLabeledPath({0, 1}));  // 3 instance components
   const RequestClock::time_point deadline =
       RequestClock::now() + std::chrono::milliseconds(250);
   doomed.WithDeadline(deadline);
   SolveTicket late = executor.Submit(session, std::move(doomed));
-
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return fanned; });
+  }
   std::this_thread::sleep_until(deadline + std::chrono::milliseconds(5));
-  TestGate()->Open();
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    resume = true;
+  }
+  cv.notify_all();
 
   EXPECT_EQ(late.Get().status().code(), Status::Code::kDeadlineExceeded);
   RequestStats stats = late.stats();
   EXPECT_FALSE(stats.expired_before_start)
-      << "a component already ran inline: the expiry was mid-flight";
-  ASSERT_TRUE(blocked.Get().ok());
+      << "the first component ran at fan-out: the expiry was mid-flight";
 }
 
 // ---------------------------------------------------------------------------
@@ -405,33 +412,42 @@ TEST(AsyncCancel, BeforeStartCancelsWithoutSolving) {
 }
 
 TEST(AsyncCancel, MidFlightBetweenComponentTasks) {
-  EnsureGateEngineRegistered();
-  TestGate()->Reset();
   Rng rng(29);
   ProbGraph instance = MixedServeInstance(&rng);
   EvalSession session(instance);
-  ExecutorOptions exec_options;  // same inline trick as the deadline twin
+  // Same parking trick as the deadline twin: the worker fans out, runs the
+  // first component (work starts), and parks in the hook — the cancel then
+  // lands between component tasks, before the worker reaches the rest.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool fanned = false;
+  bool resume = false;
+  ExecutorOptions exec_options;
   exec_options.threads = 1;
-  exec_options.queue_capacity = 2;
+  exec_options.test_after_fanout = [&](size_t) {
+    std::unique_lock<std::mutex> lock(mu);
+    fanned = true;
+    cv.notify_all();
+    cv.wait(lock, [&] { return resume; });
+  };
   BatchExecutor executor(exec_options);
-  GateOpener opener;
 
-  SolveRequest blocker(MakeLabeledPath({0}));
-  blocker.WithEngine("async-test-gate");
-  SolveTicket blocked = executor.Submit(session, std::move(blocker));
-  TestGate()->AwaitEntered(1);
-
-  // Submit runs the third component inline (full queue) — work starts —
-  // then we cancel before the worker can reach the two queued components.
   SolveTicket cancelled =
       executor.Submit(session, SolveRequest(MakeLabeledPath({0, 1})));
-  EXPECT_TRUE(cancelled.Cancel());
-  TestGate()->Open();
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return fanned; });
+  }
+  EXPECT_TRUE(cancelled.Cancel());  // the parked worker has not finished it
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    resume = true;
+  }
+  cv.notify_all();
 
   EXPECT_EQ(cancelled.Get().status().code(), Status::Code::kCancelled);
   EXPECT_FALSE(cancelled.stats().cancelled_before_start)
-      << "a component already ran inline: the cancel was mid-flight";
-  ASSERT_TRUE(blocked.Get().ok());
+      << "the first component ran at fan-out: the cancel was mid-flight";
 }
 
 TEST(AsyncCancel, DeliveredTooLateIsBenign) {

@@ -197,42 +197,49 @@ TEST(ServeDegradeSubmit, ImmediateAnswersStayExactUnderPressure) {
 // ---------------------------------------------------------------------------
 
 TEST(ServeDegradeMidFlight, ExpiryBetweenComponentTasksConverts) {
-  EnsureGateEngineRegistered();
-  TestGate()->Reset();
   Rng rng(109);
   ProbGraph instance = MixedServeInstance(&rng);
   EvalSession session(instance);
-  // One worker + a 2-slot queue (the serve_async_test trick): with the
-  // worker parked, a 3-component request's first two tasks fill the queue
-  // and the third runs INLINE during Submit — work provably starts before
-  // the deadline, and the remaining components expire at dequeue, so the
-  // merge hits DeadlineExceeded mid-flight and converts.
+  // One worker, parked by the test_after_fanout hook (the serve_async_test
+  // trick) right after it fanned the request out and ran the FIRST
+  // component — work provably starts before the deadline, the remaining
+  // components expire at dequeue once the worker resumes, and the merge
+  // hits DeadlineExceeded mid-flight and converts.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool fanned = false;
+  bool resume = false;
   ExecutorOptions exec_options;
   exec_options.threads = 1;
-  exec_options.queue_capacity = 2;
+  exec_options.test_after_fanout = [&](size_t) {
+    std::unique_lock<std::mutex> lock(mu);
+    fanned = true;
+    cv.notify_all();
+    cv.wait(lock, [&] { return resume; });
+  };
   BatchExecutor executor(exec_options);
-  GateOpener opener;
-
-  SolveRequest blocker(MakeLabeledPath({0}));
-  blocker.WithEngine("degrade-test-gate");
-  SolveTicket blocked = executor.Submit(session, std::move(blocker));
-  TestGate()->AwaitEntered(1);
 
   SolveRequest doomed(MakeLabeledPath({0, 1}));  // 3 instance components
   const RequestClock::time_point deadline =
       RequestClock::now() + std::chrono::milliseconds(250);
   doomed.WithDeadline(deadline).WithDegrade(TestPolicy());
   SolveTicket late = executor.Submit(session, std::move(doomed));
-
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return fanned; });
+  }
   std::this_thread::sleep_until(deadline + std::chrono::milliseconds(5));
-  TestGate()->Open();
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    resume = true;
+  }
+  cv.notify_all();
 
   Result<SolveResult> result = late.Get();
   ExpectDegradedProvenance(result, "mid-flight conversion");
   EXPECT_TRUE(late.stats().degraded);
   EXPECT_FALSE(late.stats().expired_before_start)
-      << "a component already ran inline: the expiry was mid-flight";
-  ASSERT_TRUE(blocked.Get().ok());
+      << "the first component ran at fan-out: the expiry was mid-flight";
 }
 
 // ---------------------------------------------------------------------------
