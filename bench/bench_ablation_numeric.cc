@@ -3,7 +3,10 @@
 // for exact arithmetic (the answer's numerator/denominator grow linearly
 // with the instance); the double backend trades that for constant-width
 // arithmetic — this bench quantifies the gap engine by engine, plus the
-// amortization the session layer buys on top.
+// amortization the session layer buys on top. The interval-double rows
+// price the self-verifying middle ground: the same constant-width
+// arithmetic run twice (outward-rounded [lo, hi] endpoints), buying a
+// machine-checkable enclosure of the exact answer.
 
 #include <benchmark/benchmark.h>
 
@@ -68,6 +71,17 @@ void BM_Numeric2wpDouble(benchmark::State& state) {
 BENCHMARK(BM_Numeric2wpDouble)->RangeMultiplier(2)->Range(64, 512)
     ->Unit(benchmark::kMillisecond)->Complexity();
 
+void BM_Numeric2wpInterval(benchmark::State& state) {
+  Rng rng(91);  // same seed: identical inputs
+  ProbGraph h = AttachRandomProbabilities(
+      &rng, ProperShape(Shape::k2wp, state.range(0), 1, &rng), 4);
+  DiGraph q = ProperShape(Shape::k2wp, 4, 1, &rng);
+  RunNumeric(state, q, h, WithBackend(NumericBackend::kIntervalDouble,
+                                      "connected-on-2wp"));
+}
+BENCHMARK(BM_Numeric2wpInterval)->RangeMultiplier(2)->Range(64, 512)
+    ->Unit(benchmark::kMillisecond)->Complexity();
+
 void BM_NumericDwtExact(benchmark::State& state) {
   Rng rng(92);
   ProbGraph h = AttachRandomProbabilities(
@@ -86,6 +100,17 @@ void BM_NumericDwtDouble(benchmark::State& state) {
   RunNumeric(state, q, h, WithBackend(NumericBackend::kDouble, "path-on-dwt"));
 }
 BENCHMARK(BM_NumericDwtDouble)->RangeMultiplier(2)->Range(64, 1024)
+    ->Unit(benchmark::kMillisecond)->Complexity();
+
+void BM_NumericDwtInterval(benchmark::State& state) {
+  Rng rng(92);  // same seed: identical inputs
+  ProbGraph h = AttachRandomProbabilities(
+      &rng, ProperShape(Shape::kDwt, state.range(0), 2, &rng), 4);
+  DiGraph q = RandomOneWayPath(&rng, 4, 2);
+  RunNumeric(state, q, h, WithBackend(NumericBackend::kIntervalDouble,
+                                      "path-on-dwt"));
+}
+BENCHMARK(BM_NumericDwtInterval)->RangeMultiplier(2)->Range(64, 1024)
     ->Unit(benchmark::kMillisecond)->Complexity();
 
 void BM_NumericDwtLineageExact(benchmark::State& state) {
@@ -110,6 +135,17 @@ void BM_NumericDwtLineageDouble(benchmark::State& state) {
 BENCHMARK(BM_NumericDwtLineageDouble)->RangeMultiplier(2)->Range(64, 256)
     ->Unit(benchmark::kMillisecond)->Complexity();
 
+void BM_NumericDwtLineageInterval(benchmark::State& state) {
+  Rng rng(92);  // same seed: identical inputs
+  ProbGraph h = AttachRandomProbabilities(
+      &rng, ProperShape(Shape::kDwt, state.range(0), 2, &rng), 4);
+  DiGraph q = RandomOneWayPath(&rng, 4, 2);
+  RunNumeric(state, q, h, WithBackend(NumericBackend::kIntervalDouble,
+                                      "dwt-lineage-shannon"));
+}
+BENCHMARK(BM_NumericDwtLineageInterval)->RangeMultiplier(2)->Range(64, 256)
+    ->Unit(benchmark::kMillisecond)->Complexity();
+
 void BM_NumericPolytreeExact(benchmark::State& state) {
   Rng rng(93);
   ProbGraph h = AttachRandomProbabilities(
@@ -132,6 +168,17 @@ void BM_NumericPolytreeDouble(benchmark::State& state) {
 BENCHMARK(BM_NumericPolytreeDouble)->RangeMultiplier(2)->Range(16, 128)
     ->Unit(benchmark::kMillisecond)->Complexity();
 
+void BM_NumericPolytreeInterval(benchmark::State& state) {
+  Rng rng(93);  // same seed: identical inputs
+  ProbGraph h = AttachRandomProbabilities(
+      &rng, ProperShape(Shape::kPt, state.range(0), 1, &rng), 2);
+  DiGraph q = MakeOneWayPath(3);
+  RunNumeric(state, q, h, WithBackend(NumericBackend::kIntervalDouble,
+                                      "unlabeled-polytree"));
+}
+BENCHMARK(BM_NumericPolytreeInterval)->RangeMultiplier(2)->Range(16, 128)
+    ->Unit(benchmark::kMillisecond)->Complexity();
+
 void BM_NumericFallbackExact(benchmark::State& state) {
   Rng rng(94);
   ProbGraph h = AttachRandomProbabilities(
@@ -150,6 +197,17 @@ void BM_NumericFallbackDouble(benchmark::State& state) {
   RunNumeric(state, q, h, WithBackend(NumericBackend::kDouble, "fallback"));
 }
 BENCHMARK(BM_NumericFallbackDouble)->DenseRange(8, 16, 4)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_NumericFallbackInterval(benchmark::State& state) {
+  Rng rng(94);  // same seed: identical inputs
+  ProbGraph h = AttachRandomProbabilities(
+      &rng, ProperShape(Shape::k2wp, state.range(0), 1, &rng), 2);
+  DiGraph q = ProperShape(Shape::k2wp, 4, 1, &rng);
+  RunNumeric(state, q, h, WithBackend(NumericBackend::kIntervalDouble,
+                                      "fallback"));
+}
+BENCHMARK(BM_NumericFallbackInterval)->DenseRange(8, 16, 4)
     ->Unit(benchmark::kMillisecond);
 
 // ---------------------------------------------------------------------------

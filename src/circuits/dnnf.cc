@@ -42,6 +42,8 @@ template Rational DnnfProbabilityT<Rational>(const Circuit&, uint32_t,
                                              const std::vector<Rational>&);
 template double DnnfProbabilityT<double>(const Circuit&, uint32_t,
                                          const std::vector<double>&);
+template IntervalDouble DnnfProbabilityT<IntervalDouble>(
+    const Circuit&, uint32_t, const std::vector<IntervalDouble>&);
 
 Status ValidateDecomposability(const Circuit& circuit, uint32_t root) {
   // Bottom-up variable sets (sorted vectors).

@@ -227,13 +227,22 @@ template Result<Rational> SolvePathOnDwtForestT<Rational>(
     const std::vector<LabelId>&, const ProbGraph&, DwtStats*);
 template Result<double> SolvePathOnDwtForestT<double>(
     const std::vector<LabelId>&, const ProbGraph&, DwtStats*);
+template Result<IntervalDouble> SolvePathOnDwtForestT<IntervalDouble>(
+    const std::vector<LabelId>&, const ProbGraph&, DwtStats*);
 template Result<Rational> SolvePathOnDwtForestViaLineageT<Rational>(
     const std::vector<LabelId>&, const ProbGraph&, MonotoneDnf*, DwtStats*);
 template Result<double> SolvePathOnDwtForestViaLineageT<double>(
     const std::vector<LabelId>&, const ProbGraph&, MonotoneDnf*, DwtStats*);
+template Result<IntervalDouble>
+SolvePathOnDwtForestViaLineageT<IntervalDouble>(const std::vector<LabelId>&,
+                                                const ProbGraph&, MonotoneDnf*,
+                                                DwtStats*);
 template Result<Rational> SolveUnlabeledOnDwtForestT<Rational>(
     const DiGraph&, const ProbGraph&, DwtStats*);
 template Result<double> SolveUnlabeledOnDwtForestT<double>(
     const DiGraph&, const ProbGraph&, DwtStats*);
+template Result<IntervalDouble>
+SolveUnlabeledOnDwtForestT<IntervalDouble>(const DiGraph&, const ProbGraph&,
+                                           DwtStats*);
 
 }  // namespace phom

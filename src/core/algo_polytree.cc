@@ -67,9 +67,16 @@ template Result<Rational> SolvePathProbabilityOnPolytreeT<Rational>(
     uint32_t, const ProbGraph&, PolytreeStats*);
 template Result<double> SolvePathProbabilityOnPolytreeT<double>(
     uint32_t, const ProbGraph&, PolytreeStats*);
+template Result<IntervalDouble>
+SolvePathProbabilityOnPolytreeT<IntervalDouble>(uint32_t, const ProbGraph&,
+                                                PolytreeStats*);
 template Result<Rational> SolveDwtQueryOnPolytreeForestT<Rational>(
     const DiGraph&, const ProbGraph&, PolytreeStats*);
 template Result<double> SolveDwtQueryOnPolytreeForestT<double>(
     const DiGraph&, const ProbGraph&, PolytreeStats*);
+template Result<IntervalDouble>
+SolveDwtQueryOnPolytreeForestT<IntervalDouble>(const DiGraph&,
+                                               const ProbGraph&,
+                                               PolytreeStats*);
 
 }  // namespace phom

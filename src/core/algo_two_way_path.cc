@@ -82,5 +82,9 @@ template Result<Rational> SolveConnectedOn2wpComponentT<Rational>(
 template Result<double> SolveConnectedOn2wpComponentT<double>(
     const DiGraph&, const ProbGraph&, TwoWayPathStats*, MonotoneDnf*,
     MonotonicArena*);
+template Result<IntervalDouble>
+SolveConnectedOn2wpComponentT<IntervalDouble>(const DiGraph&, const ProbGraph&,
+                                              TwoWayPathStats*, MonotoneDnf*,
+                                              MonotonicArena*);
 
 }  // namespace phom

@@ -49,6 +49,10 @@ extern template Result<Rational> SolveConnectedOn2wpComponentT<Rational>(
 extern template Result<double> SolveConnectedOn2wpComponentT<double>(
     const DiGraph&, const ProbGraph&, TwoWayPathStats*, MonotoneDnf*,
     MonotonicArena*);
+extern template Result<IntervalDouble>
+SolveConnectedOn2wpComponentT<IntervalDouble>(const DiGraph&, const ProbGraph&,
+                                              TwoWayPathStats*, MonotoneDnf*,
+                                              MonotonicArena*);
 
 /// Exact-backend convenience (the historical entry point).
 inline Result<Rational> SolveConnectedOn2wpComponent(

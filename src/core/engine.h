@@ -24,7 +24,14 @@ namespace phom {
 /// One engine run's answer in the backend it was computed in.
 struct EngineAnswer {
   Rational exact;          ///< set iff backend == kExact
-  double approx = 0.0;     ///< set for both backends
+  double approx = 0.0;     ///< set for every backend
+  /// Bracket on the true probability (solver.h): certified outward-rounded
+  /// point for kExact, the kernel's directed-rounding enclosure for
+  /// kIntervalDouble, the statistical estimate ± half-width for Monte Carlo
+  /// runs, vacuous [0, 1] for plain kDouble.
+  ProbabilityBound bound;
+  /// Certified relative 95% error of a Monte Carlo run (0 otherwise).
+  double relative_error_95 = 0.0;
   NumericBackend backend = NumericBackend::kExact;
   /// Filled by the Monte Carlo engine when a lapsed deadline truncated its
   /// sampling (solver.h): the caller must be able to tell a floor-sized

@@ -1,3 +1,4 @@
+#include <algorithm>
 #include <type_traits>
 
 #include "src/core/algo_dwt.h"
@@ -18,9 +19,18 @@ namespace phom {
 
 namespace {
 
+/// Certified outward-rounded point enclosure of an exactly-known answer
+/// (NumericOps<IntervalDouble>::From proves it by Rational comparison).
+ProbabilityBound CertifiedBoundOf(const Rational& p) {
+  const IntervalDouble iv = NumericOps<IntervalDouble>::From(p);
+  return ProbabilityBound{iv.lo, iv.hi, /*certified=*/true};
+}
+
 /// Runs `fn` — a generic callable invoked with a std::type_identity<Num>
 /// tag and returning Result<Num> — in the requested backend and packages
-/// the answer.
+/// the answer. The exact and plain-double arms are untouched relative to the
+/// two-backend era (bit-identity contract); the interval arm reports the
+/// kernel's enclosure as a certified bound and its midpoint as the double.
 template <class Fn>
 Result<EngineAnswer> RunInBackend(NumericBackend backend, Fn&& fn) {
   EngineAnswer out;
@@ -28,6 +38,13 @@ Result<EngineAnswer> RunInBackend(NumericBackend backend, Fn&& fn) {
   if (backend == NumericBackend::kExact) {
     PHOM_ASSIGN_OR_RETURN(out.exact, fn(std::type_identity<Rational>{}));
     out.approx = out.exact.ToDouble();
+    out.bound = CertifiedBoundOf(out.exact);
+  } else if (backend == NumericBackend::kIntervalDouble) {
+    PHOM_ASSIGN_OR_RETURN(IntervalDouble enclosure,
+                          fn(std::type_identity<IntervalDouble>{}));
+    out.approx = enclosure.midpoint();
+    out.bound = ProbabilityBound{enclosure.lo, enclosure.hi,
+                                 /*certified=*/true};
   } else {
     PHOM_ASSIGN_OR_RETURN(out.approx, fn(std::type_identity<double>{}));
   }
@@ -359,11 +376,27 @@ class MonteCarloEngine : public Engine {
     EngineAnswer out;
     out.backend = options.numeric;
     out.approx = est->estimate;
+    if (est->exact_zero) {
+      // The lower-bound pre-pass PROVED p == 0 without sampling; this is an
+      // exact answer (certified point bound), not an estimate.
+      out.bound = ProbabilityBound{0.0, 0.0, /*certified=*/true};
+      return out;
+    }
     if (options.numeric == NumericBackend::kExact) {
       // hits/samples is exactly representable; still only an estimate.
       out.exact = Rational(static_cast<int64_t>(est->hits),
                            static_cast<int64_t>(est->samples));
     }
+    // Statistical bracket: estimate ± half-width, clamped into [0, 1] —
+    // a 95% confidence statement, NOT a certificate.
+    out.bound =
+        ProbabilityBound{std::max(0.0, est->estimate - est->half_width_95),
+                         std::min(1.0, est->estimate + est->half_width_95),
+                         /*certified=*/false};
+    out.relative_error_95 =
+        mc.target_relative_error > 0.0 ? est->relative_error_95 : 0.0;
+    out.degrade.lower_bound = est->lower_bound;
+    out.degrade.relative_error_95 = out.relative_error_95;
     if (est->deadline_truncated) {
       // The caller got fewer samples than it budgeted for — surface the
       // same provenance the DegradePolicy path reports, so a floor-sized
@@ -455,6 +488,7 @@ Result<SolveResult> SolvePreparedComponent(const PreparedProblem& prepared,
   out.stats.duration = CancelToken::Clock::now() - kernel_start;
   out.probability = std::move(answer.exact);
   out.probability_double = answer.approx;
+  out.bound = answer.bound;
   out.numeric = answer.backend;
   return out;
 }
@@ -489,7 +523,7 @@ Result<SolveResult> CombinePreparedComponents(
   }
   // Lemma 3.7 in component-index order — the same operations, in the same
   // order, as the serial combine in SolvePerComponentT, so the merged answer
-  // is bit-identical in both backends.
+  // is bit-identical in every backend.
   if (options.numeric == NumericBackend::kExact) {
     Rational none = Rational::One();
     for (const Result<SolveResult>& c : components) {
@@ -497,6 +531,23 @@ Result<SolveResult> CombinePreparedComponents(
     }
     out.probability = none.Complement();
     out.probability_double = out.probability.ToDouble();
+    out.bound = CertifiedBoundOf(out.probability);
+  } else if (options.numeric == NumericBackend::kIntervalDouble) {
+    // Each component's bound IS its kernel enclosure (SolvePreparedComponent
+    // copies it verbatim), so replaying the serial combine on the intervals
+    // reproduces the serial interval answer — and its certificate — bit for
+    // bit. A component that fell back to an uncertified bound (impossible
+    // today, defensive tomorrow) taints the merged certificate.
+    using Ops = NumericOps<IntervalDouble>;
+    IntervalDouble none = Ops::One();
+    bool certified = true;
+    for (const Result<SolveResult>& c : components) {
+      none *= Ops::Complement(IntervalDouble(c->bound.lo, c->bound.hi));
+      certified = certified && c->bound.certified;
+    }
+    const IntervalDouble enclosure = Ops::Complement(none);
+    out.probability_double = enclosure.midpoint();
+    out.bound = ProbabilityBound{enclosure.lo, enclosure.hi, certified};
   } else {
     double none = 1.0;
     for (const Result<SolveResult>& c : components) {

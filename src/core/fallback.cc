@@ -163,9 +163,13 @@ template Result<Rational> SolveByWorldEnumerationT<Rational>(
     const DiGraph&, const ProbGraph&, const FallbackOptions&, FallbackStats*);
 template Result<double> SolveByWorldEnumerationT<double>(
     const DiGraph&, const ProbGraph&, const FallbackOptions&, FallbackStats*);
+template Result<IntervalDouble> SolveByWorldEnumerationT<IntervalDouble>(
+    const DiGraph&, const ProbGraph&, const FallbackOptions&, FallbackStats*);
 template Result<Rational> SolveByMatchLineageT<Rational>(
     const DiGraph&, const ProbGraph&, const FallbackOptions&, FallbackStats*);
 template Result<double> SolveByMatchLineageT<double>(
+    const DiGraph&, const ProbGraph&, const FallbackOptions&, FallbackStats*);
+template Result<IntervalDouble> SolveByMatchLineageT<IntervalDouble>(
     const DiGraph&, const ProbGraph&, const FallbackOptions&, FallbackStats*);
 
 }  // namespace phom

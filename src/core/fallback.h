@@ -63,9 +63,15 @@ extern template Result<Rational> SolveByWorldEnumerationT<Rational>(
     const DiGraph&, const ProbGraph&, const FallbackOptions&, FallbackStats*);
 extern template Result<double> SolveByWorldEnumerationT<double>(
     const DiGraph&, const ProbGraph&, const FallbackOptions&, FallbackStats*);
+extern template Result<IntervalDouble>
+SolveByWorldEnumerationT<IntervalDouble>(const DiGraph&, const ProbGraph&,
+                                         const FallbackOptions&,
+                                         FallbackStats*);
 extern template Result<Rational> SolveByMatchLineageT<Rational>(
     const DiGraph&, const ProbGraph&, const FallbackOptions&, FallbackStats*);
 extern template Result<double> SolveByMatchLineageT<double>(
+    const DiGraph&, const ProbGraph&, const FallbackOptions&, FallbackStats*);
+extern template Result<IntervalDouble> SolveByMatchLineageT<IntervalDouble>(
     const DiGraph&, const ProbGraph&, const FallbackOptions&, FallbackStats*);
 
 /// Exact-backend conveniences (the historical entry points).

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+
+#include "src/util/interval_double.h"
 
 namespace phom {
 
@@ -10,6 +13,90 @@ namespace {
 double HalfWidth95(uint64_t hits, uint64_t samples) {
   double p = static_cast<double>(hits) / static_cast<double>(samples);
   return 1.96 * std::sqrt(p * (1.0 - p) / static_cast<double>(samples));
+}
+
+/// The 95% half-width backing the CERTIFIED relative bound: the normal
+/// approximation on interior counts, but the rule-of-three bound 3/n at the
+/// boundary counts where the normal approximation degenerates to a false 0
+/// (an all-miss/all-hit prefix proves nothing tighter than ~3/n at 95%).
+double CertifiedHalfWidth95(uint64_t hits, uint64_t samples) {
+  if (hits == 0 || hits == samples) return 3.0 / static_cast<double>(samples);
+  return HalfWidth95(hits, samples);
+}
+
+struct LineageLowerBound {
+  /// max over enumerated matches of Π π(e) over the match's DISTINCT image
+  /// edges, every multiplication rounded DOWN — a certified lower bound on
+  /// p for any enumeration prefix (each match alone forces only its image).
+  double lower_bound = 0.0;
+  /// COMPLETE enumeration of the positive-probability subgraph found no
+  /// match: p == 0 exactly.
+  bool exact_zero = false;
+};
+
+/// The deterministic pre-pass behind target_relative_error. Never errors:
+/// a truncated or step-capped enumeration keeps the best bound found so far
+/// (sound — just weaker), and only an error-free empty enumeration claims
+/// the exact-zero certificate.
+LineageLowerBound LowerBoundViaLineage(const DiGraph& query,
+                                       const ProbGraph& instance,
+                                       const MonteCarloOptions& options) {
+  LineageLowerBound out;
+  const DiGraph& g = instance.graph();
+  // Matches through a zero-probability edge contribute nothing (their
+  // product is 0) and their absence is what certifies p == 0, so enumerate
+  // against the positive-probability subgraph only. Vertex ids are shared
+  // with `g`, so FindEdge on `g` recovers each image edge's probability.
+  DiGraph positive(g.num_vertices());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (instance.prob(e).is_zero()) continue;
+    const Edge& edge = g.edge(e);
+    AddEdgeOrDie(&positive, edge.src, edge.dst, edge.label);
+  }
+  // Down(ToDouble(π)) under-approximates each factor even when ToDouble
+  // rounds up, keeping the product certified at the cost of <= 1 ulp per
+  // edge. This pass runs under deadline pressure: bound its backtracking
+  // steps independently of the (huge) sampling-loop default.
+  std::vector<double> prob_floor(g.num_edges(), 0.0);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    prob_floor[e] =
+        std::max(0.0, interval_internal::Down(instance.prob(e).ToDouble()));
+  }
+  BacktrackOptions bt = options.backtrack;
+  bt.max_steps = std::min<uint64_t>(bt.max_steps, 1'000'000);
+  const uint64_t cap =
+      options.lower_bound_match_cap == 0 ? 1 : options.lower_bound_match_cap;
+  uint64_t visited = 0;
+  std::vector<EdgeId> used;
+  Result<uint64_t> enumerated = ForEachHomomorphism(
+      query, positive,
+      [&](const std::vector<VertexId>& image) {
+        ++visited;
+        used.clear();
+        for (const Edge& qe : query.edges()) {
+          // The match maps query edge (u, v) onto instance pair
+          // (image[u], image[v]); positive ⊆ g guarantees it exists in g.
+          std::optional<EdgeId> ie = g.FindEdge(image[qe.src], image[qe.dst]);
+          if (!ie.has_value()) return false;  // defensive: cannot happen
+          used.push_back(*ie);
+        }
+        // Distinct edges only: two query edges on the same image edge are
+        // one Bernoulli event, and counting it twice would (soundly but
+        // needlessly) weaken the bound.
+        std::sort(used.begin(), used.end());
+        used.erase(std::unique(used.begin(), used.end()), used.end());
+        double product = 1.0;
+        for (EdgeId ie : used) {
+          product =
+              std::max(0.0, interval_internal::Down(product * prob_floor[ie]));
+          if (product <= out.lower_bound) break;  // cannot improve the max
+        }
+        out.lower_bound = std::max(out.lower_bound, product);
+        return visited < cap;
+      },
+      bt);
+  out.exact_zero = enumerated.ok() && visited == 0;
+  return out;
 }
 
 }  // namespace
@@ -25,6 +112,19 @@ Result<MonteCarloEstimate> EstimateProbabilityMonteCarlo(
   // The floor after which the target-ε rule may stop (never at 0 samples:
   // an empty estimate has a degenerate half-width of 0).
   const uint64_t target_floor = std::max<uint64_t>(min_samples, 1);
+
+  double lower_bound = 0.0;
+  if (options.target_relative_error > 0.0) {
+    LineageLowerBound lb = LowerBoundViaLineage(query, instance, options);
+    if (lb.exact_zero) {
+      // p == 0 is PROVED — sampling would only estimate a known constant.
+      out.exact_zero = true;
+      out.converged = true;
+      out.relative_error_95 = 0.0;
+      return out;
+    }
+    lower_bound = lb.lower_bound;
+  }
 
   const DiGraph& g = instance.graph();
   // Pre-convert probabilities once; sampling uses double precision, which is
@@ -66,6 +166,19 @@ Result<MonteCarloEstimate> EstimateProbabilityMonteCarlo(
         out.converged = true;
         break;
       }
+      // The relative rule compares against the certified floor: once the
+      // half-width is within target · lb it is a fortiori within target · p
+      // (lb <= p), so the RELATIVE 95% bound is certifiably met. No
+      // interior-hit guard needed — CertifiedHalfWidth95's rule-of-three
+      // branch handles the boundary counts non-degenerately (3/s > target·lb
+      // for small s, so an all-miss/all-hit prefix keeps sampling).
+      if (options.target_relative_error > 0.0 && lower_bound > 0.0 &&
+          s >= target_floor &&
+          CertifiedHalfWidth95(hits, s) <=
+              options.target_relative_error * lower_bound) {
+        out.converged = true;
+        break;
+      }
     }
     DiGraph world(g.num_vertices());
     for (EdgeId e = 0; e < g.num_edges(); ++e) {
@@ -78,10 +191,14 @@ Result<MonteCarloEstimate> EstimateProbabilityMonteCarlo(
                           HasHomomorphism(query, world, options.backtrack));
     if (hom) ++hits;
   }
-  out.samples = s;  // >= 1: every stop rule requires at least one sample
+  out.samples = s;  // >= 1: every stop rule above requires >= 1 sample
   out.hits = hits;
   out.estimate = static_cast<double>(hits) / static_cast<double>(s);
   out.half_width_95 = HalfWidth95(hits, s);
+  out.lower_bound = lower_bound;
+  out.relative_error_95 =
+      lower_bound > 0.0 ? CertifiedHalfWidth95(hits, s) / lower_bound
+                        : std::numeric_limits<double>::infinity();
   return out;
 }
 

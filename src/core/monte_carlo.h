@@ -39,6 +39,22 @@ struct MonteCarloOptions {
   /// boundaries the normal approximation degenerates to half-width 0, so an
   /// all-miss/all-hit prefix keeps sampling instead of claiming a met ε.
   double target_half_width = 0.0;
+  /// Target RELATIVE 95% error (the multiplicative guarantee of the FPRAS
+  /// in Amarilli–van Bremen–Gaspard–Meel 2023; 0 = disabled). When set, a
+  /// deterministic pre-pass lower-bounds p by the best single-match product
+  /// of the lineage: every homomorphism match M forces only the edges of
+  /// its image, so p >= Π_{e ∈ image(M)} π(e) for EACH match, and the max
+  /// over enumerated matches is a certified lower bound `lb`. Sampling then
+  /// stops (same interior-hit guard as target_half_width) once
+  /// half_width_95 <= target_relative_error · lb. Two free wins fall out:
+  /// zero matches into the positive-probability subgraph CERTIFIES p == 0
+  /// (the estimator returns the exact answer without sampling), and the
+  /// final estimate always reports its certified relative_error_95.
+  double target_relative_error = 0.0;
+  /// Cap on matches the lower-bound pre-pass enumerates (0 behaves as 1).
+  /// A truncated enumeration is still sound — the max over a subset of
+  /// matches lower-bounds p — it just certifies a smaller lb.
+  uint64_t lower_bound_match_cap = 64;
   /// Samples between cancel/target checks (0 behaves as 1).
   uint64_t check_interval = 256;
   /// Cooperative interruption (non-owning; null = never interrupted).
@@ -51,12 +67,27 @@ struct MonteCarloEstimate {
   double estimate = 0.0;
   /// 95% confidence half-width (1.96 · sqrt(p(1-p)/n)).
   double half_width_95 = 0.0;
-  /// Samples actually drawn (== options.samples unless a stop rule fired).
+  /// Certified deterministic lower bound on p from the lineage pre-pass
+  /// (only computed when target_relative_error > 0; 0 otherwise).
+  double lower_bound = 0.0;
+  /// Certified relative 95% error: half_width_95 / lower_bound when
+  /// lower_bound > 0; 0 on the exact-zero certificate; +infinity when no
+  /// positive lower bound is available (relative targeting off, or no
+  /// positive-probability match was found in the capped enumeration).
+  double relative_error_95 = 0.0;
+  /// Samples actually drawn (== options.samples unless a stop rule fired;
+  /// >= 1 except on the exact-zero certificate, which draws none).
   uint64_t samples = 0;
   uint64_t hits = 0;
+  /// The lower-bound pre-pass PROVED p == 0 (complete match enumeration of
+  /// the positive-probability subgraph came up empty): estimate 0 is the
+  /// exact answer, not an estimate, and samples == 0.
+  bool exact_zero = false;
   /// Sampling was truncated by an expired deadline after min_samples.
   bool deadline_truncated = false;
-  /// Sampling stopped early because target_half_width was reached.
+  /// Sampling stopped early because a target (absolute target_half_width or
+  /// relative target_relative_error) was certifiably reached — or because
+  /// exact_zero made sampling pointless.
   bool converged = false;
 };
 

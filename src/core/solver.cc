@@ -15,8 +15,23 @@ SolveOptions ApplyOverrides(SolveOptions base, const SolveOverrides& overrides) 
     base.monte_carlo_seed = *overrides.monte_carlo_seed;
   }
   if (overrides.degrade.has_value()) base.degrade = *overrides.degrade;
+  // After `degrade` on purpose: the field-level override composes with (or
+  // on top of) a whole-policy override in the same request.
+  if (overrides.target_relative_error.has_value()) {
+    base.degrade.target_relative_error = *overrides.target_relative_error;
+  }
   return base;
 }
+
+namespace {
+
+/// Certified outward-rounded point enclosure of an exactly-known answer.
+ProbabilityBound CertifiedPointBound(const Rational& p) {
+  const IntervalDouble iv = NumericOps<IntervalDouble>::From(p);
+  return ProbabilityBound{iv.lo, iv.hi, /*certified=*/true};
+}
+
+}  // namespace
 
 Result<const Engine*> SelectEngineForProblem(const EngineRegistry& registry,
                                              const PreparedProblem& prepared,
@@ -80,6 +95,8 @@ Result<SolveResult> SolvePrepared(const PreparedProblem& prepared,
       out.probability = *prepared.immediate;
     }
     out.probability_double = prepared.immediate->ToDouble();
+    // Preparation decided the answer exactly, whatever the backend.
+    out.bound = CertifiedPointBound(*prepared.immediate);
     return out;
   }
 
@@ -93,6 +110,8 @@ Result<SolveResult> SolvePrepared(const PreparedProblem& prepared,
   out.stats.duration = CancelToken::Clock::now() - engine_start;
   out.probability = std::move(answer.exact);
   out.probability_double = answer.approx;
+  out.bound = answer.bound;
+  out.relative_error_95 = answer.relative_error_95;
   out.numeric = answer.backend;  // what the engine actually computed in
   out.degrade = answer.degrade;  // truncation provenance (Monte Carlo)
   return out;
@@ -112,6 +131,7 @@ Result<SolveResult> SolveDegradedMonteCarlo(const PreparedProblem& prepared,
       out.probability = *prepared.immediate;
     }
     out.probability_double = prepared.immediate->ToDouble();
+    out.bound = CertifiedPointBound(*prepared.immediate);
     return out;
   }
 
@@ -122,6 +142,7 @@ Result<SolveResult> SolveDegradedMonteCarlo(const PreparedProblem& prepared,
   mc.min_samples = policy.min_samples == 0 ? 1 : policy.min_samples;
   mc.samples = std::max(policy.max_samples, mc.min_samples);
   mc.target_half_width = policy.target_half_width;
+  mc.target_relative_error = policy.target_relative_error;
   if (options.cancel != nullptr) mc.cancel = options.cancel;
   PHOM_ASSIGN_OR_RETURN(
       MonteCarloEstimate est,
@@ -131,14 +152,30 @@ Result<SolveResult> SolveDegradedMonteCarlo(const PreparedProblem& prepared,
   out.stats.engine = "monte-carlo";
   out.stats.worlds = est.samples;
   out.probability_double = est.estimate;
+  if (est.exact_zero) {
+    // The lower-bound pre-pass PROVED p == 0: return the exact answer
+    // un-degraded (out.probability defaults to zero in every backend).
+    out.bound = ProbabilityBound{0.0, 0.0, /*certified=*/true};
+    out.stats.duration = CancelToken::Clock::now() - start;
+    return out;
+  }
   if (options.numeric == NumericBackend::kExact) {
     // hits/samples is exactly representable; still only an estimate.
     out.probability = Rational(static_cast<int64_t>(est.hits),
                                static_cast<int64_t>(est.samples));
   }
+  // Statistical 95% bracket — informative, not certified.
+  out.bound =
+      ProbabilityBound{std::max(0.0, est.estimate - est.half_width_95),
+                       std::min(1.0, est.estimate + est.half_width_95),
+                       /*certified=*/false};
+  out.relative_error_95 =
+      policy.target_relative_error > 0.0 ? est.relative_error_95 : 0.0;
   out.degrade.degraded = true;
   out.degrade.estimate = est.estimate;
   out.degrade.half_width_95 = est.half_width_95;
+  out.degrade.lower_bound = est.lower_bound;
+  out.degrade.relative_error_95 = out.relative_error_95;
   out.degrade.samples_used = est.samples;
   out.degrade.budget_spent = CancelToken::Clock::now() - start;
   out.stats.duration = out.degrade.budget_spent;

@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <limits>
 #include <optional>
 #include <string>
 #include <vector>
@@ -68,6 +69,13 @@ struct DegradePolicy {
   /// Stop sampling early once the 95% confidence half-width reaches this
   /// target ε (0 = sample until the deadline or max_samples).
   double target_half_width = 0.0;
+  /// Stop sampling early once the RELATIVE 95% error — half-width divided by
+  /// a certified deterministic lower bound on the answer (best single-match
+  /// probability of the lineage; monte_carlo.h) — reaches this target
+  /// (0 = disabled). The multiplicative guarantee of the FPRAS in
+  /// Amarilli–van Bremen–Gaspard–Meel 2023: meaningful even when the answer
+  /// itself is tiny, where an absolute ε is vacuously satisfied.
+  double target_relative_error = 0.0;
   /// Hard cap on degraded sampling.
   uint64_t max_samples = 1'000'000;
 };
@@ -101,6 +109,15 @@ struct DegradeInfo {
   double estimate = 0.0;
   /// 95% confidence half-width of the estimate.
   double half_width_95 = 0.0;
+  /// Certified deterministic lower bound on the true probability (the best
+  /// single-match product over the enumerated lineage; 0 when the relative
+  /// stop rule was off or no positive-probability match was found).
+  double lower_bound = 0.0;
+  /// RELATIVE 95% error: half_width_95 / lower_bound. Infinity when no
+  /// positive lower bound is available; 0 on the exact-zero certificate
+  /// (no match exists, so the estimate is not an estimate at all).
+  /// Meaningful only on degraded/Monte Carlo results (0 otherwise).
+  double relative_error_95 = 0.0;
   /// Samples backing the estimate.
   uint64_t samples_used = 0;
   /// Wall time the degraded sampling run consumed.
@@ -154,6 +171,9 @@ struct SolveOverrides {
   std::optional<std::string> force_engine;
   std::optional<uint64_t> monte_carlo_seed;
   std::optional<DegradePolicy> degrade;
+  /// Overrides degrade.target_relative_error ALONE, composing with a base
+  /// policy (set `degrade` to replace the whole policy instead).
+  std::optional<double> target_relative_error;
 };
 
 SolveOptions ApplyOverrides(SolveOptions base, const SolveOverrides& overrides);
@@ -176,13 +196,53 @@ struct SolveStats {
   std::chrono::nanoseconds duration{0};
 };
 
+/// A [lo, hi] bracket on the true probability, attached to every answer.
+struct ProbabilityBound {
+  double lo = 0.0;
+  double hi = 1.0;
+  /// True when [lo, hi] PROVABLY contains the exact answer: the exact
+  /// backend reports an outward-rounded point (proven by Rational::FromDouble
+  /// comparison), the interval backend its directed-rounding enclosure.
+  /// False for plain-double answers (vacuous [0, 1]) and Monte Carlo
+  /// estimates (estimate ± half-width — a 95% statistical bracket, not a
+  /// certificate).
+  bool certified = false;
+};
+
+/// The error story an answer carries — the provenance column the serve
+/// layer surfaces per request (serve/request.h).
+enum class Guarantee : uint8_t {
+  kExact = 0,          ///< exact Rational answer (or exact-zero certificate)
+  kIntervalEnclosure,  ///< machine-checked [lo, hi] enclosure (certified)
+  kEmpiricalDouble,    ///< plain double: ~1e-12 validated empirically only
+  kAbsolute95,         ///< MC estimate with additive 95% half-width
+  kRelative95,         ///< MC estimate with certified relative 95% bound
+};
+
+inline const char* ToString(Guarantee g) {
+  switch (g) {
+    case Guarantee::kExact: return "exact";
+    case Guarantee::kIntervalEnclosure: return "interval-enclosure";
+    case Guarantee::kEmpiricalDouble: return "empirical-double";
+    case Guarantee::kAbsolute95: return "absolute-95";
+    case Guarantee::kRelative95: return "relative-95";
+  }
+  PHOM_CHECK_MSG(false, "unknown Guarantee value");
+}
+
 struct SolveResult {
   /// Exact answer; meaningful only with NumericBackend::kExact (it stays
-  /// zero under the double backend — use probability_double there).
+  /// zero under the double backends — use probability_double there).
   Rational probability;
-  /// The answer as a double under BOTH backends (for kExact it is the
-  /// rounded exact answer).
+  /// The answer as a double under ALL backends (for kExact it is the
+  /// rounded exact answer; for kIntervalDouble the enclosure midpoint).
   double probability_double = 0.0;
+  /// Bracket on the true probability; see ProbabilityBound for when it is a
+  /// certificate vs. a statistical/vacuous bracket.
+  ProbabilityBound bound;
+  /// Certified relative 95% error of a Monte Carlo answer (== the final
+  /// degrade.relative_error_95); 0 for non-statistical answers.
+  double relative_error_95 = 0.0;
   /// The backend the answer was computed in.
   NumericBackend numeric = NumericBackend::kExact;
   CaseAnalysis analysis;
@@ -193,6 +253,36 @@ struct SolveResult {
   /// exactly-represented hits/samples under the exact backend).
   DegradeInfo degrade;
 };
+
+/// The guarantee `result` carries, derived from its provenance: exact-zero
+/// certificates and immediate answers are kExact even on approximate
+/// backends; statistical answers (degraded or the forced "monte-carlo"
+/// engine) are kRelative95 when a certified positive lower bound made the
+/// relative error finite, else kAbsolute95.
+inline Guarantee GuaranteeOf(const SolveResult& result) {
+  // A certified POINT bound means the answer is exactly known, whatever
+  // route produced it — immediate answers on approximate backends, the
+  // estimator's exact-zero certificate, point interval enclosures.
+  if (result.bound.certified && result.bound.lo == result.bound.hi) {
+    return Guarantee::kExact;
+  }
+  const bool statistical =
+      result.degrade.degraded || result.stats.engine == "monte-carlo";
+  if (statistical) {
+    if (result.degrade.lower_bound > 0.0 &&
+        result.relative_error_95 <
+            std::numeric_limits<double>::infinity()) {
+      return Guarantee::kRelative95;
+    }
+    return Guarantee::kAbsolute95;
+  }
+  switch (result.numeric) {
+    case NumericBackend::kExact: return Guarantee::kExact;
+    case NumericBackend::kIntervalDouble: return Guarantee::kIntervalEnclosure;
+    case NumericBackend::kDouble: return Guarantee::kEmpiricalDouble;
+  }
+  PHOM_CHECK_MSG(false, "unknown NumericBackend value");
+}
 
 class Solver {
  public:

@@ -19,6 +19,17 @@ const char* ToString(GraphClass c) {
   return "?";
 }
 
+Result<GraphClass> ParseGraphClass(std::string_view text) {
+  if (text == "1WP") return GraphClass::kOneWayPath;
+  if (text == "2WP") return GraphClass::kTwoWayPath;
+  if (text == "DWT") return GraphClass::kDownwardTree;
+  if (text == "PT") return GraphClass::kPolytree;
+  if (text == "Connected") return GraphClass::kConnected;
+  if (text == "General") return GraphClass::kGeneral;
+  return Status::Invalid("unknown graph class name '" + std::string(text) +
+                         "'");
+}
+
 std::vector<std::vector<VertexId>> ConnectedComponents(const DiGraph& g) {
   std::vector<int32_t> comp(g.num_vertices(), -1);
   std::vector<std::vector<VertexId>> out;

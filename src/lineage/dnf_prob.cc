@@ -244,6 +244,9 @@ template Result<Rational> DnfProbabilityShannonT<Rational>(
 template Result<double> DnfProbabilityShannonT<double>(
     const MonotoneDnf&, const std::vector<double>&, const ShannonOptions&,
     ShannonStats*);
+template Result<IntervalDouble> DnfProbabilityShannonT<IntervalDouble>(
+    const MonotoneDnf&, const std::vector<IntervalDouble>&,
+    const ShannonOptions&, ShannonStats*);
 
 Result<Rational> DnfProbabilityBetaAcyclic(const MonotoneDnf& dnf,
                                            const std::vector<Rational>& probs,

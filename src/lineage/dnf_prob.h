@@ -67,6 +67,9 @@ extern template Result<Rational> DnfProbabilityShannonT<Rational>(
 extern template Result<double> DnfProbabilityShannonT<double>(
     const MonotoneDnf&, const std::vector<double>&, const ShannonOptions&,
     ShannonStats*);
+extern template Result<IntervalDouble> DnfProbabilityShannonT<IntervalDouble>(
+    const MonotoneDnf&, const std::vector<IntervalDouble>&,
+    const ShannonOptions&, ShannonStats*);
 
 /// Exact-backend convenience (the historical entry point).
 inline Result<Rational> DnfProbabilityShannon(

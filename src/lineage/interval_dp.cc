@@ -65,5 +65,7 @@ template Rational IntervalDnfProbabilityT<Rational>(
     const std::vector<Rational>&, std::vector<EdgeInterval>);
 template double IntervalDnfProbabilityT<double>(const std::vector<double>&,
                                                 std::vector<EdgeInterval>);
+template IntervalDouble IntervalDnfProbabilityT<IntervalDouble>(
+    const std::vector<IntervalDouble>&, std::vector<EdgeInterval>);
 
 }  // namespace phom

@@ -34,6 +34,8 @@ extern template Rational IntervalDnfProbabilityT<Rational>(
     const std::vector<Rational>&, std::vector<EdgeInterval>);
 extern template double IntervalDnfProbabilityT<double>(
     const std::vector<double>&, std::vector<EdgeInterval>);
+extern template IntervalDouble IntervalDnfProbabilityT<IntervalDouble>(
+    const std::vector<IntervalDouble>&, std::vector<EdgeInterval>);
 
 /// Exact-backend convenience (the historical entry point).
 inline Rational IntervalDnfProbability(const std::vector<Rational>& edge_probs,

@@ -181,6 +181,32 @@ class CostModel {
   /// The current immutable snapshot (cached; rebuilt only after updates).
   std::shared_ptr<const CostModelSnapshot> Snapshot() const;
 
+  /// Serializes the learned cells as a small self-contained JSON document
+  /// (schema version, then one record per cell with its key and EWMA
+  /// state), suitable for persisting across runs and re-loading with
+  /// ImportSnapshotJson. Cells are emitted in sorted key order, so equal
+  /// models export byte-identical strings (stable round-trip tests, clean
+  /// diffs of persisted snapshots). Latencies are serialized as exact
+  /// nanosecond doubles via max_digits10 — export→import→export is
+  /// byte-identical.
+  std::string ExportSnapshotJson() const;
+
+  /// Bulk warm-start loader, the persisted-snapshot counterpart of the
+  /// RecordComponent raw-key hook: installs every cell of a previously
+  /// exported snapshot. `decay_toward_prior` in [0, 1] blends each imported
+  /// cell toward its cold-start prior (PriorComponentCost at the bucket's
+  /// smallest member count): mean and deviation move linearly toward the
+  /// prior's, and the observation count is scaled by (1 - decay) — so a
+  /// stale snapshot re-learns quickly while still beating the raw prior.
+  /// decay = 0 restores verbatim; decay = 1 keeps the keys but resets their
+  /// state to the prior with a single-observation weight. Imported state
+  /// OVERWRITES cells with matching keys and is itself overwritten by
+  /// subsequent RecordComponent updates (the EWMA just continues). Returns
+  /// the number of cells installed; malformed JSON or an unknown schema
+  /// version is Status::Invalid and installs nothing.
+  Result<size_t> ImportSnapshotJson(std::string_view json,
+                                    double decay_toward_prior = 0.0);
+
   const CostModelOptions& options() const { return options_; }
 
  private:

@@ -41,6 +41,19 @@ BatchExecutor::BatchExecutor(ExecutorOptions options)
     : options_(std::move(options)),
       injection_(options_.queue_capacity == 0 ? 2 : options_.queue_capacity,
                  ResolveInjectionBlocks(options_)) {
+  if (options_.cost_model != nullptr &&
+      !options_.cost_model_warm_start_json.empty()) {
+    // Warm start BEFORE any worker exists: the first Submit's snapshot
+    // already sees the imported cells, and no completion can race the
+    // import. A bad snapshot is a configuration bug — fail construction
+    // loudly rather than silently serving on cold priors.
+    const Result<size_t> imported = options_.cost_model->ImportSnapshotJson(
+        options_.cost_model_warm_start_json,
+        options_.cost_model_warm_start_decay);
+    PHOM_CHECK_MSG(imported.ok(),
+                   "executor: cost_model_warm_start_json rejected: " +
+                       imported.status().message());
+  }
   const size_t n = ResolveThreads(options_);
   // Per-worker EDF heap bound: the historical GLOBAL bound (the queue
   // capacity) split across workers, so total queued deadline work keeps the
@@ -250,6 +263,13 @@ void BatchExecutor::Finish(
     std::lock_guard<std::mutex> lock(req.mu);
     req.stats.finished = RequestClock::now();
     req.stats.degraded = result.ok() && result->degrade.degraded;
+    if (result.ok()) {
+      // Provenance settles with the result: which error guarantee this
+      // answer carries (exact / certified enclosure / statistical bound).
+      req.stats.guarantee = GuaranteeOf(*result);
+      guarantee_counts_[static_cast<size_t>(req.stats.guarantee)].fetch_add(
+          1, std::memory_order_relaxed);
+    }
     if (!req.started_recorded) {
       // The request never ran a task (rejected / expired / cancelled at or
       // before dequeue): it spent its whole life in the queue.
@@ -557,6 +577,16 @@ ExecutorStats BatchExecutor::stats() const {
   s.tasks_stolen = tasks_stolen_.load(std::memory_order_relaxed);
   s.inline_runs = inline_runs_.load(std::memory_order_relaxed);
   s.edf_displaced_runs = edf_displaced_.load(std::memory_order_relaxed);
+  s.results_exact = guarantee_counts_[static_cast<size_t>(
+      Guarantee::kExact)].load(std::memory_order_relaxed);
+  s.results_interval = guarantee_counts_[static_cast<size_t>(
+      Guarantee::kIntervalEnclosure)].load(std::memory_order_relaxed);
+  s.results_empirical = guarantee_counts_[static_cast<size_t>(
+      Guarantee::kEmpiricalDouble)].load(std::memory_order_relaxed);
+  s.results_absolute95 = guarantee_counts_[static_cast<size_t>(
+      Guarantee::kAbsolute95)].load(std::memory_order_relaxed);
+  s.results_relative95 = guarantee_counts_[static_cast<size_t>(
+      Guarantee::kRelative95)].load(std::memory_order_relaxed);
   return s;
 }
 

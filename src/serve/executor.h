@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
@@ -167,6 +168,21 @@ struct ExecutorOptions {
   /// disables prediction entirely — admission and provenance are then
   /// unchanged from the pre-cost-model executor.
   std::shared_ptr<CostModel> cost_model;
+  /// Warm-start snapshot for `cost_model` (JSON produced by
+  /// CostModel::ExportSnapshotJson, typically persisted at the end of a
+  /// previous run). Imported once in the constructor, so the very first
+  /// Submit already predicts from learned cells instead of the cold-start
+  /// priors. Empty (the default) = no warm start. Ignored when `cost_model`
+  /// is null. An unparseable snapshot is a configuration bug and fails the
+  /// constructor loudly (PHOM_CHECK).
+  std::string cost_model_warm_start_json;
+  /// Staleness discount applied to the warm-start snapshot at import, in
+  /// [0, 1]: each imported cell is blended toward its cold-start prior by
+  /// this factor (0 = trust the snapshot verbatim, 1 = reset to the prior).
+  /// Yesterday's latencies are evidence, not truth — a machine or build
+  /// change shifts every cell, and the decayed blend lets fresh
+  /// observations re-win the EWMA quickly (see ImportSnapshotJson).
+  double cost_model_warm_start_decay = 0.0;
   /// With a cost model installed: reject a deadline-carrying request at
   /// submit (kResourceExhausted, nothing prepared, the session untouched)
   /// when the predicted backlog exceeds the remaining slack of EVERY
@@ -220,6 +236,15 @@ struct ExecutorStats {
                                      ///< because a queue/deque was full
   uint64_t edf_displaced_runs = 0;   ///< EDF overflow: earliest entry run
                                      ///< inline to admit the incoming task
+  /// Per-guarantee provenance counters (GuaranteeOf over each successful
+  /// result as it is published; errored tickets count in none of them).
+  /// Together they answer the operator's question "what fraction of the
+  /// answers we served were certified?" without touching any ticket.
+  uint64_t results_exact = 0;        ///< Guarantee::kExact
+  uint64_t results_interval = 0;     ///< Guarantee::kIntervalEnclosure
+  uint64_t results_empirical = 0;    ///< Guarantee::kEmpiricalDouble
+  uint64_t results_absolute95 = 0;   ///< Guarantee::kAbsolute95
+  uint64_t results_relative95 = 0;   ///< Guarantee::kRelative95
 };
 
 /// One unit of a synchronous heterogeneous batch: a query against a session
@@ -402,6 +427,9 @@ class BatchExecutor {
   std::atomic<uint64_t> tasks_stolen_{0};
   std::atomic<uint64_t> inline_runs_{0};
   std::atomic<uint64_t> edf_displaced_{0};
+  /// Per-guarantee result counters, indexed by static_cast<size_t>(the
+  /// Guarantee enum); bumped in Finish alongside RequestStats::guarantee.
+  std::array<std::atomic<uint64_t>, 5> guarantee_counts_{};
   /// Rotation cursor for the shared (non-worker) sweep over worker state.
   std::atomic<uint64_t> shared_sweep_{0};
   std::vector<std::unique_ptr<Worker>> worker_state_;

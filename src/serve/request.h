@@ -107,6 +107,14 @@ struct SolveRequest {
     overrides.degrade = policy;
     return *this;
   }
+  /// Ask any degraded estimate for a certified RELATIVE 95% bound: sampling
+  /// stops once half_width_95 <= target · (certified lower bound on the
+  /// answer). Composes with WithDegrade/WithDegradeOnDeadlineRisk in either
+  /// order (field-level override; see SolveOverrides::target_relative_error).
+  SolveRequest& WithTargetRelativeError(double target) {
+    overrides.target_relative_error = target;
+    return *this;
+  }
 
   /// A non-owning view of a caller-kept query. ONLY for synchronous
   /// submit+wait paths: the caller must keep `query_graph` alive until the
@@ -146,6 +154,11 @@ struct RequestStats {
   /// (zero without a cost model). The admission decision — admit, degrade
   /// proactively, or shed — was made against this prediction.
   std::chrono::nanoseconds predicted_cost{0};
+  /// The error guarantee the published answer carries (GuaranteeOf — exact,
+  /// certified interval enclosure, empirical double, or a statistical
+  /// absolute/relative 95% bound). Settles with the result; meaningful only
+  /// on successful tickets (kExact default otherwise).
+  Guarantee guarantee = Guarantee::kExact;
 
   std::chrono::nanoseconds queue_delay() const { return started - enqueued; }
   std::chrono::nanoseconds solve_time() const { return finished - started; }

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+/// \file interval_double.h
+/// Self-verifying floating-point probability: a `[lo, hi]` pair of IEEE
+/// doubles maintained with OUTWARD directed rounding, so the true (exact
+/// Rational) value of every kernel intermediate is provably contained in the
+/// interval. IEEE round-to-nearest is within 1/2 ulp of the true result of
+/// `+`, `*`, and `1 - x`, so stepping the naturally-rounded result one ulp
+/// down (for `lo`) and one ulp up (for `hi`) via std::nextafter yields a
+/// sound enclosure without touching the FP environment (no fesetround, so
+/// the backend stays safe under -frounding-math-less builds, FMA contraction
+/// aside — which std::nextafter on the already-rounded scalar result does
+/// not depend on).
+///
+/// Soundness of the [0, 1] clamp: every intermediate the probability kernels
+/// compute is itself the probability of an event — partial sums range over
+/// DISJOINT events (world enumeration, deterministic-OR gates, run-start
+/// DP states) and products/convex combinations of probabilities stay in
+/// [0, 1] — so intersecting each freshly-rounded interval with [0, 1] never
+/// discards the true value, and keeps multiplication monotone (nonnegative
+/// endpoints) without case analysis.
+
+namespace phom {
+
+namespace interval_internal {
+
+inline double Down(double x) {
+  return std::nextafter(x, -std::numeric_limits<double>::infinity());
+}
+
+inline double Up(double x) {
+  return std::nextafter(x, std::numeric_limits<double>::infinity());
+}
+
+}  // namespace interval_internal
+
+struct IntervalDouble {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  constexpr IntervalDouble() = default;
+  /// Point interval [p, p]: exact knowledge of a representable value.
+  constexpr explicit IntervalDouble(double point) : lo(point), hi(point) {}
+  constexpr IntervalDouble(double lo_in, double hi_in)
+      : lo(lo_in), hi(hi_in) {}
+
+  double width() const { return hi - lo; }
+  double midpoint() const { return 0.5 * (lo + hi); }
+
+  /// Intersection with [0, 1] — sound per the event-probability invariant
+  /// documented above; also restores a nonnegative lo after Down() steps a
+  /// zero product/sum to -denorm.
+  IntervalDouble ClampedToUnit() const {
+    return IntervalDouble(lo < 0.0 ? 0.0 : lo, hi > 1.0 ? 1.0 : hi);
+  }
+
+  bool operator==(const IntervalDouble& o) const {
+    return lo == o.lo && hi == o.hi;
+  }
+  bool operator!=(const IntervalDouble& o) const { return !(*this == o); }
+};
+
+inline IntervalDouble operator+(const IntervalDouble& a,
+                                const IntervalDouble& b) {
+  return IntervalDouble(interval_internal::Down(a.lo + b.lo),
+                        interval_internal::Up(a.hi + b.hi))
+      .ClampedToUnit();
+}
+
+/// Endpoint products suffice: both operands are clamped to [0, 1] by
+/// construction, so * is monotone in each argument over the whole interval.
+inline IntervalDouble operator*(const IntervalDouble& a,
+                                const IntervalDouble& b) {
+  assert(a.lo >= 0.0 && b.lo >= 0.0 &&
+         "IntervalDouble multiplication requires nonnegative intervals");
+  return IntervalDouble(interval_internal::Down(a.lo * b.lo),
+                        interval_internal::Up(a.hi * b.hi))
+      .ClampedToUnit();
+}
+
+inline IntervalDouble& operator+=(IntervalDouble& a, const IntervalDouble& b) {
+  return a = a + b;
+}
+
+inline IntervalDouble& operator*=(IntervalDouble& a, const IntervalDouble& b) {
+  return a = a * b;
+}
+
+}  // namespace phom

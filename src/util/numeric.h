@@ -2,16 +2,19 @@
 
 #include <cassert>
 #include <cmath>
+#include <string_view>
 #include <type_traits>
 #include <vector>
 
+#include "src/util/interval_double.h"
 #include "src/util/rational.h"
+#include "src/util/result.h"
 
 /// \file numeric.h
 /// Pluggable numeric policy for probability arithmetic. Every probability
 /// kernel in the library (interval DP, Shannon expansion, d-DNNF evaluation,
 /// the tree DPs, world enumeration) is templated on a number type `Num` and
-/// instantiated for two backends:
+/// instantiated for three backends:
 ///
 ///   * Rational — exact BigInt rationals, the default; answers are bit-exact
 ///     and the #P-hardness reductions can recover integer model counts.
@@ -19,6 +22,10 @@
 ///     workloads (cf. Amarilli–van Bremen–Gaspard–Meel 2023); answers carry
 ///     rounding error but every kernel stays within ~1e-12 relative error on
 ///     the sizes the exact backend can verify.
+///   * IntervalDouble — a [lo, hi] double pair with outward directed
+///     rounding (interval_double.h): float-speed arithmetic whose result
+///     PROVABLY encloses the exact Rational answer, so the error bound is
+///     machine-checked per answer instead of validated empirically.
 ///
 /// Input probabilities always live on the instance as exact Rationals (the
 /// model is exact); a backend choice only changes the arithmetic used to
@@ -27,16 +34,27 @@
 namespace phom {
 
 enum class NumericBackend {
-  kExact = 0,  ///< exact BigInt rationals (default)
-  kDouble,     ///< IEEE double: fast, approximate
+  kExact = 0,      ///< exact BigInt rationals (default)
+  kDouble,         ///< IEEE double: fast, approximate
+  kIntervalDouble, ///< [lo, hi] doubles, directed rounding: fast, certified
 };
 
 inline const char* ToString(NumericBackend b) {
   switch (b) {
     case NumericBackend::kExact: return "exact";
     case NumericBackend::kDouble: return "double";
+    case NumericBackend::kIntervalDouble: return "interval-double";
   }
-  return "?";
+  PHOM_CHECK_MSG(false, "unknown NumericBackend value");
+}
+
+/// Inverse of ToString — for persistence JSON and bench/CLI flags.
+inline Result<NumericBackend> ParseNumericBackend(std::string_view text) {
+  if (text == "exact") return NumericBackend::kExact;
+  if (text == "double") return NumericBackend::kDouble;
+  if (text == "interval-double") return NumericBackend::kIntervalDouble;
+  return Status::Invalid(std::string("unknown numeric backend: ") +
+                         std::string(text));
 }
 
 template <class Num>
@@ -81,6 +99,51 @@ struct NumericOps<double> {
     return x == 1.0;
   }
   static double ToDouble(double x) { return x; }
+};
+
+/// Certified-enclosure backend. From() proves its interval by exact Rational
+/// comparison (Rational::FromDouble is lossless), so the enclosure invariant
+/// holds END TO END: input conversion, every kernel op (outward-rounded in
+/// interval_double.h), and the final [lo, hi] the caller reads. Like the
+/// double backend, NaN endpoints indicate an upstream bug, never data.
+template <>
+struct NumericOps<IntervalDouble> {
+  static constexpr NumericBackend kBackend = NumericBackend::kIntervalDouble;
+  static IntervalDouble Zero() { return IntervalDouble(0.0, 0.0); }
+  static IntervalDouble One() { return IntervalDouble(1.0, 1.0); }
+  static IntervalDouble From(const Rational& p) {
+    assert(p.IsProbability() && "interval backend converts probabilities");
+    const double d = p.ToDouble();
+    double lo = d;
+    double hi = d;
+    // Widen outward until enclosure is PROVEN by exact comparison. ToDouble
+    // is within an ulp or two of correctly rounded, so each loop runs a
+    // handful of times at most; when d is exactly p the interval stays a
+    // point and exact-representable inputs (0, 1, dyadics) cost nothing.
+    while (Rational::FromDouble(lo) > p) lo = interval_internal::Down(lo);
+    while (Rational::FromDouble(hi) < p) hi = interval_internal::Up(hi);
+    return IntervalDouble(lo, hi).ClampedToUnit();
+  }
+  static IntervalDouble Complement(const IntervalDouble& x) {
+    return IntervalDouble(interval_internal::Down(1.0 - x.hi),
+                          interval_internal::Up(1.0 - x.lo))
+        .ClampedToUnit();
+  }
+  // Zero/one tests demand the POINT interval: a nondegenerate interval only
+  // brackets the exact value, so short-circuiting on it would be unsound.
+  // Returning a conservative `false` merely skips an optimization — every
+  // kernel's general path computes the same enclosure.
+  static bool IsZero(const IntervalDouble& x) {
+    assert(!std::isnan(x.lo) && !std::isnan(x.hi) &&
+           "NaN probability in the interval backend");
+    return x.lo == 0.0 && x.hi == 0.0;
+  }
+  static bool IsOne(const IntervalDouble& x) {
+    assert(!std::isnan(x.lo) && !std::isnan(x.hi) &&
+           "NaN probability in the interval backend");
+    return x.lo == 1.0 && x.hi == 1.0;
+  }
+  static double ToDouble(const IntervalDouble& x) { return x.midpoint(); }
 };
 
 /// The instance's exact edge probabilities converted into the backend type.

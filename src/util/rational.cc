@@ -1,5 +1,6 @@
 #include "src/util/rational.h"
 
+#include <cmath>
 #include <utility>
 
 namespace phom {
@@ -20,6 +21,21 @@ Rational::Rational(BigInt num, BigInt den)
     num_ = num_ / g;
     den_ = den_ / g;
   }
+}
+
+Rational Rational::FromDouble(double value) {
+  PHOM_CHECK_MSG(std::isfinite(value), "Rational::FromDouble of non-finite");
+  if (value == 0.0) return Rational::Zero();
+  int exp = 0;
+  const double mantissa = std::frexp(value, &exp);  // value = mantissa·2^exp
+  // 53 bits make the scaled mantissa exactly integral (|mantissa| ∈ [0.5, 1)).
+  const int64_t m = static_cast<int64_t>(std::ldexp(mantissa, 53));
+  const int shift = exp - 53;
+  if (shift >= 0) {
+    return Rational(BigInt(m).ShiftLeft(static_cast<uint64_t>(shift)),
+                    BigInt(1));
+  }
+  return Rational(BigInt(m), BigInt::Pow2(static_cast<uint64_t>(-shift)));
 }
 
 bool Rational::IsProbability() const {

@@ -25,6 +25,10 @@ class Rational {
 
   /// Parses "3", "-3", "3/4", "0.35", "-1.5".
   static Result<Rational> FromString(std::string_view text);
+  /// Exact value of an IEEE double (every finite double is a dyadic
+  /// rational m/2^k). PHOM_CHECKs that `value` is finite. This is the
+  /// lossless bridge the interval backend uses to PROVE its enclosures.
+  static Rational FromDouble(double value);
   static Rational Zero() { return Rational(0); }
   static Rational One() { return Rational(1); }
   static Rational Half() { return Rational(1, 2); }

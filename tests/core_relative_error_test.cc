@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "src/core/eval_session.h"
+#include "src/core/monte_carlo.h"
+#include "src/core/solver.h"
+#include "src/graph/builders.h"
+#include "src/graph/generators.h"
+#include "src/serve/executor.h"
+#include "tests/test_util.h"
+
+/// Tier-1 coverage of the relative-error FPRAS path (the multiplicative
+/// guarantee of Amarilli–van Bremen–Gaspard–Meel 2023): the deterministic
+/// lineage lower bound is CERTIFIED (lb <= p, proved against the exact
+/// answer in rational arithmetic), the relative stop rule delivers
+/// relative_error_95 <= target, the exact-zero certificate turns an empty
+/// enumeration into an exact p = 0 answer with no sampling at all, and the
+/// provenance (DegradeInfo, RequestStats::guarantee, executor counters)
+/// reports the statistical claim end to end through the serve layer.
+
+namespace phom {
+namespace {
+
+using test_util::CellClass;
+using test_util::HardCellEnumerationCase;
+using test_util::kCrosscheckSeedBase;
+using test_util::MakeCrosscheckCase;
+
+TEST(RelativeError, LowerBoundIsCertifiedAcrossHardCorpus) {
+  // The hard cell of the cross-check corpus: small enough that the exact
+  // exponential fallback is instant, so lb <= p is checked exactly.
+  Rng rng(kCrosscheckSeedBase + 4000);
+  for (int trial = 0; trial < 20; ++trial) {
+    test_util::CrosscheckCase c =
+        MakeCrosscheckCase(CellClass::kHardCell, &rng);
+    const std::string context = "trial " + std::to_string(trial);
+
+    Result<SolveResult> exact = Solver().Solve(c.query, c.instance);
+    ASSERT_TRUE(exact.ok()) << context;
+
+    MonteCarloOptions options;
+    options.samples = 4096;
+    options.min_samples = 256;
+    options.target_relative_error = 0.5;
+    Result<MonteCarloEstimate> est = EstimateProbabilityMonteCarlo(
+        c.query, c.instance, 7000 + static_cast<uint64_t>(trial), options);
+    ASSERT_TRUE(est.ok()) << context;
+
+    if (est->exact_zero) {
+      // The certificate is exact: the true answer must BE zero.
+      EXPECT_TRUE(exact->probability.is_zero()) << context;
+      EXPECT_EQ(est->samples, 0u) << context;
+      EXPECT_EQ(est->relative_error_95, 0.0) << context;
+      continue;
+    }
+    // lb <= p, decided in exact arithmetic (FromDouble is lossless).
+    EXPECT_TRUE(Rational::FromDouble(est->lower_bound) <= exact->probability)
+        << context << ": lb=" << est->lower_bound
+        << " exact=" << exact->probability.ToDouble();
+    if (est->lower_bound > 0.0) {
+      EXPECT_TRUE(std::isfinite(est->relative_error_95)) << context;
+      EXPECT_GT(est->relative_error_95, 0.0) << context;
+    } else {
+      EXPECT_EQ(est->relative_error_95,
+                std::numeric_limits<double>::infinity())
+          << context;
+    }
+  }
+}
+
+TEST(RelativeError, StopRuleMeetsTargetOnHardCell) {
+  Rng rng(kCrosscheckSeedBase + 4100);
+  HardCellEnumerationCase hard(&rng, /*edges=*/14);
+
+  Result<SolveResult> exact = Solver().Solve(hard.query, hard.instance);
+  ASSERT_TRUE(exact.ok()) << exact.status().ToString();
+  const double p = exact->probability.ToDouble();
+  ASSERT_GT(p, 0.0);
+
+  MonteCarloOptions options;
+  options.samples = 1'000'000;
+  options.min_samples = 256;
+  options.target_relative_error = 0.05;
+  Result<MonteCarloEstimate> est =
+      EstimateProbabilityMonteCarlo(hard.query, hard.instance, 99, options);
+  ASSERT_TRUE(est.ok()) << est.status().ToString();
+
+  EXPECT_FALSE(est->exact_zero);
+  EXPECT_TRUE(est->converged)
+      << "the relative stop rule must fire well inside the sample cap";
+  EXPECT_LT(est->samples, options.samples);
+  EXPECT_GT(est->lower_bound, 0.0);
+  EXPECT_TRUE(Rational::FromDouble(est->lower_bound) <= exact->probability);
+  // The certified relative claim the stop rule promises.
+  EXPECT_LE(est->relative_error_95, options.target_relative_error);
+  // And — at this fixed seed — the estimate really is relatively tight
+  // against the exact answer (the 95% event; deterministic per seed).
+  EXPECT_LE(std::abs(est->estimate - p), options.target_relative_error * p);
+}
+
+TEST(RelativeError, ExactZeroCertificateSkipsSampling) {
+  // Label 1 never appears with positive probability: p == 0 exactly. One
+  // structurally-present label-1 edge with probability zero exercises the
+  // positive-subgraph restriction too.
+  DiGraph shape(3);
+  AddEdgeOrDie(&shape, 0, 1, 0);
+  AddEdgeOrDie(&shape, 1, 2, 1);
+  ProbGraph instance(shape, {Rational(1, 2), Rational::Zero()});
+  DiGraph query = MakeLabeledPath({1});
+
+  MonteCarloOptions options;
+  options.samples = 100'000;
+  options.target_relative_error = 0.2;
+  Result<MonteCarloEstimate> est =
+      EstimateProbabilityMonteCarlo(query, instance, 5, options);
+  ASSERT_TRUE(est.ok());
+  EXPECT_TRUE(est->exact_zero);
+  EXPECT_TRUE(est->converged);
+  EXPECT_EQ(est->samples, 0u) << "a proven zero draws no samples";
+  EXPECT_EQ(est->estimate, 0.0);
+  EXPECT_EQ(est->relative_error_95, 0.0);
+
+  // Through the degrade path the certificate produces an EXACT result: a
+  // certified point bound at zero and no degraded provenance.
+  SolveOptions solve_options;
+  DegradePolicy policy;
+  policy.mode = DegradeMode::kOnDeadlineRisk;
+  policy.target_relative_error = 0.2;
+  solve_options.degrade = policy;
+  Result<SolveResult> degraded =
+      SolveDegradedMonteCarlo(PrepareProblem(query, instance), solve_options);
+  ASSERT_TRUE(degraded.ok());
+  EXPECT_FALSE(degraded->degrade.degraded);
+  EXPECT_EQ(degraded->probability_double, 0.0);
+  EXPECT_TRUE(degraded->bound.certified);
+  EXPECT_EQ(degraded->bound.lo, 0.0);
+  EXPECT_EQ(degraded->bound.hi, 0.0);
+  EXPECT_EQ(GuaranteeOf(*degraded), Guarantee::kExact);
+}
+
+TEST(RelativeError, DegradePathMeetsTargetWithoutDeadlinePressure) {
+  Rng rng(kCrosscheckSeedBase + 4200);
+  HardCellEnumerationCase hard(&rng, /*edges=*/14);
+  Result<SolveResult> exact = Solver().Solve(hard.query, hard.instance);
+  ASSERT_TRUE(exact.ok());
+
+  SolveOptions options;
+  DegradePolicy policy;
+  policy.mode = DegradeMode::kOnDeadlineRisk;
+  policy.min_samples = 256;
+  policy.max_samples = 1'000'000;
+  policy.target_relative_error = 0.1;
+  options.degrade = policy;
+  Result<SolveResult> result =
+      SolveDegradedMonteCarlo(PrepareProblem(hard.query, hard.instance),
+                              options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->degrade.degraded);
+  EXPECT_GT(result->degrade.lower_bound, 0.0);
+  EXPECT_TRUE(
+      Rational::FromDouble(result->degrade.lower_bound) <= exact->probability);
+  // Unconstrained by a deadline, sampling runs until the certified relative
+  // bound meets the target.
+  EXPECT_LE(result->degrade.relative_error_95, policy.target_relative_error);
+  EXPECT_EQ(result->relative_error_95, result->degrade.relative_error_95);
+  EXPECT_EQ(GuaranteeOf(*result), Guarantee::kRelative95);
+  // The statistical bracket is reported but NOT certified.
+  EXPECT_FALSE(result->bound.certified);
+  EXPECT_GE(result->probability_double, result->bound.lo);
+  EXPECT_LE(result->probability_double, result->bound.hi);
+}
+
+TEST(RelativeError, ServeOverrideThreadsTargetThroughTheExecutor) {
+  Rng rng(kCrosscheckSeedBase + 4300);
+  HardCellEnumerationCase hard(&rng, /*edges=*/14);
+  EvalSession session(hard.instance);
+
+  serve::ExecutorOptions exec_options;
+  exec_options.threads = 2;
+  serve::BatchExecutor executor(exec_options);
+
+  // An already-expired deadline with the degrade policy on: the worker
+  // produces the budgeted estimate, truncated at the sampling floor, and
+  // the target-relative override reaches the estimator through
+  // SolveOverrides::target_relative_error.
+  DegradePolicy policy;
+  policy.mode = DegradeMode::kOnDeadlineRisk;
+  policy.min_samples = 512;
+  serve::SolveRequest request(hard.query);
+  request
+      .WithDeadline(serve::RequestClock::now() - std::chrono::milliseconds(1))
+      .WithDegrade(policy)
+      .WithTargetRelativeError(0.25);
+  serve::SolveTicket ticket = executor.Submit(session, std::move(request));
+  Result<SolveResult> result = ticket.Take();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->degrade.degraded);
+  EXPECT_GT(result->degrade.lower_bound, 0.0);
+  EXPECT_TRUE(std::isfinite(result->degrade.relative_error_95));
+  EXPECT_GT(result->degrade.relative_error_95, 0.0);
+  // Internal consistency of the published relative claim: certified
+  // half-width over the certified lower bound (rule-of-three at boundary
+  // counts; this run's counts are interior at these sizes).
+  const double est = result->degrade.estimate;
+  const uint64_t n = result->degrade.samples_used;
+  if (est > 0.0 && est < 1.0) {
+    const double hw =
+        1.96 * std::sqrt(est * (1.0 - est) / static_cast<double>(n));
+    EXPECT_DOUBLE_EQ(result->degrade.relative_error_95,
+                     hw / result->degrade.lower_bound);
+  }
+  EXPECT_EQ(GuaranteeOf(*result), Guarantee::kRelative95);
+  EXPECT_EQ(ticket.stats().guarantee, Guarantee::kRelative95);
+  EXPECT_EQ(executor.stats().results_relative95, 1u);
+}
+
+TEST(RelativeError, AbsoluteTargetPathIsUnchanged) {
+  // With no relative target the estimator's legacy behavior holds: no
+  // lower-bound pre-pass, infinity relative error, absolute-95 provenance.
+  Rng rng(kCrosscheckSeedBase + 4400);
+  HardCellEnumerationCase hard(&rng, /*edges=*/12);
+  SolveOptions options;
+  DegradePolicy policy;
+  policy.mode = DegradeMode::kOnDeadlineRisk;
+  policy.min_samples = 512;
+  policy.max_samples = 512;
+  options.degrade = policy;
+  Result<SolveResult> result = SolveDegradedMonteCarlo(
+      PrepareProblem(hard.query, hard.instance), options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->degrade.degraded);
+  EXPECT_EQ(result->degrade.lower_bound, 0.0);
+  EXPECT_EQ(result->degrade.relative_error_95, 0.0)
+      << "no relative target: the field stays quiet";
+  EXPECT_EQ(result->relative_error_95, 0.0);
+  EXPECT_EQ(GuaranteeOf(*result), Guarantee::kAbsolute95);
+}
+
+}  // namespace
+}  // namespace phom

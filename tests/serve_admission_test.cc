@@ -235,6 +235,126 @@ TEST(CostModel, SnapshotIsCachedUntilTheNextUpdate) {
   EXPECT_GT(c->version(), a->version());
 }
 
+TEST(CostModel, SnapshotJsonRoundTripsByteIdentically) {
+  CostModel model;
+  model.RecordComponent("fallback", GraphClass::kGeneral, 20,
+                        std::chrono::nanoseconds(2'300'000'000));
+  model.RecordComponent("fallback", GraphClass::kGeneral, 20,
+                        std::chrono::nanoseconds(2'100'000'000));
+  model.RecordComponent("connected-on-2wp", GraphClass::kTwoWayPath, 7,
+                        std::chrono::nanoseconds(41'337));
+  model.RecordComponent("path-on-dwt", GraphClass::kDownwardTree, 0,
+                        std::chrono::nanoseconds(19'001));
+
+  const std::string json = model.ExportSnapshotJson();
+  CostModel restored;
+  Result<size_t> imported = restored.ImportSnapshotJson(json);
+  ASSERT_TRUE(imported.ok()) << imported.status().ToString();
+  EXPECT_EQ(*imported, 3u);
+  // Exact round trip: re-export is byte-identical (sorted cells, %.17g
+  // latencies), and predictions agree bit for bit.
+  EXPECT_EQ(restored.ExportSnapshotJson(), json);
+  std::shared_ptr<const CostModelSnapshot> a = model.Snapshot();
+  std::shared_ptr<const CostModelSnapshot> b = restored.Snapshot();
+  EXPECT_EQ(b->num_cells(), 3u);
+  for (size_t edges : {0, 7, 20, 1000}) {
+    CostPrediction pa = a->PredictComponent("fallback", GraphClass::kGeneral,
+                                            edges);
+    CostPrediction pb = b->PredictComponent("fallback", GraphClass::kGeneral,
+                                            edges);
+    EXPECT_EQ(pa.expected, pb.expected) << edges;
+    EXPECT_EQ(pa.optimistic, pb.optimistic) << edges;
+    EXPECT_EQ(pa.pessimistic, pb.pessimistic) << edges;
+    EXPECT_EQ(pa.from_prior, pb.from_prior) << edges;
+  }
+
+  // Malformed inputs are rejected whole: nothing installs.
+  CostModel untouched;
+  EXPECT_FALSE(untouched.ImportSnapshotJson("").ok());
+  EXPECT_FALSE(untouched.ImportSnapshotJson("{}").ok());
+  EXPECT_FALSE(untouched.ImportSnapshotJson("{\"schema\":2,\"cells\":[]}").ok());
+  EXPECT_FALSE(untouched
+                   .ImportSnapshotJson(
+                       "{\"schema\":1,\"cells\":[{\"engine\":\"e\"}]}")
+                   .ok());
+  EXPECT_FALSE(untouched.ImportSnapshotJson(json, /*decay_toward_prior=*/1.5)
+                   .ok());
+  EXPECT_EQ(untouched.Snapshot()->num_cells(), 0u);
+
+  // The empty model round-trips too.
+  CostModel empty;
+  Result<size_t> none = CostModel().ImportSnapshotJson(
+      empty.ExportSnapshotJson());
+  ASSERT_TRUE(none.ok());
+  EXPECT_EQ(*none, 0u);
+}
+
+TEST(CostModel, ImportDecayBlendsTowardThePrior) {
+  CostModel model;
+  // One well-observed cell, far from its prior.
+  for (int i = 0; i < 8; ++i) {
+    model.RecordComponent("connected-on-2wp", GraphClass::kTwoWayPath, 4,
+                          std::chrono::nanoseconds(1'000'000));
+  }
+  const std::string json = model.ExportSnapshotJson();
+  // Bucket 3 covers counts 4–7; its prior is evaluated at the smallest
+  // member, 20 µs + 2 µs · 4 = 28 µs.
+  const double prior_ns = 28'000.0;
+
+  CostModel verbatim;
+  ASSERT_TRUE(verbatim.ImportSnapshotJson(json, 0.0).ok());
+  CostModel half;
+  ASSERT_TRUE(half.ImportSnapshotJson(json, 0.5).ok());
+  CostModel reset;
+  ASSERT_TRUE(reset.ImportSnapshotJson(json, 1.0).ok());
+
+  const auto expected_of = [](const CostModel& m) {
+    return static_cast<double>(m.Snapshot()
+                                   ->PredictComponent("connected-on-2wp",
+                                                      GraphClass::kTwoWayPath,
+                                                      4)
+                                   .expected.count());
+  };
+  const double mean = expected_of(verbatim);
+  EXPECT_EQ(mean, 1'000'000.0) << "decay 0 restores verbatim";
+  EXPECT_EQ(expected_of(half), 0.5 * mean + 0.5 * prior_ns);
+  EXPECT_EQ(expected_of(reset), prior_ns)
+      << "decay 1 keeps the key but resets its state to the prior";
+  // Decayed cells are still LEARNED cells (count >= 1): predictions come
+  // from the blended EWMA state, not the prior band.
+  EXPECT_FALSE(reset.Snapshot()
+                   ->PredictComponent("connected-on-2wp",
+                                      GraphClass::kTwoWayPath, 4)
+                   .from_prior);
+}
+
+TEST(CostModel, ExecutorWarmStartImportsAtConstruction) {
+  // Learn a cell in one "run", persist it, and hand the bytes to a fresh
+  // executor: its model must predict from the learned cell before any
+  // request completes.
+  CostModel previous_run;
+  previous_run.RecordComponent("fallback", GraphClass::kGeneral, 10,
+                               std::chrono::nanoseconds(5'000'000));
+  const std::string json = previous_run.ExportSnapshotJson();
+
+  auto model = std::make_shared<CostModel>();
+  ExecutorOptions options;
+  options.threads = 1;
+  options.cost_model = model;
+  options.cost_model_warm_start_json = json;
+  BatchExecutor executor(options);
+  EXPECT_EQ(model->Snapshot()->num_cells(), 1u);
+  EXPECT_FALSE(model->Snapshot()
+                   ->PredictComponent("fallback", GraphClass::kGeneral, 10)
+                   .from_prior);
+  // Without a model the field is inert.
+  ExecutorOptions no_model;
+  no_model.threads = 1;
+  no_model.cost_model_warm_start_json = json;
+  BatchExecutor inert(no_model);
+  EXPECT_EQ(inert.stats().submitted, 0u);
+}
+
 TEST(CostModel, RecordSolveSkipsDegradedAndImmediateResults) {
   Rng rng(41);
   ProbGraph instance = MixedServeInstance(&rng);
