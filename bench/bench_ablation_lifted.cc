@@ -1,0 +1,181 @@
+// Ablations for the UCQ front door (src/lifted/): what the Dalvi–Suciu
+// safe-plan compiler buys and what its pieces cost.
+//  A. Independent-union plans: k label-disjoint disjuncts, each leaf a
+//     PTIME 1WP solve on its own label-restricted instance slice.
+//  B. Inclusion–exclusion plans: k pairwise-entangled two-label disjuncts
+//     (2^k - 1 engine-solved units), leaves in PTIME cells — against the
+//     SAME union with every unit forced through the exponential fallback
+//     engine, and against whole-union Monte Carlo sampling.
+//  C. Compile cost: PrepareUcq alone (normalization + subsumption checks +
+//     plan construction), the per-query price of the front door.
+//
+// Engine selection goes through the ordinary registry: the lifted engine is
+// auto-matched for UCQ plans, and force_engine reaches the plan UNITS, so
+// these benches exercise exactly the production dispatch path.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/graph/ucq.h"
+#include "src/lifted/lift.h"
+#include "src/lifted/plan.h"
+
+namespace phom {
+namespace {
+
+/// k label-disjoint 1WP disjuncts: label j's disjunct is the 2-edge path
+/// j,j. Groups are singletons, so the plan is iunion(L0, ..., Lk-1).
+Ucq LabelDisjointUnion(size_t k) {
+  Ucq ucq;
+  for (size_t j = 0; j < k; ++j) {
+    LabelId l = static_cast<LabelId>(j);
+    ucq.disjuncts.push_back(MakeLabeledPath({l, l}));
+  }
+  return ucq;
+}
+
+/// One 3-edge path per label, disjointly: each leaf's label-restricted
+/// context is a single tiny 1WP component.
+ProbGraph PerLabelPathInstance(size_t labels, Rng* rng) {
+  std::vector<DiGraph> parts;
+  for (size_t j = 0; j < labels; ++j) {
+    LabelId l = static_cast<LabelId>(j);
+    parts.push_back(MakeLabeledPath({l, l, l}));
+  }
+  return AttachRandomProbabilities(rng, DisjointUnion(parts), 4);
+}
+
+/// k pairwise-entangled disjuncts over the SHARED labels {0, 1}: the four
+/// 2-step orientation patterns are pairwise hom-incomparable, so none is
+/// subsumed and the compiler builds one inclusion–exclusion group with
+/// 2^k - 1 units.
+Ucq EntangledUnion(size_t k) {
+  PHOM_CHECK(k <= 4);
+  Ucq ucq;
+  for (size_t j = 0; j < k; ++j) {
+    std::vector<TwoWayStep> steps(2);
+    steps[0].label = 0;
+    steps[0].forward = (j & 1) == 0;
+    steps[1].label = 1;
+    steps[1].forward = (j & 2) == 0;
+    ucq.disjuncts.push_back(MakeTwoWayPath(steps));
+  }
+  return ucq;
+}
+
+ProbGraph TwoWayPathInstance(size_t edges, Rng* rng) {
+  return AttachRandomProbabilities(rng, RandomTwoWayPath(rng, edges, 2), 4);
+}
+
+// ---------------------------------------------------------------------------
+// A. Independent-union plans, k label-disjoint disjuncts.
+// ---------------------------------------------------------------------------
+
+void BM_UcqLifted_IndependentUnion(benchmark::State& state) {
+  Rng rng(91);
+  size_t k = state.range(0);
+  ProbGraph h = PerLabelPathInstance(k, &rng);
+  Ucq ucq = LabelDisjointUnion(k);
+  Solver solver;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.SolveUcq(ucq, h));
+  }
+  state.SetComplexityN(k);
+}
+BENCHMARK(BM_UcqLifted_IndependentUnion)->RangeMultiplier(2)->Range(2, 16)
+    ->Unit(benchmark::kMicrosecond)->Complexity();
+
+// ---------------------------------------------------------------------------
+// B. Inclusion–exclusion plans: lifted vs forced fallback vs Monte Carlo.
+// ---------------------------------------------------------------------------
+
+void BM_UcqLifted_InclusionExclusion(benchmark::State& state) {
+  Rng rng(92);
+  size_t k = state.range(0);
+  ProbGraph h = TwoWayPathInstance(14, &rng);
+  Ucq ucq = EntangledUnion(k);
+  Solver solver;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.SolveUcq(ucq, h));
+  }
+  state.SetComplexityN(k);
+}
+BENCHMARK(BM_UcqLifted_InclusionExclusion)->DenseRange(2, 4, 1)
+    ->Unit(benchmark::kMicrosecond)->Complexity();
+
+void BM_UcqForcedFallbackUnits(benchmark::State& state) {
+  Rng rng(92);  // same seed: identical instance and union
+  size_t k = state.range(0);
+  ProbGraph h = TwoWayPathInstance(14, &rng);
+  Ucq ucq = EntangledUnion(k);
+  SolveOptions options;
+  options.force_engine = "fallback";
+  Solver solver(options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.SolveUcq(ucq, h));
+  }
+  state.SetComplexityN(k);
+}
+BENCHMARK(BM_UcqForcedFallbackUnits)->DenseRange(2, 4, 1)
+    ->Unit(benchmark::kMillisecond)->Complexity();
+
+void BM_UcqForcedMonteCarlo(benchmark::State& state) {
+  Rng rng(92);  // same seed: identical instance and union
+  ProbGraph h = TwoWayPathInstance(14, &rng);
+  Ucq ucq = EntangledUnion(3);
+  SolveOptions options;
+  options.force_engine = "monte-carlo";
+  options.monte_carlo.samples = 20'000;
+  Solver solver(options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.SolveUcq(ucq, h));
+  }
+}
+BENCHMARK(BM_UcqForcedMonteCarlo)->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// C. Compile cost: PrepareUcq alone.
+// ---------------------------------------------------------------------------
+
+void BM_UcqPrepareCompile(benchmark::State& state) {
+  Rng rng(93);
+  size_t k = state.range(0);
+  ProbGraph h = PerLabelPathInstance(k, &rng);
+  Ucq ucq = LabelDisjointUnion(k);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lifted::PrepareUcq(ucq, h));
+  }
+  state.SetComplexityN(k);
+}
+BENCHMARK(BM_UcqPrepareCompile)->RangeMultiplier(2)->Range(2, 16)
+    ->Unit(benchmark::kMicrosecond)->Complexity();
+
+void LiftedPlanReport() {
+  Rng rng(94);
+  std::printf("\n=== Lifted plans behind the ablations ===\n");
+  {
+    ProbGraph h = PerLabelPathInstance(4, &rng);
+    PreparedProblem p = lifted::PrepareUcq(LabelDisjointUnion(4), h);
+    PHOM_CHECK(p.ucq != nullptr);
+    std::printf("  label-disjoint k=4: %-30s verdict=%s\n",
+                lifted::FormatLiftedPlan(p.ucq->plan).c_str(),
+                p.ucq->plan.lifted ? "lifted" : "not-liftable");
+  }
+  {
+    ProbGraph h = TwoWayPathInstance(14, &rng);
+    PreparedProblem p = lifted::PrepareUcq(EntangledUnion(3), h);
+    PHOM_CHECK(p.ucq != nullptr);
+    std::printf("  entangled k=3:      %-30s verdict=%s\n",
+                lifted::FormatLiftedPlan(p.ucq->plan).c_str(),
+                p.ucq->plan.lifted ? "lifted" : "not-liftable");
+  }
+}
+
+}  // namespace
+}  // namespace phom
+
+int main(int argc, char** argv) {
+  phom::bench::RunBenchmarks(argc, argv);
+  phom::LiftedPlanReport();
+  return 0;
+}

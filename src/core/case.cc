@@ -13,6 +13,7 @@ const char* ToString(Algorithm a) {
     case Algorithm::kUnlabeledPolytree: return "unlabeled-polytree";
     case Algorithm::kPerComponent: return "per-component";
     case Algorithm::kFallback: return "fallback";
+    case Algorithm::kLiftedUcq: return "lifted-ucq";
   }
   return "?";
 }

@@ -41,6 +41,7 @@ enum class Algorithm {
   kUnlabeledPolytree,      ///< Props. 5.4/5.5 (tree automaton → d-DNNF)
   kPerComponent,           ///< mixed instance: per-component algorithms + Lemma 3.7
   kFallback,               ///< #P-hard cell: exact exponential solver
+  kLiftedUcq,              ///< UCQ input: Dalvi–Suciu lifted plan (src/lifted/)
 };
 
 const char* ToString(Algorithm a);
@@ -79,6 +80,10 @@ struct InstanceContext {
 std::shared_ptr<const InstanceContext> BuildInstanceContext(
     const ProbGraph& instance, const std::vector<LabelId>& labels);
 
+namespace lifted {
+struct PreparedUcq;  // src/lifted/plan.h
+}  // namespace lifted
+
 struct PreparedProblem {
   DiGraph query;       ///< simplified (and possibly collapsed) query
   /// Query-independent preparation of the instance (restriction, component
@@ -89,6 +94,12 @@ struct PreparedProblem {
   /// non-graded-query-on-forest case of Prop. 3.6).
   std::optional<Rational> immediate;
   CaseAnalysis analysis;
+  /// Non-null only for UCQ inputs with >= 2 normalized disjuncts (built by
+  /// lifted::PrepareUcq; a UCQ that normalizes to one disjunct takes the
+  /// plain single-CQ path above, bit-identically). When set, `query` holds
+  /// the first disjunct and `context` the union-label context — enough for
+  /// the generic plumbing — while the lifted plan drives the actual solve.
+  std::shared_ptr<const lifted::PreparedUcq> ucq;
 
   /// The label-restricted instance (empty graph when context is null).
   const ProbGraph& instance() const;

@@ -138,8 +138,10 @@ Result<const Engine*> SelectEngineForProblem(const EngineRegistry& registry,
 /// Registers the built-in engines, in auto-dispatch priority order:
 ///   connected-on-2wp, path-on-dwt, unlabeled-dwt-instance,
 ///   unlabeled-polytree, per-component, fallback,
-///   dwt-lineage-shannon, match-lineage, monte-carlo
-/// (the last three never auto-match: they are oracles/ablation routes).
+///   dwt-lineage-shannon, match-lineage, monte-carlo, lifted-ucq
+/// (dwt-lineage-shannon, match-lineage and monte-carlo never auto-match:
+/// they are oracles/ablation routes. lifted-ucq auto-matches exactly the
+/// kLiftedUcq cells that PrepareUcq emits, so its position is immaterial.)
 void RegisterDefaultEngines(EngineRegistry* registry);
 
 }  // namespace phom

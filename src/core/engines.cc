@@ -8,6 +8,7 @@
 #include "src/core/fallback.h"
 #include "src/core/monte_carlo.h"
 #include "src/graph/graded.h"
+#include "src/lifted/lift.h"
 
 /// \file engines.cc
 /// The built-in engines. Each engine is a thin adapter from the registry
@@ -18,13 +19,6 @@
 namespace phom {
 
 namespace {
-
-/// Certified outward-rounded point enclosure of an exactly-known answer
-/// (NumericOps<IntervalDouble>::From proves it by Rational comparison).
-ProbabilityBound CertifiedBoundOf(const Rational& p) {
-  const IntervalDouble iv = NumericOps<IntervalDouble>::From(p);
-  return ProbabilityBound{iv.lo, iv.hi, /*certified=*/true};
-}
 
 /// Runs `fn` — a generic callable invoked with a std::type_identity<Num>
 /// tag and returning Result<Num> — in the requested backend and packages
@@ -38,7 +32,7 @@ Result<EngineAnswer> RunInBackend(NumericBackend backend, Fn&& fn) {
   if (backend == NumericBackend::kExact) {
     PHOM_ASSIGN_OR_RETURN(out.exact, fn(std::type_identity<Rational>{}));
     out.approx = out.exact.ToDouble();
-    out.bound = CertifiedBoundOf(out.exact);
+    out.bound = CertifiedPointBound(out.exact);
   } else if (backend == NumericBackend::kIntervalDouble) {
     PHOM_ASSIGN_OR_RETURN(IntervalDouble enclosure,
                           fn(std::type_identity<IntervalDouble>{}));
@@ -369,8 +363,16 @@ class MonteCarloEngine : public Engine {
     const CancelToken::Clock::time_point start = CancelToken::Clock::now();
     MonteCarloOptions mc = options.monte_carlo;
     if (options.cancel != nullptr) mc.cancel = options.cancel;
-    Result<MonteCarloEstimate> est = EstimateProbabilityMonteCarlo(
-        prepared.query, prepared.instance(), options.monte_carlo_seed, mc);
+    // A UCQ problem samples the whole UNION per world (any-disjunct hit):
+    // sampling prepared.query alone would silently estimate disjunct 0.
+    Result<MonteCarloEstimate> est =
+        prepared.ucq != nullptr
+            ? EstimateUcqProbabilityMonteCarlo(
+                  prepared.ucq->normalized.disjuncts, prepared.instance(),
+                  options.monte_carlo_seed, mc)
+            : EstimateProbabilityMonteCarlo(prepared.query,
+                                            prepared.instance(),
+                                            options.monte_carlo_seed, mc);
     if (!est.ok()) return est.status();
     stats->worlds += est->samples;
     EngineAnswer out;
@@ -425,7 +427,13 @@ ComponentDispatch PlanComponentDispatch(const PreparedProblem& prepared,
   if (prepared.immediate.has_value() || prepared.context == nullptr) {
     return plan;
   }
-  const size_t n = prepared.context->components.size();
+  // A UCQ fans out over its plan's UNITS (the leaves of the lifted plan),
+  // not over instance components: each unit is itself a full single-CQ
+  // solve. A non-compilable plan has no units and stays serial, so its
+  // typed error surfaces through the ordinary SolvePrepared path.
+  const size_t n = prepared.ucq != nullptr
+                       ? prepared.ucq->plan.units.size()
+                       : prepared.context->components.size();
   if (n < 2) return plan;  // one component: a single SolvePrepared task is best
   // The ONE registry scan of a componentwise query (shared_mutex inside):
   // every component task reuses this plan instead of re-resolving.
@@ -456,6 +464,14 @@ Result<SolveResult> SolvePreparedComponent(const PreparedProblem& prepared,
   // parallel dispatch fails exactly where its serial twin would.
   if (options.cancel != nullptr) {
     PHOM_RETURN_NOT_OK(options.cancel->Check());
+  }
+  if (prepared.ucq != nullptr) {
+    // UCQ fan-out: one task per lifted-plan unit (PlanComponentDispatch
+    // sized the dispatch accordingly); the combine replays the safe plan.
+    PHOM_CHECK_MSG(dispatch.components == prepared.ucq->plan.units.size() &&
+                       component_index < dispatch.components,
+                   "SolvePreparedComponent outside a UCQ unit dispatch");
+    return lifted::SolveUcqUnit(prepared, component_index, options);
   }
   const Engine* engine = dispatch.engine;
   PHOM_CHECK_MSG(engine != nullptr && engine->componentwise() &&
@@ -497,6 +513,12 @@ Result<SolveResult> CombinePreparedComponents(
     const PreparedProblem& prepared, const ComponentDispatch& dispatch,
     const SolveOptions& options,
     std::vector<Result<SolveResult>> components) {
+  if (prepared.ucq != nullptr) {
+    // Unit answers merge through the lifted plan's evaluator, not through
+    // Lemma 3.7 (units are NOT independent instance components).
+    return lifted::CombineUcqUnitResults(prepared, options,
+                                         std::move(components));
+  }
   const Engine* engine = dispatch.engine;
   PHOM_CHECK_MSG(engine != nullptr && prepared.context != nullptr &&
                      components.size() == prepared.context->components.size(),
@@ -531,7 +553,7 @@ Result<SolveResult> CombinePreparedComponents(
     }
     out.probability = none.Complement();
     out.probability_double = out.probability.ToDouble();
-    out.bound = CertifiedBoundOf(out.probability);
+    out.bound = CertifiedPointBound(out.probability);
   } else if (options.numeric == NumericBackend::kIntervalDouble) {
     // Each component's bound IS its kernel enclosure (SolvePreparedComponent
     // copies it verbatim), so replaying the serial combine on the intervals
@@ -568,6 +590,7 @@ void RegisterDefaultEngines(EngineRegistry* registry) {
   registry->Register(std::make_unique<DwtLineageShannonEngine>());
   registry->Register(std::make_unique<MatchLineageEngine>());
   registry->Register(std::make_unique<MonteCarloEngine>());
+  registry->Register(lifted::MakeLiftedUcqEngine());
 }
 
 }  // namespace phom

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/lifted/lift.h"
+
 namespace phom {
 
 std::vector<LabelId> NormalizeLabelKey(std::vector<LabelId> labels) {
@@ -71,9 +73,20 @@ PreparedProblem EvalSession::Prepare(const DiGraph& query) {
       });
 }
 
-Result<SolveResult> EvalSession::SolveWithOptions(const DiGraph& query,
-                                                  const SolveOptions& options) {
-  PreparedProblem prepared = Prepare(query);
+PreparedProblem EvalSession::PrepareUcq(const Ucq& ucq) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.queries;
+  }
+  return lifted::PrepareUcqWithProvider(
+      ucq, instance_.num_vertices(),
+      [this](const std::vector<LabelId>& labels) {
+        return LookupContext(labels);
+      });
+}
+
+Result<SolveResult> EvalSession::SolvePreparedWithDegrade(
+    const PreparedProblem& prepared, const SolveOptions& options) {
   Result<SolveResult> result = SolvePrepared(prepared, options);
   // The serial twin of the serve layer's degradation re-dispatch: a solve
   // that hit its deadline (options.cancel) converts to a budgeted Monte
@@ -90,6 +103,11 @@ Result<SolveResult> EvalSession::SolveWithOptions(const DiGraph& query,
   return result;
 }
 
+Result<SolveResult> EvalSession::SolveWithOptions(const DiGraph& query,
+                                                  const SolveOptions& options) {
+  return SolvePreparedWithDegrade(Prepare(query), options);
+}
+
 Result<SolveResult> EvalSession::Solve(const DiGraph& query) {
   return SolveWithOptions(query, options_);
 }
@@ -97,6 +115,16 @@ Result<SolveResult> EvalSession::Solve(const DiGraph& query) {
 Result<SolveResult> EvalSession::Solve(const DiGraph& query,
                                        const SolveOverrides& overrides) {
   return SolveWithOptions(query, ApplyOverrides(options_, overrides));
+}
+
+Result<SolveResult> EvalSession::SolveUcq(const Ucq& ucq) {
+  return SolvePreparedWithDegrade(PrepareUcq(ucq), options_);
+}
+
+Result<SolveResult> EvalSession::SolveUcq(const Ucq& ucq,
+                                          const SolveOverrides& overrides) {
+  return SolvePreparedWithDegrade(PrepareUcq(ucq),
+                                  ApplyOverrides(options_, overrides));
 }
 
 std::vector<Result<SolveResult>> EvalSession::SolveBatch(

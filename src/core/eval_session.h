@@ -88,6 +88,17 @@ class EvalSession {
   Result<SolveResult> Solve(const DiGraph& query,
                             const SolveOverrides& overrides);
 
+  /// Answers a UCQ (union of conjunctive queries); equivalent to
+  /// Solver(options).SolveUcq(ucq, instance) bit for bit, while sharing the
+  /// session's context cache (the union's label-set context is keyed and
+  /// reused like any single-CQ context). A one-disjunct union is answered
+  /// bit-identically to Solve(disjunct). Thread-safe; degrades to whole-
+  /// union Monte Carlo sampling under the same policy as Solve.
+  Result<SolveResult> SolveUcq(const Ucq& ucq);
+
+  /// SolveUcq with per-request overrides, mirroring the single-CQ overload.
+  Result<SolveResult> SolveUcq(const Ucq& ucq, const SolveOverrides& overrides);
+
   /// Answers a batch in order (per-query failures stay per-query).
   std::vector<Result<SolveResult>> SolveBatch(
       const std::vector<DiGraph>& queries);
@@ -97,6 +108,10 @@ class EvalSession {
   /// layer can prepare once and fan the component subproblems out over a
   /// thread pool (solver.h, serve/executor.h). Thread-safe.
   PreparedProblem Prepare(const DiGraph& query);
+
+  /// The preparation half of SolveUcq, with this session's context caching:
+  /// SolveUcq(u) == SolvePrepared(PrepareUcq(u), options()). Thread-safe.
+  PreparedProblem PrepareUcq(const Ucq& ucq);
 
   const ProbGraph& instance() const { return instance_; }
   const SolveOptions& options() const { return options_; }
@@ -116,6 +131,11 @@ class EvalSession {
   /// both Solve overloads).
   Result<SolveResult> SolveWithOptions(const DiGraph& query,
                                        const SolveOptions& options);
+
+  /// SolvePrepared + the DegradePolicy re-dispatch on an already-prepared
+  /// problem (the tail shared by the CQ and UCQ solve paths).
+  Result<SolveResult> SolvePreparedWithDegrade(const PreparedProblem& prepared,
+                                               const SolveOptions& options);
 
   std::shared_ptr<const InstanceContext> LookupContext(
       const std::vector<LabelId>& labels);

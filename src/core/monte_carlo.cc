@@ -99,11 +99,14 @@ LineageLowerBound LowerBoundViaLineage(const DiGraph& query,
   return out;
 }
 
-}  // namespace
-
-Result<MonteCarloEstimate> EstimateProbabilityMonteCarlo(
-    const DiGraph& query, const ProbGraph& instance, uint64_t seed,
-    const MonteCarloOptions& options) {
+/// Shared sampling loop for one query or a union of disjuncts: a world is a
+/// hit when ANY query in `queries` maps into it (tested in order,
+/// short-circuiting). With queries.size() == 1 this is the original
+/// single-CQ estimator, bit for bit: the sample stream is consumed
+/// identically and every stop rule sees the same counts.
+Result<MonteCarloEstimate> EstimateImpl(
+    const std::vector<const DiGraph*>& queries, const ProbGraph& instance,
+    uint64_t seed, const MonteCarloOptions& options) {
   MonteCarloEstimate out;
   if (options.samples == 0) return Status::Invalid("samples must be > 0");
   const uint64_t min_samples = std::min(options.min_samples, options.samples);
@@ -115,15 +118,22 @@ Result<MonteCarloEstimate> EstimateProbabilityMonteCarlo(
 
   double lower_bound = 0.0;
   if (options.target_relative_error > 0.0) {
-    LineageLowerBound lb = LowerBoundViaLineage(query, instance, options);
-    if (lb.exact_zero) {
+    // Each disjunct alone lower-bounds the union, so the max over disjuncts
+    // is certified; the exact-zero certificate needs EVERY disjunct's
+    // complete enumeration to come up empty.
+    bool all_exact_zero = true;
+    for (const DiGraph* query : queries) {
+      LineageLowerBound lb = LowerBoundViaLineage(*query, instance, options);
+      all_exact_zero = all_exact_zero && lb.exact_zero;
+      lower_bound = std::max(lower_bound, lb.lower_bound);
+    }
+    if (all_exact_zero) {
       // p == 0 is PROVED — sampling would only estimate a known constant.
       out.exact_zero = true;
       out.converged = true;
       out.relative_error_95 = 0.0;
       return out;
     }
-    lower_bound = lb.lower_bound;
   }
 
   const DiGraph& g = instance.graph();
@@ -187,9 +197,14 @@ Result<MonteCarloEstimate> EstimateProbabilityMonteCarlo(
         AddEdgeOrDie(&world, edge.src, edge.dst, edge.label);
       }
     }
-    PHOM_ASSIGN_OR_RETURN(bool hom,
-                          HasHomomorphism(query, world, options.backtrack));
-    if (hom) ++hits;
+    for (const DiGraph* query : queries) {
+      PHOM_ASSIGN_OR_RETURN(bool hom,
+                            HasHomomorphism(*query, world, options.backtrack));
+      if (hom) {
+        ++hits;
+        break;
+      }
+    }
   }
   out.samples = s;  // >= 1: every stop rule above requires >= 1 sample
   out.hits = hits;
@@ -200,6 +215,26 @@ Result<MonteCarloEstimate> EstimateProbabilityMonteCarlo(
       lower_bound > 0.0 ? CertifiedHalfWidth95(hits, s) / lower_bound
                         : std::numeric_limits<double>::infinity();
   return out;
+}
+
+}  // namespace
+
+Result<MonteCarloEstimate> EstimateProbabilityMonteCarlo(
+    const DiGraph& query, const ProbGraph& instance, uint64_t seed,
+    const MonteCarloOptions& options) {
+  return EstimateImpl({&query}, instance, seed, options);
+}
+
+Result<MonteCarloEstimate> EstimateUcqProbabilityMonteCarlo(
+    const std::vector<DiGraph>& disjuncts, const ProbGraph& instance,
+    uint64_t seed, const MonteCarloOptions& options) {
+  if (disjuncts.empty()) {
+    return Status::Invalid("the union must have at least one disjunct");
+  }
+  std::vector<const DiGraph*> queries;
+  queries.reserve(disjuncts.size());
+  for (const DiGraph& d : disjuncts) queries.push_back(&d);
+  return EstimateImpl(queries, instance, seed, options);
 }
 
 }  // namespace phom

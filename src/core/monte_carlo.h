@@ -96,4 +96,16 @@ Result<MonteCarloEstimate> EstimateProbabilityMonteCarlo(
     const DiGraph& query, const ProbGraph& instance, uint64_t seed,
     const MonteCarloOptions& options = {});
 
+/// The UCQ variant: a sampled world is a hit when ANY disjunct has a
+/// homomorphism into it (disjuncts tested in order, short-circuiting).
+/// Whole-union sampling — never a signed combination of per-disjunct
+/// estimates, whose variance would be far worse. The lineage lower bound is
+/// the max over disjuncts (each alone lower-bounds the union), and the
+/// exact-zero certificate requires EVERY disjunct's enumeration to come up
+/// empty. With one disjunct this is bit-identical to
+/// EstimateProbabilityMonteCarlo (same sample stream, same stop rules).
+Result<MonteCarloEstimate> EstimateUcqProbabilityMonteCarlo(
+    const std::vector<DiGraph>& disjuncts, const ProbGraph& instance,
+    uint64_t seed, const MonteCarloOptions& options = {});
+
 }  // namespace phom

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/core/engine.h"
+#include "src/lifted/lift.h"
 
 namespace phom {
 
@@ -23,15 +24,10 @@ SolveOptions ApplyOverrides(SolveOptions base, const SolveOverrides& overrides) 
   return base;
 }
 
-namespace {
-
-/// Certified outward-rounded point enclosure of an exactly-known answer.
 ProbabilityBound CertifiedPointBound(const Rational& p) {
   const IntervalDouble iv = NumericOps<IntervalDouble>::From(p);
   return ProbabilityBound{iv.lo, iv.hi, /*certified=*/true};
 }
-
-}  // namespace
 
 Result<const Engine*> SelectEngineForProblem(const EngineRegistry& registry,
                                              const PreparedProblem& prepared,
@@ -53,6 +49,19 @@ Result<const Engine*> SelectEngineForProblem(const EngineRegistry& registry,
   // Immediate answers are decided during preparation; no engine runs (and a
   // forced-but-inapplicable engine is not an error on them).
   if (prepared.immediate.has_value()) return static_cast<const Engine*>(nullptr);
+
+  // UCQ inputs always route through the lifted engine: any single-CQ engine
+  // handed the prepared problem would silently solve disjunct 0 only. A
+  // forced engine still resolved above (typos error identically), and the
+  // force passes through to the plan's unit solves — except "monte-carlo",
+  // which samples the whole UNION directly (a signed sum of independent
+  // per-unit estimates would be statistically far worse).
+  if (prepared.ucq != nullptr) {
+    if (*forced && engine->name() == "monte-carlo") return engine;
+    const Engine* lifted = registry.FindByName("lifted-ucq");
+    PHOM_CHECK_MSG(lifted != nullptr, "lifted-ucq engine is not registered");
+    return lifted;
+  }
 
   if (!*forced) {
     if (options.force_algorithm.has_value()) {
@@ -144,10 +153,16 @@ Result<SolveResult> SolveDegradedMonteCarlo(const PreparedProblem& prepared,
   mc.target_half_width = policy.target_half_width;
   mc.target_relative_error = policy.target_relative_error;
   if (options.cancel != nullptr) mc.cancel = options.cancel;
-  PHOM_ASSIGN_OR_RETURN(
-      MonteCarloEstimate est,
-      EstimateProbabilityMonteCarlo(prepared.query, prepared.instance(),
-                                    options.monte_carlo_seed, mc));
+  // UCQ requests degrade by sampling the whole UNION per world (any-disjunct
+  // hit), never by combining per-unit estimates through the signed plan.
+  Result<MonteCarloEstimate> sampled =
+      prepared.ucq != nullptr
+          ? EstimateUcqProbabilityMonteCarlo(
+                prepared.ucq->normalized.disjuncts, prepared.instance(),
+                options.monte_carlo_seed, mc)
+          : EstimateProbabilityMonteCarlo(prepared.query, prepared.instance(),
+                                          options.monte_carlo_seed, mc);
+  PHOM_ASSIGN_OR_RETURN(MonteCarloEstimate est, std::move(sampled));
   out.stats.primary = Algorithm::kFallback;
   out.stats.engine = "monte-carlo";
   out.stats.worlds = est.samples;
@@ -185,6 +200,11 @@ Result<SolveResult> SolveDegradedMonteCarlo(const PreparedProblem& prepared,
 Result<SolveResult> Solver::Solve(const DiGraph& query,
                                   const ProbGraph& instance) const {
   return SolvePrepared(PrepareProblem(query, instance), options_);
+}
+
+Result<SolveResult> Solver::SolveUcq(const Ucq& ucq,
+                                     const ProbGraph& instance) const {
+  return SolvePrepared(lifted::PrepareUcq(ucq, instance), options_);
 }
 
 Result<Rational> SolveProbability(const DiGraph& query,

@@ -37,6 +37,7 @@
 namespace phom {
 
 class Engine;
+struct Ucq;  // src/graph/ucq.h
 
 // CancelToken (cooperative interruption) lives in src/util/status.h so the
 // leaf kernels can hold one; dispatch consults it before each component
@@ -188,6 +189,14 @@ struct SolveStats {
   size_t lineage_clauses = 0;      ///< interval/match clauses built
   size_t circuit_gates = 0;        ///< provenance circuit size (Prop. 5.4)
   size_t match_ends = 0;           ///< DWT match ends (Prop. 4.10)
+  /// UCQ provenance (lifted-ucq solves only; zero/empty otherwise):
+  /// disjuncts of the normalized union and engine-solved plan units.
+  size_t ucq_disjuncts = 0;
+  size_t ucq_units = 0;
+  /// "lifted" when the compiled plan is safe (every leaf in a PTIME cell),
+  /// "not-liftable: <reason>" when hard leaves ran exponential engines;
+  /// empty for non-UCQ solves.
+  std::string ucq_verdict;
   /// Wall time of the engine run that produced this result (summed over
   /// component results by CombinePreparedComponents; zero for immediate
   /// answers, the sampling time for degraded estimates). Observability only
@@ -208,6 +217,11 @@ struct ProbabilityBound {
   /// certificate).
   bool certified = false;
 };
+
+/// Certified outward-rounded point enclosure of an exactly-known answer
+/// (NumericOps<IntervalDouble>::From proves it by Rational comparison).
+/// Shared by dispatch, the component merges, and the lifted UCQ combine.
+ProbabilityBound CertifiedPointBound(const Rational& p);
 
 /// The error story an answer carries — the provenance column the serve
 /// layer surfaces per request (serve/request.h).
@@ -290,6 +304,12 @@ class Solver {
 
   Result<SolveResult> Solve(const DiGraph& query,
                             const ProbGraph& instance) const;
+
+  /// UCQ front door: prepares the union through lifted::PrepareUcq (a union
+  /// that normalizes to one disjunct takes the single-CQ path above,
+  /// bit-identically) and solves through the same engine registry.
+  Result<SolveResult> SolveUcq(const Ucq& ucq,
+                               const ProbGraph& instance) const;
 
  private:
   SolveOptions options_;

@@ -12,8 +12,12 @@ bool IsIdentChar(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '\'';
 }
 
+/// Cursor over one disjunct's text slice. `base` is the slice's byte offset
+/// into the ORIGINAL query string, so every diagnostic points into what the
+/// user actually typed, not into an internal substring.
 struct Cursor {
   std::string_view text;
+  size_t base = 0;
   size_t pos = 0;
 
   void SkipSpace() {
@@ -34,22 +38,39 @@ struct Cursor {
     }
     return false;
   }
-  Result<std::string> Identifier() {
+
+  /// The token starting at the current position, rendered for diagnostics:
+  /// a full identifier, a single punctuation character, or "end of input".
+  std::string OffendingToken() {
+    SkipSpace();
+    if (pos >= text.size()) return "end of input";
+    if (IsIdentChar(text[pos])) {
+      size_t end = pos;
+      while (end < text.size() && IsIdentChar(text[end])) ++end;
+      return "'" + std::string(text.substr(pos, end - pos)) + "'";
+    }
+    return std::string("'") + text[pos] + "'";
+  }
+
+  /// Parse failure at the CURRENT position: byte offset + offending token.
+  Status Error(const std::string& expected) {
+    SkipSpace();
+    return Status::Invalid("cq parse error at byte " +
+                           std::to_string(base + pos) + ": " + expected +
+                           ", got " + OffendingToken());
+  }
+
+  Result<std::string> Identifier(const std::string& expected) {
     SkipSpace();
     size_t start = pos;
     while (pos < text.size() && IsIdentChar(text[pos])) ++pos;
-    if (pos == start) {
-      return Status::Invalid("expected identifier at position " +
-                             std::to_string(start));
-    }
+    if (pos == start) return Error(expected);
     return std::string(text.substr(start, pos - start));
   }
 };
 
-}  // namespace
-
-Result<ParsedQuery> ParseConjunctiveQuery(std::string_view text,
-                                          Alphabet* alphabet) {
+Result<ParsedQuery> ParseDisjunct(std::string_view text, size_t base,
+                                  Alphabet* alphabet) {
   ParsedQuery out{DiGraph(0), {}};
   std::unordered_map<std::string, VertexId> var_ids;
   auto intern_var = [&](const std::string& name) {
@@ -61,25 +82,31 @@ Result<ParsedQuery> ParseConjunctiveQuery(std::string_view text,
     return id;
   };
 
-  Cursor cursor{text};
+  Cursor cursor{text, base};
   bool first = true;
   while (!cursor.AtEnd()) {
     if (!first && !cursor.Consume(',')) {
-      return Status::Invalid("expected ',' between atoms");
+      return cursor.Error("expected ',' between atoms");
     }
     if (cursor.AtEnd()) break;  // allow trailing comma
     first = false;
-    PHOM_ASSIGN_OR_RETURN(std::string relation, cursor.Identifier());
+    PHOM_ASSIGN_OR_RETURN(std::string relation,
+                          cursor.Identifier("expected a relation name"));
     if (!cursor.Consume('(')) {
-      return Status::Invalid("expected '(' after relation " + relation);
+      return cursor.Error("expected '(' after relation '" + relation + "'");
     }
-    PHOM_ASSIGN_OR_RETURN(std::string src, cursor.Identifier());
+    PHOM_ASSIGN_OR_RETURN(
+        std::string src,
+        cursor.Identifier("expected a variable in atom '" + relation + "'"));
     if (!cursor.Consume(',')) {
-      return Status::Invalid("binary atoms need two arguments: " + relation);
+      return cursor.Error("binary atom '" + relation +
+                          "' needs two arguments; expected ','");
     }
-    PHOM_ASSIGN_OR_RETURN(std::string dst, cursor.Identifier());
+    PHOM_ASSIGN_OR_RETURN(
+        std::string dst,
+        cursor.Identifier("expected a variable in atom '" + relation + "'"));
     if (!cursor.Consume(')')) {
-      return Status::Invalid("expected ')' closing atom " + relation);
+      return cursor.Error("expected ')' closing atom '" + relation + "'");
     }
     LabelId label = alphabet->Intern(relation);
     VertexId a = intern_var(src);
@@ -88,9 +115,9 @@ Result<ParsedQuery> ParseConjunctiveQuery(std::string_view text,
     // genuine error under the no-multi-edge semantics.
     if (std::optional<EdgeId> existing = out.graph.FindEdge(a, b)) {
       if (out.graph.edge(*existing).label != label) {
-        return Status::Invalid("conflicting atoms on (" + src + ", " + dst +
-                               "): the paper's graphs carry one label per "
-                               "ordered pair");
+        return cursor.Error("conflicting atoms on (" + src + ", " + dst +
+                            "): the paper's graphs carry one label per "
+                            "ordered pair");
       }
       continue;
     }
@@ -98,7 +125,40 @@ Result<ParsedQuery> ParseConjunctiveQuery(std::string_view text,
     (void)ignored;
   }
   if (out.graph.num_vertices() == 0) {
-    return Status::Invalid("empty query");
+    return cursor.Error("expected a non-empty disjunct");
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<ParsedQuery> ParseConjunctiveQuery(std::string_view text,
+                                          Alphabet* alphabet) {
+  // A stray '|' in single-CQ context gets a pointed diagnostic instead of
+  // the generic "expected ',' between atoms".
+  size_t bar = text.find('|');
+  if (bar != std::string_view::npos) {
+    return Status::Invalid(
+        "cq parse error at byte " + std::to_string(bar) +
+        ": '|' builds a union of CQs — parse this text with ParseUcq");
+  }
+  return ParseDisjunct(text, 0, alphabet);
+}
+
+Result<ParsedUcq> ParseUcq(std::string_view text, Alphabet* alphabet) {
+  ParsedUcq out;
+  size_t start = 0;
+  while (true) {
+    size_t bar = text.find('|', start);
+    std::string_view slice = bar == std::string_view::npos
+                                 ? text.substr(start)
+                                 : text.substr(start, bar - start);
+    PHOM_ASSIGN_OR_RETURN(ParsedQuery disjunct,
+                          ParseDisjunct(slice, start, alphabet));
+    out.ucq.disjuncts.push_back(std::move(disjunct.graph));
+    out.variables.push_back(std::move(disjunct.variables));
+    if (bar == std::string_view::npos) break;
+    start = bar + 1;
   }
   return out;
 }
@@ -120,6 +180,17 @@ std::string FormatConjunctiveQuery(const DiGraph& query,
        << "(" << name(e.src) << ", " << name(e.dst) << ")";
   }
   return os.str();
+}
+
+std::string FormatUcq(const Ucq& ucq, const Alphabet& alphabet) {
+  std::string out;
+  bool first = true;
+  for (const DiGraph& d : ucq.disjuncts) {
+    if (!first) out += " | ";
+    first = false;
+    out += FormatConjunctiveQuery(d, alphabet);
+  }
+  return out;
 }
 
 }  // namespace phom

@@ -6,6 +6,7 @@
 
 #include "src/graph/alphabet.h"
 #include "src/graph/digraph.h"
+#include "src/graph/ucq.h"
 #include "src/util/result.h"
 
 /// \file cq_parser.h
@@ -17,6 +18,15 @@
 /// Syntax: comma-separated atoms `R(x, y)`; all variables are existential.
 ///   "R(x,y), S(y,z), S(t,z)"  becomes the query graph of Example 2.2.
 /// Repeated atoms collapse (no multi-edges); `R(x,x)` yields a self-loop.
+///
+/// Unions of CQs use `|` between disjuncts; each disjunct has its OWN
+/// variable scope (all variables are existential, so sharing a name across
+/// disjuncts would be meaningless):
+///   "R(x,y), S(y,z) | T(x,y)"  is the two-disjunct UCQ Q_1 ∨ Q_2.
+///
+/// Parse failures report the byte offset into the original text and the
+/// offending token, e.g. `cq parse error at byte 7: expected ')' closing
+/// atom 'R', got ','`.
 
 namespace phom {
 
@@ -26,8 +36,21 @@ struct ParsedQuery {
   std::vector<std::string> variables;
 };
 
+struct ParsedUcq {
+  Ucq ucq;
+  /// Per-disjunct variable names indexed by vertex id (scopes are
+  /// independent across disjuncts).
+  std::vector<std::vector<std::string>> variables;
+};
+
 Result<ParsedQuery> ParseConjunctiveQuery(std::string_view text,
                                           Alphabet* alphabet);
+
+/// Parses a `|`-separated union of conjunctive queries. A text without `|`
+/// yields a one-disjunct UCQ (identical graph to ParseConjunctiveQuery).
+/// The result is syntactic — callers wanting dedupe/subsumption run
+/// NormalizeUcq themselves (e.g. lifted::PrepareUcq does).
+Result<ParsedUcq> ParseUcq(std::string_view text, Alphabet* alphabet);
 
 /// Renders a query graph back to atom syntax using the vertex names
 /// v0, v1, ... (or the provided names).
@@ -35,5 +58,8 @@ std::string FormatConjunctiveQuery(const DiGraph& query,
                                    const Alphabet& alphabet,
                                    const std::vector<std::string>* names =
                                        nullptr);
+
+/// Renders a UCQ as ` | `-joined disjuncts in FormatConjunctiveQuery syntax.
+std::string FormatUcq(const Ucq& ucq, const Alphabet& alphabet);
 
 }  // namespace phom

@@ -1,5 +1,6 @@
 #include "src/graph/generators.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "src/graph/builders.h"
@@ -109,6 +110,39 @@ DiGraph RandomGradedDag(Rng* rng, size_t vertices, size_t levels,
     }
   }
   return g;
+}
+
+DiGraph RandomQueryOfClass(Rng* rng, GraphClass cls, size_t size,
+                           size_t num_labels) {
+  const size_t vertices = std::max<size_t>(size, 1);
+  switch (cls) {
+    case GraphClass::kOneWayPath:
+      return RandomOneWayPath(rng, size, num_labels);
+    case GraphClass::kTwoWayPath:
+      return RandomTwoWayPath(rng, size, num_labels);
+    case GraphClass::kDownwardTree:
+      return RandomDownwardTree(rng, vertices, num_labels);
+    case GraphClass::kPolytree:
+      return RandomPolytree(rng, vertices, num_labels);
+    case GraphClass::kConnected:
+    case GraphClass::kGeneral:
+      return RandomConnected(rng, vertices, size / 2, num_labels);
+  }
+  PHOM_CHECK_MSG(false, "RandomQueryOfClass: unknown GraphClass");
+  return DiGraph(0);
+}
+
+Ucq RandomUcq(Rng* rng, size_t disjuncts,
+              const std::vector<GraphClass>& classes, size_t size,
+              size_t num_labels) {
+  PHOM_CHECK_MSG(!classes.empty(), "RandomUcq needs at least one class");
+  Ucq ucq;
+  ucq.disjuncts.reserve(disjuncts);
+  for (size_t i = 0; i < disjuncts; ++i) {
+    const GraphClass cls = classes[rng->UniformInt(0, classes.size() - 1)];
+    ucq.disjuncts.push_back(RandomQueryOfClass(rng, cls, size, num_labels));
+  }
+  return ucq;
 }
 
 ProbGraph AttachRandomProbabilities(Rng* rng, DiGraph g, int log2_den,

@@ -1,9 +1,12 @@
 #pragma once
 
 #include <functional>
+#include <vector>
 
+#include "src/graph/classify.h"
 #include "src/graph/digraph.h"
 #include "src/graph/prob_graph.h"
+#include "src/graph/ucq.h"
 #include "src/util/rng.h"
 
 /// \file generators.h
@@ -46,5 +49,22 @@ DiGraph RandomGradedDag(Rng* rng, size_t vertices, size_t levels,
 /// an edge is certain (prob 1), otherwise uniform dyadic k/2^log2_den.
 ProbGraph AttachRandomProbabilities(Rng* rng, DiGraph g, int log2_den = 4,
                                     double certain_fraction = 0.0);
+
+/// Random query graph conditioned on a target class of the dichotomy —
+/// the class-dispatch companion of the per-class generators above. `size`
+/// is edges for the path classes and vertices for the tree/connected ones
+/// (clamped to >= 1 vertex); kConnected and kGeneral add size/2 extra
+/// edges on top of a random polytree.
+DiGraph RandomQueryOfClass(Rng* rng, GraphClass cls, size_t size,
+                           size_t num_labels);
+
+/// Random UCQ with `disjuncts` disjuncts, each drawn by RandomQueryOfClass
+/// with a class picked uniformly from `classes` (must be non-empty). The
+/// returned union is RAW — not normalized — so tests exercise NormalizeUcq
+/// on realistic duplicate/subsumed mixes; pass it to PrepareUcq or
+/// NormalizeUcq as usual.
+Ucq RandomUcq(Rng* rng, size_t disjuncts,
+              const std::vector<GraphClass>& classes, size_t size,
+              size_t num_labels);
 
 }  // namespace phom

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/digraph.h"
+#include "src/util/result.h"
+
+/// \file ucq.h
+/// Unions of conjunctive queries over the paper's binary signature: a UCQ is
+/// a disjunction Q_1 ∨ ... ∨ Q_k where each disjunct Q_j is a query graph
+/// (one Boolean CQ, paper §2). PHom extends pointwise:
+///   Pr(Q ⇝ H) = Pr(∃j: Q_j has a homomorphism into the sampled world).
+/// This is the front door for the Dalvi–Suciu safe-plan workload compiled by
+/// src/lifted/: disjuncts over disjoint label sets have edge-disjoint
+/// lineages (hence independent events), and entangled disjuncts are handled
+/// by inclusion–exclusion over disjunct subsets, where the conjunction
+/// Q_i ∧ Q_j of Boolean CQs is simply the disjoint union of their pattern
+/// graphs.
+
+namespace phom {
+
+struct Ucq {
+  /// The disjuncts. An empty union is the constant-false query (Pr = 0);
+  /// a single disjunct is an ordinary CQ.
+  std::vector<DiGraph> disjuncts;
+
+  /// Union of the disjuncts' used label sets, sorted ascending.
+  std::vector<LabelId> UsedLabels() const;
+};
+
+/// Logical normalization:
+///   1. drops syntactically duplicate disjuncts (same canonical encoding),
+///   2. drops subsumed disjuncts: if some homomorphism Q_i → Q_j exists
+///      (i ≠ j), every world matching Q_j also matches Q_i, so Q_j is
+///      redundant in the union and is removed (equivalent disjuncts keep the
+///      canonically-least representative),
+///   3. sorts the surviving disjuncts by canonical encoding, so equal unions
+///      normalize to identical objects (stable fingerprints).
+/// Subsumption checks that exhaust their backtracking budget soundly keep
+/// both disjuncts. A UCQ that normalizes to ONE disjunct is solved on the
+/// single-CQ path bit-identically to a plain CQ solve.
+Ucq NormalizeUcq(const Ucq& ucq);
+
+/// Canonical fingerprint of a NORMALIZED UCQ (order-sensitive; NormalizeUcq
+/// sorts disjuncts canonically, so normalize first). Used to key per-query
+/// memoization alongside the instance fingerprint of the context LRU.
+uint64_t UcqFingerprint(const Ucq& ucq);
+
+/// Canonical per-disjunct encoding key (num_edges, num_vertices, edge
+/// triples) — the sort order used by NormalizeUcq, exposed for tests.
+std::vector<uint64_t> CanonicalDisjunctKey(const DiGraph& g);
+
+}  // namespace phom

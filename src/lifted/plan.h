@@ -1,0 +1,106 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/case.h"
+#include "src/graph/ucq.h"
+#include "src/util/rational.h"
+
+/// \file plan.h
+/// The lifted evaluation plan for a UCQ: a small algebraic circuit over
+/// probabilities, compiled once per (query, instance-context) by
+/// lifted::CompileUcq (lift.h) and evaluated under any NumericBackend.
+///
+/// The operator vocabulary is the Dalvi–Suciu safe-plan algebra specialized
+/// to Boolean CQs on tuple-independent edge facts:
+///
+///   * kIndependentUnion  — P(∨ children), children over pairwise DISJOINT
+///     label sets (edge-disjoint lineages ⇒ independent events):
+///     1 − Π (1 − p_i).
+///   * kIndependentJoin   — P(∧ children) for label-disjoint parts: Π p_i.
+///   * kExclusiveUnion    — P(∨ children) for pairwise-EXCLUSIVE children
+///     (every pairwise conjunction was proved unsatisfiable): Σ p_i. For
+///     constant-free monotone patterns this split degenerates — satisfiable
+///     disjuncts always co-occur in the full world — so the compiler only
+///     emits it when inclusion–exclusion's cross terms all folded to 0.
+///   * kInclusionExclusion — P(∨ children) with no independence to exploit:
+///     the signed sum Σ sign_S · P(∧_{j∈S} Q_j) over non-empty subsets,
+///     where a conjunction of Boolean CQs is the disjoint union of their
+///     pattern graphs. Partial sums may leave [0, 1]; the interval backend
+///     must accumulate them UNCLAMPED (util/interval_double.h WideAdd/
+///     WideSub) and clamp only the node's final value.
+///   * kLeaf     — one prepared CQ solved by the ordinary engine registry.
+///   * kConstant — a probability decided at compile time (shattering of easy
+///     facts: a pattern with no homomorphism into the instance graph is 0 in
+///     every world; one matched entirely by certain edges is 1).
+///
+/// Nodes are stored children-before-parents, so a single forward pass
+/// evaluates the circuit.
+
+namespace phom::lifted {
+
+enum class LiftedOp : uint8_t {
+  kConstant = 0,
+  kLeaf,
+  kIndependentUnion,
+  kIndependentJoin,
+  kExclusiveUnion,
+  kInclusionExclusion,
+};
+
+const char* ToString(LiftedOp op);
+
+struct LiftedNode {
+  LiftedOp op = LiftedOp::kConstant;
+  /// Indices into UcqEvalPlan::nodes, all < this node's own index.
+  std::vector<int32_t> children;
+  /// kInclusionExclusion only: ±1 per child, aligned with `children`.
+  std::vector<int8_t> signs;
+  /// kConstant only.
+  Rational constant;
+  /// kLeaf only: index into UcqEvalPlan::units.
+  int32_t unit = -1;
+};
+
+/// One engine-solved subproblem of the plan: the conjunction graph (already
+/// core-reduced) prepared against its own label-restricted context. Units
+/// are independent of each other and are the serve executor's fan-out
+/// granularity for UCQ requests.
+struct LiftedUnit {
+  DiGraph query;
+  PreparedProblem prepared;
+  /// Source disjunct indices (into PreparedUcq::normalized) whose
+  /// conjunction this unit solves — provenance only.
+  std::vector<uint32_t> disjuncts;
+};
+
+struct UcqEvalPlan {
+  /// True when the compiler produced a SAFE plan: every leaf landed in a
+  /// PTIME cell of the dichotomy (the whole evaluation is then polynomial).
+  /// False = "not liftable": the plan is still exact, but at least one leaf
+  /// is solved by an exponential fallback/lineage engine.
+  bool lifted = false;
+  /// Why the plan is not safe (empty when `lifted`), e.g. the first leaf
+  /// cell that fell outside the dichotomy's PTIME cells.
+  std::string not_liftable_reason;
+  std::vector<LiftedNode> nodes;  ///< children-before-parents order
+  int32_t root = -1;
+  std::vector<LiftedUnit> units;
+};
+
+/// The UCQ half of a PreparedProblem (case.h forward-declares this): the
+/// normalized union, its fingerprint, and the compiled plan.
+struct PreparedUcq {
+  Ucq normalized;
+  uint64_t fingerprint = 0;
+  UcqEvalPlan plan;
+};
+
+/// Human-readable plan rendering, e.g.
+///   "iunion(ijoin(L0, L1), ie(+L2, +L3, -L4))"
+/// with L<i> naming units and literal constants inline. Used by docs/tests.
+std::string FormatLiftedPlan(const UcqEvalPlan& plan);
+
+}  // namespace phom::lifted

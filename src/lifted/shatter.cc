@@ -1,0 +1,60 @@
+#include "src/lifted/shatter.h"
+
+#include "src/core/case.h"
+#include "src/graph/builders.h"
+#include "src/hom/backtrack.h"
+
+namespace phom::lifted {
+
+namespace {
+
+DiGraph RemoveEdge(const DiGraph& g, EdgeId skip) {
+  DiGraph out(g.num_vertices());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (e == skip) continue;
+    const Edge& edge = g.edge(e);
+    AddEdgeOrDie(&out, edge.src, edge.dst, edge.label);
+  }
+  return out;
+}
+
+}  // namespace
+
+DiGraph CoreReduceQuery(const DiGraph& query) {
+  DiGraph g = query;
+  bool changed = true;
+  while (changed && g.num_edges() > 1) {
+    changed = false;
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      DiGraph without = RemoveEdge(g, e);
+      Result<bool> maps = HasHomomorphism(g, without);
+      if (maps.ok() && *maps) {
+        g = std::move(without);
+        changed = true;
+        break;  // edge ids shifted; rescan
+      }
+    }
+  }
+  return DropIsolatedVertices(g);
+}
+
+DiGraph CertainSubgraph(const ProbGraph& instance) {
+  const DiGraph& g = instance.graph();
+  DiGraph out(g.num_vertices());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (!instance.prob(e).is_one()) continue;
+    const Edge& edge = g.edge(e);
+    AddEdgeOrDie(&out, edge.src, edge.dst, edge.label);
+  }
+  return out;
+}
+
+EasyFact ClassifyEasyFact(const DiGraph& query, const ProbGraph& instance) {
+  Result<bool> any = HasHomomorphism(query, instance.graph());
+  if (any.ok() && !*any) return EasyFact::kNever;
+  Result<bool> certain = HasHomomorphism(query, CertainSubgraph(instance));
+  if (certain.ok() && *certain) return EasyFact::kAlways;
+  return EasyFact::kProbabilistic;
+}
+
+}  // namespace phom::lifted

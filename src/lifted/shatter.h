@@ -1,0 +1,45 @@
+#pragma once
+
+#include "src/graph/digraph.h"
+#include "src/graph/prob_graph.h"
+
+/// \file shatter.h
+/// Query-side simplification steps of the lifted compiler (lift.h): the
+/// homomorphism-core reduction of conjunction patterns, and the "easy
+/// probabilistic fact" classification that lets the compiler fold a leaf to
+/// a constant before any engine runs (NeuroLang's shatter_easy_probfacts
+/// plays the analogous role in its Dalvi–Suciu pipeline).
+
+namespace phom::lifted {
+
+/// Homomorphism-core reduction: repeatedly removes an edge e such that a
+/// homomorphism Q → Q∖e exists (then Q ≡ Q∖e as a Boolean query — the
+/// identity maps Q∖e into Q, and composition preserves every match), then
+/// drops isolated vertices. Conjunctions built as disjoint unions routinely
+/// shrink here: Q_i ⊔ Q_j collapses toward the core whenever the disjuncts
+/// overlap homomorphically. Deterministic (edges are scanned in id order);
+/// a hom test that exhausts its backtracking budget keeps the edge (sound —
+/// reduction is an optimization, never a requirement).
+DiGraph CoreReduceQuery(const DiGraph& query);
+
+/// The subgraph of certain edges (probability exactly 1). Vertex ids are
+/// shared with `instance`.
+DiGraph CertainSubgraph(const ProbGraph& instance);
+
+/// Compile-time verdict for one conjunction pattern against the instance.
+enum class EasyFact : uint8_t {
+  /// A homomorphism into the CERTAIN subgraph exists: the pattern matches
+  /// every possible world, P = 1.
+  kAlways = 0,
+  /// No homomorphism into the full instance graph exists: no world can
+  /// match, P = 0.
+  kNever,
+  /// Genuinely probabilistic — solve it.
+  kProbabilistic,
+};
+
+/// Classifies `query` against `instance`. Conservative: hom tests that
+/// exhaust their budget report kProbabilistic (folding needs proof).
+EasyFact ClassifyEasyFact(const DiGraph& query, const ProbGraph& instance);
+
+}  // namespace phom::lifted

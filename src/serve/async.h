@@ -45,6 +45,10 @@ struct RequestState {
   // --- Immutable after submission (published to workers by the task
   // queue's release/acquire handoff). ---
   std::shared_ptr<const DiGraph> query;
+  /// The union payload of a UCQ request (request.h); null for single-CQ
+  /// requests. Tasks still need only `prepared` — its PreparedUcq handle
+  /// owns the normalized union and every unit's preparation.
+  std::shared_ptr<const Ucq> ucq;
   /// Session options + request overrides; options.cancel points at `cancel`
   /// below (the state is heap-pinned, so the pointer stays valid). The
   /// session itself is not retained: after Submit's preparation, tasks need

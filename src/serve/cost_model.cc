@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "src/core/engine.h"
+#include "src/lifted/plan.h"
 
 namespace phom::serve {
 
@@ -92,10 +93,21 @@ CostPrediction CostModelSnapshot::PredictSolveCost(
     return out;  // decided during preparation: free
   }
   if (plan.components > 0) {
+    const std::string_view engine = plan.engine->name();
+    if (prepared.ucq != nullptr) {
+      // UCQ fan-out: each safe-plan UNIT is one solve task (a full single-CQ
+      // solve on its own restricted instance) under the lifted engine —
+      // keyed per unit, the same cells RecordComponentSolve trains below.
+      for (const lifted::LiftedUnit& unit : prepared.ucq->plan.units) {
+        out += PredictComponent(
+            engine, unit.prepared.analysis.instance_class.finest,
+            unit.prepared.instance().NumUncertainEdges());
+      }
+      return out;
+    }
     // Componentwise fan-out: each component is one solve unit under the
     // plan's engine — exactly the tasks the executor will enqueue.
     const InstanceContext& ctx = *prepared.context;
-    const std::string_view engine = plan.engine->name();
     for (size_t c = 0; c < plan.components; ++c) {
       out += PredictComponent(engine, ctx.component_classes[c].finest,
                               ctx.components[c].graph.NumUncertainEdges());
@@ -163,9 +175,22 @@ void CostModel::RecordComponentSolve(const PreparedProblem& prepared,
                                      const ComponentDispatch& plan,
                                      size_t component_index,
                                      const SolveResult& result) {
-  if (plan.engine == nullptr || prepared.context == nullptr ||
-      component_index >= prepared.context->components.size() ||
-      result.degrade.degraded) {
+  if (plan.engine == nullptr || result.degrade.degraded) return;
+  if (prepared.ucq != nullptr) {
+    // UCQ unit solve: train the same per-unit cell PredictSolveCost reads —
+    // the lifted engine on the unit's own restricted instance.
+    const auto& units = prepared.ucq->plan.units;
+    if (component_index >= units.size()) return;
+    const PreparedProblem& unit = units[component_index].prepared;
+    if (unit.context == nullptr) return;  // immediate unit: nothing ran
+    RecordComponent(plan.engine->name(),
+                    unit.analysis.instance_class.finest,
+                    unit.instance().NumUncertainEdges(),
+                    result.stats.duration);
+    return;
+  }
+  if (prepared.context == nullptr ||
+      component_index >= prepared.context->components.size()) {
     return;
   }
   const InstanceContext& ctx = *prepared.context;

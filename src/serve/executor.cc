@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <exception>
 #include <string>
 #include <utility>
@@ -36,6 +37,16 @@ size_t ResolveInjectionBlocks(const ExecutorOptions& options) {
 }
 
 }  // namespace
+
+size_t IntervalWidthBucket(double width) {
+  if (!(width > 0.0)) return 0;  // point enclosures, and defensively NaN
+  int exponent = 0;
+  std::frexp(width, &exponent);
+  // width = m · 2^exponent with m in [0.5, 1): exponent 0 means widths in
+  // [0.5, 1), which lands in bucket 64; everything 2^-63 and below clamps
+  // into bucket 1, widths >= 1 into bucket 65.
+  return static_cast<size_t>(std::clamp(exponent + 64, 1, 65));
+}
 
 BatchExecutor::BatchExecutor(ExecutorOptions options)
     : options_(std::move(options)),
@@ -269,6 +280,13 @@ void BatchExecutor::Finish(
       req.stats.guarantee = GuaranteeOf(*result);
       guarantee_counts_[static_cast<size_t>(req.stats.guarantee)].fetch_add(
           1, std::memory_order_relaxed);
+      if (result->numeric == NumericBackend::kIntervalDouble) {
+        // Enclosure-width observability: log2-bucket how tight the interval
+        // backend's published answer actually was (ExecutorStats).
+        interval_width_hist_[IntervalWidthBucket(result->bound.hi -
+                                                 result->bound.lo)]
+            .fetch_add(1, std::memory_order_relaxed);
+      }
     }
     if (!req.started_recorded) {
       // The request never ran a task (rejected / expired / cancelled at or
@@ -587,6 +605,10 @@ ExecutorStats BatchExecutor::stats() const {
       Guarantee::kAbsolute95)].load(std::memory_order_relaxed);
   s.results_relative95 = guarantee_counts_[static_cast<size_t>(
       Guarantee::kRelative95)].load(std::memory_order_relaxed);
+  for (size_t b = 0; b < interval_width_hist_.size(); ++b) {
+    s.interval_width_hist[b] =
+        interval_width_hist_[b].load(std::memory_order_relaxed);
+  }
   return s;
 }
 
@@ -595,6 +617,7 @@ SolveTicket BatchExecutor::Submit(EvalSession& session, SolveRequest request,
   auto state = std::make_shared<internal::RequestState>();
   state->stats.enqueued = RequestClock::now();
   state->query = std::move(request.query);
+  state->ucq = std::move(request.ucq);
   state->callback = std::move(callback);
   // A relative budget resolves against the SUBMIT time, here — not against
   // the time the request object was built (request.h): batch-building time
@@ -618,8 +641,14 @@ SolveTicket BatchExecutor::Submit(EvalSession& session, SolveRequest request,
   }
   submitted_.fetch_add(1, std::memory_order_relaxed);
   SolveTicket ticket(state);
-  if (state->query == nullptr) {
+  if (state->query == nullptr && state->ucq == nullptr) {
     Finish(state, Status::Invalid("serve: null query in request"));
+    return ticket;
+  }
+  if (state->query != nullptr && state->ucq != nullptr) {
+    Finish(state, Status::Invalid(
+                      "serve: request carries both a query and a ucq — set "
+                      "exactly one"));
     return ticket;
   }
   // Fail fast on an already-lapsed deadline: nothing is prepared and the
@@ -655,8 +684,11 @@ SolveTicket BatchExecutor::Submit(EvalSession& session, SolveRequest request,
   try {
     // Preparation runs on the submitting thread: it is the cheap, cached
     // half of a solve, and doing it here fixes the context-cache population
-    // order so session stats match serial execution.
-    state->prepared = session.Prepare(*state->query);
+    // order so session stats match serial execution. A UCQ request prepares
+    // through the lifted front door; its fan-out (below) is over the safe
+    // plan's units instead of instance components.
+    state->prepared = state->ucq != nullptr ? session.PrepareUcq(*state->ucq)
+                                            : session.Prepare(*state->query);
     if (options_.split_components) {
       // One registry scan per query; every component task reuses the plan.
       state->dispatch = PlanComponentDispatch(state->prepared, state->options);

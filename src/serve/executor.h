@@ -245,7 +245,22 @@ struct ExecutorStats {
   uint64_t results_empirical = 0;    ///< Guarantee::kEmpiricalDouble
   uint64_t results_absolute95 = 0;   ///< Guarantee::kAbsolute95
   uint64_t results_relative95 = 0;   ///< Guarantee::kRelative95
+  /// Log2-bucketed histogram of enclosure WIDTHS (bound.hi − bound.lo) over
+  /// successful kIntervalDouble solves, published as each result finishes —
+  /// the operator's view of how tight the certified answers actually were.
+  /// Bucket 0 holds non-positive widths (point enclosures); bucket b in
+  /// [1, 65] holds widths with binary exponent b − 64 (IntervalWidthBucket
+  /// below), so ~1e-16-wide enclosures land near bucket 11 and widths of
+  /// order 1 near bucket 64, with both tails clamped.
+  std::array<uint64_t, 66> interval_width_hist{};
 };
+
+/// The histogram bucket for one enclosure width: 0 for width <= 0 (a point
+/// enclosure), otherwise clamp(exponent(width) + 64, 1, 65) where
+/// width = m · 2^exponent with m in [0.5, 1) — i.e. a pure log2 bucketing
+/// with 64 buckets of subnormal-to-unit resolution and a clamped tail each
+/// side. Exposed for tests and for dashboards that label the axis.
+size_t IntervalWidthBucket(double width);
 
 /// One unit of a synchronous heterogeneous batch: a query against a session
 /// (sessions may differ per item — that is how ShardedServer fans one
@@ -430,6 +445,9 @@ class BatchExecutor {
   /// Per-guarantee result counters, indexed by static_cast<size_t>(the
   /// Guarantee enum); bumped in Finish alongside RequestStats::guarantee.
   std::array<std::atomic<uint64_t>, 5> guarantee_counts_{};
+  /// Interval-width histogram counters (ExecutorStats::interval_width_hist);
+  /// bumped in Finish for each successful kIntervalDouble result.
+  std::array<std::atomic<uint64_t>, 66> interval_width_hist_{};
   /// Rotation cursor for the shared (non-worker) sweep over worker state.
   std::atomic<uint64_t> shared_sweep_{0};
   std::vector<std::unique_ptr<Worker>> worker_state_;

@@ -8,6 +8,7 @@
 
 #include "src/core/solver.h"
 #include "src/graph/digraph.h"
+#include "src/graph/ucq.h"
 
 /// \file request.h
 /// The unit of the asynchronous serving API (async.h, executor.h, shard.h):
@@ -31,8 +32,15 @@ struct SolveRequest {
   /// BatchExecutor::Submit, which takes the session explicitly).
   size_t shard = 0;
   /// The query graph, owned (shared) by the request and by every task
-  /// spawned for it.
+  /// spawned for it. Null iff `ucq` below is set.
   std::shared_ptr<const DiGraph> query;
+  /// A union of conjunctive queries instead of a single CQ: when set, the
+  /// request is prepared through the lifted-inference front door
+  /// (lifted::PrepareUcq) and fans out over the safe plan's UNITS rather
+  /// than over instance components. Exactly one of `query` and `ucq` must
+  /// be set. A one-disjunct union answers bit-identically to the same
+  /// request submitted as a single CQ.
+  std::shared_ptr<const Ucq> ucq;
   /// Absolute deadline. Checked at submit (expired → fail fast, nothing is
   /// prepared — unless the degrade policy is on, see below), at dequeue
   /// (expired before start → DeadlineExceeded without solving), between
@@ -68,6 +76,12 @@ struct SolveRequest {
   explicit SolveRequest(std::shared_ptr<const DiGraph> query_graph,
                         size_t shard_index = 0)
       : shard(shard_index), query(std::move(query_graph)) {}
+  explicit SolveRequest(Ucq ucq_union, size_t shard_index = 0)
+      : shard(shard_index),
+        ucq(std::make_shared<const Ucq>(std::move(ucq_union))) {}
+  explicit SolveRequest(std::shared_ptr<const Ucq> ucq_union,
+                        size_t shard_index = 0)
+      : shard(shard_index), ucq(std::move(ucq_union)) {}
 
   /// Fluent helpers (return *this so requests can be built inline).
   SolveRequest& WithDeadline(RequestClock::time_point d) {

@@ -82,6 +82,26 @@ inline IntervalDouble operator*(const IntervalDouble& a,
       .ClampedToUnit();
 }
 
+/// UNCLAMPED outward-rounded sum, for accumulations whose PARTIAL sums may
+/// legitimately leave [0, 1] — the signed inclusion–exclusion sums of the
+/// lifted UCQ plans (src/lifted/plan.h). Clamping such a partial sum would
+/// discard the true value; callers clamp only the final result (which IS an
+/// event probability) via ClampedToUnit().
+inline IntervalDouble WideAdd(const IntervalDouble& a,
+                              const IntervalDouble& b) {
+  return IntervalDouble(interval_internal::Down(a.lo + b.lo),
+                        interval_internal::Up(a.hi + b.hi));
+}
+
+/// UNCLAMPED outward-rounded difference a − b (see WideAdd). Endpoints pair
+/// crosswise: the smallest difference is lo_a − hi_b, the largest
+/// hi_a − lo_b.
+inline IntervalDouble WideSub(const IntervalDouble& a,
+                              const IntervalDouble& b) {
+  return IntervalDouble(interval_internal::Down(a.lo - b.hi),
+                        interval_internal::Up(a.hi - b.lo));
+}
+
 inline IntervalDouble& operator+=(IntervalDouble& a, const IntervalDouble& b) {
   return a = a + b;
 }

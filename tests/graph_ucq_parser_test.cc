@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/graph/cq_parser.h"
+#include "src/graph/ucq.h"
+#include "src/hom/equivalence.h"
+
+/// Tier-1 coverage of the UCQ text front door: `|`-separated parsing with
+/// per-disjunct variable scopes, byte-accurate error reporting (offset into
+/// the ORIGINAL text plus the offending token — for every disjunct, not
+/// just the first), the pointed '|' diagnostic on the single-CQ parser,
+/// Format round-trips, and the logical normalization + fingerprinting layer
+/// (ucq.h) the lifted compiler builds on.
+
+namespace phom {
+namespace {
+
+Ucq MustParse(const std::string& text, Alphabet* alphabet) {
+  Result<ParsedUcq> parsed = ParseUcq(text, alphabet);
+  PHOM_CHECK_MSG(parsed.ok(), parsed.status().ToString());
+  return parsed->ucq;
+}
+
+// ---------------------------------------------------------------------------
+// Parsing unions
+// ---------------------------------------------------------------------------
+
+TEST(UcqParser, TwoDisjunctsWithIndependentVariableScopes) {
+  Alphabet alphabet;
+  Result<ParsedUcq> u = ParseUcq("R(x,y), S(y,z) | T(x,y)", &alphabet);
+  ASSERT_TRUE(u.ok()) << u.status().ToString();
+  ASSERT_EQ(u->ucq.disjuncts.size(), 2u);
+  EXPECT_EQ(u->ucq.disjuncts[0].num_edges(), 2u);
+  EXPECT_EQ(u->ucq.disjuncts[1].num_edges(), 1u);
+  // Scopes are independent: 'x' names vertex 0 in BOTH disjuncts.
+  ASSERT_EQ(u->variables.size(), 2u);
+  EXPECT_EQ(u->variables[0], (std::vector<std::string>{"x", "y", "z"}));
+  EXPECT_EQ(u->variables[1], (std::vector<std::string>{"x", "y"}));
+  // One shared alphabet across disjuncts.
+  EXPECT_TRUE(alphabet.Find("R").has_value());
+  EXPECT_TRUE(alphabet.Find("T").has_value());
+  EXPECT_EQ(alphabet.size(), 3u);
+}
+
+TEST(UcqParser, TextWithoutBarIsAOneDisjunctUnion) {
+  Alphabet alphabet;
+  Result<ParsedUcq> u = ParseUcq("R(x,y), S(y,z)", &alphabet);
+  ASSERT_TRUE(u.ok());
+  ASSERT_EQ(u->ucq.disjuncts.size(), 1u);
+  Alphabet alphabet2;
+  Result<ParsedQuery> q = ParseConjunctiveQuery("R(x,y), S(y,z)", &alphabet2);
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(*AreEquivalent(u->ucq.disjuncts[0], q->graph));
+}
+
+TEST(UcqParser, UsedLabelsIsTheSortedUnion) {
+  Alphabet alphabet;
+  Ucq u = MustParse("S(x,y) | R(x,y), S(y,z) | R(x,y)", &alphabet);
+  LabelId r = *alphabet.Find("R");
+  LabelId s = *alphabet.Find("S");
+  std::vector<LabelId> expected{std::min(r, s), std::max(r, s)};
+  EXPECT_EQ(u.UsedLabels(), expected);
+}
+
+// ---------------------------------------------------------------------------
+// Error reporting: byte offsets + offending tokens
+// ---------------------------------------------------------------------------
+
+TEST(UcqParser, MalformedCqReportsByteOffsetAndToken) {
+  Alphabet alphabet;
+  // The ',' between atoms is missing; the parser must point at byte 7,
+  // where the unexpected 'S' begins.
+  Result<ParsedQuery> q = ParseConjunctiveQuery("R(x,y) S(y,z)", &alphabet);
+  ASSERT_FALSE(q.ok());
+  EXPECT_EQ(q.status().message(),
+            "cq parse error at byte 7: expected ',' between atoms, got 'S'");
+}
+
+TEST(UcqParser, TruncatedAtomReportsEndOfInput) {
+  Alphabet alphabet;
+  Result<ParsedQuery> q = ParseConjunctiveQuery("R(x,y), S(y", &alphabet);
+  ASSERT_FALSE(q.ok());
+  EXPECT_EQ(q.status().message(),
+            "cq parse error at byte 11: binary atom 'S' needs two arguments; "
+            "expected ',', got end of input");
+}
+
+TEST(UcqParser, UnaryAtomReportsTheClosingParen) {
+  Alphabet alphabet;
+  Result<ParsedQuery> q = ParseConjunctiveQuery("R(x)", &alphabet);
+  ASSERT_FALSE(q.ok());
+  EXPECT_EQ(q.status().message(),
+            "cq parse error at byte 3: binary atom 'R' needs two arguments; "
+            "expected ',', got ')'");
+}
+
+TEST(UcqParser, BarInSingleCqGetsThePointedDiagnostic) {
+  Alphabet alphabet;
+  Result<ParsedQuery> q = ParseConjunctiveQuery("R(x,y) | S(y,z)", &alphabet);
+  ASSERT_FALSE(q.ok());
+  EXPECT_EQ(q.status().message(),
+            "cq parse error at byte 7: '|' builds a union of CQs — parse "
+            "this text with ParseUcq");
+}
+
+TEST(UcqParser, SecondDisjunctErrorsPointIntoTheOriginalText) {
+  Alphabet alphabet;
+  // The error is inside the SECOND disjunct; byte 12 is the end of the
+  // whole input, not an offset into the internal slice (which starts at 8).
+  Result<ParsedUcq> u = ParseUcq("R(x,y) | S(y", &alphabet);
+  ASSERT_FALSE(u.ok());
+  EXPECT_EQ(u.status().message(),
+            "cq parse error at byte 12: binary atom 'S' needs two arguments; "
+            "expected ',', got end of input");
+
+  Result<ParsedUcq> v = ParseUcq("R(x,y) | S(y,z) T(a,b)", &alphabet);
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().message(),
+            "cq parse error at byte 16: expected ',' between atoms, got 'T'");
+}
+
+TEST(UcqParser, EmptyDisjunctsAreRejectedWithTheirOffset) {
+  Alphabet alphabet;
+  Result<ParsedUcq> leading = ParseUcq("| R(x,y)", &alphabet);
+  ASSERT_FALSE(leading.ok());
+  EXPECT_EQ(leading.status().message(),
+            "cq parse error at byte 0: expected a non-empty disjunct, "
+            "got end of input");
+
+  Result<ParsedUcq> trailing = ParseUcq("R(x,y) | ", &alphabet);
+  ASSERT_FALSE(trailing.ok());
+  EXPECT_EQ(trailing.status().message(),
+            "cq parse error at byte 9: expected a non-empty disjunct, "
+            "got end of input");
+
+  EXPECT_FALSE(ParseUcq("", &alphabet).ok());
+  EXPECT_FALSE(ParseUcq("R(x,y) || S(y,z)", &alphabet).ok());
+}
+
+TEST(UcqParser, ConflictingAtomsInADisjunctAreRejected) {
+  Alphabet alphabet;
+  Result<ParsedUcq> u = ParseUcq("T(a,b) | R(x,y), S(x,y)", &alphabet);
+  ASSERT_FALSE(u.ok());
+  EXPECT_NE(u.status().message().find("conflicting atoms on (x, y)"),
+            std::string::npos)
+      << u.status().message();
+}
+
+// ---------------------------------------------------------------------------
+// Format round-trip
+// ---------------------------------------------------------------------------
+
+TEST(UcqParser, RoundTripThroughFormatUcq) {
+  Alphabet alphabet;
+  Ucq u = MustParse("R(x,y), S(y,z) | T(a,b) | R(p,q), R(q,p)", &alphabet);
+  std::string text = FormatUcq(u, alphabet);
+  Alphabet alphabet2;
+  Ucq u2 = MustParse(text, &alphabet2);
+  ASSERT_EQ(u2.disjuncts.size(), u.disjuncts.size()) << text;
+  for (size_t i = 0; i < u.disjuncts.size(); ++i) {
+    EXPECT_TRUE(*AreEquivalent(u.disjuncts[i], u2.disjuncts[i])) << text;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Normalization + fingerprints (ucq.h)
+// ---------------------------------------------------------------------------
+
+TEST(UcqParser, NormalizeDropsDuplicateDisjuncts) {
+  Alphabet alphabet;
+  // Same pattern under renamed variables: syntactic duplicates after
+  // canonical encoding.
+  Ucq u = MustParse("R(x,y) | R(u,v)", &alphabet);
+  Ucq n = NormalizeUcq(u);
+  EXPECT_EQ(n.disjuncts.size(), 1u);
+}
+
+TEST(UcqParser, NormalizeDropsSubsumedDisjuncts) {
+  Alphabet alphabet;
+  // R(a,b), S(b,c) is subsumed: any world containing an R,S-path contains
+  // an R edge, so the single-atom disjunct absorbs it in the union.
+  Ucq u = MustParse("R(x,y) | R(a,b), S(b,c)", &alphabet);
+  Ucq n = NormalizeUcq(u);
+  ASSERT_EQ(n.disjuncts.size(), 1u);
+  EXPECT_EQ(n.disjuncts[0].num_edges(), 1u);
+
+  // Neither of these subsumes the other (R→S vs S→R paths): both survive.
+  Ucq v = MustParse("R(x,y), S(y,z) | S(a,b), R(b,c)", &alphabet);
+  EXPECT_EQ(NormalizeUcq(v).disjuncts.size(), 2u);
+}
+
+TEST(UcqParser, NormalizedFingerprintIsOrderInvariant) {
+  Alphabet alphabet;
+  Ucq a = NormalizeUcq(MustParse("R(x,y), S(y,z) | T(a,b)", &alphabet));
+  Ucq b = NormalizeUcq(MustParse("T(p,q) | R(u,v), S(v,w)", &alphabet));
+  EXPECT_EQ(UcqFingerprint(a), UcqFingerprint(b));
+
+  Ucq c = NormalizeUcq(MustParse("R(x,y), S(y,z) | T(a,a)", &alphabet));
+  EXPECT_NE(UcqFingerprint(a), UcqFingerprint(c));
+}
+
+TEST(UcqParser, CanonicalDisjunctKeySeparatesPatterns) {
+  Alphabet alphabet;
+  Ucq u = MustParse("R(x,y) | S(x,y) | R(x,y), R(y,z)", &alphabet);
+  EXPECT_NE(CanonicalDisjunctKey(u.disjuncts[0]),
+            CanonicalDisjunctKey(u.disjuncts[1]));
+  EXPECT_NE(CanonicalDisjunctKey(u.disjuncts[0]),
+            CanonicalDisjunctKey(u.disjuncts[2]));
+  // The key is invariant under variable renaming.
+  Ucq v = MustParse("R(fresh,names)", &alphabet);
+  EXPECT_EQ(CanonicalDisjunctKey(u.disjuncts[0]),
+            CanonicalDisjunctKey(v.disjuncts[0]));
+}
+
+}  // namespace
+}  // namespace phom

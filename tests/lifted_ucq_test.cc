@@ -1,0 +1,481 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/eval_session.h"
+#include "src/core/monte_carlo.h"
+#include "src/core/solver.h"
+#include "src/graph/builders.h"
+#include "src/graph/cq_parser.h"
+#include "src/graph/generators.h"
+#include "src/lifted/lift.h"
+#include "src/lifted/plan.h"
+#include "src/serve/executor.h"
+#include "src/serve/request.h"
+#include "tests/test_util.h"
+
+/// Tier-1 coverage of the UCQ front door and the Dalvi–Suciu lifted engine:
+/// exact agreement with independent world enumeration on a seeded corpus
+/// (whatever the liftability verdict), typed lifted/not-liftable
+/// provenance, bit-identity of the single-disjunct path with plain CQ
+/// solves, serial-vs-executor bit-identity at several thread counts, the
+/// whole-union Monte Carlo estimator, and the executor's interval-width
+/// histogram satellite.
+
+namespace phom {
+namespace {
+
+using serve::BatchExecutor;
+using serve::ExecutorOptions;
+using serve::IntervalWidthBucket;
+using serve::SolveRequest;
+using serve::SolveTicket;
+using test_util::MakeUcqCrosscheckCase;
+using test_util::UcqCrosscheckCase;
+using test_util::UcqProbabilityByEnumeration;
+
+constexpr uint64_t kSeedBase = 20260808;
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.compare(0, prefix.size(), prefix) == 0;
+}
+
+/// Parses against an alphabet pre-seeded with R=0, S=1 so label ids line up
+/// with the hand-built instances below.
+Ucq ParseRs(const std::string& text) {
+  Alphabet alphabet;
+  alphabet.Intern("R");
+  alphabet.Intern("S");
+  Result<ParsedUcq> parsed = ParseUcq(text, &alphabet);
+  PHOM_CHECK_MSG(parsed.ok(), parsed.status().ToString());
+  return parsed->ucq;
+}
+
+/// Directed 4-cycle alternating R(0) and S(1) labels, every edge 1/2:
+/// connected and not a polytree, so {R,S}-queries land in #P-hard cells
+/// while each single-label restriction is a union of plain 1WP edges.
+ProbGraph AlternatingCycle() {
+  DiGraph g(4);
+  AddEdgeOrDie(&g, 0, 1, 0);
+  AddEdgeOrDie(&g, 1, 2, 1);
+  AddEdgeOrDie(&g, 2, 3, 0);
+  AddEdgeOrDie(&g, 3, 0, 1);
+  std::vector<Rational> probs(4, Rational::Half());
+  return ProbGraph(std::move(g), std::move(probs));
+}
+
+/// Two-edge path R(0,1), S(1,2), every edge 1/2.
+ProbGraph RsPath() {
+  DiGraph g(3);
+  AddEdgeOrDie(&g, 0, 1, 0);
+  AddEdgeOrDie(&g, 1, 2, 1);
+  std::vector<Rational> probs(2, Rational::Half());
+  return ProbGraph(std::move(g), std::move(probs));
+}
+
+// ---------------------------------------------------------------------------
+// Plan shapes and verdicts
+// ---------------------------------------------------------------------------
+
+TEST(LiftedUcq, EmptyUnionIsConstantFalse) {
+  ProbGraph instance = AlternatingCycle();
+  Result<SolveResult> r = Solver().SolveUcq(Ucq{}, instance);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->probability.is_zero());
+  EXPECT_TRUE(r->bound.certified);
+  EXPECT_EQ(r->bound.lo, 0.0);
+  EXPECT_EQ(r->bound.hi, 0.0);
+}
+
+TEST(LiftedUcq, LabelDisjointUnionCompilesToLiftedIndependentUnion) {
+  ProbGraph instance = AlternatingCycle();
+  Ucq ucq = ParseRs("R(x,y) | S(x,y)");
+
+  PreparedProblem prepared = lifted::PrepareUcq(ucq, instance);
+  ASSERT_NE(prepared.ucq, nullptr);
+  EXPECT_TRUE(prepared.ucq->plan.lifted);
+  EXPECT_TRUE(prepared.analysis.tractable);
+  EXPECT_EQ(lifted::FormatLiftedPlan(prepared.ucq->plan), "iunion(L0, L1)");
+
+  Result<SolveResult> r = Solver().SolveUcq(ucq, instance);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // P(some R edge) = P(some S edge) = 3/4, independent: 1 - 1/16.
+  EXPECT_EQ(r->probability, Rational(15, 16));
+  EXPECT_EQ(r->probability, UcqProbabilityByEnumeration(ucq.disjuncts, instance));
+  EXPECT_EQ(r->stats.engine, "lifted-ucq");
+  EXPECT_EQ(r->stats.ucq_verdict, "lifted");
+  EXPECT_EQ(r->stats.ucq_disjuncts, 2u);
+  EXPECT_EQ(r->stats.ucq_units, 2u);
+}
+
+TEST(LiftedUcq, EntangledUnionGetsInclusionExclusionAndTypedVerdict) {
+  ProbGraph instance = AlternatingCycle();
+  // Neither disjunct subsumes the other; they share both labels, so the
+  // group is entangled, and each {R,S}-leaf runs on the connected cycle —
+  // a #P-hard cell (Prop. 5.1) — making the plan exact but not safe.
+  Ucq ucq = ParseRs("R(x,y), S(y,z) | S(x,y), R(y,z)");
+
+  PreparedProblem prepared = lifted::PrepareUcq(ucq, instance);
+  ASSERT_NE(prepared.ucq, nullptr);
+  EXPECT_FALSE(prepared.ucq->plan.lifted);
+  EXPECT_FALSE(prepared.analysis.tractable);
+  EXPECT_EQ(lifted::FormatLiftedPlan(prepared.ucq->plan),
+            "ie(+L0, +L1, -L2)");
+
+  Result<SolveResult> r = Solver().SolveUcq(ucq, instance);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->probability, UcqProbabilityByEnumeration(ucq.disjuncts, instance));
+  EXPECT_TRUE(StartsWith(r->stats.ucq_verdict, "not-liftable: "))
+      << r->stats.ucq_verdict;
+  EXPECT_EQ(r->stats.ucq_units, 3u) << "two singletons + one cross term";
+}
+
+TEST(LiftedUcq, ImpossibleDisjunctAndCrossTermsArePruned) {
+  // On the R->S path the S->R disjunct has no homomorphism, so its
+  // singleton and the cross term fold to constant 0 and are pruned: the
+  // whole plan collapses to the surviving leaf.
+  ProbGraph instance = RsPath();
+  Ucq ucq = ParseRs("R(x,y), S(y,z) | S(x,y), R(y,z)");
+
+  PreparedProblem prepared = lifted::PrepareUcq(ucq, instance);
+  ASSERT_NE(prepared.ucq, nullptr);
+  EXPECT_TRUE(prepared.ucq->plan.lifted);
+  EXPECT_EQ(lifted::FormatLiftedPlan(prepared.ucq->plan), "L0");
+
+  Result<SolveResult> r = Solver().SolveUcq(ucq, instance);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->probability, Rational(1, 4));
+  EXPECT_EQ(r->probability, UcqProbabilityByEnumeration(ucq.disjuncts, instance));
+  EXPECT_EQ(r->stats.ucq_verdict, "lifted");
+}
+
+TEST(LiftedUcq, EntangledGroupBeyondCapReportsNotSupported) {
+  // 13 disjuncts all sharing label R, none subsuming another (each has a
+  // private second label): one entangled group past kMaxEntangledDisjuncts.
+  Alphabet alphabet;
+  alphabet.Intern("R");
+  std::string text;
+  for (size_t i = 0; i <= lifted::kMaxEntangledDisjuncts; ++i) {
+    if (!text.empty()) text += " | ";
+    text += "R(x,y), P" + std::to_string(i) + "(y,z)";
+  }
+  Result<ParsedUcq> parsed = ParseUcq(text, &alphabet);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+
+  ProbGraph instance = AlternatingCycle();
+  PreparedProblem prepared = lifted::PrepareUcq(parsed->ucq, instance);
+  ASSERT_NE(prepared.ucq, nullptr);
+  EXPECT_EQ(prepared.ucq->plan.root, -1);
+  EXPECT_TRUE(prepared.ucq->plan.units.empty())
+      << "a non-compilable plan must not fan out";
+
+  Result<SolveResult> r = Solver().SolveUcq(parsed->ucq, instance);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kNotSupported);
+  EXPECT_NE(r.status().message().find("exceeds the cap"), std::string::npos)
+      << r.status().message();
+}
+
+// ---------------------------------------------------------------------------
+// Single-disjunct bit-identity with the plain CQ path
+// ---------------------------------------------------------------------------
+
+TEST(LiftedUcq, OneDisjunctUnionBitIdenticalToPlainCqSolve) {
+  for (uint64_t i = 0; i < 6; ++i) {
+    Rng rng(kSeedBase + i);
+    UcqCrosscheckCase c = MakeUcqCrosscheckCase(&rng);
+    const DiGraph& query = c.ucq.disjuncts[0];
+    Ucq single;
+    single.disjuncts.push_back(query);
+    for (NumericBackend backend :
+         {NumericBackend::kExact, NumericBackend::kIntervalDouble,
+          NumericBackend::kDouble}) {
+      SolveOptions options;
+      options.numeric = backend;
+      Solver solver(options);
+      Result<SolveResult> cq = solver.Solve(query, c.instance);
+      Result<SolveResult> ucq = solver.SolveUcq(single, c.instance);
+      ASSERT_EQ(cq.ok(), ucq.ok());
+      if (!cq.ok()) continue;
+      EXPECT_EQ(cq->probability, ucq->probability);
+      EXPECT_EQ(cq->probability_double, ucq->probability_double);
+      EXPECT_EQ(cq->bound.lo, ucq->bound.lo);
+      EXPECT_EQ(cq->bound.hi, ucq->bound.hi);
+      EXPECT_EQ(cq->bound.certified, ucq->bound.certified);
+      EXPECT_EQ(cq->stats.engine, ucq->stats.engine);
+      EXPECT_TRUE(ucq->stats.ucq_verdict.empty())
+          << "the single-CQ path must not run the lifting machinery";
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Seeded crosscheck corpus: lifted == world enumeration == forced fallback
+// ---------------------------------------------------------------------------
+
+TEST(LiftedUcq, CrosscheckCorpusMatchesWorldEnumerationExactly) {
+  size_t multi_disjunct = 0;
+  for (uint64_t i = 0; i < 20; ++i) {
+    Rng rng(kSeedBase + 100 + i);
+    UcqCrosscheckCase c = MakeUcqCrosscheckCase(&rng);
+    Rational oracle = UcqProbabilityByEnumeration(c.ucq.disjuncts, c.instance);
+    Result<SolveResult> r = Solver().SolveUcq(c.ucq, c.instance);
+    ASSERT_TRUE(r.ok()) << "case " << i << ": " << r.status().ToString();
+    EXPECT_EQ(r->probability, oracle) << "case " << i;
+    if (r->stats.ucq_units > 0) ++multi_disjunct;
+  }
+  EXPECT_GT(multi_disjunct, 0u)
+      << "the corpus should exercise genuine multi-disjunct plans";
+}
+
+TEST(LiftedUcq, CrosscheckCorpusBackendsAgree) {
+  for (uint64_t i = 0; i < 8; ++i) {
+    Rng rng(kSeedBase + 200 + i);
+    UcqCrosscheckCase c = MakeUcqCrosscheckCase(&rng);
+    const double oracle =
+        UcqProbabilityByEnumeration(c.ucq.disjuncts, c.instance).ToDouble();
+
+    SolveOptions interval;
+    interval.numeric = NumericBackend::kIntervalDouble;
+    Result<SolveResult> ri = Solver(interval).SolveUcq(c.ucq, c.instance);
+    ASSERT_TRUE(ri.ok()) << ri.status().ToString();
+    EXPECT_TRUE(ri->bound.certified);
+    EXPECT_LE(ri->bound.lo, oracle + 1e-12) << "case " << i;
+    EXPECT_GE(ri->bound.hi, oracle - 1e-12) << "case " << i;
+
+    SolveOptions dbl;
+    dbl.numeric = NumericBackend::kDouble;
+    Result<SolveResult> rd = Solver(dbl).SolveUcq(c.ucq, c.instance);
+    ASSERT_TRUE(rd.ok()) << rd.status().ToString();
+    EXPECT_NEAR(rd->probability_double, oracle, 1e-9) << "case " << i;
+  }
+}
+
+TEST(LiftedUcq, ForcedFallbackEnginePerUnitStaysExact) {
+  SolveOptions options;
+  options.force_engine = "fallback";
+  Solver solver(options);
+  for (uint64_t i = 0; i < 6; ++i) {
+    Rng rng(kSeedBase + 300 + i);
+    UcqCrosscheckCase c = MakeUcqCrosscheckCase(&rng);
+    Rational oracle = UcqProbabilityByEnumeration(c.ucq.disjuncts, c.instance);
+    Result<SolveResult> r = solver.SolveUcq(c.ucq, c.instance);
+    ASSERT_TRUE(r.ok()) << "case " << i << ": " << r.status().ToString();
+    EXPECT_EQ(r->probability, oracle) << "case " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// EvalSession front door
+// ---------------------------------------------------------------------------
+
+TEST(LiftedUcq, EvalSessionSolveUcqMatchesOneShotSolver) {
+  Rng rng(kSeedBase + 400);
+  UcqCrosscheckCase c = MakeUcqCrosscheckCase(&rng);
+  EvalSession session(c.instance);
+  Result<SolveResult> via_session = session.SolveUcq(c.ucq);
+  Result<SolveResult> one_shot = Solver().SolveUcq(c.ucq, c.instance);
+  ASSERT_EQ(via_session.ok(), one_shot.ok());
+  ASSERT_TRUE(via_session.ok()) << via_session.status().ToString();
+  EXPECT_EQ(via_session->probability, one_shot->probability);
+  EXPECT_EQ(via_session->stats.ucq_verdict, one_shot->stats.ucq_verdict);
+
+  SolveOverrides overrides;
+  overrides.numeric = NumericBackend::kDouble;
+  Result<SolveResult> overridden = session.SolveUcq(c.ucq, overrides);
+  ASSERT_TRUE(overridden.ok());
+  EXPECT_EQ(overridden->numeric, NumericBackend::kDouble);
+  EXPECT_NEAR(overridden->probability_double, one_shot->probability.ToDouble(),
+              1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// Serial vs executor bit-identity, threads {1, 2, 8}
+// ---------------------------------------------------------------------------
+
+TEST(LiftedUcq, ExecutorAnswersBitIdenticalToSerialAtEveryThreadCount) {
+  constexpr size_t kCases = 6;
+  std::vector<UcqCrosscheckCase> cases;
+  for (uint64_t i = 0; i < kCases; ++i) {
+    Rng rng(kSeedBase + 500 + i);
+    cases.push_back(MakeUcqCrosscheckCase(&rng));
+  }
+  // Handcrafted liftable + not-liftable plans ride along.
+  UcqCrosscheckCase lifted_case;
+  lifted_case.ucq = ParseRs("R(x,y) | S(x,y)");
+  lifted_case.instance = AlternatingCycle();
+  cases.push_back(lifted_case);
+  UcqCrosscheckCase hard_case;
+  hard_case.ucq = ParseRs("R(x,y), S(y,z) | S(x,y), R(y,z)");
+  hard_case.instance = AlternatingCycle();
+  cases.push_back(hard_case);
+
+  for (NumericBackend backend :
+       {NumericBackend::kExact, NumericBackend::kIntervalDouble}) {
+    SolveOptions options;
+    options.numeric = backend;
+    std::vector<std::unique_ptr<EvalSession>> sessions;
+    std::vector<Result<SolveResult>> serial;
+    for (const UcqCrosscheckCase& c : cases) {
+      sessions.push_back(std::make_unique<EvalSession>(c.instance, options));
+      serial.push_back(sessions.back()->SolveUcq(c.ucq));
+    }
+    for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+      ExecutorOptions exec_options;
+      exec_options.threads = threads;
+      BatchExecutor executor(exec_options);
+      std::vector<SolveTicket> tickets;
+      for (size_t i = 0; i < cases.size(); ++i) {
+        tickets.push_back(
+            executor.Submit(*sessions[i], SolveRequest(cases[i].ucq)));
+      }
+      std::vector<Result<SolveResult>> parallel =
+          executor.CollectHelping(tickets);
+      ASSERT_EQ(parallel.size(), serial.size());
+      for (size_t i = 0; i < serial.size(); ++i) {
+        ASSERT_EQ(parallel[i].ok(), serial[i].ok())
+            << "case " << i << " threads " << threads;
+        if (!serial[i].ok()) continue;
+        EXPECT_EQ(parallel[i]->probability, serial[i]->probability)
+            << "case " << i << " threads " << threads;
+        EXPECT_EQ(parallel[i]->probability_double,
+                  serial[i]->probability_double)
+            << "case " << i << " threads " << threads;
+        EXPECT_EQ(parallel[i]->bound.lo, serial[i]->bound.lo);
+        EXPECT_EQ(parallel[i]->bound.hi, serial[i]->bound.hi);
+        EXPECT_EQ(parallel[i]->bound.certified, serial[i]->bound.certified);
+        EXPECT_EQ(parallel[i]->stats.engine, serial[i]->stats.engine);
+        EXPECT_EQ(parallel[i]->stats.ucq_verdict,
+                  serial[i]->stats.ucq_verdict);
+        EXPECT_EQ(parallel[i]->stats.ucq_units, serial[i]->stats.ucq_units);
+      }
+    }
+  }
+}
+
+TEST(LiftedUcq, ExecutorSurfacesTypedNotSupportedForNonCompilablePlans) {
+  Alphabet alphabet;
+  std::string text;
+  for (size_t i = 0; i <= lifted::kMaxEntangledDisjuncts; ++i) {
+    if (!text.empty()) text += " | ";
+    text += "R(x,y), P" + std::to_string(i) + "(y,z)";
+  }
+  Result<ParsedUcq> parsed = ParseUcq(text, &alphabet);
+  ASSERT_TRUE(parsed.ok());
+  ProbGraph instance = AlternatingCycle();
+  EvalSession session(instance);
+  ExecutorOptions exec_options;
+  exec_options.threads = 2;
+  BatchExecutor executor(exec_options);
+  std::vector<SolveTicket> tickets;
+  tickets.push_back(executor.Submit(session, SolveRequest(parsed->ucq)));
+  std::vector<Result<SolveResult>> results = executor.CollectHelping(tickets);
+  ASSERT_EQ(results.size(), 1u);
+  ASSERT_FALSE(results[0].ok());
+  EXPECT_EQ(results[0].status().code(), Status::Code::kNotSupported);
+}
+
+// ---------------------------------------------------------------------------
+// Whole-union Monte Carlo estimation
+// ---------------------------------------------------------------------------
+
+TEST(LiftedUcq, MonteCarloUnionEstimatorSamplesTheWholeUnion) {
+  ProbGraph instance = AlternatingCycle();
+  Ucq ucq = ParseRs("R(x,y), S(y,z) | S(x,y), R(y,z)");
+  const double oracle =
+      UcqProbabilityByEnumeration(ucq.disjuncts, instance).ToDouble();
+
+  Result<MonteCarloEstimate> est =
+      EstimateUcqProbabilityMonteCarlo(ucq.disjuncts, instance, kSeedBase);
+  ASSERT_TRUE(est.ok()) << est.status().ToString();
+  EXPECT_NEAR(est->estimate, oracle, 0.02);
+
+  // Through the solver: a forced "monte-carlo" engine on a UCQ samples the
+  // union directly (never a signed combination of per-disjunct estimates).
+  SolveOptions options;
+  options.force_engine = "monte-carlo";
+  Result<SolveResult> r = Solver(options).SolveUcq(ucq, instance);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->stats.engine, "monte-carlo");
+  EXPECT_NEAR(r->probability_double, oracle, 0.02);
+}
+
+TEST(LiftedUcq, MonteCarloUnionEstimatorEdgeCases) {
+  ProbGraph instance = AlternatingCycle();
+  // Empty unions are a caller bug, not a sample-free zero.
+  Result<MonteCarloEstimate> empty =
+      EstimateUcqProbabilityMonteCarlo({}, instance, kSeedBase);
+  ASSERT_FALSE(empty.ok());
+  EXPECT_EQ(empty.status().code(), Status::Code::kInvalidArgument);
+
+  // One disjunct is bit-identical to the single-query estimator.
+  Ucq ucq = ParseRs("R(x,y), S(y,z)");
+  MonteCarloOptions mc;
+  mc.samples = 4096;
+  Result<MonteCarloEstimate> single = EstimateProbabilityMonteCarlo(
+      ucq.disjuncts[0], instance, kSeedBase, mc);
+  Result<MonteCarloEstimate> union_of_one = EstimateUcqProbabilityMonteCarlo(
+      ucq.disjuncts, instance, kSeedBase, mc);
+  ASSERT_TRUE(single.ok());
+  ASSERT_TRUE(union_of_one.ok());
+  EXPECT_EQ(single->estimate, union_of_one->estimate);
+  EXPECT_EQ(single->samples, union_of_one->samples);
+  EXPECT_EQ(single->hits, union_of_one->hits);
+}
+
+// ---------------------------------------------------------------------------
+// Interval-width histogram (ExecutorStats satellite)
+// ---------------------------------------------------------------------------
+
+TEST(LiftedUcq, IntervalWidthBucketing) {
+  EXPECT_EQ(IntervalWidthBucket(0.0), 0u);
+  EXPECT_EQ(IntervalWidthBucket(-1.0), 0u);
+  EXPECT_EQ(IntervalWidthBucket(std::nan("")), 0u);
+  // width = m * 2^e with m in [0.5, 1) lands in bucket e + 64.
+  EXPECT_EQ(IntervalWidthBucket(0.5), 64u);
+  EXPECT_EQ(IntervalWidthBucket(0.75), 64u);
+  EXPECT_EQ(IntervalWidthBucket(1.0), 65u);
+  EXPECT_EQ(IntervalWidthBucket(std::ldexp(1.0, -64)), 1u);
+  // Tails clamp instead of overflowing the array.
+  EXPECT_EQ(IntervalWidthBucket(5e-324), 1u);
+  EXPECT_EQ(IntervalWidthBucket(1e308), 65u);
+  // Monotone in the width.
+  EXPECT_LT(IntervalWidthBucket(1e-10), IntervalWidthBucket(1e-5));
+  EXPECT_LT(IntervalWidthBucket(1e-5), IntervalWidthBucket(0.5));
+}
+
+TEST(LiftedUcq, ExecutorRecordsIntervalWidthHistogram) {
+  ProbGraph instance = AlternatingCycle();
+  EvalSession session(instance);
+  ExecutorOptions exec_options;
+  exec_options.threads = 2;
+  BatchExecutor executor(exec_options);
+
+  std::vector<SolveTicket> tickets;
+  tickets.push_back(executor.Submit(
+      session,
+      SolveRequest(ParseRs("R(x,y) | S(x,y)"))
+          .WithNumeric(NumericBackend::kIntervalDouble)));
+  tickets.push_back(executor.Submit(
+      session,
+      SolveRequest(ParseRs("R(x,y), S(y,z)").disjuncts[0])
+          .WithNumeric(NumericBackend::kIntervalDouble)));
+  // An exact solve must NOT land in the histogram.
+  tickets.push_back(
+      executor.Submit(session, SolveRequest(ParseRs("R(x,y)").disjuncts[0])));
+  std::vector<Result<SolveResult>> results = executor.CollectHelping(tickets);
+  for (const Result<SolveResult>& r : results) {
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+  }
+
+  serve::ExecutorStats stats = executor.stats();
+  uint64_t total = 0;
+  for (uint64_t count : stats.interval_width_hist) total += count;
+  EXPECT_EQ(total, 2u) << "one bump per successful interval-backend solve";
+}
+
+}  // namespace
+}  // namespace phom
