@@ -28,9 +28,13 @@ Num DnnfProbabilityT(const Circuit& circuit, uint32_t root,
         break;
       }
       case GateKind::kOr: {
-        Num p = Ops::Zero();
-        for (uint32_t in : g.inputs) p += prob[in];
-        prob[id] = p;
+        // Deterministic OR: the inputs are mutually exclusive events, so
+        // their probabilities sum. Compensated on the interval backend
+        // (DisjointSumAccumulator, numeric.h); the plain sequential sum
+        // bit-for-bit on the exact/double backends.
+        DisjointSumAccumulator<Num> p;
+        for (uint32_t in : g.inputs) p.Add(prob[in]);
+        prob[id] = p.Total();
         break;
       }
     }

@@ -15,15 +15,6 @@ double HalfWidth95(uint64_t hits, uint64_t samples) {
   return 1.96 * std::sqrt(p * (1.0 - p) / static_cast<double>(samples));
 }
 
-/// The 95% half-width backing the CERTIFIED relative bound: the normal
-/// approximation on interior counts, but the rule-of-three bound 3/n at the
-/// boundary counts where the normal approximation degenerates to a false 0
-/// (an all-miss/all-hit prefix proves nothing tighter than ~3/n at 95%).
-double CertifiedHalfWidth95(uint64_t hits, uint64_t samples) {
-  if (hits == 0 || hits == samples) return 3.0 / static_cast<double>(samples);
-  return HalfWidth95(hits, samples);
-}
-
 struct LineageLowerBound {
   /// max over enumerated matches of Π π(e) over the match's DISTINCT image
   /// edges, every multiplication rounded DOWN — a certified lower bound on
@@ -218,6 +209,15 @@ Result<MonteCarloEstimate> EstimateImpl(
 }
 
 }  // namespace
+
+double CertifiedHalfWidth95(uint64_t hits, uint64_t samples) {
+  // samples == 0 divides by zero below (3/0 = inf, or NaN after a later
+  // inf·0): return the vacuous 95% bound 1 instead — p and any in-range
+  // estimate both live in [0, 1], so |estimate − p| <= 1 always holds.
+  if (samples == 0) return 1.0;
+  if (hits == 0 || hits == samples) return 3.0 / static_cast<double>(samples);
+  return HalfWidth95(hits, samples);
+}
 
 Result<MonteCarloEstimate> EstimateProbabilityMonteCarlo(
     const DiGraph& query, const ProbGraph& instance, uint64_t seed,

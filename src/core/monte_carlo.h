@@ -91,6 +91,14 @@ struct MonteCarloEstimate {
   bool converged = false;
 };
 
+/// The 95% half-width backing the CERTIFIED relative bound: the normal
+/// approximation on interior counts, the rule-of-three bound 3/n at the
+/// boundary counts where the normal approximation degenerates to a false 0,
+/// and the vacuous-but-sound bound 1 at samples == 0 (p ∈ [0, 1], so any
+/// estimate in-range is within 1 of the truth — and 3/0 would be inf/NaN,
+/// which poisoned the zero-remaining-budget degrade path downstream).
+double CertifiedHalfWidth95(uint64_t hits, uint64_t samples);
+
 /// Samples worlds of `instance` with the given seed and tests query ⇝ world.
 Result<MonteCarloEstimate> EstimateProbabilityMonteCarlo(
     const DiGraph& query, const ProbGraph& instance, uint64_t seed,

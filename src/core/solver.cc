@@ -21,6 +21,15 @@ SolveOptions ApplyOverrides(SolveOptions base, const SolveOverrides& overrides) 
   if (overrides.target_relative_error.has_value()) {
     base.degrade.target_relative_error = *overrides.target_relative_error;
   }
+  if (overrides.escalate.has_value()) base.escalate = *overrides.escalate;
+  // After `escalate` on purpose, mirroring target_relative_error above: the
+  // field-level width override composes with a whole-policy override.
+  if (overrides.max_width.has_value()) {
+    base.escalate.max_width = *overrides.max_width;
+    if (*overrides.max_width > 0.0) {
+      base.escalate.mode = EscalationMode::kOnWideResult;
+    }
+  }
   return base;
 }
 

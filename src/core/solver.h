@@ -91,6 +91,51 @@ inline bool ShouldDegradeStatus(const Status& status,
          policy.mode == DegradeMode::kOnDeadlineRisk;
 }
 
+/// When a serving layer may RE-RUN a certified-interval answer under the
+/// exact backend because its enclosure came back too wide — the mirror image
+/// of DegradePolicy: degradation trades precision for latency under deadline
+/// pressure; escalation trades latency for precision under width pressure.
+enum class EscalationMode : uint8_t {
+  kOff = 0,        ///< wide enclosures are published as-is (default)
+  kOnWideResult,   ///< re-dispatch to the exact backend when too wide
+};
+
+/// Per-request (or session-default) width-escalation policy, acted on by the
+/// serve executor (serve/executor.h). With mode kOnWideResult, a successful
+/// kIntervalDouble solve whose certified enclosure width (hi − lo) exceeds
+/// the target is re-solved under NumericBackend::kExact on the same thread —
+/// provided the request's deadline (if any) has not lapsed and the cost
+/// model (if any) predicts the exact re-run fits the remaining budget. The
+/// escalated result carries SolveResult::escalate provenance and is exactly
+/// the answer a cold exact solve would have produced (bit-identical: same
+/// prepared problem, same engine resolution, exact arithmetic).
+struct EscalationPolicy {
+  EscalationMode mode = EscalationMode::kOff;
+  /// Escalate when hi − lo > max_width (0 = the absolute trigger is off).
+  double max_width = 0.0;
+  /// Escalate when hi − lo > target_relative_width · hi (0 = the relative
+  /// trigger is off). Relative to hi, the certified upper bound: sound even
+  /// when lo == 0, where width / answer would divide by zero.
+  double target_relative_width = 0.0;
+};
+
+/// THE escalation trigger, shared by every site that inspects a width (the
+/// serve executor's finish hook and its admission pricing must never drift):
+/// a certified enclosure escalates when EITHER enabled trigger fires. A
+/// non-finite width (NaN from an invalid enclosure, inf) compares true
+/// against any threshold — an invalid enclosure is the widest possible one.
+inline bool ShouldEscalateWidth(double width, double hi,
+                                const EscalationPolicy& policy) {
+  if (policy.mode != EscalationMode::kOnWideResult) return false;
+  // NaN or negative width: the enclosure invariant broke (hi < lo or a NaN
+  // endpoint) — escalate on any armed trigger, never publish silently.
+  const bool invalid = !(width >= 0.0);
+  if (invalid) return policy.max_width > 0.0 || policy.target_relative_width > 0.0;
+  if (policy.max_width > 0.0 && width > policy.max_width) return true;
+  return policy.target_relative_width > 0.0 &&
+         width > policy.target_relative_width * hi;
+}
+
 /// Degradation provenance, set on results produced by the Monte Carlo
 /// degradation path (SolveDegradedMonteCarlo / the serve layer's
 /// DegradePolicy re-dispatch), and on forced "monte-carlo" engine runs
@@ -125,6 +170,20 @@ struct DegradeInfo {
   std::chrono::nanoseconds budget_spent{0};
 };
 
+/// Escalation provenance, set by the serve executor on results it re-ran
+/// under the exact backend after a too-wide certified enclosure. All-default
+/// on every other result (in particular on results whose width met the
+/// target, and everywhere EscalationMode::kOff).
+struct EscalateInfo {
+  /// The published answer is the EXACT re-run, not the interval solve.
+  bool escalated = false;
+  /// Enclosure width (hi − lo) of the interval answer that triggered the
+  /// re-run (NaN when the trigger was an invalid hi < lo enclosure).
+  double width_before = 0.0;
+  /// Wall time the exact re-run consumed (on top of the interval solve).
+  std::chrono::nanoseconds budget_spent{0};
+};
+
 struct SolveOptions {
   /// Force a specific algorithm (ablations / cross-checks). NotSupported if
   /// the algorithm's engine does not apply to the prepared problem.
@@ -145,6 +204,9 @@ struct SolveOptions {
   /// Graceful degradation under deadline pressure (serve layer /
   /// EvalSession::Solve): see DegradePolicy. Off by default.
   DegradePolicy degrade;
+  /// Width-triggered escalation of too-wide interval enclosures (acted on by
+  /// the serve executor only; see EscalationPolicy). Off by default.
+  EscalationPolicy escalate;
   /// Cooperative interruption hook (non-owning; null = never interrupted).
   /// Checked before each component subproblem of a componentwise dispatch
   /// AND inside the fallback/Monte Carlo loops (dispatch copies this
@@ -175,6 +237,11 @@ struct SolveOverrides {
   /// Overrides degrade.target_relative_error ALONE, composing with a base
   /// policy (set `degrade` to replace the whole policy instead).
   std::optional<double> target_relative_error;
+  /// Replaces the whole width-escalation policy (EscalationPolicy).
+  std::optional<EscalationPolicy> escalate;
+  /// Overrides escalate.max_width ALONE (and forces mode kOnWideResult when
+  /// > 0), composing with a base policy — the WithMaxWidth fluent setter.
+  std::optional<double> max_width;
 };
 
 SolveOptions ApplyOverrides(SolveOptions base, const SolveOverrides& overrides);
@@ -266,6 +333,9 @@ struct SolveResult {
   /// probability_double == degrade.estimate, and `probability` is the
   /// exactly-represented hits/samples under the exact backend).
   DegradeInfo degrade;
+  /// Width-escalation provenance: escalate.escalated is true iff this result
+  /// is an exact re-run of a too-wide interval answer (serve layer only).
+  EscalateInfo escalate;
 };
 
 /// The guarantee `result` carries, derived from its provenance: exact-zero

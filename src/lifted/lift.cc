@@ -337,12 +337,25 @@ Num EvaluatePlan(const UcqEvalPlan& plan, const std::vector<Num>& units) {
         // an event probability. The interval backend therefore accumulates
         // UNCLAMPED (WideAdd/WideSub) and clamps once at the end.
         if constexpr (std::is_same_v<Num, IntervalDouble>) {
-          IntervalDouble acc(0.0, 0.0);
+          // Compensated signed accumulation (interval_double.h): the lower
+          // endpoint collects +lo for added terms and −hi for subtracted
+          // ones (crosswise, as WideSub pairs endpoints), the upper the
+          // mirror — each through a TwoSum-compensated directed
+          // accumulator, so an n-term alternating sum costs residual-sized
+          // ulps instead of n full outward roundings per endpoint.
+          interval_internal::DownSum lo;
+          interval_internal::UpSum hi;
           for (size_t j = 0; j < node.children.size(); ++j) {
             const IntervalDouble& v = value[static_cast<size_t>(node.children[j])];
-            acc = node.signs[j] >= 0 ? WideAdd(acc, v) : WideSub(acc, v);
+            if (node.signs[j] >= 0) {
+              lo.Add(v.lo);
+              hi.Add(v.hi);
+            } else {
+              lo.Add(-v.hi);
+              hi.Add(-v.lo);
+            }
           }
-          value[i] = acc.ClampedToUnit();
+          value[i] = IntervalDouble(lo.Value(), hi.Value()).ClampedToUnit();
         } else if constexpr (std::is_same_v<Num, Rational>) {
           Rational acc = Rational::Zero();
           for (size_t j = 0; j < node.children.size(); ++j) {

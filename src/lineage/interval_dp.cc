@@ -56,9 +56,12 @@ Num IntervalDnfProbabilityT(const std::vector<Num>& edge_probs,
     // (Covered by the loop above since s ranges to k.)
     dist = std::move(next);
   }
-  Num survive = Ops::Zero();
-  for (const Num& r : dist) survive += r;
-  return Ops::Complement(survive);
+  // The run-start states are disjoint events, so their survival
+  // probabilities sum — compensated for the interval backend (numeric.h),
+  // the plain sequential sum bit-for-bit on the exact/double backends.
+  DisjointSumAccumulator<Num> survive;
+  for (const Num& r : dist) survive.Add(r);
+  return Ops::Complement(survive.Total());
 }
 
 template Rational IntervalDnfProbabilityT<Rational>(

@@ -87,6 +87,17 @@ std::chrono::nanoseconds PriorComponentCost(std::string_view engine,
                                             GraphClass component_class,
                                             size_t uncertain_edges);
 
+/// The static cold-start prior for one cell's ENCLOSURE WIDTH (hi − lo of a
+/// certified interval answer), seeded from the shape of the executor's
+/// interval-width histogram on the bench workloads: each interval operation
+/// contributes ~1 ulp of outward rounding (~4e-16 near answers of order 1),
+/// and the operation count is ~linear in the uncertain edge count for the
+/// tractable DPs but ~2^u for the enumeration engines and hard classes —
+/// the same regimes PriorComponentCost models for latency. Clamped to 1
+/// (an enclosure of [0, 1] is the widest possible).
+double PriorEnclosureWidth(std::string_view engine, GraphClass component_class,
+                           size_t uncertain_edges);
+
 /// An immutable copy of the model's cells, the only thing admission
 /// decisions may consult (see the determinism notes above). Obtained via
 /// CostModel::Snapshot(); cheap to share (shared_ptr) and valid forever.
@@ -109,6 +120,13 @@ class CostModelSnapshot {
   CostPrediction PredictSolveCost(const PreparedProblem& prepared,
                                   const ComponentDispatch& plan,
                                   const SolveOptions& options) const;
+
+  /// Predicted certified-enclosure width for one solve unit under `engine`:
+  /// the cell's learned width EWMA when it has width observations, else the
+  /// PriorEnclosureWidth cold-start seed. Pure function of this snapshot.
+  double PredictEnclosureWidth(std::string_view engine,
+                               GraphClass component_class,
+                               size_t uncertain_edges) const;
 
   /// Number of learned cells in this snapshot.
   size_t num_cells() const { return cells_.size(); }
@@ -138,11 +156,15 @@ class CostModelSnapshot {
     }
   };
   /// One cell's EWMA state: mean latency and mean absolute deviation, both
-  /// in nanoseconds.
+  /// in nanoseconds — plus the mean certified-enclosure width observed for
+  /// this cell under the interval backend (the tightest-enclosure engine
+  /// selection's signal; 0-count until an interval solve lands here).
   struct Cell {
     double mean_ns = 0.0;
     double dev_ns = 0.0;
     uint64_t count = 0;
+    double width_mean = 0.0;
+    uint64_t width_count = 0;
   };
 
   std::unordered_map<Key, Cell, KeyHash> cells_;
@@ -165,10 +187,19 @@ class CostModel {
                        size_t uncertain_edges,
                        std::chrono::nanoseconds duration);
 
+  /// Records one observed certified-enclosure width (hi − lo of an interval
+  /// answer) for a cell — the width EWMA behind PredictEnclosureWidth.
+  /// Non-finite or negative widths are ignored (invalid enclosures must not
+  /// poison the signal; the executor buckets them loudly instead).
+  void RecordComponentWidth(std::string_view engine,
+                            GraphClass component_class, size_t uncertain_edges,
+                            double width);
+
   /// Records a completed WHOLE-problem solve (non-componentwise dispatch):
   /// keyed by the result's engine, the restricted instance's class and its
   /// uncertain edge count. Degraded estimates and immediate answers are
-  /// skipped — they are not exact-solve latencies.
+  /// skipped — they are not exact-solve latencies. A certified interval
+  /// result additionally trains the cell's width EWMA (RecordComponentWidth).
   void RecordSolve(const PreparedProblem& prepared, const SolveResult& result);
 
   /// Records one completed component solve of a componentwise dispatch:
@@ -245,9 +276,35 @@ struct AdmissionDecision {
 /// is attempted exactly and can still degrade reactively). Requests without
 /// a deadline (nullopt budget) and zero predictions (immediate answers,
 /// engine-selection errors) always admit.
+///
+/// ESCALATION PRICING: an interval-backend request whose EscalationPolicy is
+/// kOnWideResult may cost a second, exact re-run of the whole solve
+/// (executor.h), so its predicted EXPECTED and PESSIMISTIC costs are doubled
+/// — the re-run lands in the same (engine, class, bucket) cells, which the
+/// executor trains with every escalated re-run it performs. The OPTIMISTIC
+/// edge deliberately stays the single-solve cost (best case: the enclosure
+/// comes back tight and no re-run happens), so proactive degradation never
+/// fires on escalation risk alone. With escalation off the decision is
+/// bit-identical to the pre-escalation rule.
 AdmissionDecision DecideAdmission(
     const CostModelSnapshot& snapshot, const PreparedProblem& prepared,
     const ComponentDispatch& plan, const SolveOptions& options,
     std::optional<std::chrono::nanoseconds> remaining_budget);
+
+/// Tightest-enclosure engine choice for an interval-backend request (the
+/// serve layer's opt-in refinement, ExecutorOptions::
+/// select_tightest_enclosure): among the registered EXACT engines that apply
+/// to the prepared problem's cell, the one with the smallest predicted
+/// whole-problem enclosure width (summed per component when the instance is
+/// componentwise — widths compound through the Lemma 3.7 combine). Returns
+/// the chosen engine's registry name when it beats the auto-dispatch choice
+/// STRICTLY (ties keep the auto engine, so a cold model — where every
+/// tractable variant shares one prior — changes nothing), or "" to keep auto
+/// dispatch (also for immediate answers, UCQ plans — the lifted engine owns
+/// those — and requests that already force an engine or algorithm). Pure
+/// function of (snapshot, prepared, options): deterministic per snapshot.
+std::string SelectTightestEngine(const CostModelSnapshot& snapshot,
+                                 const PreparedProblem& prepared,
+                                 const SolveOptions& options);
 
 }  // namespace phom::serve

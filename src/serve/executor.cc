@@ -1,6 +1,7 @@
 #include "src/serve/executor.h"
 
 #include <algorithm>
+#include <cassert>
 #include <chrono>
 #include <cmath>
 #include <exception>
@@ -39,7 +40,14 @@ size_t ResolveInjectionBlocks(const ExecutorOptions& options) {
 }  // namespace
 
 size_t IntervalWidthBucket(double width) {
-  if (!(width > 0.0)) return 0;  // point enclosures, and defensively NaN
+  if (!(width >= 0.0)) {
+    // NaN, or negative from an inverted hi < lo "enclosure": a kernel bug,
+    // not a point answer. The old `!(width > 0.0) → bucket 0` filing hid
+    // these among the point enclosures; account for them loudly instead.
+    assert(!"IntervalWidthBucket: NaN or negative enclosure width");
+    return kIntervalWidthInvalid;
+  }
+  if (width == 0.0) return 0;  // point enclosures
   int exponent = 0;
   std::frexp(width, &exponent);
   // width = m · 2^exponent with m in [0.5, 1): exponent 0 means widths in
@@ -274,15 +282,23 @@ void BatchExecutor::Finish(
     std::lock_guard<std::mutex> lock(req.mu);
     req.stats.finished = RequestClock::now();
     req.stats.degraded = result.ok() && result->degrade.degraded;
+    req.stats.escalated = result.ok() && result->escalate.escalated;
     if (result.ok()) {
       // Provenance settles with the result: which error guarantee this
       // answer carries (exact / certified enclosure / statistical bound).
       req.stats.guarantee = GuaranteeOf(*result);
       guarantee_counts_[static_cast<size_t>(req.stats.guarantee)].fetch_add(
           1, std::memory_order_relaxed);
-      if (result->numeric == NumericBackend::kIntervalDouble) {
+      if (result->numeric == NumericBackend::kIntervalDouble &&
+          result->bound.certified) {
         // Enclosure-width observability: log2-bucket how tight the interval
-        // backend's published answer actually was (ExecutorStats).
+        // backend's published CERTIFIED answer actually was (ExecutorStats).
+        // The certified gate keeps degraded Monte Carlo estimates — a
+        // statistical bracket, not an enclosure — out of the histogram;
+        // they used to slip in here through the degrade path and break the
+        // sum(buckets) == certified-interval-results invariant. Escalated
+        // results are exact-backend by the time they reach Finish; their
+        // pre-escalation width was recorded in MaybeEscalate.
         interval_width_hist_[IntervalWidthBucket(result->bound.hi -
                                                  result->bound.lo)]
             .fetch_add(1, std::memory_order_relaxed);
@@ -354,7 +370,79 @@ void BatchExecutor::FinishOrDegrade(
           Status::Invalid(std::string("serve: degrade exception: ") + e.what());
     }
   }
+  MaybeEscalate(req, &result);
   Finish(request, std::move(result));
+}
+
+void BatchExecutor::MaybeEscalate(internal::RequestState& req,
+                                  Result<SolveResult>* result) {
+  if (!result->ok()) return;
+  const SolveResult& interval = result->ValueOrDie();
+  // Only a successful CERTIFIED interval answer can be "too wide": degraded
+  // estimates carry a statistical bracket (re-solving them exactly is what
+  // the deadline already ruled out), and exact/double answers have no
+  // enclosure. NaN widths (an invalid enclosure) escalate too — better an
+  // exact re-run than publishing a broken interval (ShouldEscalateWidth).
+  if (interval.numeric != NumericBackend::kIntervalDouble ||
+      !interval.bound.certified || interval.degrade.degraded) {
+    return;
+  }
+  const double width = interval.bound.hi - interval.bound.lo;
+  if (!ShouldEscalateWidth(width, interval.bound.hi, req.options.escalate)) {
+    return;
+  }
+  escalated_attempted_.fetch_add(1, std::memory_order_relaxed);
+  // Budget gates, both sides recorded in ExecutorStats: an already-lapsed
+  // deadline (or explicit cancel) keeps the certified interval answer — it
+  // is still sound, just wide — and so does a cost-model prediction that
+  // the exact re-run cannot fit what remains of the deadline.
+  if (!req.cancel.Check().ok()) {
+    escalated_budget_denied_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  SolveOptions opts = req.options;
+  opts.numeric = NumericBackend::kExact;
+  opts.escalate = EscalationPolicy{};  // the re-run must not re-trigger
+  if (options_.cost_model != nullptr && req.deadline_registered) {
+    const std::shared_ptr<const CostModelSnapshot> snapshot =
+        options_.cost_model->Snapshot();
+    const CostPrediction rerun =
+        snapshot->PredictSolveCost(req.prepared, req.dispatch, opts);
+    if (RequestClock::now() + rerun.expected > req.registered_deadline) {
+      escalated_budget_denied_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+  const RequestClock::time_point t0 = RequestClock::now();
+  Result<SolveResult> exact = PendingResult();
+  try {
+    // Same prepared problem, exact backend, right here on the completing
+    // thread (mirrors FinishOrDegrade's conversion: neighbors unaffected).
+    // The request's CancelToken still gates the re-run's yield points, so a
+    // deadline lapse mid-re-run aborts it and the interval answer stands.
+    exact = SolvePrepared(req.prepared, opts);
+  } catch (const std::exception& e) {
+    exact =
+        Status::Invalid(std::string("serve: escalate exception: ") + e.what());
+  }
+  const std::chrono::nanoseconds spent = RequestClock::now() - t0;
+  if (!exact.ok()) return;  // keep the certified interval answer
+  if (options_.cost_model != nullptr) {
+    // The model learns what exact re-runs cost on these cells, which is
+    // exactly what DecideAdmission's escalation pricing charges for.
+    options_.cost_model->RecordSolve(req.prepared, exact.ValueOrDie());
+  }
+  // The escaped interval is still a completed certified interval result:
+  // record its width here, since Finish will only see the exact replacement
+  // (exactly-once histogram accounting — executor.h).
+  interval_width_hist_[IntervalWidthBucket(width)].fetch_add(
+      1, std::memory_order_relaxed);
+  SolveResult& replacement = exact.ValueOrDie();
+  replacement.escalate.escalated = true;
+  replacement.escalate.width_before = width;
+  replacement.escalate.budget_spent = spent;
+  *result = std::move(exact);
+  escalated_succeeded_.fetch_add(1, std::memory_order_relaxed);
 }
 
 MonotonicArena* BatchExecutor::TaskArena(size_t self) {
@@ -595,6 +683,12 @@ ExecutorStats BatchExecutor::stats() const {
   s.tasks_stolen = tasks_stolen_.load(std::memory_order_relaxed);
   s.inline_runs = inline_runs_.load(std::memory_order_relaxed);
   s.edf_displaced_runs = edf_displaced_.load(std::memory_order_relaxed);
+  s.escalated_attempted =
+      escalated_attempted_.load(std::memory_order_relaxed);
+  s.escalated_succeeded =
+      escalated_succeeded_.load(std::memory_order_relaxed);
+  s.escalated_budget_denied =
+      escalated_budget_denied_.load(std::memory_order_relaxed);
   s.results_exact = guarantee_counts_[static_cast<size_t>(
       Guarantee::kExact)].load(std::memory_order_relaxed);
   s.results_interval = guarantee_counts_[static_cast<size_t>(
@@ -689,6 +783,16 @@ SolveTicket BatchExecutor::Submit(EvalSession& session, SolveRequest request,
     // plan's units instead of instance components.
     state->prepared = state->ucq != nullptr ? session.PrepareUcq(*state->ucq)
                                             : session.Prepare(*state->query);
+    if (options_.select_tightest_enclosure && options_.cost_model != nullptr) {
+      // Tightest-enclosure routing, BEFORE dispatch planning so the forced
+      // engine shapes the component plan: a pure function of the snapshot
+      // (cost_model.h), empty when auto dispatch is already the tightest
+      // choice or the request is not a plain interval-backend solve.
+      std::string tightest =
+          SelectTightestEngine(*options_.cost_model->Snapshot(),
+                               state->prepared, state->options);
+      if (!tightest.empty()) state->options.force_engine = std::move(tightest);
+    }
     if (options_.split_components) {
       // One registry scan per query; every component task reuses the plan.
       state->dispatch = PlanComponentDispatch(state->prepared, state->options);

@@ -183,6 +183,15 @@ struct ExecutorOptions {
   /// change shifts every cell, and the decayed blend lets fresh
   /// observations re-win the EWMA quickly (see ImportSnapshotJson).
   double cost_model_warm_start_decay = 0.0;
+  /// With a cost model installed: route each plain interval-backend request
+  /// (no forced engine/algorithm, not a UCQ) through the registered exact
+  /// engine with the smallest PREDICTED enclosure width for its cell
+  /// (SelectTightestEngine, cost_model.h) by forcing that engine on the
+  /// request's options at submit. Off (the default) preserves auto dispatch
+  /// bit-identically; on, the choice is a pure function of the snapshot
+  /// taken at submit — deterministic, but dependent on what the model has
+  /// learned so far. Exact/double-backend requests are never rerouted.
+  bool select_tightest_enclosure = false;
   /// With a cost model installed: reject a deadline-carrying request at
   /// submit (kResourceExhausted, nothing prepared, the session untouched)
   /// when the predicted backlog exceeds the remaining slack of EVERY
@@ -236,6 +245,15 @@ struct ExecutorStats {
                                      ///< because a queue/deque was full
   uint64_t edf_displaced_runs = 0;   ///< EDF overflow: earliest entry run
                                      ///< inline to admit the incoming task
+  /// Width-escalation outcomes (EscalationPolicy, solver.h): how many
+  /// completed interval solves came back wider than their target and entered
+  /// the escalation hook; how many of those were re-run to an exact answer;
+  /// and how many were denied because the remaining deadline budget could
+  /// not fit the predicted exact re-run (the published answer is then the
+  /// wide — but still certified — interval, with the denial on record).
+  uint64_t escalated_attempted = 0;
+  uint64_t escalated_succeeded = 0;
+  uint64_t escalated_budget_denied = 0;
   /// Per-guarantee provenance counters (GuaranteeOf over each successful
   /// result as it is published; errored tickets count in none of them).
   /// Together they answer the operator's question "what fraction of the
@@ -246,16 +264,34 @@ struct ExecutorStats {
   uint64_t results_absolute95 = 0;   ///< Guarantee::kAbsolute95
   uint64_t results_relative95 = 0;   ///< Guarantee::kRelative95
   /// Log2-bucketed histogram of enclosure WIDTHS (bound.hi − bound.lo) over
-  /// successful kIntervalDouble solves, published as each result finishes —
-  /// the operator's view of how tight the certified answers actually were.
-  /// Bucket 0 holds non-positive widths (point enclosures); bucket b in
-  /// [1, 65] holds widths with binary exponent b − 64 (IntervalWidthBucket
-  /// below), so ~1e-16-wide enclosures land near bucket 11 and widths of
-  /// order 1 near bucket 64, with both tails clamped.
-  std::array<uint64_t, 66> interval_width_hist{};
+  /// successful CERTIFIED kIntervalDouble solves — the operator's view of
+  /// how tight the certified answers actually were. Recorded EXACTLY ONCE
+  /// per such result on every completion path: in Finish for published
+  /// interval results, and at escalation time (with the pre-escalation
+  /// width) for interval answers the escalation hook replaced with an exact
+  /// re-run — so sum(buckets) == certified interval results completed,
+  /// whether published, inline, fanned out, or escalated away. Degraded
+  /// Monte Carlo estimates carry a STATISTICAL bracket, not a certified
+  /// enclosure, and are counted in results_absolute95/relative95 instead
+  /// (they previously polluted this histogram through the uncertified bump).
+  /// Bucket 0 holds width 0 (point enclosures); bucket b in [1, 65] holds
+  /// widths with binary exponent b − 64 (IntervalWidthBucket below), so
+  /// ~1e-16-wide enclosures land near bucket 11 and widths of order 1 near
+  /// bucket 64, with both tails clamped. Bucket 66 (kIntervalWidthInvalid)
+  /// counts INVALID enclosures — NaN width or hi < lo — which a debug build
+  /// additionally asserts on: an inverted enclosure is a kernel bug, not a
+  /// point answer (the pre-fix bucketing filed NaN under bucket 0).
+  std::array<uint64_t, 67> interval_width_hist{};
 };
 
-/// The histogram bucket for one enclosure width: 0 for width <= 0 (a point
+/// Histogram slot for invalid enclosure widths (NaN, or negative from an
+/// inverted hi < lo interval): loud accounting instead of the old silent
+/// bucket-0 "point enclosure" filing.
+inline constexpr size_t kIntervalWidthInvalid = 66;
+
+/// The histogram bucket for one enclosure width: kIntervalWidthInvalid (66)
+/// for NaN or negative widths (with a debug assert — those mean an invalid
+/// hi < lo enclosure escaped a kernel), 0 for width == 0 (a point
 /// enclosure), otherwise clamp(exponent(width) + 64, 1, 65) where
 /// width = m · 2^exponent with m in [0.5, 1) — i.e. a pure log2 bucketing
 /// with 64 buckets of subnormal-to-unit resolution and a clamped tail each
@@ -397,6 +433,15 @@ class BatchExecutor {
   /// (the degraded solve runs on the calling thread).
   void FinishOrDegrade(const std::shared_ptr<internal::RequestState>& request,
                        Result<SolveResult> result);
+  /// The escalation hook (EscalationPolicy, solver.h), run on every solve
+  /// completion path just before Finish: a successful certified interval
+  /// result wider than the request's target is re-solved under the exact
+  /// backend on the calling thread — when the deadline still stands and the
+  /// cost model (if any) predicts the re-run fits the remaining budget —
+  /// and replaced by the exact answer with EscalateInfo provenance. A
+  /// failed or denied re-run publishes the original interval result with
+  /// the attempt/denial counted in ExecutorStats.
+  void MaybeEscalate(internal::RequestState& req, Result<SolveResult>* result);
   void WorkerLoop(size_t index);
   bool AllRequestsFinished();
   void NotifyOne();
@@ -442,12 +487,16 @@ class BatchExecutor {
   std::atomic<uint64_t> tasks_stolen_{0};
   std::atomic<uint64_t> inline_runs_{0};
   std::atomic<uint64_t> edf_displaced_{0};
+  std::atomic<uint64_t> escalated_attempted_{0};
+  std::atomic<uint64_t> escalated_succeeded_{0};
+  std::atomic<uint64_t> escalated_budget_denied_{0};
   /// Per-guarantee result counters, indexed by static_cast<size_t>(the
   /// Guarantee enum); bumped in Finish alongside RequestStats::guarantee.
   std::array<std::atomic<uint64_t>, 5> guarantee_counts_{};
   /// Interval-width histogram counters (ExecutorStats::interval_width_hist);
-  /// bumped in Finish for each successful kIntervalDouble result.
-  std::array<std::atomic<uint64_t>, 66> interval_width_hist_{};
+  /// bumped exactly once per successful CERTIFIED interval result — in
+  /// Finish for published results, in MaybeEscalate for escalated ones.
+  std::array<std::atomic<uint64_t>, 67> interval_width_hist_{};
   /// Rotation cursor for the shared (non-worker) sweep over worker state.
   std::atomic<uint64_t> shared_sweep_{0};
   std::vector<std::unique_ptr<Worker>> worker_state_;

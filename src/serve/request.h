@@ -129,6 +129,20 @@ struct SolveRequest {
     overrides.target_relative_error = target;
     return *this;
   }
+  /// Cap the acceptable certified-enclosure width: an interval answer wider
+  /// than `width` (hi − lo) is re-run under the EXACT backend when budget
+  /// remains (EscalationPolicy; SolveResult::escalate provenance). Forces
+  /// mode kOnWideResult; composes with WithEscalate in either order
+  /// (field-level override; see SolveOverrides::max_width).
+  SolveRequest& WithMaxWidth(double width) {
+    overrides.max_width = width;
+    return *this;
+  }
+  /// Replace the whole width-escalation policy (solver.h).
+  SolveRequest& WithEscalate(EscalationPolicy policy) {
+    overrides.escalate = policy;
+    return *this;
+  }
 
   /// A non-owning view of a caller-kept query. ONLY for synchronous
   /// submit+wait paths: the caller must keep `query_graph` alive until the
@@ -160,6 +174,10 @@ struct RequestStats {
   /// carries SolveResult::degrade provenance (degrade.proactive
   /// distinguishes an admission-time skip from a reactive conversion).
   bool degraded = false;
+  /// The request's interval solve finished too wide (EscalationPolicy) and
+  /// was re-run under the exact backend; the published answer is the exact
+  /// one and carries SolveResult::escalate provenance.
+  bool escalated = false;
   /// Rejected at submit by admission control (ExecutorOptions::
   /// enable_shedding): the predicted backlog exceeded every pending
   /// deadline, the status is kResourceExhausted, and nothing was prepared.

@@ -9,12 +9,14 @@
 /// doubles maintained with OUTWARD directed rounding, so the true (exact
 /// Rational) value of every kernel intermediate is provably contained in the
 /// interval. IEEE round-to-nearest is within 1/2 ulp of the true result of
-/// `+`, `*`, and `1 - x`, so stepping the naturally-rounded result one ulp
-/// down (for `lo`) and one ulp up (for `hi`) via std::nextafter yields a
-/// sound enclosure without touching the FP environment (no fesetround, so
-/// the backend stays safe under -frounding-math-less builds, FMA contraction
-/// aside — which std::nextafter on the already-rounded scalar result does
-/// not depend on).
+/// `+`, `*`, and `1 - x`, so a std::nextafter step on the naturally-rounded
+/// result yields a sound enclosure without touching the FP environment (no
+/// fesetround, so the backend stays safe under -frounding-math-less builds).
+/// The directed primitives are COMPENSATED: an error-free transformation
+/// (TwoSum for ±, the fma residual for ×) recovers the exact rounding error,
+/// and the ulp step is taken only when that residual says the rounded value
+/// sits on the wrong side — exact operations (dyadic probabilities,
+/// like-scaled sums) cost zero width, halving typical per-op width growth.
 ///
 /// Soundness of the [0, 1] clamp: every intermediate the probability kernels
 /// compute is itself the probability of an event — partial sums range over
@@ -35,6 +37,113 @@ inline double Down(double x) {
 inline double Up(double x) {
   return std::nextafter(x, std::numeric_limits<double>::infinity());
 }
+
+// --- Compensated directed rounding via error-free transformations. -------
+//
+// The seed implementation stepped EVERY naturally-rounded result one ulp
+// outward, paying a full ulp of width per operation even when the rounded
+// result was exact (dyadic probabilities, sums of like-scaled terms) or
+// already on the correct side. The primitives below recover the EXACT
+// rounding residual — TwoSum for ±, an fma cross-check for × — and step
+// only when the residual's sign says the rounded value sits on the wrong
+// side of the true result. Soundness of the single step: round-to-nearest
+// puts the true value strictly between the neighbors of the rounded result,
+// so one nextafter in the residual's direction always restores containment.
+// Width cost per op drops from exactly 2 ulp to 0–2 ulp (0 when exact),
+// which compounds through the deep DPs (2WP / DWT / interval DP / Shannon)
+// into measurably tighter enclosures — see bench_serve_escalation.
+
+/// Knuth's TwoSum: returns the EXACT residual (a + b) − fl(a + b), valid for
+/// any finite a, b with no overflow (probabilities and their partial sums
+/// never overflow). `*rounded` receives fl(a + b).
+inline double TwoSumErr(double a, double b, double* rounded) {
+  const double s = a + b;
+  const double bb = s - a;
+  *rounded = s;
+  return (a - (s - bb)) + (b - bb);
+}
+
+/// fl(a + b) tightened to a certified LOWER bound on the true a + b.
+inline double DownAdd(double a, double b) {
+  double s;
+  const double err = TwoSumErr(a, b, &s);
+  // err >= 0 ⇒ true = s + err >= s: s itself is already a lower bound.
+  // err < 0 ⇒ true < s, and round-to-nearest guarantees true > prev(s).
+  // (NaN propagates: err comparisons are false, Down(NaN) == NaN.)
+  return err >= 0.0 ? s : Down(s);
+}
+
+/// fl(a + b) tightened to a certified UPPER bound on the true a + b.
+inline double UpAdd(double a, double b) {
+  double s;
+  const double err = TwoSumErr(a, b, &s);
+  return err <= 0.0 ? s : Up(s);
+}
+
+/// Certified lower / upper bounds on a − b (negation is exact).
+inline double DownSub(double a, double b) { return DownAdd(a, -b); }
+inline double UpSub(double a, double b) { return UpAdd(a, -b); }
+
+/// fl(a · b) tightened to a certified LOWER bound on the true a · b. The
+/// fma residual fma(a, b, −p) is the exact rounding error whenever the
+/// product does not over- or underflow; probabilities cannot overflow, and
+/// an underflowed (subnormal or spuriously-zero) product falls back to the
+/// unconditional one-ulp step, which is always sound.
+inline double DownMul(double a, double b) {
+  const double p = a * b;
+  if (a == 0.0 || b == 0.0) return p;  // exact zero, no step
+  if (std::isnormal(p)) {
+    const double err = std::fma(a, b, -p);
+    return err >= 0.0 ? p : Down(p);
+  }
+  return Down(p);
+}
+
+/// fl(a · b) tightened to a certified UPPER bound on the true a · b.
+inline double UpMul(double a, double b) {
+  const double p = a * b;
+  if (a == 0.0 || b == 0.0) return p;
+  if (std::isnormal(p)) {
+    const double err = std::fma(a, b, -p);
+    return err <= 0.0 ? p : Up(p);
+  }
+  return Up(p);
+}
+
+/// Compensated DIRECTED accumulator (lower-bound side): a Kahan-style
+/// (sum, compensation) pair where the running sum is advanced with exact
+/// TwoSum residuals and only the tiny residual stream is rounded downward.
+/// Invariant: sum + comp <= exact sum of every Add'ed term, with comp a
+/// certified lower bound on the exact residual total — so the per-term
+/// width cost is an ulp of the RESIDUAL's magnitude (~1e-16 of a term)
+/// instead of an ulp of the running sum. Terms may be signed (the lifted
+/// inclusion–exclusion sums); nothing here assumes [0, 1].
+struct DownSum {
+  double sum = 0.0;
+  double comp = 0.0;
+  void Add(double x) {
+    double s;
+    const double err = TwoSumErr(sum, x, &s);
+    sum = s;
+    comp = DownAdd(comp, err);
+  }
+  /// Certified lower bound on the exact sum of the terms so far.
+  double Value() const { return DownAdd(sum, comp); }
+};
+
+/// Upper-bound twin of DownSum: sum + comp >= exact sum.
+struct UpSum {
+  double sum = 0.0;
+  double comp = 0.0;
+  void Add(double x) {
+    double s;
+    const double err = TwoSumErr(sum, x, &s);
+    sum = s;
+    comp = UpAdd(comp, err);
+  }
+  /// Certified upper bound on the exact sum of the terms so far.
+  double Value() const { return UpAdd(sum, comp); }
+};
 
 }  // namespace interval_internal
 
@@ -66,8 +175,8 @@ struct IntervalDouble {
 
 inline IntervalDouble operator+(const IntervalDouble& a,
                                 const IntervalDouble& b) {
-  return IntervalDouble(interval_internal::Down(a.lo + b.lo),
-                        interval_internal::Up(a.hi + b.hi))
+  return IntervalDouble(interval_internal::DownAdd(a.lo, b.lo),
+                        interval_internal::UpAdd(a.hi, b.hi))
       .ClampedToUnit();
 }
 
@@ -77,8 +186,8 @@ inline IntervalDouble operator*(const IntervalDouble& a,
                                 const IntervalDouble& b) {
   assert(a.lo >= 0.0 && b.lo >= 0.0 &&
          "IntervalDouble multiplication requires nonnegative intervals");
-  return IntervalDouble(interval_internal::Down(a.lo * b.lo),
-                        interval_internal::Up(a.hi * b.hi))
+  return IntervalDouble(interval_internal::DownMul(a.lo, b.lo),
+                        interval_internal::UpMul(a.hi, b.hi))
       .ClampedToUnit();
 }
 
@@ -89,8 +198,8 @@ inline IntervalDouble operator*(const IntervalDouble& a,
 /// event probability) via ClampedToUnit().
 inline IntervalDouble WideAdd(const IntervalDouble& a,
                               const IntervalDouble& b) {
-  return IntervalDouble(interval_internal::Down(a.lo + b.lo),
-                        interval_internal::Up(a.hi + b.hi));
+  return IntervalDouble(interval_internal::DownAdd(a.lo, b.lo),
+                        interval_internal::UpAdd(a.hi, b.hi));
 }
 
 /// UNCLAMPED outward-rounded difference a − b (see WideAdd). Endpoints pair
@@ -98,8 +207,8 @@ inline IntervalDouble WideAdd(const IntervalDouble& a,
 /// hi_a − lo_b.
 inline IntervalDouble WideSub(const IntervalDouble& a,
                               const IntervalDouble& b) {
-  return IntervalDouble(interval_internal::Down(a.lo - b.hi),
-                        interval_internal::Up(a.hi - b.lo));
+  return IntervalDouble(interval_internal::DownSub(a.lo, b.hi),
+                        interval_internal::UpSub(a.hi, b.lo));
 }
 
 inline IntervalDouble& operator+=(IntervalDouble& a, const IntervalDouble& b) {

@@ -125,8 +125,12 @@ struct NumericOps<IntervalDouble> {
     return IntervalDouble(lo, hi).ClampedToUnit();
   }
   static IntervalDouble Complement(const IntervalDouble& x) {
-    return IntervalDouble(interval_internal::Down(1.0 - x.hi),
-                          interval_internal::Up(1.0 - x.lo))
+    // Compensated directed rounding (interval_double.h): 1 − x is EXACT for
+    // x in [1/2, 2] (Sterbenz) and for every dyadic probability, so the
+    // residual-aware subtraction keeps point complements point instead of
+    // paying the old unconditional ulp each side.
+    return IntervalDouble(interval_internal::DownSub(1.0, x.hi),
+                          interval_internal::UpSub(1.0, x.lo))
         .ClampedToUnit();
   }
   // Zero/one tests demand the POINT interval: a nondegenerate interval only
@@ -144,6 +148,42 @@ struct NumericOps<IntervalDouble> {
     return x.lo == 1.0 && x.hi == 1.0;
   }
   static double ToDouble(const IntervalDouble& x) { return x.midpoint(); }
+};
+
+/// Streaming sum of the probabilities of DISJOINT events (deterministic-OR
+/// gates, the run-start states of the interval DP): the generic accumulator
+/// is exactly the sequential `+=` the kernels always used, so the Rational
+/// and double backends are bit-identical to a plain loop. The IntervalDouble
+/// specialization below compensates instead of clamp-and-round per step.
+template <class Num>
+class DisjointSumAccumulator {
+ public:
+  void Add(const Num& term) { total_ += term; }
+  Num Total() const { return total_; }
+
+ private:
+  Num total_ = NumericOps<Num>::Zero();
+};
+
+/// Interval backend: both endpoints run through the compensated directed
+/// accumulators (interval_double.h), so a k-term sum costs ulps of the
+/// RESIDUAL stream instead of k outward roundings of the running sum. The
+/// single final clamp is sound because the total — unlike a signed partial
+/// sum — is itself the probability of the disjoint union.
+template <>
+class DisjointSumAccumulator<IntervalDouble> {
+ public:
+  void Add(const IntervalDouble& term) {
+    lo_.Add(term.lo);
+    hi_.Add(term.hi);
+  }
+  IntervalDouble Total() const {
+    return IntervalDouble(lo_.Value(), hi_.Value()).ClampedToUnit();
+  }
+
+ private:
+  interval_internal::DownSum lo_;
+  interval_internal::UpSum hi_;
 };
 
 /// The instance's exact edge probabilities converted into the backend type.

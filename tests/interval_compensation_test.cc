@@ -1,0 +1,278 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "src/core/eval_session.h"
+#include "src/core/solver.h"
+#include "src/graph/builders.h"
+#include "src/graph/generators.h"
+#include "src/util/interval_double.h"
+#include "src/util/numeric.h"
+#include "src/util/rational.h"
+#include "src/util/rng.h"
+#include "tests/test_util.h"
+
+/// Tier-1 proofs for the compensated directed rounding that backs the
+/// IntervalDouble backend (util/interval_double.h):
+///
+///  * primitive soundness — DownAdd/UpAdd, DownSub/UpSub, DownMul/UpMul
+///    bracket the EXACT result (verified against lossless Rational
+///    arithmetic) on randomized operands, and are tight to ≤ 2 ulp;
+///  * exactness — dyadic operands cost ZERO width (the error-free
+///    transformations detect the exact case the seed arithmetic paid a
+///    full outward ulp for);
+///  * the compensated accumulators — DownSum/UpSum bracket exact signed
+///    sums and are strictly tighter than per-term directed rounding;
+///  * end to end — a dyadic-probability instance yields a POINT enclosure
+///    through the full solve (conversion, kernels, Lemma 3.7 combine), and
+///    the enclosure contains the exact Rational answer across the
+///    cross-check corpus, including the signed inclusion–exclusion merge
+///    of entangled UCQ unions (the deepest cancellation-prone sum).
+
+namespace phom {
+namespace {
+
+using interval_internal::DownAdd;
+using interval_internal::DownMul;
+using interval_internal::DownSub;
+using interval_internal::DownSum;
+using interval_internal::UpAdd;
+using interval_internal::UpMul;
+using interval_internal::UpSub;
+using interval_internal::UpSum;
+using test_util::kCrosscheckSeedBase;
+using test_util::MakeCrosscheckCase;
+using test_util::MakeUcqCrosscheckCase;
+using test_util::UcqProbabilityByEnumeration;
+
+/// A reproducible stream of "awkward" doubles: full-width mantissas across
+/// a spread of binades, the kind of operands whose sums and products round.
+double RandomDouble(Rng* rng) {
+  const double mantissa =
+      static_cast<double>(rng->UniformInt(0, (int64_t{1} << 53) - 1));
+  return std::ldexp(mantissa, static_cast<int>(rng->UniformInt(-73, -53)));
+}
+
+::testing::AssertionResult Brackets(double down, const Rational& exact,
+                                    double up) {
+  // Rational::FromDouble is lossless, so both comparisons are exact.
+  if (Rational::FromDouble(down) > exact) {
+    return ::testing::AssertionFailure()
+           << "lower bound " << down << " exceeds the exact result";
+  }
+  if (Rational::FromDouble(up) < exact) {
+    return ::testing::AssertionFailure()
+           << "upper bound " << up << " is below the exact result";
+  }
+  return ::testing::AssertionSuccess();
+}
+
+double UlpsApart(double lo, double hi) {
+  double steps = 0;
+  double x = lo;
+  while (x < hi && steps <= 4) {
+    x = std::nextafter(x, std::numeric_limits<double>::infinity());
+    ++steps;
+  }
+  return steps;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive soundness and tightness.
+// ---------------------------------------------------------------------------
+
+TEST(IntervalCompensation, DirectedAddBracketsExactSum) {
+  Rng rng(kCrosscheckSeedBase);
+  for (int i = 0; i < 2000; ++i) {
+    const double a = RandomDouble(&rng);
+    const double b = rng.Bernoulli(0.5) ? RandomDouble(&rng)
+                                        : -RandomDouble(&rng);
+    const Rational exact = Rational::FromDouble(a) + Rational::FromDouble(b);
+    EXPECT_TRUE(Brackets(DownAdd(a, b), exact, UpAdd(a, b)))
+        << "a=" << a << " b=" << b;
+    // The pair is tight: at most one ulp stepped on each side.
+    EXPECT_LE(UlpsApart(DownAdd(a, b), UpAdd(a, b)), 2.0);
+    const Rational diff = Rational::FromDouble(a) - Rational::FromDouble(b);
+    EXPECT_TRUE(Brackets(DownSub(a, b), diff, UpSub(a, b)))
+        << "a=" << a << " b=" << b;
+  }
+}
+
+TEST(IntervalCompensation, DirectedAddIsExactOnExactSums) {
+  // The compensated primitives detect when rounding lost nothing and skip
+  // the outward step the seed arithmetic always paid.
+  EXPECT_EQ(DownAdd(0.25, 0.5), 0.75);
+  EXPECT_EQ(UpAdd(0.25, 0.5), 0.75);
+  EXPECT_EQ(DownSub(1.0, 0.5), 0.5);
+  EXPECT_EQ(UpSub(1.0, 0.5), 0.5);
+  // Sterbenz: 1 − x is exact for x in [1/2, 1].
+  const double x = 0.7;
+  EXPECT_EQ(DownSub(1.0, x), UpSub(1.0, x));
+}
+
+TEST(IntervalCompensation, DirectedMulBracketsExactProduct) {
+  Rng rng(kCrosscheckSeedBase + 1);
+  for (int i = 0; i < 2000; ++i) {
+    const double a = RandomDouble(&rng);
+    const double b = RandomDouble(&rng);
+    const Rational exact = Rational::FromDouble(a) * Rational::FromDouble(b);
+    EXPECT_TRUE(Brackets(DownMul(a, b), exact, UpMul(a, b)))
+        << "a=" << a << " b=" << b;
+    EXPECT_LE(UlpsApart(DownMul(a, b), UpMul(a, b)), 2.0);
+  }
+  // Dyadic products are exact: zero width.
+  EXPECT_EQ(DownMul(0.5, 0.5), 0.25);
+  EXPECT_EQ(UpMul(0.5, 0.5), 0.25);
+  EXPECT_EQ(DownMul(0.0, 0.7), 0.0);
+  EXPECT_EQ(UpMul(0.0, 0.7), 0.0);
+}
+
+TEST(IntervalCompensation, DirectedMulSubnormalFallbackStaysSound) {
+  // An underflowed product loses the fma residual guarantee; the fallback
+  // steps unconditionally, which must still bracket the exact product.
+  const double a = 1e-200;
+  const double b = 1e-150;
+  const Rational exact = Rational::FromDouble(a) * Rational::FromDouble(b);
+  EXPECT_TRUE(Brackets(DownMul(a, b), exact, UpMul(a, b)));
+  const double tiny = 5e-324;
+  EXPECT_TRUE(Brackets(DownMul(tiny, 0.5),
+                       Rational::FromDouble(tiny) * Rational(1, 2),
+                       UpMul(tiny, 0.5)));
+}
+
+TEST(IntervalCompensation, CompensatedSumsBracketAndBeatPerTermRounding) {
+  // 1000 copies of an inexact term: the exact total is 1000 · fl(0.1).
+  const double term = 0.1;
+  const int n = 1000;
+  DownSum lo;
+  UpSum hi;
+  double naive_lo = 0.0;
+  double naive_hi = 0.0;
+  Rational exact = Rational::Zero();
+  for (int i = 0; i < n; ++i) {
+    lo.Add(term);
+    hi.Add(term);
+    naive_lo = DownAdd(naive_lo, term);
+    naive_hi = UpAdd(naive_hi, term);
+    exact = exact + Rational::FromDouble(term);
+  }
+  EXPECT_TRUE(Brackets(lo.Value(), exact, hi.Value()));
+  EXPECT_TRUE(Brackets(naive_lo, exact, naive_hi));
+  // The compensated pair is strictly tighter than per-term directed
+  // rounding: the naive loop pays up to an ulp of the RUNNING SUM per term,
+  // the compensated one an ulp of the residual stream.
+  EXPECT_LT(hi.Value() - lo.Value(), naive_hi - naive_lo);
+  EXPECT_LE(UlpsApart(lo.Value(), hi.Value()), 2.0);
+}
+
+TEST(IntervalCompensation, CompensatedSumsHandleSignedCancellation) {
+  // Alternating near-cancelling terms — the inclusion–exclusion shape.
+  Rng rng(kCrosscheckSeedBase + 2);
+  DownSum lo;
+  UpSum hi;
+  Rational exact = Rational::Zero();
+  for (int i = 0; i < 500; ++i) {
+    const double x = (i % 2 == 0 ? 1.0 : -1.0) * RandomDouble(&rng);
+    lo.Add(x);
+    hi.Add(x);
+    exact = exact + Rational::FromDouble(x);
+  }
+  EXPECT_TRUE(Brackets(lo.Value(), exact, hi.Value()));
+  // Dyadic-only streams stay EXACT even under cancellation.
+  DownSum dyadic_lo;
+  UpSum dyadic_hi;
+  for (int i = 0; i < 100; ++i) {
+    const double x = (i % 3 == 0 ? -1.0 : 1.0) * std::ldexp(1.0, -(i % 7));
+    dyadic_lo.Add(x);
+    dyadic_hi.Add(x);
+  }
+  EXPECT_EQ(dyadic_lo.Value(), dyadic_hi.Value());
+}
+
+// ---------------------------------------------------------------------------
+// End to end through the solver.
+// ---------------------------------------------------------------------------
+
+/// PaperFigure1's shape with every probability replaced by a dyadic: every
+/// kernel operation (+, ×, 1 − x on small dyadics) is then exact in double,
+/// so the compensated backend must deliver a POINT enclosure — the seed's
+/// unconditional outward step could not.
+TEST(IntervalCompensation, DyadicInstanceYieldsPointEnclosure) {
+  DiGraph query(4);
+  AddEdgeOrDie(&query, 0, 1, 0);
+  AddEdgeOrDie(&query, 1, 2, 1);
+  AddEdgeOrDie(&query, 3, 2, 1);
+  ProbGraph instance(4);
+  AddEdgeOrDie(&instance, 0, 1, 0, Rational(1, 2));
+  AddEdgeOrDie(&instance, 3, 1, 0, Rational(3, 4));
+  AddEdgeOrDie(&instance, 1, 2, 1, Rational(1, 4));
+  AddEdgeOrDie(&instance, 0, 3, 0, Rational::One());
+  AddEdgeOrDie(&instance, 2, 3, 0, Rational(1, 16));
+  AddEdgeOrDie(&instance, 2, 0, 1, Rational(1, 2));
+
+  EvalSession session(instance);
+  Result<SolveResult> exact = session.Solve(query);
+  ASSERT_TRUE(exact.ok()) << exact.status().ToString();
+
+  SolveOverrides interval;
+  interval.numeric = NumericBackend::kIntervalDouble;
+  Result<SolveResult> enclosed = session.Solve(query, interval);
+  ASSERT_TRUE(enclosed.ok()) << enclosed.status().ToString();
+  ASSERT_TRUE(enclosed->bound.certified);
+  EXPECT_EQ(enclosed->bound.lo, enclosed->bound.hi)
+      << "dyadic arithmetic is exact; the enclosure must be a point";
+  EXPECT_EQ(Rational::FromDouble(enclosed->bound.lo), exact->probability);
+}
+
+TEST(IntervalCompensation, EnclosureContainsExactAcrossCrosscheckCorpus) {
+  SolveOverrides interval;
+  interval.numeric = NumericBackend::kIntervalDouble;
+  for (test_util::CellClass cell : test_util::AllCellClasses()) {
+    for (uint64_t i = 0; i < 6; ++i) {
+      Rng rng(kCrosscheckSeedBase + 100 * static_cast<uint64_t>(cell) + i);
+      test_util::CrosscheckCase c = MakeCrosscheckCase(cell, &rng);
+      SCOPED_TRACE(std::string(test_util::ToString(cell)) +
+                   " seed offset " + std::to_string(i));
+      EvalSession session(c.instance);
+      Result<SolveResult> exact = session.Solve(c.query);
+      ASSERT_TRUE(exact.ok()) << exact.status().ToString();
+      Result<SolveResult> enclosed = session.Solve(c.query, interval);
+      ASSERT_TRUE(enclosed.ok()) << enclosed.status().ToString();
+      ASSERT_TRUE(enclosed->bound.certified);
+      EXPECT_LE(Rational::FromDouble(enclosed->bound.lo),
+                exact->probability);
+      EXPECT_GE(Rational::FromDouble(enclosed->bound.hi),
+                exact->probability);
+    }
+  }
+}
+
+TEST(IntervalCompensation, EnclosureSurvivesSignedUcqInclusionExclusion) {
+  // The lifted engine's inclusion–exclusion merge is the one signed sum in
+  // the system — the compensated WideAdd/WideSub path. Entangled unions
+  // from the seeded corpus exercise it; the enumeration oracle is exact.
+  SolveOverrides interval;
+  interval.numeric = NumericBackend::kIntervalDouble;
+  for (uint64_t i = 0; i < 12; ++i) {
+    Rng rng(kCrosscheckSeedBase + 1000 + i);
+    test_util::UcqCrosscheckCase c = MakeUcqCrosscheckCase(&rng);
+    SCOPED_TRACE("ucq seed offset " + std::to_string(i));
+    const Rational oracle =
+        UcqProbabilityByEnumeration(c.ucq.disjuncts, c.instance);
+    EvalSession session(c.instance);
+    Result<SolveResult> enclosed = session.SolveUcq(c.ucq, interval);
+    ASSERT_TRUE(enclosed.ok()) << enclosed.status().ToString();
+    ASSERT_TRUE(enclosed->bound.certified);
+    EXPECT_LE(Rational::FromDouble(enclosed->bound.lo), oracle);
+    EXPECT_GE(Rational::FromDouble(enclosed->bound.hi), oracle);
+    // The union's double estimate sits inside its own enclosure.
+    EXPECT_GE(enclosed->probability_double, enclosed->bound.lo);
+    EXPECT_LE(enclosed->probability_double, enclosed->bound.hi);
+  }
+}
+
+}  // namespace
+}  // namespace phom

@@ -31,6 +31,7 @@ namespace {
 using serve::BatchExecutor;
 using serve::ExecutorOptions;
 using serve::IntervalWidthBucket;
+using serve::kIntervalWidthInvalid;
 using serve::SolveRequest;
 using serve::SolveTicket;
 using test_util::MakeUcqCrosscheckCase;
@@ -432,8 +433,13 @@ TEST(LiftedUcq, MonteCarloUnionEstimatorEdgeCases) {
 
 TEST(LiftedUcq, IntervalWidthBucketing) {
   EXPECT_EQ(IntervalWidthBucket(0.0), 0u);
-  EXPECT_EQ(IntervalWidthBucket(-1.0), 0u);
-  EXPECT_EQ(IntervalWidthBucket(std::nan("")), 0u);
+#ifdef NDEBUG
+  // Invalid widths (hi < lo, or NaN endpoints) land in the loud overflow
+  // bucket instead of masquerading as point enclosures in bucket 0; debug
+  // builds assert instead.
+  EXPECT_EQ(IntervalWidthBucket(-1.0), kIntervalWidthInvalid);
+  EXPECT_EQ(IntervalWidthBucket(std::nan("")), kIntervalWidthInvalid);
+#endif
   // width = m * 2^e with m in [0.5, 1) lands in bucket e + 64.
   EXPECT_EQ(IntervalWidthBucket(0.5), 64u);
   EXPECT_EQ(IntervalWidthBucket(0.75), 64u);
